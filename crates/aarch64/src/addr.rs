@@ -1,0 +1,247 @@
+//! Address types and page arithmetic for the simulated Arm-A machine.
+//!
+//! Three address spaces appear in pKVM, mirroring the Arm-A VMSAv8-64
+//! architecture:
+//!
+//! - *physical addresses* ([`PhysAddr`]) index the simulated physical memory;
+//! - *intermediate-physical addresses* ([`Ipa`]) are the input addresses of a
+//!   stage 2 translation (the "guest-physical" addresses of the host kernel
+//!   or of a guest VM);
+//! - *virtual addresses* ([`VirtAddr`]) are the input addresses of pKVM's own
+//!   single-stage (stage 1) translation at EL2.
+//!
+//! All three are `u64` newtypes so that the hypervisor and the ghost
+//! specification cannot accidentally mix address spaces — one of the classic
+//! sources of hypervisor bugs.
+
+use core::fmt;
+
+/// Log2 of the translation granule (4 KiB pages).
+pub const PAGE_SHIFT: u64 = 12;
+/// The translation granule size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+/// Byte mask covering the offset-within-page bits.
+pub const PAGE_MASK: u64 = PAGE_SIZE - 1;
+/// Number of 8-byte translation-table entries per 4 KiB table.
+pub const PTES_PER_TABLE: u64 = 512;
+/// Number of bits resolved per translation level.
+pub const BITS_PER_LEVEL: u64 = 9;
+/// Size of the output-address space modelled (48-bit OA).
+pub const PA_BITS: u64 = 48;
+/// Maximum representable physical address + 1.
+pub const PA_LIMIT: u64 = 1 << PA_BITS;
+
+/// Translation-table levels used in the Android/pKVM configuration:
+/// a 4-level, 4 KiB-granule table walks levels 0 through 3.
+pub const START_LEVEL: u8 = 0;
+/// The final (leaf-only) level of a 4-level walk.
+pub const LEAF_LEVEL: u8 = 3;
+
+/// Returns the bit position of the least-significant input-address bit
+/// resolved *below* `level`, i.e. the size shift of a region mapped by one
+/// entry at `level`.
+///
+/// Level 3 entries map 4 KiB (`shift 12`), level 2 map 2 MiB, level 1 map
+/// 1 GiB, level 0 map 512 GiB.
+#[inline]
+pub const fn level_shift(level: u8) -> u64 {
+    PAGE_SHIFT + BITS_PER_LEVEL * (LEAF_LEVEL - level) as u64
+}
+
+/// Size in bytes of the region covered by a single entry at `level`.
+#[inline]
+pub const fn level_size(level: u8) -> u64 {
+    1 << level_shift(level)
+}
+
+/// Number of 4 KiB pages covered by a single entry at `level`.
+#[inline]
+pub const fn level_pages(level: u8) -> u64 {
+    1 << (level_shift(level) - PAGE_SHIFT)
+}
+
+/// Extracts the table index for `level` from input address `ia`.
+#[inline]
+pub const fn ia_index(ia: u64, level: u8) -> usize {
+    ((ia >> level_shift(level)) & (PTES_PER_TABLE - 1)) as usize
+}
+
+/// Returns `true` if `addr` is 4 KiB aligned.
+#[inline]
+pub const fn is_page_aligned(addr: u64) -> bool {
+    addr & PAGE_MASK == 0
+}
+
+/// Rounds `addr` down to a 4 KiB boundary.
+#[inline]
+pub const fn page_align_down(addr: u64) -> u64 {
+    addr & !PAGE_MASK
+}
+
+/// Rounds `addr` up to a 4 KiB boundary (saturating at `u64::MAX & !PAGE_MASK`).
+#[inline]
+pub const fn page_align_up(addr: u64) -> u64 {
+    page_align_down(addr.saturating_add(PAGE_MASK))
+}
+
+macro_rules! addr_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw 64-bit address.
+            #[inline]
+            pub const fn new(bits: u64) -> Self {
+                Self(bits)
+            }
+
+            /// The raw 64-bit address.
+            #[inline]
+            pub const fn bits(self) -> u64 {
+                self.0
+            }
+
+            /// The 4 KiB frame number of this address.
+            #[inline]
+            pub const fn pfn(self) -> u64 {
+                self.0 >> PAGE_SHIFT
+            }
+
+            /// Constructs the address of the start of frame `pfn`.
+            #[inline]
+            pub const fn from_pfn(pfn: u64) -> Self {
+                Self(pfn << PAGE_SHIFT)
+            }
+
+            /// The offset of this address within its 4 KiB page.
+            #[inline]
+            pub const fn page_offset(self) -> u64 {
+                self.0 & PAGE_MASK
+            }
+
+            /// Returns `true` if this address is 4 KiB aligned.
+            #[inline]
+            pub const fn is_page_aligned(self) -> bool {
+                is_page_aligned(self.0)
+            }
+
+            /// This address rounded down to its page base.
+            #[inline]
+            pub const fn page_base(self) -> Self {
+                Self(page_align_down(self.0))
+            }
+
+            /// Checked addition of a byte offset.
+            #[inline]
+            pub fn checked_add(self, rhs: u64) -> Option<Self> {
+                self.0.checked_add(rhs).map(Self)
+            }
+
+            /// Wrapping addition of a byte offset.
+            #[inline]
+            pub const fn wrapping_add(self, rhs: u64) -> Self {
+                Self(self.0.wrapping_add(rhs))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_type! {
+    /// A physical address: the output of the final stage of translation,
+    /// indexing simulated physical memory.
+    PhysAddr
+}
+
+addr_type! {
+    /// An intermediate-physical address: the input of a stage 2 translation.
+    ///
+    /// For the host's stage 2 the IPA space is identity-related to physical
+    /// memory; for guests it is an independent "guest-physical" space.
+    Ipa
+}
+
+addr_type! {
+    /// A virtual address: the input of pKVM's own stage 1 translation at EL2.
+    VirtAddr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_shifts_match_vmsav8() {
+        assert_eq!(level_shift(3), 12);
+        assert_eq!(level_shift(2), 21);
+        assert_eq!(level_shift(1), 30);
+        assert_eq!(level_shift(0), 39);
+    }
+
+    #[test]
+    fn level_sizes() {
+        assert_eq!(level_size(3), 4 << 10);
+        assert_eq!(level_size(2), 2 << 20);
+        assert_eq!(level_size(1), 1 << 30);
+        assert_eq!(level_pages(3), 1);
+        assert_eq!(level_pages(2), 512);
+        assert_eq!(level_pages(1), 512 * 512);
+    }
+
+    #[test]
+    fn index_extraction() {
+        // An address with distinct per-level index fields.
+        let ia = (1u64 << 39) | (2 << 30) | (3 << 21) | (4 << 12) | 0x123;
+        assert_eq!(ia_index(ia, 0), 1);
+        assert_eq!(ia_index(ia, 1), 2);
+        assert_eq!(ia_index(ia, 2), 3);
+        assert_eq!(ia_index(ia, 3), 4);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        assert!(is_page_aligned(0));
+        assert!(is_page_aligned(0x1000));
+        assert!(!is_page_aligned(0x1001));
+        assert_eq!(page_align_down(0x1fff), 0x1000);
+        assert_eq!(page_align_up(0x1001), 0x2000);
+        assert_eq!(page_align_up(0x1000), 0x1000);
+    }
+
+    #[test]
+    fn addr_newtypes_do_not_mix() {
+        let p = PhysAddr::new(0x8000_1000);
+        assert_eq!(p.pfn(), 0x80001);
+        assert_eq!(PhysAddr::from_pfn(p.pfn()), p.page_base());
+        assert_eq!(p.page_offset(), 0);
+        let v = VirtAddr::new(0x8000_1234);
+        assert_eq!(v.page_base().bits(), 0x8000_1000);
+        assert_eq!(v.page_offset(), 0x234);
+    }
+
+    #[test]
+    fn checked_add_saturates_properly() {
+        let p = PhysAddr::new(u64::MAX - 4);
+        assert!(p.checked_add(8).is_none());
+        assert_eq!(p.checked_add(4), Some(PhysAddr::new(u64::MAX)));
+    }
+}

@@ -1,0 +1,190 @@
+//! Architecture-visible attributes of a translation-table leaf entry.
+//!
+//! These are the *decoded* forms: memory type, access permissions, and the
+//! software-defined bits that the architecture reserves for system software
+//! (pKVM uses them to encode logical page ownership, see `pkvm-hyp`).
+
+use core::fmt;
+
+/// Which stage of translation a table implements.
+///
+/// pKVM manages one *stage 1* table (its own EL2 mapping) and several
+/// *stage 2* tables (one for the host, one per guest). The two stages use
+/// different descriptor attribute encodings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Single-stage EL2 translation (pKVM's own mapping).
+    Stage1,
+    /// Second-stage translation (host and guest IPA to PA).
+    Stage2,
+}
+
+/// Access permissions of a mapping, decoded from AP/S2AP and XN bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Perms {
+    /// Read permission.
+    pub r: bool,
+    /// Write permission.
+    pub w: bool,
+    /// Execute permission.
+    pub x: bool,
+}
+
+impl Perms {
+    /// Read-write-execute.
+    pub const RWX: Self = Self {
+        r: true,
+        w: true,
+        x: true,
+    };
+    /// Read-write, no execute.
+    pub const RW: Self = Self {
+        r: true,
+        w: true,
+        x: false,
+    };
+    /// Read-execute, no write.
+    pub const RX: Self = Self {
+        r: true,
+        w: false,
+        x: true,
+    };
+    /// Read-only.
+    pub const R: Self = Self {
+        r: true,
+        w: false,
+        x: false,
+    };
+    /// No access (used only transiently).
+    pub const NONE: Self = Self {
+        r: false,
+        w: false,
+        x: false,
+    };
+
+    /// Returns `true` if `self` allows everything `other` allows.
+    #[inline]
+    pub const fn allows(self, other: Self) -> bool {
+        (self.r || !other.r) && (self.w || !other.w) && (self.x || !other.x)
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.r { 'R' } else { '-' },
+            if self.w { 'W' } else { '-' },
+            if self.x { 'X' } else { '-' }
+        )
+    }
+}
+
+/// Memory type of a mapping: cacheable normal memory or device memory.
+///
+/// In the Android/pKVM configuration only these two MAIR attribute entries
+/// are used, so the full 8-entry MAIR indirection collapses to a boolean.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemType {
+    /// Normal write-back cacheable memory.
+    Normal,
+    /// Device-nGnRE memory (MMIO).
+    Device,
+}
+
+impl fmt::Display for MemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemType::Normal => write!(f, "M"),
+            MemType::Device => write!(f, "D"),
+        }
+    }
+}
+
+/// The MAIR_EL2 attribute index used for normal memory (stage 1).
+pub const MT_NORMAL_IDX: u64 = 0;
+/// The MAIR_EL2 attribute index used for device memory (stage 1).
+pub const MT_DEVICE_IDX: u64 = 1;
+
+/// The stage 2 MemAttr field encoding for normal write-back memory.
+pub const S2_MEMATTR_NORMAL: u64 = 0b1111;
+/// The stage 2 MemAttr field encoding for device-nGnRE memory.
+pub const S2_MEMATTR_DEVICE: u64 = 0b0001;
+
+/// Fully decoded leaf attributes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Attrs {
+    /// Access permissions.
+    pub perms: Perms,
+    /// Memory type.
+    pub memtype: MemType,
+    /// Software-defined bits (PTE bits \[58:55\]); pKVM stores the logical
+    /// page state here.
+    pub sw: u8,
+}
+
+impl Attrs {
+    /// Attributes for normal memory with the given permissions and no
+    /// software bits set.
+    #[inline]
+    pub const fn normal(perms: Perms) -> Self {
+        Self {
+            perms,
+            memtype: MemType::Normal,
+            sw: 0,
+        }
+    }
+
+    /// Attributes for device memory with the given permissions.
+    #[inline]
+    pub const fn device(perms: Perms) -> Self {
+        Self {
+            perms,
+            memtype: MemType::Device,
+            sw: 0,
+        }
+    }
+
+    /// Returns a copy with the software bits replaced.
+    #[inline]
+    pub const fn with_sw(mut self, sw: u8) -> Self {
+        self.sw = sw;
+        self
+    }
+}
+
+impl fmt::Display for Attrs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} sw={}", self.perms, self.memtype, self.sw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perms_allows_is_a_partial_order() {
+        assert!(Perms::RWX.allows(Perms::RW));
+        assert!(Perms::RWX.allows(Perms::RWX));
+        assert!(!Perms::RW.allows(Perms::RWX));
+        assert!(!Perms::R.allows(Perms::RW));
+        assert!(Perms::R.allows(Perms::NONE));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Perms::RWX.to_string(), "RWX");
+        assert_eq!(Perms::RW.to_string(), "RW-");
+        assert_eq!(Attrs::normal(Perms::RX).to_string(), "R-X M sw=0");
+    }
+
+    #[test]
+    fn with_sw_preserves_other_fields() {
+        let a = Attrs::device(Perms::RW).with_sw(2);
+        assert_eq!(a.memtype, MemType::Device);
+        assert_eq!(a.perms, Perms::RW);
+        assert_eq!(a.sw, 2);
+    }
+}

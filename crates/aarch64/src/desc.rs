@@ -1,0 +1,370 @@
+//! VMSAv8-64 translation-table descriptor encoding and decoding.
+//!
+//! Translation tables are stored in simulated physical memory as arrays of
+//! little-endian 64-bit descriptors in the real Arm-A format (4 KiB granule,
+//! 48-bit output addresses). Both the "hardware" walk ([`mod@crate::walk`]) and
+//! the ghost abstraction function in `pkvm-ghost` interpret these bits, so
+//! the encoding here is the single point of truth for the architecture
+//! representation that the paper's specification abstracts from.
+
+use crate::addr::{level_shift, PhysAddr, LEAF_LEVEL, PAGE_SHIFT};
+use crate::attrs::{
+    Attrs, MemType, Perms, Stage, MT_DEVICE_IDX, MT_NORMAL_IDX, S2_MEMATTR_DEVICE,
+    S2_MEMATTR_NORMAL,
+};
+
+/// Bit 0: descriptor is valid.
+const PTE_VALID: u64 = 1 << 0;
+/// Bit 1: at levels 0-2 selects table (1) vs block (0); at level 3 must be 1
+/// for a page descriptor.
+const PTE_TYPE_TABLE_OR_PAGE: u64 = 1 << 1;
+
+/// Output/next-table address field, bits \[47:12\].
+const PTE_ADDR_MASK: u64 = ((1u64 << 48) - 1) & !((1 << PAGE_SHIFT) - 1);
+
+/// Stage 1 lower attributes.
+const S1_ATTRIDX_SHIFT: u64 = 2; // AttrIndx[2:0] at bits [4:2]
+const S1_ATTRIDX_MASK: u64 = 0b111 << S1_ATTRIDX_SHIFT;
+const S1_AP_RDONLY: u64 = 1 << 7; // AP[2]: read-only when set
+const S1_SH_INNER: u64 = 0b11 << 8;
+const S1_AF: u64 = 1 << 10;
+const S1_XN: u64 = 1 << 54;
+
+/// Stage 2 lower attributes.
+const S2_MEMATTR_SHIFT: u64 = 2; // MemAttr[3:0] at bits [5:2]
+const S2_MEMATTR_MASK: u64 = 0b1111 << S2_MEMATTR_SHIFT;
+const S2AP_R: u64 = 1 << 6;
+const S2AP_W: u64 = 1 << 7;
+const S2_SH_INNER: u64 = 0b11 << 8;
+const S2_AF: u64 = 1 << 10;
+const S2_XN: u64 = 1 << 54;
+
+/// Software-defined bits \[58:55\], ignored by hardware.
+const PTE_SW_SHIFT: u64 = 55;
+const PTE_SW_MASK: u64 = 0b1111 << PTE_SW_SHIFT;
+
+/// Owner annotation stored by pKVM in *invalid* descriptors, bits \[9:2\]
+/// (mirrors `KVM_INVALID_PTE_OWNER_MASK` in the pKVM sources).
+const PTE_INVALID_OWNER_SHIFT: u64 = 2;
+const PTE_INVALID_OWNER_MASK: u64 = 0xff << PTE_INVALID_OWNER_SHIFT;
+
+/// The architectural kind of a descriptor, as a function of its bits *and*
+/// the level at which it was found (the same bits mean different things at
+/// different levels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Invalid descriptor: the input-address range is unmapped. May carry a
+    /// software owner annotation.
+    Invalid,
+    /// Pointer to a next-level table (levels 0-2 only).
+    Table,
+    /// Block mapping (levels 1-2 only): maps a 1 GiB or 2 MiB region.
+    Block,
+    /// Page mapping (level 3 only): maps one 4 KiB page.
+    Page,
+    /// An encoding reserved by the architecture (e.g. a block at level 0, or
+    /// bit 1 clear at level 3). Hardware treats these as faults.
+    Reserved,
+}
+
+/// A raw 64-bit translation-table descriptor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    /// An all-zero invalid descriptor.
+    pub const ZERO: Self = Self(0);
+
+    /// Returns the raw bits.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if the valid bit is set.
+    #[inline]
+    pub const fn is_valid(self) -> bool {
+        self.0 & PTE_VALID != 0
+    }
+
+    /// Classifies this descriptor at the given level, following the
+    /// VMSAv8-64 decode rules for the 4 KiB granule.
+    pub const fn kind(self, level: u8) -> EntryKind {
+        if !self.is_valid() {
+            return EntryKind::Invalid;
+        }
+        let table_or_page = self.0 & PTE_TYPE_TABLE_OR_PAGE != 0;
+        if level == LEAF_LEVEL {
+            if table_or_page {
+                EntryKind::Page
+            } else {
+                EntryKind::Reserved
+            }
+        } else if table_or_page {
+            EntryKind::Table
+        } else if level == 0 {
+            // 4 KiB granule has no level 0 blocks.
+            EntryKind::Reserved
+        } else {
+            EntryKind::Block
+        }
+    }
+
+    /// Builds an invalid descriptor with no annotation.
+    #[inline]
+    pub const fn invalid() -> Self {
+        Self::ZERO
+    }
+
+    /// Builds an invalid descriptor carrying a software owner annotation
+    /// (pKVM records the logical owner of unmapped-but-owned ranges here).
+    #[inline]
+    pub const fn invalid_with_owner(owner: u8) -> Self {
+        Self((owner as u64) << PTE_INVALID_OWNER_SHIFT)
+    }
+
+    /// Reads the owner annotation of an invalid descriptor.
+    #[inline]
+    pub const fn invalid_owner(self) -> u8 {
+        ((self.0 & PTE_INVALID_OWNER_MASK) >> PTE_INVALID_OWNER_SHIFT) as u8
+    }
+
+    /// Builds a table descriptor pointing at the next-level table `next`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next` is not page aligned (table addresses are 4 KiB
+    /// aligned by construction in the architecture).
+    #[inline]
+    pub fn table(next: PhysAddr) -> Self {
+        assert!(next.is_page_aligned(), "table address must be page aligned");
+        Self(next.bits() & PTE_ADDR_MASK | PTE_VALID | PTE_TYPE_TABLE_OR_PAGE)
+    }
+
+    /// The next-level table address of a table descriptor.
+    #[inline]
+    pub const fn table_addr(self) -> PhysAddr {
+        PhysAddr::new(self.0 & PTE_ADDR_MASK)
+    }
+
+    /// Builds a leaf descriptor (page at level 3, block at levels 1-2)
+    /// mapping to output address `oa` with the given decoded attributes,
+    /// encoded for `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oa` is not aligned to the block/page size of `level`, or
+    /// if `level` cannot hold a leaf.
+    pub fn leaf(stage: Stage, level: u8, oa: PhysAddr, attrs: Attrs) -> Self {
+        let shift = level_shift(level);
+        assert!(
+            (1..=LEAF_LEVEL).contains(&level),
+            "no leaf descriptors at level {level}"
+        );
+        assert!(
+            oa.bits() & ((1 << shift) - 1) == 0,
+            "leaf OA misaligned for level"
+        );
+        let mut bits = (oa.bits() & PTE_ADDR_MASK) | PTE_VALID;
+        if level == LEAF_LEVEL {
+            bits |= PTE_TYPE_TABLE_OR_PAGE;
+        }
+        bits |= ((attrs.sw as u64) << PTE_SW_SHIFT) & PTE_SW_MASK;
+        match stage {
+            Stage::Stage1 => {
+                bits |= S1_AF | S1_SH_INNER;
+                bits |= match attrs.memtype {
+                    MemType::Normal => MT_NORMAL_IDX,
+                    MemType::Device => MT_DEVICE_IDX,
+                } << S1_ATTRIDX_SHIFT;
+                if !attrs.perms.w {
+                    bits |= S1_AP_RDONLY;
+                }
+                if !attrs.perms.x {
+                    bits |= S1_XN;
+                }
+            }
+            Stage::Stage2 => {
+                bits |= S2_AF | S2_SH_INNER;
+                bits |= match attrs.memtype {
+                    MemType::Normal => S2_MEMATTR_NORMAL,
+                    MemType::Device => S2_MEMATTR_DEVICE,
+                } << S2_MEMATTR_SHIFT;
+                if attrs.perms.r {
+                    bits |= S2AP_R;
+                }
+                if attrs.perms.w {
+                    bits |= S2AP_W;
+                }
+                if !attrs.perms.x {
+                    bits |= S2_XN;
+                }
+            }
+        }
+        Self(bits)
+    }
+
+    /// The output address of a leaf descriptor at `level` (block OA bits
+    /// below the level size are zero by the encoding invariant).
+    #[inline]
+    pub const fn leaf_oa(self, level: u8) -> PhysAddr {
+        let shift = level_shift(level);
+        PhysAddr::new(self.0 & PTE_ADDR_MASK & !((1 << shift) - 1))
+    }
+
+    /// Decodes the attributes of a leaf descriptor for `stage`.
+    pub const fn leaf_attrs(self, stage: Stage) -> Attrs {
+        let sw = ((self.0 & PTE_SW_MASK) >> PTE_SW_SHIFT) as u8;
+        match stage {
+            Stage::Stage1 => {
+                let memtype = if (self.0 & S1_ATTRIDX_MASK) >> S1_ATTRIDX_SHIFT == MT_DEVICE_IDX {
+                    MemType::Device
+                } else {
+                    MemType::Normal
+                };
+                Attrs {
+                    perms: Perms {
+                        r: true,
+                        w: self.0 & S1_AP_RDONLY == 0,
+                        x: self.0 & S1_XN == 0,
+                    },
+                    memtype,
+                    sw,
+                }
+            }
+            Stage::Stage2 => {
+                let memattr = (self.0 & S2_MEMATTR_MASK) >> S2_MEMATTR_SHIFT;
+                let memtype = if memattr == S2_MEMATTR_DEVICE {
+                    MemType::Device
+                } else {
+                    MemType::Normal
+                };
+                Attrs {
+                    perms: Perms {
+                        r: self.0 & S2AP_R != 0,
+                        w: self.0 & S2AP_W != 0,
+                        x: self.0 & S2_XN == 0,
+                    },
+                    memtype,
+                    sw,
+                }
+            }
+        }
+    }
+
+    /// Returns a copy of this leaf descriptor with the software bits
+    /// replaced, leaving all architectural fields untouched.
+    #[inline]
+    pub const fn with_sw(self, sw: u8) -> Self {
+        Self((self.0 & !PTE_SW_MASK) | (((sw as u64) << PTE_SW_SHIFT) & PTE_SW_MASK))
+    }
+
+    /// Reads the software bits of this descriptor.
+    #[inline]
+    pub const fn sw(self) -> u8 {
+        ((self.0 & PTE_SW_MASK) >> PTE_SW_SHIFT) as u8
+    }
+}
+
+impl core::fmt::Debug for Pte {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Pte({:#018x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_decode_rules() {
+        assert_eq!(Pte::ZERO.kind(0), EntryKind::Invalid);
+        assert_eq!(Pte::ZERO.kind(3), EntryKind::Invalid);
+        let table = Pte::table(PhysAddr::new(0x8000_0000));
+        assert_eq!(table.kind(0), EntryKind::Table);
+        assert_eq!(table.kind(2), EntryKind::Table);
+        // The same bits at level 3 decode as a page.
+        assert_eq!(table.kind(3), EntryKind::Page);
+        // Valid, bit1 clear: block at 1-2, reserved at 0 and 3.
+        let blockish = Pte(PTE_VALID);
+        assert_eq!(blockish.kind(0), EntryKind::Reserved);
+        assert_eq!(blockish.kind(1), EntryKind::Block);
+        assert_eq!(blockish.kind(2), EntryKind::Block);
+        assert_eq!(blockish.kind(3), EntryKind::Reserved);
+    }
+
+    #[test]
+    fn invalid_owner_annotation_roundtrip() {
+        let pte = Pte::invalid_with_owner(3);
+        assert_eq!(pte.kind(2), EntryKind::Invalid);
+        assert_eq!(pte.invalid_owner(), 3);
+        assert_eq!(Pte::invalid().invalid_owner(), 0);
+    }
+
+    #[test]
+    fn table_addr_roundtrip() {
+        let next = PhysAddr::new(0x4321_7000);
+        let pte = Pte::table(next);
+        assert_eq!(pte.table_addr(), next);
+    }
+
+    #[test]
+    #[should_panic(expected = "page aligned")]
+    fn table_misaligned_panics() {
+        let _ = Pte::table(PhysAddr::new(0x1234));
+    }
+
+    #[test]
+    fn s1_leaf_roundtrip() {
+        let attrs = Attrs::normal(Perms::RW).with_sw(1);
+        let pte = Pte::leaf(Stage::Stage1, 3, PhysAddr::new(0x8000_5000), attrs);
+        assert_eq!(pte.kind(3), EntryKind::Page);
+        assert_eq!(pte.leaf_oa(3), PhysAddr::new(0x8000_5000));
+        assert_eq!(pte.leaf_attrs(Stage::Stage1), attrs);
+    }
+
+    #[test]
+    fn s2_leaf_roundtrip_all_perms() {
+        for perms in [Perms::RWX, Perms::RW, Perms::RX, Perms::R, Perms::NONE] {
+            for memtype in [MemType::Normal, MemType::Device] {
+                for sw in 0..4u8 {
+                    let attrs = Attrs { perms, memtype, sw };
+                    let pte = Pte::leaf(Stage::Stage2, 3, PhysAddr::new(0x4000_0000), attrs);
+                    assert_eq!(pte.leaf_attrs(Stage::Stage2), attrs, "attrs {attrs:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn s2_block_roundtrip() {
+        let attrs = Attrs::normal(Perms::RWX);
+        let pte = Pte::leaf(Stage::Stage2, 2, PhysAddr::new(0x4020_0000), attrs);
+        assert_eq!(pte.kind(2), EntryKind::Block);
+        assert_eq!(pte.leaf_oa(2), PhysAddr::new(0x4020_0000));
+        assert_eq!(pte.leaf_attrs(Stage::Stage2), attrs);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn block_oa_misaligned_panics() {
+        let _ = Pte::leaf(
+            Stage::Stage2,
+            2,
+            PhysAddr::new(0x4000_1000),
+            Attrs::normal(Perms::RWX),
+        );
+    }
+
+    #[test]
+    fn with_sw_only_touches_sw_bits() {
+        let attrs = Attrs::normal(Perms::RX);
+        let pte = Pte::leaf(Stage::Stage1, 3, PhysAddr::new(0x9000_0000), attrs);
+        let pte2 = pte.with_sw(2);
+        assert_eq!(pte2.sw(), 2);
+        assert_eq!(pte2.leaf_oa(3), pte.leaf_oa(3));
+        let mut want = attrs;
+        want.sw = 2;
+        assert_eq!(pte2.leaf_attrs(Stage::Stage1), want);
+    }
+}

@@ -1,0 +1,145 @@
+//! Exception syndrome encoding (ESR_EL2).
+//!
+//! Entries into the hypervisor carry an exception syndrome in the real
+//! architectural bit layout: the exception class in bits \[31:26\] and a
+//! class-specific ISS in bits \[24:0\]. We encode exactly the classes pKVM
+//! handles: `HVC` from EL1 (hypercalls), data aborts from lower exception
+//! levels (stage 2 translation/permission faults), and SMC.
+
+use crate::walk::{Access, Fault};
+
+/// Exception class values (ESR_EL2.EC).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ExceptionClass {
+    /// HVC instruction executed at AArch64 EL1.
+    Hvc64 = 0x16,
+    /// SMC instruction trapped from AArch64 EL1.
+    Smc64 = 0x17,
+    /// Data abort from a lower exception level.
+    DataAbortLowerEl = 0x24,
+    /// Instruction abort from a lower exception level.
+    InstAbortLowerEl = 0x20,
+}
+
+const ESR_EC_SHIFT: u64 = 26;
+const ESR_ISS_MASK: u64 = (1 << 25) - 1;
+const ISS_DABT_WNR: u64 = 1 << 6;
+/// FSC encodings: translation fault level 0..3 = 0b0001'00 + level,
+/// permission fault level 1..3 = 0b0011'00 + level.
+const FSC_TRANSLATION_BASE: u64 = 0b000100;
+const FSC_PERMISSION_BASE: u64 = 0b001100;
+
+/// A raw exception syndrome register value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Esr(pub u64);
+
+impl Esr {
+    /// Encodes an HVC from EL1 with the given immediate.
+    pub const fn hvc64(imm16: u16) -> Self {
+        Self(((ExceptionClass::Hvc64 as u64) << ESR_EC_SHIFT) | imm16 as u64)
+    }
+
+    /// Encodes an SMC from EL1.
+    pub const fn smc64() -> Self {
+        Self((ExceptionClass::Smc64 as u64) << ESR_EC_SHIFT)
+    }
+
+    /// Encodes a stage 2 data or instruction abort from a lower EL.
+    pub fn abort(access: Access, fault: Fault) -> Self {
+        let ec = match access {
+            Access::Exec => ExceptionClass::InstAbortLowerEl,
+            _ => ExceptionClass::DataAbortLowerEl,
+        };
+        let mut iss = match fault {
+            Fault::Translation { level } => FSC_TRANSLATION_BASE + level as u64,
+            Fault::Permission { level } => FSC_PERMISSION_BASE + level as u64,
+            // Other faults are reported as level-0 translation faults; pKVM
+            // treats anything unexpected as fatal anyway.
+            _ => FSC_TRANSLATION_BASE,
+        };
+        if matches!(access, Access::Write) {
+            iss |= ISS_DABT_WNR;
+        }
+        Self(((ec as u64) << ESR_EC_SHIFT) | iss)
+    }
+
+    /// Decodes the exception class, if it is one we model.
+    pub const fn ec(self) -> Option<ExceptionClass> {
+        match (self.0 >> ESR_EC_SHIFT) as u8 {
+            0x16 => Some(ExceptionClass::Hvc64),
+            0x17 => Some(ExceptionClass::Smc64),
+            0x24 => Some(ExceptionClass::DataAbortLowerEl),
+            0x20 => Some(ExceptionClass::InstAbortLowerEl),
+            _ => None,
+        }
+    }
+
+    /// The class-specific ISS field.
+    pub const fn iss(self) -> u64 {
+        self.0 & ESR_ISS_MASK
+    }
+
+    /// For an abort: `true` if the faulting access was a write.
+    pub const fn is_write(self) -> bool {
+        self.0 & ISS_DABT_WNR != 0
+    }
+
+    /// For an abort: `true` if the FSC encodes a translation fault.
+    pub const fn is_translation_fault(self) -> bool {
+        let fsc = self.iss() & 0b111111;
+        fsc >= FSC_TRANSLATION_BASE && fsc < FSC_TRANSLATION_BASE + 4
+    }
+
+    /// For an abort: `true` if the FSC encodes a permission fault.
+    pub const fn is_permission_fault(self) -> bool {
+        let fsc = self.iss() & 0b111111;
+        fsc >= FSC_PERMISSION_BASE && fsc < FSC_PERMISSION_BASE + 4
+    }
+}
+
+impl core::fmt::Debug for Esr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Esr({:#010x}, ec={:?})", self.0, self.ec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hvc_roundtrip() {
+        let esr = Esr::hvc64(0);
+        assert_eq!(esr.ec(), Some(ExceptionClass::Hvc64));
+        assert_eq!(esr.iss(), 0);
+    }
+
+    #[test]
+    fn write_translation_abort() {
+        let esr = Esr::abort(Access::Write, Fault::Translation { level: 3 });
+        assert_eq!(esr.ec(), Some(ExceptionClass::DataAbortLowerEl));
+        assert!(esr.is_write());
+        assert!(esr.is_translation_fault());
+        assert!(!esr.is_permission_fault());
+    }
+
+    #[test]
+    fn exec_abort_uses_instruction_class() {
+        let esr = Esr::abort(Access::Exec, Fault::Translation { level: 1 });
+        assert_eq!(esr.ec(), Some(ExceptionClass::InstAbortLowerEl));
+        assert!(!esr.is_write());
+    }
+
+    #[test]
+    fn permission_fault_fsc() {
+        let esr = Esr::abort(Access::Read, Fault::Permission { level: 2 });
+        assert!(esr.is_permission_fault());
+        assert!(!esr.is_translation_fault());
+    }
+
+    #[test]
+    fn unknown_class_decodes_to_none() {
+        assert_eq!(Esr(0).ec(), None);
+    }
+}

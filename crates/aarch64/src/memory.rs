@@ -1,0 +1,388 @@
+//! Simulated physical memory.
+//!
+//! Physical memory is a sparse, page-granular byte store: pages are
+//! allocated zero-filled on first write, so very large physical address
+//! spaces (needed to reproduce pKVM bug 5, where huge DRAM made the linear
+//! map overlap the IO space) cost nothing until touched.
+//!
+//! The address space is described by a list of [`MemRegion`]s: RAM regions
+//! back translation tables, hypervisor memory and host/guest pages; MMIO
+//! regions model devices. Accesses to MMIO are permitted but *logged*, so
+//! tests (and the linear-map-overlap reproduction) can observe the
+//! hypervisor touching device memory it never intended to.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::addr::{PhysAddr, PAGE_MASK, PAGE_SIZE};
+use crate::desc::Pte;
+
+/// The kind of a physical-memory region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegionKind {
+    /// DRAM: ordinary byte-addressable memory.
+    Ram,
+    /// Device (MMIO) space: accesses are logged.
+    Mmio,
+}
+
+/// A contiguous region of the physical address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRegion {
+    /// First byte of the region.
+    pub base: PhysAddr,
+    /// Region length in bytes.
+    pub size: u64,
+    /// RAM or MMIO.
+    pub kind: RegionKind,
+}
+
+impl MemRegion {
+    /// A RAM region `[base, base+size)`.
+    pub const fn ram(base: u64, size: u64) -> Self {
+        Self {
+            base: PhysAddr::new(base),
+            size,
+            kind: RegionKind::Ram,
+        }
+    }
+
+    /// An MMIO region `[base, base+size)`.
+    pub const fn mmio(base: u64, size: u64) -> Self {
+        Self {
+            base: PhysAddr::new(base),
+            size,
+            kind: RegionKind::Mmio,
+        }
+    }
+
+    /// Returns `true` if `pa` lies within this region.
+    #[inline]
+    pub fn contains(&self, pa: PhysAddr) -> bool {
+        pa.bits() >= self.base.bits() && pa.bits() - self.base.bits() < self.size
+    }
+
+    /// One past the last byte of the region.
+    #[inline]
+    pub fn end(&self) -> PhysAddr {
+        PhysAddr::new(self.base.bits() + self.size)
+    }
+}
+
+/// Error returned for accesses outside every region ("bus error").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusError {
+    /// The offending physical address.
+    pub addr: PhysAddr,
+}
+
+impl core::fmt::Display for BusError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "bus error at {}", self.addr)
+    }
+}
+
+impl std::error::Error for BusError {}
+
+/// Sparse simulated physical memory.
+pub struct PhysMem {
+    regions: Vec<MemRegion>,
+    pages: RwLock<HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>>,
+    mmio_reads: AtomicU64,
+    mmio_writes: AtomicU64,
+}
+
+impl PhysMem {
+    /// Creates memory with the given region layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any regions overlap or are not page aligned.
+    pub fn new(regions: Vec<MemRegion>) -> Self {
+        for r in &regions {
+            assert!(
+                r.base.is_page_aligned() && r.size % PAGE_SIZE == 0,
+                "misaligned region {r:?}"
+            );
+        }
+        let mut sorted = regions.clone();
+        sorted.sort_by_key(|r| r.base.bits());
+        for w in sorted.windows(2) {
+            assert!(
+                w[0].end().bits() <= w[1].base.bits(),
+                "overlapping regions {w:?}"
+            );
+        }
+        Self {
+            regions,
+            pages: RwLock::new(HashMap::new()),
+            mmio_reads: AtomicU64::new(0),
+            mmio_writes: AtomicU64::new(0),
+        }
+    }
+
+    /// The region layout.
+    pub fn regions(&self) -> &[MemRegion] {
+        &self.regions
+    }
+
+    /// Looks up the region containing `pa`.
+    pub fn region_of(&self, pa: PhysAddr) -> Option<&MemRegion> {
+        self.regions.iter().find(|r| r.contains(pa))
+    }
+
+    /// Returns `true` if `pa` is backed by RAM.
+    pub fn is_ram(&self, pa: PhysAddr) -> bool {
+        matches!(self.region_of(pa), Some(r) if r.kind == RegionKind::Ram)
+    }
+
+    /// Returns `true` if `pa` is in a device region.
+    pub fn is_mmio(&self, pa: PhysAddr) -> bool {
+        matches!(self.region_of(pa), Some(r) if r.kind == RegionKind::Mmio)
+    }
+
+    /// Number of MMIO read accesses performed so far.
+    pub fn mmio_reads(&self) -> u64 {
+        self.mmio_reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of MMIO write accesses performed so far.
+    pub fn mmio_writes(&self) -> u64 {
+        self.mmio_writes.load(Ordering::Relaxed)
+    }
+
+    /// Number of RAM pages currently backed by real storage (touched pages).
+    pub fn backed_pages(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    fn note_access(&self, pa: PhysAddr, write: bool) -> Result<(), BusError> {
+        match self.region_of(pa) {
+            None => Err(BusError { addr: pa }),
+            Some(r) if r.kind == RegionKind::Mmio => {
+                if write {
+                    self.mmio_writes.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.mmio_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            }
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Reads a naturally-aligned 64-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] for addresses outside every region.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned addresses (the simulated hardware does not issue
+    /// misaligned descriptor accesses).
+    pub fn read_u64(&self, pa: PhysAddr) -> Result<u64, BusError> {
+        assert!(pa.bits().is_multiple_of(8), "misaligned u64 read at {pa}");
+        self.note_access(pa, false)?;
+        let pages = self.pages.read();
+        Ok(match pages.get(&pa.pfn()) {
+            None => 0,
+            Some(page) => {
+                let off = (pa.bits() & PAGE_MASK) as usize;
+                u64::from_le_bytes(page[off..off + 8].try_into().unwrap())
+            }
+        })
+    }
+
+    /// Writes a naturally-aligned 64-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] for addresses outside every region.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned addresses.
+    pub fn write_u64(&self, pa: PhysAddr, value: u64) -> Result<(), BusError> {
+        assert!(pa.bits().is_multiple_of(8), "misaligned u64 write at {pa}");
+        self.note_access(pa, true)?;
+        let mut pages = self.pages.write();
+        let page = pages
+            .entry(pa.pfn())
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+        let off = (pa.bits() & PAGE_MASK) as usize;
+        page[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `pa` (may cross page boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] if any touched page is outside every region.
+    pub fn read_bytes(&self, pa: PhysAddr, buf: &mut [u8]) -> Result<(), BusError> {
+        let pages = self.pages.read();
+        for (i, b) in buf.iter_mut().enumerate() {
+            let a = pa.wrapping_add(i as u64);
+            if a.page_offset() == 0 || i == 0 {
+                self.note_access(a, false)?;
+            }
+            *b = match pages.get(&a.pfn()) {
+                None => 0,
+                Some(page) => page[(a.bits() & PAGE_MASK) as usize],
+            };
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `pa` (may cross page boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] if any touched page is outside every region.
+    pub fn write_bytes(&self, pa: PhysAddr, buf: &[u8]) -> Result<(), BusError> {
+        let mut pages = self.pages.write();
+        for (i, b) in buf.iter().enumerate() {
+            let a = pa.wrapping_add(i as u64);
+            if a.page_offset() == 0 || i == 0 {
+                self.note_access(a, true)?;
+            }
+            let page = pages
+                .entry(a.pfn())
+                .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+            page[(a.bits() & PAGE_MASK) as usize] = *b;
+        }
+        Ok(())
+    }
+
+    /// Zeroes the 4 KiB page containing `pa`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] for addresses outside every region.
+    pub fn zero_page(&self, pa: PhysAddr) -> Result<(), BusError> {
+        self.note_access(pa, true)?;
+        // Dropping the backing restores zero-fill semantics cheaply.
+        self.pages.write().remove(&pa.pfn());
+        Ok(())
+    }
+
+    /// Reads the `idx`th descriptor of the table whose base is `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] for addresses outside every region.
+    pub fn read_pte(&self, table: PhysAddr, idx: usize) -> Result<Pte, BusError> {
+        debug_assert!(idx < 512);
+        Ok(Pte(self.read_u64(table.wrapping_add(8 * idx as u64))?))
+    }
+
+    /// Writes the `idx`th descriptor of the table whose base is `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] for addresses outside every region.
+    pub fn write_pte(&self, table: PhysAddr, idx: usize, pte: Pte) -> Result<(), BusError> {
+        debug_assert!(idx < 512);
+        self.write_u64(table.wrapping_add(8 * idx as u64), pte.bits())
+    }
+}
+
+impl core::fmt::Debug for PhysMem {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PhysMem")
+            .field("regions", &self.regions)
+            .field("backed_pages", &self.backed_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PhysMem {
+        PhysMem::new(vec![
+            MemRegion::ram(0x4000_0000, 0x100_0000),
+            MemRegion::mmio(0x900_0000, 0x1_0000),
+        ])
+    }
+
+    #[test]
+    fn zero_fill_on_first_read() {
+        let m = mem();
+        assert_eq!(m.read_u64(PhysAddr::new(0x4000_0000)).unwrap(), 0);
+        assert_eq!(m.backed_pages(), 0);
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let m = mem();
+        m.write_u64(PhysAddr::new(0x4000_0008), 0xdead_beef_cafe_f00d)
+            .unwrap();
+        assert_eq!(
+            m.read_u64(PhysAddr::new(0x4000_0008)).unwrap(),
+            0xdead_beef_cafe_f00d
+        );
+        assert_eq!(m.read_u64(PhysAddr::new(0x4000_0000)).unwrap(), 0);
+        assert_eq!(m.backed_pages(), 1);
+    }
+
+    #[test]
+    fn bus_error_outside_regions() {
+        let m = mem();
+        assert!(m.read_u64(PhysAddr::new(0x1000)).is_err());
+        assert!(m.write_u64(PhysAddr::new(0x2_0000_0000), 1).is_err());
+    }
+
+    #[test]
+    fn mmio_accesses_are_counted() {
+        let m = mem();
+        assert_eq!(m.mmio_writes(), 0);
+        m.write_u64(PhysAddr::new(0x900_0000), 7).unwrap();
+        m.read_u64(PhysAddr::new(0x900_0008)).unwrap();
+        assert_eq!(m.mmio_writes(), 1);
+        assert_eq!(m.mmio_reads(), 1);
+    }
+
+    #[test]
+    fn zero_page_clears_contents() {
+        let m = mem();
+        let pa = PhysAddr::new(0x4000_2000);
+        m.write_u64(pa, 42).unwrap();
+        m.zero_page(pa.wrapping_add(0x10)).unwrap();
+        assert_eq!(m.read_u64(pa).unwrap(), 0);
+    }
+
+    #[test]
+    fn bytes_roundtrip_across_page_boundary() {
+        let m = mem();
+        let pa = PhysAddr::new(0x4000_0ff8);
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];
+        m.write_bytes(pa, &data).unwrap();
+        let mut back = [0u8; 16];
+        m.read_bytes(pa, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(m.backed_pages(), 2);
+    }
+
+    #[test]
+    fn pte_accessors() {
+        let m = mem();
+        let table = PhysAddr::new(0x4001_0000);
+        m.write_pte(table, 5, Pte(0x123)).unwrap();
+        assert_eq!(m.read_pte(table, 5).unwrap().bits(), 0x123);
+        assert_eq!(m.read_pte(table, 4).unwrap().bits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_regions_rejected() {
+        let _ = PhysMem::new(vec![
+            MemRegion::ram(0x1000, 0x2000),
+            MemRegion::ram(0x2000, 0x2000),
+        ]);
+    }
+}

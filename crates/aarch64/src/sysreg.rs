@@ -1,0 +1,134 @@
+//! The handful of system registers the simulation models.
+//!
+//! pKVM manages the translation configuration of the machine: its own
+//! stage 1 root in `TTBR0_EL2` and the current stage 2 root plus VMID in
+//! `VTTBR_EL2`. Context switching between the host and a guest is exactly
+//! an update of `VTTBR_EL2`, so the register file here is what makes
+//! "which page table does the hardware walk" an architectural, observable
+//! fact rather than a convention.
+
+use crate::addr::PhysAddr;
+
+const VTTBR_BADDR_MASK: u64 = (1 << 48) - 2; // bits [47:1]
+const VTTBR_VMID_SHIFT: u64 = 48;
+
+/// A VTTBR_EL2 value: stage 2 root address plus VMID.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Vttbr(pub u64);
+
+impl Vttbr {
+    /// Encodes a VTTBR from a VMID and a table base address.
+    pub fn new(vmid: u16, baddr: PhysAddr) -> Self {
+        Self(((vmid as u64) << VTTBR_VMID_SHIFT) | (baddr.bits() & VTTBR_BADDR_MASK))
+    }
+
+    /// The VMID field.
+    pub const fn vmid(self) -> u16 {
+        (self.0 >> VTTBR_VMID_SHIFT) as u16
+    }
+
+    /// The stage 2 translation root.
+    pub const fn baddr(self) -> PhysAddr {
+        PhysAddr::new(self.0 & VTTBR_BADDR_MASK)
+    }
+}
+
+/// Per-hardware-thread system register state relevant to translation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SysRegs {
+    /// pKVM's own stage 1 translation root (EL2).
+    pub ttbr0_el2: u64,
+    /// Current stage 2 root and VMID (host or loaded guest).
+    pub vttbr_el2: Vttbr,
+    /// Hypervisor configuration; we track only the VM bit (stage 2 enable).
+    pub hcr_el2: u64,
+}
+
+/// HCR_EL2.VM: stage 2 translation enable.
+pub const HCR_VM: u64 = 1 << 0;
+
+impl SysRegs {
+    /// The stage 1 root as an address.
+    pub const fn s1_root(&self) -> PhysAddr {
+        PhysAddr::new(self.ttbr0_el2)
+    }
+
+    /// The current stage 2 root as an address.
+    pub const fn s2_root(&self) -> PhysAddr {
+        self.vttbr_el2.baddr()
+    }
+}
+
+/// General-purpose register file of one hardware thread (x0-x30).
+///
+/// Hypercall arguments and return values travel through `x0..` exactly as
+/// in the SMCCC convention the paper describes (function id in `x0`,
+/// arguments in `x1..`, return value written back to `x1`... in pKVM's
+/// host-call convention the return goes in `x1`).
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct GprFile {
+    /// The 31 general-purpose registers.
+    pub x: [u64; 31],
+}
+
+impl GprFile {
+    /// Reads register `xn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 30`.
+    #[inline]
+    pub fn get(&self, n: usize) -> u64 {
+        self.x[n]
+    }
+
+    /// Writes register `xn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 30`.
+    #[inline]
+    pub fn set(&mut self, n: usize, v: u64) {
+        self.x[n] = v;
+    }
+}
+
+impl core::fmt::Debug for GprFile {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Print only the argument registers; the rest are rarely interesting.
+        write!(
+            f,
+            "GprFile {{ x0: {:#x}, x1: {:#x}, x2: {:#x}, x3: {:#x}, .. }}",
+            self.x[0], self.x[1], self.x[2], self.x[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vttbr_roundtrip() {
+        let v = Vttbr::new(7, PhysAddr::new(0x4123_4000));
+        assert_eq!(v.vmid(), 7);
+        assert_eq!(v.baddr(), PhysAddr::new(0x4123_4000));
+    }
+
+    #[test]
+    fn vttbr_vmid_does_not_leak_into_baddr() {
+        let v = Vttbr::new(u16::MAX, PhysAddr::new(0x4000_0000));
+        assert_eq!(v.baddr(), PhysAddr::new(0x4000_0000));
+        assert_eq!(v.vmid(), u16::MAX);
+    }
+
+    #[test]
+    fn gpr_get_set() {
+        let mut g = GprFile::default();
+        g.set(0, 0xc600_0003);
+        g.set(1, 0x1234);
+        assert_eq!(g.get(0), 0xc600_0003);
+        assert_eq!(g.get(1), 0x1234);
+        assert_eq!(g.get(30), 0);
+    }
+}

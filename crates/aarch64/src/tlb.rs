@@ -1,0 +1,180 @@
+//! A simulated translation lookaside buffer.
+//!
+//! Hardware caches translations per VMID/ASID; system software must
+//! invalidate (`tlbi`) after removing or downgrading mappings, or stale
+//! translations keep working — the class of bugs the paper's companion
+//! work ("Abstract architecture to catch concrete bugs: checking Android
+//! hypervisor TLB synchronisation") targets. The simulation caches
+//! page-granular translations keyed by `(vmid, input page)`; the machine
+//! consults it before walking, and the hypervisor issues the
+//! architectural invalidations through [`Tlb::invalidate_page`] /
+//! [`Tlb::invalidate_vmid`].
+//!
+//! Note the division of labour, mirroring the paper: the *ghost oracle*
+//! checks the extensional meaning of the in-memory tables; TLB staleness
+//! is outside its scope and is caught behaviourally by the harness.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::addr::PAGE_MASK;
+use crate::walk::Translation;
+
+/// The VMID used for the host's stage 2 translations.
+pub const VMID_HOST: u16 = 0;
+/// The pseudo-VMID used for the hypervisor's own stage 1 translations.
+pub const VMID_HYP: u16 = 0xffff;
+
+/// A simulated, page-granular TLB shared by all hardware threads.
+#[derive(Debug, Default)]
+pub struct Tlb {
+    entries: RwLock<HashMap<(u16, u64), Translation>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Tlb {
+    /// An empty TLB.
+    pub fn new() -> Tlb {
+        Tlb::default()
+    }
+
+    /// Looks up the translation of the page containing `ia` under `vmid`,
+    /// counting hit/miss statistics.
+    pub fn lookup(&self, vmid: u16, ia: u64) -> Option<Translation> {
+        let r = self.entries.read().get(&(vmid, ia & !PAGE_MASK)).copied();
+        if r.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    /// Caches the translation of the page containing `ia`.
+    ///
+    /// The cached [`Translation`] is normalised to the page base so later
+    /// lookups can re-add their own offsets.
+    pub fn fill(&self, vmid: u16, ia: u64, mut tr: Translation) {
+        let offset = ia & PAGE_MASK;
+        tr.oa = crate::addr::PhysAddr::new(tr.oa.bits().wrapping_sub(offset));
+        self.entries.write().insert((vmid, ia & !PAGE_MASK), tr);
+    }
+
+    /// `tlbi ipas2e1is`-style: drops the cached translation of one page.
+    pub fn invalidate_page(&self, vmid: u16, ia: u64) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.entries.write().remove(&(vmid, ia & !PAGE_MASK));
+    }
+
+    /// Drops the cached translations of a page range.
+    pub fn invalidate_range(&self, vmid: u16, ia: u64, nr_pages: u64) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        let mut e = self.entries.write();
+        for i in 0..nr_pages {
+            e.remove(&(vmid, (ia & !PAGE_MASK) + i * crate::addr::PAGE_SIZE));
+        }
+    }
+
+    /// `tlbi vmalls12e1is`-style: drops everything cached under `vmid`.
+    pub fn invalidate_vmid(&self, vmid: u16) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.entries.write().retain(|&(v, _), _| v != vmid);
+    }
+
+    /// `tlbi alle1is`-style: drops everything.
+    pub fn invalidate_all(&self) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.entries.write().clear();
+    }
+
+    /// Cached entries (for tests and reports).
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Invalidation operations so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+    use crate::attrs::{Attrs, Perms};
+
+    fn tr(oa: u64) -> Translation {
+        Translation {
+            oa: PhysAddr::new(oa),
+            level: 3,
+            attrs: Attrs::normal(Perms::RWX),
+        }
+    }
+
+    #[test]
+    fn fill_and_lookup_normalise_to_page() {
+        let t = Tlb::new();
+        t.fill(0, 0x4000_1234, tr(0x5000_1234));
+        let hit = t.lookup(0, 0x4000_1fff).unwrap();
+        assert_eq!(hit.oa, PhysAddr::new(0x5000_1000), "page-base normalised");
+        assert_eq!(t.hits(), 1);
+        assert!(t.lookup(0, 0x4000_2000).is_none());
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn vmids_are_isolated() {
+        let t = Tlb::new();
+        t.fill(0, 0x1000, tr(0xa000));
+        t.fill(1, 0x1000, tr(0xb000));
+        assert_eq!(t.lookup(0, 0x1000).unwrap().oa, PhysAddr::new(0xa000));
+        assert_eq!(t.lookup(1, 0x1000).unwrap().oa, PhysAddr::new(0xb000));
+        t.invalidate_vmid(1);
+        assert!(t.lookup(1, 0x1000).is_none());
+        assert!(t.lookup(0, 0x1000).is_some());
+    }
+
+    #[test]
+    fn page_invalidation_is_precise() {
+        let t = Tlb::new();
+        t.fill(0, 0x1000, tr(0xa000));
+        t.fill(0, 0x2000, tr(0xb000));
+        t.invalidate_page(0, 0x1abc);
+        assert!(t.lookup(0, 0x1000).is_none());
+        assert!(t.lookup(0, 0x2000).is_some());
+    }
+
+    #[test]
+    fn range_and_full_invalidation() {
+        let t = Tlb::new();
+        for i in 0..8u64 {
+            t.fill(3, i * 0x1000, tr(0x9_0000 + i * 0x1000));
+        }
+        t.invalidate_range(3, 0x2000, 3);
+        assert!(t.lookup(3, 0x2000).is_none());
+        assert!(t.lookup(3, 0x4000).is_none());
+        assert!(t.lookup(3, 0x5000).is_some());
+        t.invalidate_all();
+        assert!(t.is_empty());
+    }
+}

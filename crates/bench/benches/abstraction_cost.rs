@@ -1,0 +1,52 @@
+//! F2: the cost of the abstraction function (`interpret_pgtable`).
+//!
+//! The ghost interpretation is a complete table traversal, unlike the
+//! range-limited hardware and software walks (§3.2); this is the dominant
+//! per-lock-event cost and, per the paper, what dominates the spec's
+//! memory and time overhead. We sweep table population (page-grain
+//! mappings) and contrast with block-mapped tables of the same span,
+//! where coalescing makes the abstraction cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pkvm_aarch64::attrs::Stage;
+use pkvm_bench::{build_block_table, build_page_table};
+use pkvm_ghost::interpret_pgtable;
+
+fn bench_interpret_pages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F2_interpret_page_grain");
+    for nr_pages in [64u64, 512, 4096, 16384] {
+        let (mem, root) = build_page_table(nr_pages);
+        g.throughput(Throughput::Elements(nr_pages));
+        g.bench_with_input(BenchmarkId::from_parameter(nr_pages), &nr_pages, |b, _| {
+            b.iter(|| {
+                let mut anomalies = Vec::new();
+                let abs = interpret_pgtable(&mem, Stage::Stage2, root, &mut anomalies);
+                assert_eq!(abs.mapping.nr_pages(), nr_pages);
+                black_box(abs)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_interpret_blocks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F2_interpret_block_grain");
+    for nr_pages in [512u64, 4096, 65536] {
+        let (mem, root) = build_block_table(nr_pages);
+        g.throughput(Throughput::Elements(nr_pages));
+        g.bench_with_input(BenchmarkId::from_parameter(nr_pages), &nr_pages, |b, _| {
+            b.iter(|| {
+                let mut anomalies = Vec::new();
+                let abs = interpret_pgtable(&mem, Stage::Stage2, root, &mut anomalies);
+                assert_eq!(abs.mapping.nr_pages(), nr_pages);
+                black_box(abs)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_interpret_pages, bench_interpret_blocks);
+criterion_main!(benches);

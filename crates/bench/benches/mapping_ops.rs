@@ -1,0 +1,131 @@
+//! A1 (ablation): the coalescing finite-range-map ADT.
+//!
+//! The paper implements abstract mappings as "ordered linked lists of
+//! maximally coalesced maplets" and calls the structure "sufficiently
+//! performant" (§3.1). This bench quantifies that design choice: the
+//! costs of insertion, lookup, removal, equality and diff at increasing
+//! map sizes, for both fragmented (alternating) and coalescible
+//! (contiguous) workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pkvm_aarch64::addr::PAGE_SIZE;
+use pkvm_aarch64::attrs::{MemType, Perms};
+use pkvm_ghost::maplet::{AbsAttrs, Maplet, MapletTarget};
+use pkvm_ghost::Mapping;
+use pkvm_hyp::owner::PageState;
+
+fn maplet(page: u64, oa_page: u64) -> Maplet {
+    Maplet {
+        ia: page * PAGE_SIZE,
+        nr_pages: 1,
+        target: MapletTarget::Mapped {
+            oa: oa_page * PAGE_SIZE,
+            attrs: AbsAttrs {
+                perms: Perms::RWX,
+                memtype: MemType::Normal,
+                state: Some(PageState::Owned),
+            },
+        },
+    }
+}
+
+/// A maximally-fragmented mapping: alternating pages, nothing coalesces.
+fn fragmented(n: u64) -> Mapping {
+    let mut m = Mapping::new();
+    for i in 0..n {
+        m.insert(maplet(i * 2, i * 2));
+    }
+    m
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A1_insert");
+    for n in [16u64, 128, 1024] {
+        g.bench_with_input(BenchmarkId::new("fragmented", n), &n, |b, &n| {
+            b.iter(|| black_box(fragmented(n)))
+        });
+        g.bench_with_input(BenchmarkId::new("contiguous", n), &n, |b, &n| {
+            b.iter(|| {
+                // Identity-contiguous inserts coalesce to one maplet.
+                let mut m = Mapping::new();
+                for i in 0..n {
+                    m.insert(maplet(i, i));
+                }
+                assert_eq!(m.len(), 1);
+                black_box(m)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A1_lookup");
+    for n in [16u64, 128, 1024] {
+        let m = fragmented(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut hits = 0;
+                for i in 0..n * 2 {
+                    if m.lookup(i * PAGE_SIZE).is_some() {
+                        hits += 1;
+                    }
+                }
+                assert_eq!(hits, n);
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_remove(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A1_remove");
+    for n in [16u64, 128, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || fragmented(n),
+                |mut m| {
+                    for i in 0..n {
+                        m.remove(i * 2 * PAGE_SIZE, 1);
+                    }
+                    assert!(m.is_empty());
+                    black_box(m)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_equality_and_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A1_equality_diff");
+    for n in [128u64, 1024] {
+        let a = fragmented(n);
+        let mut b2 = a.clone();
+        b2.insert(maplet(5, 999)); // one disagreement
+        g.bench_with_input(BenchmarkId::new("equality", n), &n, |b, _| {
+            b.iter(|| black_box(a == a.clone()))
+        });
+        g.bench_with_input(BenchmarkId::new("diff", n), &n, |b, _| {
+            b.iter(|| {
+                let d = a.diff(&b2);
+                assert_eq!(d.len(), 1);
+                black_box(d)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_lookup,
+    bench_remove,
+    bench_equality_and_diff
+);
+criterion_main!(benches);

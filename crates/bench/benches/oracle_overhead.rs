@@ -1,0 +1,58 @@
+//! E1 and E2: the runtime overhead of the ghost specification.
+//!
+//! The paper reports (§6 Performance, on a Xeon Gold 6240 under QEMU):
+//! boot 3.2x slower with the spec (1.49 s -> 4.76 s) and the handwritten
+//! test suite 11.5x slower (1.07 s -> 12.3 s). These benches measure the
+//! same two ratios in the simulation — boot with/without the oracle, the
+//! 41-scenario suite with/without the oracle — plus the per-hypercall
+//! overhead that drives them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pkvm_bench::boot;
+use pkvm_harness::scenarios;
+use pkvm_hyp::hypercalls::{HVC_HOST_SHARE_HYP, HVC_HOST_UNSHARE_HYP};
+
+fn bench_boot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1_boot");
+    g.sample_size(20);
+    g.bench_function("without_oracle", |b| b.iter(|| black_box(boot(false))));
+    g.bench_function("with_oracle", |b| b.iter(|| black_box(boot(true))));
+    g.finish();
+}
+
+fn bench_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E2_handwritten_suite");
+    g.sample_size(10);
+    g.bench_function("without_oracle", |b| {
+        b.iter(|| black_box(scenarios::run_all(false)))
+    });
+    g.bench_function("with_oracle", |b| {
+        b.iter(|| black_box(scenarios::run_all(true)))
+    });
+    g.finish();
+}
+
+fn bench_hypercall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E2_share_unshare_pair");
+    let (bare, _) = boot(false);
+    g.bench_function("without_oracle", |b| {
+        b.iter(|| {
+            assert_eq!(bare.hvc(0, HVC_HOST_SHARE_HYP, &[0x40100]), 0);
+            assert_eq!(bare.hvc(0, HVC_HOST_UNSHARE_HYP, &[0x40100]), 0);
+        })
+    });
+    let (checked, oracle) = boot(true);
+    g.bench_function("with_oracle", |b| {
+        b.iter(|| {
+            assert_eq!(checked.hvc(0, HVC_HOST_SHARE_HYP, &[0x40100]), 0);
+            assert_eq!(checked.hvc(0, HVC_HOST_UNSHARE_HYP, &[0x40100]), 0);
+        })
+    });
+    assert!(oracle.unwrap().is_clean());
+    g.finish();
+}
+
+criterion_group!(benches, bench_boot, bench_suite, bench_hypercall);
+criterion_main!(benches);

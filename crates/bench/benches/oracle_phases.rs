@@ -1,0 +1,106 @@
+//! F6: the instrumentation-and-checking timeline, phase by phase.
+//!
+//! Fig. 6 of the paper decomposes a checked hypercall into: recording the
+//! pre/post abstractions at the lock points ((1)-(6)), computing the
+//! expected post-state with the spec function (7), and comparing (8).
+//! This bench times each phase in isolation for a `host_share_hyp`, on a
+//! machine with a realistically-populated host stage 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pkvm_aarch64::esr::Esr;
+use pkvm_aarch64::sysreg::GprFile;
+use pkvm_aarch64::walk::Access;
+use pkvm_bench::boot;
+use pkvm_ghost::calldata::GhostCallData;
+use pkvm_ghost::{abstract_host, abstract_hyp, check_trap, compute_post, GhostState, SpecVerdict};
+use pkvm_hyp::hypercalls::{HVC_HOST_SHARE_HYP, HVC_HOST_UNSHARE_HYP};
+
+fn bench_phases(c: &mut Criterion) {
+    let (machine, oracle) = boot(true);
+    let oracle = oracle.expect("oracle installed");
+    // Populate the host stage 2 with mapped-on-demand state and some
+    // shares so the abstractions have realistic size.
+    for i in 0..16u64 {
+        machine
+            .host_access(0, 0x4100_0000 + i * 0x20_0000, Access::Read)
+            .unwrap();
+        assert_eq!(machine.hvc(0, HVC_HOST_SHARE_HYP, &[0x40200 + i]), 0);
+    }
+    assert!(oracle.is_clean());
+    let host_root = machine.state.host_pgt.lock().root;
+    let hyp_root = machine.state.hyp_pgt.lock().root;
+
+    let mut g = c.benchmark_group("F6_phases");
+
+    // Phase (1)-(6): recording = computing component abstractions.
+    g.bench_function("record_abstractions", |b| {
+        b.iter(|| {
+            let mut anomalies = Vec::new();
+            let host = abstract_host(&machine.mem, host_root, &oracle.globals, &mut anomalies);
+            let hyp = abstract_hyp(&machine.mem, hyp_root, &mut anomalies);
+            assert!(anomalies.is_empty());
+            black_box((host, hyp))
+        })
+    });
+
+    // Build a pre-state + call data for a share of a fresh page.
+    let make_pre = || {
+        let mut anomalies = Vec::new();
+        let mut pre = GhostState::blank(&oracle.globals);
+        pre.host = Some(abstract_host(
+            &machine.mem,
+            host_root,
+            &oracle.globals,
+            &mut anomalies,
+        ));
+        pre.pkvm = Some(abstract_hyp(&machine.mem, hyp_root, &mut anomalies));
+        let mut regs = GprFile::default();
+        regs.set(0, HVC_HOST_SHARE_HYP);
+        regs.set(1, 0x40900);
+        pre.locals.entry(0).or_default().regs = regs;
+        let mut call = GhostCallData::new(0, Esr::hvc64(0), None, regs);
+        call.regs_post.set(1, 0);
+        (pre, call)
+    };
+    let (pre, call) = make_pre();
+
+    // Phase (7): computing the expected post-state.
+    g.bench_function("compute_spec_post", |b| {
+        b.iter(|| {
+            let mut post = GhostState::blank(&oracle.globals);
+            let verdict = compute_post(&pre, &call, &mut post);
+            assert_eq!(verdict, SpecVerdict::Checked);
+            black_box(post)
+        })
+    });
+
+    // Phase (8): the ternary comparison (computed == recorded here).
+    let mut computed = GhostState::blank(&oracle.globals);
+    assert_eq!(
+        compute_post(&pre, &call, &mut computed),
+        SpecVerdict::Checked
+    );
+    let recorded = computed.clone();
+    g.bench_function("ternary_compare", |b| {
+        b.iter(|| {
+            let outcome = check_trap("host_share_hyp", &pre, &recorded, &computed);
+            assert!(outcome.violations.is_empty());
+            black_box(outcome)
+        })
+    });
+
+    // The whole pipeline, as driven by a real trap.
+    g.bench_function("full_checked_trap", |b| {
+        b.iter(|| {
+            assert_eq!(machine.hvc(0, HVC_HOST_SHARE_HYP, &[0x40880]), 0);
+            assert_eq!(machine.hvc(0, HVC_HOST_UNSHARE_HYP, &[0x40880]), 0);
+        })
+    });
+    assert!(oracle.is_clean());
+    g.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E3: random-tester throughput.
+//!
+//! The paper ran its random tester at about 200,000 hypercalls per hour
+//! in QEMU on a Mac Mini M2 (§5). This bench measures steps/second of
+//! the model-guided tester with and without the oracle installed; the
+//! report binary converts the with-oracle figure to hypercalls/hour for
+//! the EXPERIMENTS.md comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use pkvm_harness::proxy::{Proxy, ProxyOpts};
+use pkvm_harness::random::{RandomCfg, RandomTester};
+
+const STEPS: u64 = 1000;
+
+fn run(with_oracle: bool, seed: u64) -> u64 {
+    let proxy = Proxy::boot(ProxyOpts {
+        with_oracle,
+        ..Default::default()
+    });
+    let mut t = RandomTester::new(
+        proxy,
+        RandomCfg {
+            seed,
+            ..Default::default()
+        },
+    );
+    t.run(STEPS);
+    assert!(t.proxy.violations().is_empty());
+    t.stats.calls
+}
+
+fn bench_random(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E3_random_tester");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(STEPS));
+    let mut seed = 0u64;
+    g.bench_function("with_oracle", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run(true, seed))
+        })
+    });
+    g.bench_function("without_oracle", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run(false, seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_random);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ghost call data: resolving specification nondeterminism (§4.3).
+//!
+//! The specification is morally a function of the pre-state, but two kinds
+//! of values cannot be computed from it: the implementation's return code
+//! (the spec is deliberately loose about `-ENOMEM`), and values the
+//! implementation `READ_ONCE`s from memory the host (or a guest) still
+//! owns and may be writing concurrently. Both are recorded during the
+//! handler's execution and handed to the specification function as its
+//! `call` argument.
+
+use pkvm_aarch64::esr::Esr;
+use pkvm_aarch64::sysreg::GprFile;
+
+/// Data collected while one exception handler ran.
+#[derive(Clone, Debug)]
+pub struct GhostCallData {
+    /// The hardware thread the trap ran on.
+    pub cpu: usize,
+    /// The exception syndrome at entry.
+    pub esr: Esr,
+    /// For aborts: the faulting IPA, when the hardware captured it.
+    pub fault_ipa: Option<u64>,
+    /// The saved context at entry (argument registers).
+    pub regs_pre: GprFile,
+    /// The saved context at exit (return registers) — the specification is
+    /// parametric on the return value in `x1`.
+    pub regs_post: GprFile,
+    /// Values the implementation read from host/guest-writable memory,
+    /// tagged by read site.
+    pub read_onces: Vec<(&'static str, u64)>,
+}
+
+impl GhostCallData {
+    /// A fresh record for a trap entered with `esr` on `cpu`.
+    pub fn new(cpu: usize, esr: Esr, fault_ipa: Option<u64>, regs_pre: GprFile) -> Self {
+        Self {
+            cpu,
+            esr,
+            fault_ipa,
+            regs_pre,
+            regs_post: GprFile::default(),
+            read_onces: Vec::new(),
+        }
+    }
+
+    /// The implementation's return value (host convention: `x1`).
+    pub fn ret(&self) -> u64 {
+        self.regs_post.get(1)
+    }
+
+    /// The first recorded `READ_ONCE` with the given tag.
+    pub fn read_once(&self, tag: &str) -> Option<u64> {
+        self.read_onces
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_once_lookup_by_tag() {
+        let mut c = GhostCallData::new(0, Esr::hvc64(0), None, GprFile::default());
+        c.read_onces.push(("init_vm/nr_vcpus", 2));
+        c.read_onces.push(("init_vm/protected", 1));
+        assert_eq!(c.read_once("init_vm/nr_vcpus"), Some(2));
+        assert_eq!(c.read_once("init_vm/protected"), Some(1));
+        assert_eq!(c.read_once("missing"), None);
+    }
+
+    #[test]
+    fn ret_reads_x1_of_exit_context() {
+        let mut c = GhostCallData::new(0, Esr::hvc64(0), None, GprFile::default());
+        c.regs_post.set(1, (-12i64) as u64);
+        assert_eq!(c.ret(), (-12i64) as u64);
+    }
+}

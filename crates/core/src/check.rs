@@ -1,0 +1,366 @@
+//! The runtime check: comparing recorded and computed ghost states.
+//!
+//! After each handler, the oracle holds three (partial) states — the
+//! recorded pre, the recorded post, and the spec-computed post — and
+//! performs the *ternary* check of §4.2.2: wherever the computed post is
+//! defined it must equal the recorded post, and everywhere else the
+//! recorded post must equal the pre.
+
+use crate::abstraction::Anomaly;
+use crate::diff::diff_states;
+use crate::state::GhostState;
+
+/// One detected disagreement between implementation and specification (or
+/// a broken runtime invariant).
+#[derive(Clone, Debug)]
+pub enum Violation {
+    /// The recorded post-state differs from the spec-computed post-state.
+    SpecMismatch {
+        /// Which trap was being checked.
+        trap: String,
+        /// Which component disagreed.
+        component: String,
+        /// Rendered diff (computed vs recorded).
+        diff: String,
+    },
+    /// A component the spec did not change differs between pre and post.
+    UnexpectedChange {
+        /// Which trap was being checked.
+        trap: String,
+        /// Which component changed.
+        component: String,
+        /// Rendered diff (pre vs recorded post).
+        diff: String,
+    },
+    /// A lock-protected component changed while no one held its lock
+    /// (§4.4 invariant 1).
+    NonInterference {
+        /// Which component.
+        component: String,
+        /// Rendered diff (last recorded vs now observed).
+        diff: String,
+    },
+    /// A page was allocated into one component's page-table footprint
+    /// while belonging to another's (§4.4 invariant 2).
+    SeparationOverlap {
+        /// The component allocating.
+        component: String,
+        /// The offending page frame.
+        pfn: u64,
+        /// The component already owning the page.
+        owner: String,
+    },
+    /// The abstraction function found a malformed concrete state.
+    AbstractionAnomaly {
+        /// Where it was found.
+        context: String,
+        /// What was found.
+        anomaly: Anomaly,
+    },
+    /// The hypervisor panicked.
+    HypPanic {
+        /// The panic reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::SpecMismatch {
+                trap,
+                component,
+                diff,
+            } => {
+                write!(f, "[{trap}] spec mismatch on {component}:\n{diff}")
+            }
+            Violation::UnexpectedChange {
+                trap,
+                component,
+                diff,
+            } => {
+                write!(f, "[{trap}] unexpected change to {component}:\n{diff}")
+            }
+            Violation::NonInterference { component, diff } => {
+                write!(f, "non-interference violated on {component}:\n{diff}")
+            }
+            Violation::SeparationOverlap {
+                component,
+                pfn,
+                owner,
+            } => {
+                write!(f, "separation violated: {component} allocated table page {pfn:#x} owned by {owner}")
+            }
+            Violation::AbstractionAnomaly { context, anomaly } => {
+                write!(f, "malformed concrete state in {context}: {anomaly:?}")
+            }
+            Violation::HypPanic { reason } => write!(f, "hypervisor panic: {reason}"),
+        }
+    }
+}
+
+/// The outcome of checking one trap.
+#[derive(Clone, Debug, Default)]
+pub struct CheckOutcome {
+    /// Violations found (empty means the trap passed).
+    pub violations: Vec<Violation>,
+    /// Components the spec defined but the handler never recorded (no lock
+    /// cycle): their computed values seed the oracle's shared copy so the
+    /// *next* acquisition validates them.
+    pub deferred: Vec<String>,
+}
+
+/// Normalises a ghost state for comparison: memory-management details —
+/// table-node footprints and memcache contents — are erased, because the
+/// specification deliberately abstracts from "allocation of internal
+/// structures and reference counting" (§3.1). The raw values stay in the
+/// recorded states (the separation check and the teardown spec *read*
+/// them); they just do not participate in equality.
+pub fn normalize(state: &GhostState) -> GhostState {
+    let mut s = state.clone();
+    if let Some(h) = s.host.as_mut() {
+        h.table_pages.clear();
+    }
+    if let Some(p) = s.pkvm.as_mut() {
+        p.pgt.table_pages.clear();
+    }
+    for vm in s.vms.values_mut() {
+        vm.pgt.table_pages.clear();
+        for v in vm.vcpus.iter_mut() {
+            if let crate::state::GhostVcpu::Present { memcache, .. } = v {
+                memcache.clear();
+            }
+        }
+    }
+    for l in s.locals.values_mut() {
+        if let Some(lv) = l.loaded.as_mut() {
+            lv.memcache.clear();
+        }
+    }
+    s
+}
+
+// The component comparison is done on projected single-component states so
+// the diff renderer can be reused untouched.
+fn project(state: &GhostState, component: &str) -> GhostState {
+    let state = &normalize(state);
+    let mut s = GhostState::default();
+    match component {
+        "host" => s.host = state.host.clone(),
+        "pkvm" => s.pkvm = state.pkvm.clone(),
+        "vm_table" => s.vm_table = state.vm_table.clone(),
+        c if c.starts_with("vm[") => {
+            let h: u32 = c[3..c.len() - 1].parse().expect("component name");
+            if let Some(vm) = state.vms.get(&h) {
+                s.vms.insert(h, vm.clone());
+            }
+        }
+        c if c.starts_with("locals[") => {
+            let cpu: usize = c[7..c.len() - 1].parse().expect("component name");
+            if let Some(l) = state.locals.get(&cpu) {
+                s.locals.insert(cpu, l.clone());
+            }
+        }
+        _ => unreachable!("unknown component {component}"),
+    }
+    s
+}
+
+fn component_present(state: &GhostState, component: &str) -> bool {
+    match component {
+        "host" => state.host.is_some(),
+        "pkvm" => state.pkvm.is_some(),
+        "vm_table" => state.vm_table.is_some(),
+        c if c.starts_with("vm[") => {
+            let h: u32 = c[3..c.len() - 1].parse().expect("component name");
+            state.vms.contains_key(&h)
+        }
+        c if c.starts_with("locals[") => {
+            let cpu: usize = c[7..c.len() - 1].parse().expect("component name");
+            state.locals.contains_key(&cpu)
+        }
+        _ => unreachable!("unknown component {component}"),
+    }
+}
+
+fn all_components(states: [&GhostState; 3]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut push = |c: String| {
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    };
+    for s in states {
+        if s.host.is_some() {
+            push("host".into());
+        }
+        if s.pkvm.is_some() {
+            push("pkvm".into());
+        }
+        if s.vm_table.is_some() {
+            push("vm_table".into());
+        }
+        for h in s.vms.keys() {
+            push(format!("vm[{h}]"));
+        }
+        for c in s.locals.keys() {
+            push(format!("locals[{c}]"));
+        }
+    }
+    out
+}
+
+/// The ternary check for one trap: `pre` and `recorded` come from the
+/// recording machinery, `computed` from the specification function.
+pub fn check_trap(
+    trap: &str,
+    pre: &GhostState,
+    recorded: &GhostState,
+    computed: &GhostState,
+) -> CheckOutcome {
+    let mut out = CheckOutcome::default();
+    for comp in all_components([pre, recorded, computed]) {
+        let in_computed = component_present(computed, &comp);
+        let in_recorded = component_present(recorded, &comp);
+        let in_pre = component_present(pre, &comp);
+        match (in_computed, in_recorded) {
+            (true, true) => {
+                let c = project(computed, &comp);
+                let r = project(recorded, &comp);
+                if c != r {
+                    out.violations.push(Violation::SpecMismatch {
+                        trap: trap.into(),
+                        component: comp.clone(),
+                        diff: diff_states(&c, &r),
+                    });
+                }
+            }
+            (true, false) => {
+                // The spec defined a component the handler never recorded
+                // (e.g. the initial state of a freshly created VM): defer
+                // it to the next acquisition's non-interference check.
+                out.deferred.push(comp.clone());
+            }
+            (false, true) => {
+                // The spec left it alone: it must not have changed.
+                if in_pre {
+                    let p = project(pre, &comp);
+                    let r = project(recorded, &comp);
+                    if p != r {
+                        out.violations.push(Violation::UnexpectedChange {
+                            trap: trap.into(),
+                            component: comp.clone(),
+                            diff: diff_states(&p, &r),
+                        });
+                    }
+                }
+                // A post-only recording with no pre cannot happen through
+                // the paired lock helpers; nothing to check if it does.
+            }
+            (false, false) => {
+                // Present only in pre: locked but the spec says nothing and
+                // the release recorded nothing — unreachable through the
+                // paired helpers.
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maplet::{AbsAttrs, Maplet, MapletTarget};
+    use crate::state::{GhostGlobals, GhostHost};
+    use pkvm_aarch64::attrs::{MemType, Perms};
+    use pkvm_hyp::owner::PageState;
+
+    fn host_state(shared_pages: &[u64]) -> GhostState {
+        let mut s = GhostState::blank(&GhostGlobals::default());
+        let mut h = GhostHost::default();
+        for &ia in shared_pages {
+            h.shared.insert(Maplet {
+                ia,
+                nr_pages: 1,
+                target: MapletTarget::Mapped {
+                    oa: ia,
+                    attrs: AbsAttrs {
+                        perms: Perms::RWX,
+                        memtype: MemType::Normal,
+                        state: Some(PageState::SharedOwned),
+                    },
+                },
+            });
+        }
+        s.host = Some(h);
+        s
+    }
+
+    #[test]
+    fn matching_states_pass() {
+        let pre = host_state(&[]);
+        let recorded = host_state(&[0x4000_0000]);
+        let computed = host_state(&[0x4000_0000]);
+        let o = check_trap("host_share_hyp", &pre, &recorded, &computed);
+        assert!(o.violations.is_empty(), "{:?}", o.violations);
+    }
+
+    #[test]
+    fn spec_mismatch_detected() {
+        let pre = host_state(&[]);
+        let recorded = host_state(&[0x4000_0000]);
+        let computed = host_state(&[0x4000_1000]);
+        let o = check_trap("host_share_hyp", &pre, &recorded, &computed);
+        assert_eq!(o.violations.len(), 1);
+        assert!(
+            matches!(&o.violations[0], Violation::SpecMismatch { component, .. } if component == "host")
+        );
+    }
+
+    #[test]
+    fn unexpected_change_detected() {
+        let pre = host_state(&[]);
+        let recorded = host_state(&[0x4000_0000]);
+        let computed = GhostState::blank(&GhostGlobals::default()); // spec: no change
+        let o = check_trap("vcpu_put", &pre, &recorded, &computed);
+        assert_eq!(o.violations.len(), 1);
+        assert!(matches!(
+            &o.violations[0],
+            Violation::UnexpectedChange { .. }
+        ));
+    }
+
+    #[test]
+    fn untouched_components_pass() {
+        let pre = host_state(&[0x4000_0000]);
+        let recorded = pre.clone();
+        let computed = GhostState::blank(&GhostGlobals::default());
+        let o = check_trap("vcpu_put", &pre, &recorded, &computed);
+        assert!(o.violations.is_empty());
+    }
+
+    #[test]
+    fn spec_only_components_are_deferred() {
+        let pre = GhostState::blank(&GhostGlobals::default());
+        let recorded = GhostState::blank(&GhostGlobals::default());
+        let computed = host_state(&[0x4000_0000]);
+        let o = check_trap("init", &pre, &recorded, &computed);
+        assert!(o.violations.is_empty());
+        assert_eq!(o.deferred, vec!["host".to_string()]);
+    }
+
+    #[test]
+    fn locals_mismatch_detected() {
+        let mut pre = GhostState::blank(&GhostGlobals::default());
+        pre.write_gpr(0, 1, 7);
+        let mut recorded = GhostState::blank(&GhostGlobals::default());
+        recorded.write_gpr(0, 1, 0); // impl returned 0
+        let mut computed = GhostState::blank(&GhostGlobals::default());
+        computed.write_gpr(0, 1, (-1i64) as u64); // spec expected EPERM
+        let o = check_trap("host_share_hyp", &pre, &recorded, &computed);
+        assert_eq!(o.violations.len(), 1);
+        assert!(
+            matches!(&o.violations[0], Violation::SpecMismatch { component, .. } if component == "locals[0]")
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Printing and diffing ghost states (§4.2.2).
+//!
+//! Runtime recording of reified ghost datatypes makes *diffing* two
+//! abstract states possible, which the paper found "invaluable in error
+//! reporting and debugging of both code and spec". The output format
+//! follows the paper's example: one line per changed maplet or register,
+//! prefixed `+`/`-`.
+
+use std::fmt::Write as _;
+
+use crate::maplet::MapletTarget;
+use crate::mapping::Mapping;
+use crate::state::{GhostCpu, GhostState, GhostVcpu, GhostVm};
+
+fn target_str(t: &MapletTarget) -> String {
+    match t {
+        MapletTarget::Mapped { oa, attrs } => format!("phys:{oa:#x} {attrs}"),
+        MapletTarget::Annotated { owner } => format!("owner={owner}"),
+    }
+}
+
+/// Appends the diff of two mappings under a component label.
+fn diff_mapping(out: &mut String, label: &str, a: &Mapping, b: &Mapping) {
+    for (ia, left, right) in a.diff(b) {
+        match (left, right) {
+            (Some(l), None) => {
+                let _ = writeln!(out, "  {label} -ia:{ia:#x} {}", target_str(&l));
+            }
+            (None, Some(r)) => {
+                let _ = writeln!(out, "  {label} +ia:{ia:#x} {}", target_str(&r));
+            }
+            (Some(l), Some(r)) => {
+                let _ = writeln!(out, "  {label} -ia:{ia:#x} {}", target_str(&l));
+                let _ = writeln!(out, "  {label} +ia:{ia:#x} {}", target_str(&r));
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+fn diff_cpu(out: &mut String, cpu: usize, a: &GhostCpu, b: &GhostCpu) {
+    let mut removed = String::new();
+    let mut added = String::new();
+    for i in 0..8 {
+        if a.regs.get(i) != b.regs.get(i) {
+            let _ = write!(removed, " r{i}={:x}", a.regs.get(i));
+            let _ = write!(added, " r{i}={:x}", b.regs.get(i));
+        }
+    }
+    if !removed.is_empty() {
+        let _ = writeln!(out, "  regs[{cpu}] -{removed}");
+        let _ = writeln!(out, "  regs[{cpu}] +{added}");
+    }
+    if a.loaded != b.loaded {
+        let _ = writeln!(
+            out,
+            "  loaded[{cpu}] -{:?}",
+            a.loaded.as_ref().map(|l| (l.handle, l.idx))
+        );
+        let _ = writeln!(
+            out,
+            "  loaded[{cpu}] +{:?}",
+            b.loaded.as_ref().map(|l| (l.handle, l.idx))
+        );
+    }
+}
+
+fn diff_vm(out: &mut String, a: &GhostVm, b: &GhostVm) {
+    let h = a.handle;
+    diff_mapping(
+        out,
+        &format!("vm[{h:#x}].pgt"),
+        &a.pgt.mapping,
+        &b.pgt.mapping,
+    );
+    if a.donated != b.donated {
+        let _ = writeln!(
+            out,
+            "  vm[{h:#x}].donated -{:x?} +{:x?}",
+            a.donated, b.donated
+        );
+    }
+    for (i, (va, vb)) in a.vcpus.iter().zip(b.vcpus.iter()).enumerate() {
+        if va != vb {
+            let _ = writeln!(
+                out,
+                "  vm[{h:#x}].vcpu[{i}] -{} +{}",
+                vcpu_str(va),
+                vcpu_str(vb)
+            );
+        }
+    }
+    if a.vcpus.len() != b.vcpus.len() {
+        let _ = writeln!(
+            out,
+            "  vm[{h:#x}].nr_vcpus -{} +{}",
+            a.vcpus.len(),
+            b.vcpus.len()
+        );
+    }
+}
+
+fn vcpu_str(v: &GhostVcpu) -> String {
+    match v {
+        GhostVcpu::Uninit => "uninit".into(),
+        GhostVcpu::Present { regs, memcache } => {
+            format!("present(r0={:x}, mc={})", regs.get(0), memcache.len())
+        }
+        GhostVcpu::Loaded { on } => format!("loaded(cpu{on})"),
+    }
+}
+
+/// Renders the difference between two (partial) ghost states, component by
+/// component. Components present on only one side are reported as
+/// added/removed wholesale; equal components produce no output. An empty
+/// string means the states agree everywhere both are defined.
+pub fn diff_states(a: &GhostState, b: &GhostState) -> String {
+    let mut out = String::new();
+    match (&a.host, &b.host) {
+        (Some(x), Some(y)) => {
+            diff_mapping(&mut out, "host.annot", &x.annot, &y.annot);
+            diff_mapping(&mut out, "host.share", &x.shared, &y.shared);
+        }
+        (Some(_), None) => out.push_str("  host: component dropped\n"),
+        (None, Some(_)) => out.push_str("  host: component appeared\n"),
+        (None, None) => {}
+    }
+    match (&a.pkvm, &b.pkvm) {
+        (Some(x), Some(y)) => diff_mapping(&mut out, "pkvm.pgt", &x.pgt.mapping, &y.pgt.mapping),
+        (Some(_), None) => out.push_str("  pkvm: component dropped\n"),
+        (None, Some(_)) => out.push_str("  pkvm: component appeared\n"),
+        (None, None) => {}
+    }
+    match (&a.vm_table, &b.vm_table) {
+        (Some(x), Some(y)) if x != y => {
+            let _ = writeln!(out, "  vm_table -{x:x?}");
+            let _ = writeln!(out, "  vm_table +{y:x?}");
+        }
+        (Some(_), None) => out.push_str("  vm_table: component dropped\n"),
+        (None, Some(_)) => out.push_str("  vm_table: component appeared\n"),
+        _ => {}
+    }
+    for (h, va) in &a.vms {
+        match b.vms.get(h) {
+            Some(vb) => diff_vm(&mut out, va, vb),
+            None => {
+                let _ = writeln!(out, "  vm[{h:#x}]: component dropped");
+            }
+        }
+    }
+    for h in b.vms.keys() {
+        if !a.vms.contains_key(h) {
+            let _ = writeln!(out, "  vm[{h:#x}]: component appeared");
+        }
+    }
+    for (c, la) in &a.locals {
+        match b.locals.get(c) {
+            Some(lb) => diff_cpu(&mut out, *c, la, lb),
+            None => {
+                let _ = writeln!(out, "  locals[{c}]: component dropped");
+            }
+        }
+    }
+    for c in b.locals.keys() {
+        if !a.locals.contains_key(c) {
+            let _ = writeln!(out, "  locals[{c}]: component appeared");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maplet::{AbsAttrs, Maplet};
+    use crate::state::{GhostGlobals, GhostHost};
+    use pkvm_aarch64::attrs::{MemType, Perms};
+    use pkvm_hyp::owner::PageState;
+
+    fn state_with_host() -> GhostState {
+        let mut s = GhostState::blank(&GhostGlobals::default());
+        s.host = Some(GhostHost::default());
+        s
+    }
+
+    #[test]
+    fn equal_states_diff_empty() {
+        let a = state_with_host();
+        assert_eq!(diff_states(&a, &a.clone()), "");
+    }
+
+    #[test]
+    fn added_share_shows_plus_line() {
+        let a = state_with_host();
+        let mut b = a.clone();
+        b.host.as_mut().unwrap().shared.insert(Maplet {
+            ia: 0x101b_1800_0,
+            nr_pages: 1,
+            target: MapletTarget::Mapped {
+                oa: 0x101b_1800_0,
+                attrs: AbsAttrs {
+                    perms: Perms::RWX,
+                    memtype: MemType::Normal,
+                    state: Some(PageState::SharedOwned),
+                },
+            },
+        });
+        let d = diff_states(&a, &b);
+        assert!(d.contains("host.share +"), "{d}");
+        assert!(d.contains("SO RWX M"), "{d}");
+    }
+
+    #[test]
+    fn register_changes_show_both_sides() {
+        let mut a = GhostState::blank(&GhostGlobals::default());
+        a.write_gpr(0, 0, 0xc600_000d);
+        let mut b = a.clone();
+        b.write_gpr(0, 0, 0);
+        let d = diff_states(&a, &b);
+        assert!(d.contains("regs[0] - r0=c600000d"), "{d}");
+        assert!(d.contains("regs[0] + r0=0"), "{d}");
+    }
+
+    #[test]
+    fn component_presence_changes_reported() {
+        let a = state_with_host();
+        let b = GhostState::blank(&GhostGlobals::default());
+        assert!(diff_states(&a, &b).contains("host: component dropped"));
+        assert!(diff_states(&b, &a).contains("host: component appeared"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Maplets: the elements of abstract mappings.
+//!
+//! A *maplet* describes what a contiguous, page-aligned input-address range
+//! means extensionally: either it is *mapped* — each page translates to a
+//! contiguous run of output pages with fixed attributes — or it is
+//! *annotated* — unmapped, but recording a logical owner in the invalid
+//! descriptors. This is the paper's "ordered linked lists of maximally
+//! coalesced maplets, each of which captures a contiguous range of the
+//! mapping" (§3.1), with the engineering detail (a sorted `Vec`) hidden in
+//! [`crate::mapping`].
+
+use core::fmt;
+
+use pkvm_aarch64::addr::PAGE_SIZE;
+use pkvm_aarch64::attrs::{MemType, Perms};
+use pkvm_hyp::owner::{OwnerId, PageState};
+
+/// Abstract attributes of a mapped page: what the paper's diff output
+/// prints as e.g. `S0 RWX M` (state, permissions, memory type).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AbsAttrs {
+    /// Access permissions.
+    pub perms: Perms,
+    /// Normal or device memory.
+    pub memtype: MemType,
+    /// The pKVM logical page state, or `None` when the software bits held
+    /// no legal state (itself a reportable anomaly).
+    pub state: Option<PageState>,
+}
+
+impl fmt::Display for AbsAttrs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self.state {
+            Some(PageState::Owned) => "S0",
+            Some(PageState::SharedOwned) => "SO",
+            Some(PageState::SharedBorrowed) => "SB",
+            None => "S?",
+        };
+        write!(f, "{} {} {}", s, self.perms, self.memtype)
+    }
+}
+
+/// The meaning of a maplet's range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MapletTarget {
+    /// Pages translate to `oa_base + (ia - ia_base)` with `attrs`.
+    Mapped {
+        /// Output address of the first page in the range.
+        oa: u64,
+        /// Shared attributes of every page in the range.
+        attrs: AbsAttrs,
+    },
+    /// Pages are unmapped but annotated with a logical owner.
+    Annotated {
+        /// The recorded owner.
+        owner: OwnerId,
+    },
+}
+
+/// A contiguous range of an abstract mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Maplet {
+    /// First input address (page aligned).
+    pub ia: u64,
+    /// Length in 4 KiB pages.
+    pub nr_pages: u64,
+    /// What the range means.
+    pub target: MapletTarget,
+}
+
+impl Maplet {
+    /// One past the last input address.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.ia + self.nr_pages * PAGE_SIZE
+    }
+
+    /// Returns `true` if `ia` (any byte address) falls in this range.
+    #[inline]
+    pub fn contains(&self, ia: u64) -> bool {
+        ia >= self.ia && ia < self.end()
+    }
+
+    /// The target of the single page at `ia` within this maplet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ia` is outside the range.
+    pub fn target_at(&self, ia: u64) -> MapletTarget {
+        assert!(self.contains(ia));
+        match self.target {
+            MapletTarget::Mapped { oa, attrs } => MapletTarget::Mapped {
+                oa: oa + (ia - self.ia) / PAGE_SIZE * PAGE_SIZE,
+                attrs,
+            },
+            t @ MapletTarget::Annotated { .. } => t,
+        }
+    }
+
+    /// Returns `true` if `other` starting exactly at `self.end()` can be
+    /// merged into one maplet (the coalescing rule: contiguous input
+    /// addresses, and either contiguous outputs with equal attributes, or
+    /// equal annotations).
+    pub fn can_coalesce_with(&self, other: &Maplet) -> bool {
+        if other.ia != self.end() {
+            return false;
+        }
+        match (self.target, other.target) {
+            (
+                MapletTarget::Mapped { oa: a, attrs: at },
+                MapletTarget::Mapped { oa: b, attrs: bt },
+            ) => at == bt && b == a + self.nr_pages * PAGE_SIZE,
+            (MapletTarget::Annotated { owner: a }, MapletTarget::Annotated { owner: b }) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Splits this maplet at byte address `at` (page aligned, strictly
+    /// inside), returning the two halves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not a page boundary strictly inside the range.
+    pub fn split_at(&self, at: u64) -> (Maplet, Maplet) {
+        assert!(at.is_multiple_of(PAGE_SIZE) && at > self.ia && at < self.end());
+        let left_pages = (at - self.ia) / PAGE_SIZE;
+        let left = Maplet {
+            ia: self.ia,
+            nr_pages: left_pages,
+            target: self.target,
+        };
+        let right_target = match self.target {
+            MapletTarget::Mapped { oa, attrs } => MapletTarget::Mapped {
+                oa: oa + left_pages * PAGE_SIZE,
+                attrs,
+            },
+            t @ MapletTarget::Annotated { .. } => t,
+        };
+        let right = Maplet {
+            ia: at,
+            nr_pages: self.nr_pages - left_pages,
+            target: right_target,
+        };
+        (left, right)
+    }
+}
+
+impl fmt::Display for Maplet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.target {
+            MapletTarget::Mapped { oa, attrs } => {
+                write!(
+                    f,
+                    "ia:{:#014x}+{} -> phys:{:#x} {}",
+                    self.ia, self.nr_pages, oa, attrs
+                )
+            }
+            MapletTarget::Annotated { owner } => {
+                write!(f, "ia:{:#014x}+{} owner={}", self.ia, self.nr_pages, owner)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapped(ia: u64, nr: u64, oa: u64) -> Maplet {
+        Maplet {
+            ia,
+            nr_pages: nr,
+            target: MapletTarget::Mapped {
+                oa,
+                attrs: AbsAttrs {
+                    perms: Perms::RWX,
+                    memtype: MemType::Normal,
+                    state: Some(PageState::Owned),
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn contains_and_end() {
+        let m = mapped(0x1000, 2, 0x8000);
+        assert_eq!(m.end(), 0x3000);
+        assert!(m.contains(0x1000));
+        assert!(m.contains(0x2fff));
+        assert!(!m.contains(0x3000));
+        assert!(!m.contains(0xfff));
+    }
+
+    #[test]
+    fn target_at_offsets_output() {
+        let m = mapped(0x1000, 4, 0x8000);
+        assert_eq!(
+            m.target_at(0x3000),
+            MapletTarget::Mapped {
+                oa: 0xa000,
+                attrs: AbsAttrs {
+                    perms: Perms::RWX,
+                    memtype: MemType::Normal,
+                    state: Some(PageState::Owned)
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn coalescing_requires_contiguity_of_both_sides() {
+        let a = mapped(0x1000, 2, 0x8000);
+        assert!(a.can_coalesce_with(&mapped(0x3000, 1, 0xa000)));
+        // Output discontinuity.
+        assert!(!a.can_coalesce_with(&mapped(0x3000, 1, 0xb000)));
+        // Input gap.
+        assert!(!a.can_coalesce_with(&mapped(0x4000, 1, 0xb000)));
+        // Attribute change.
+        let mut c = mapped(0x3000, 1, 0xa000);
+        if let MapletTarget::Mapped { attrs, .. } = &mut c.target {
+            attrs.perms = Perms::R;
+        }
+        assert!(!a.can_coalesce_with(&c));
+    }
+
+    #[test]
+    fn annotations_coalesce_by_owner() {
+        let a = Maplet {
+            ia: 0,
+            nr_pages: 2,
+            target: MapletTarget::Annotated {
+                owner: OwnerId::HYP,
+            },
+        };
+        let b = Maplet {
+            ia: 0x2000,
+            nr_pages: 3,
+            target: MapletTarget::Annotated {
+                owner: OwnerId::HYP,
+            },
+        };
+        let c = Maplet {
+            ia: 0x2000,
+            nr_pages: 3,
+            target: MapletTarget::Annotated {
+                owner: OwnerId::guest(0),
+            },
+        };
+        assert!(a.can_coalesce_with(&b));
+        assert!(!a.can_coalesce_with(&c));
+    }
+
+    #[test]
+    fn split_preserves_meaning() {
+        let m = mapped(0x1000, 4, 0x8000);
+        let (l, r) = m.split_at(0x3000);
+        assert_eq!(l.nr_pages, 2);
+        assert_eq!(r.nr_pages, 2);
+        assert_eq!(l.target_at(0x2000), m.target_at(0x2000));
+        assert_eq!(r.target_at(0x3000), m.target_at(0x3000));
+        assert!(l.can_coalesce_with(&r), "split halves must re-coalesce");
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_outside_panics() {
+        mapped(0x1000, 2, 0x8000).split_at(0x1000);
+    }
+}

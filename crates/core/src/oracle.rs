@@ -1,0 +1,725 @@
+//! The runtime oracle: recording ghost states and checking the spec.
+//!
+//! [`Oracle`] implements the hypervisor's instrumentation points
+//! ([`GhostHooks`]) and realises the timeline of the paper's Fig. 6: at
+//! trap entry it starts recording a pre-state (1); each component lock
+//! acquisition records that component's abstraction into the pre-state
+//! (2)-(3); each release records into the post-state (4)-(5); at trap exit
+//! (6) it collects the final thread-local state and call data, computes
+//! the expected post-state with the specification function (7), and
+//! compares (8) — the ternary check.
+//!
+//! It also maintains the two §4.4 invariants: a single *shared copy* of
+//! the entire ghost state, against which every acquisition checks that
+//! nothing changed while the lock was free (non-interference), and the
+//! per-component page-table footprints (separation).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
+use pkvm_aarch64::esr::Esr;
+use pkvm_aarch64::sysreg::GprFile;
+use pkvm_hyp::hooks::{Component, ComponentView, GhostHooks, HookCtx, VcpuView};
+use pkvm_hyp::hypercalls;
+use pkvm_hyp::machine::MachineConfig;
+use pkvm_hyp::mm::compute_layout;
+use pkvm_hyp::owner::PageState;
+use pkvm_hyp::vm::Handle;
+
+use crate::abstraction::{abstract_host, abstract_hyp, abstract_vm, Anomaly};
+use crate::calldata::GhostCallData;
+use crate::check::{check_trap, normalize, Violation};
+use crate::diff::diff_states;
+use crate::maplet::{Maplet, MapletTarget};
+use crate::spec::{abs_hyp_attrs, compute_post, SpecVerdict};
+use crate::state::{GhostCpu, GhostGlobals, GhostHost, GhostLoadedVcpu, GhostPkvm, GhostState};
+
+/// Oracle configuration switches.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleOpts {
+    /// Check that lock-protected state is unchanged between critical
+    /// sections (§4.4 invariant 1).
+    pub check_noninterference: bool,
+    /// Check the page-table footprint separation (§4.4 invariant 2).
+    pub check_separation: bool,
+}
+
+impl Default for OracleOpts {
+    fn default() -> Self {
+        Self {
+            check_noninterference: true,
+            check_separation: true,
+        }
+    }
+}
+
+/// One line of the oracle's trap trace: what was checked and how it went.
+#[derive(Clone, Debug)]
+pub struct TrapRecord {
+    /// Hardware thread the trap ran on.
+    pub cpu: usize,
+    /// Handler name (hypercall name, `host_abort`, `smc`, ...).
+    pub name: String,
+    /// `Ok`: checked and clean. `Err`: number of violations, or the
+    /// looseness reason when the check was skipped.
+    pub outcome: TrapOutcome,
+}
+
+/// How one trap's check concluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrapOutcome {
+    /// Spec computed and matched.
+    Clean,
+    /// Spec computed; this many violations were recorded.
+    Violated(usize),
+    /// The loose specification skipped the check.
+    Unchecked(&'static str),
+}
+
+/// How many trap records the trace retains.
+const TRACE_CAP: usize = 256;
+
+/// Counters reported alongside violations (for the evaluation harness).
+#[derive(Debug, Default)]
+pub struct OracleStats {
+    /// Traps whose spec was computed and checked.
+    pub traps_checked: AtomicU64,
+    /// Traps skipped under the loose specification (`Unchecked`).
+    pub traps_unchecked: AtomicU64,
+    /// Component abstractions computed (lock events).
+    pub abstractions: AtomicU64,
+    /// Individual `READ_ONCE` values recorded.
+    pub read_onces: AtomicU64,
+}
+
+struct CpuRecord {
+    in_trap: bool,
+    pre: GhostState,
+    post: GhostState,
+    call: Option<GhostCallData>,
+}
+
+/// The runtime test oracle; install as the machine's [`GhostHooks`].
+pub struct Oracle {
+    /// The initialisation-time constants, derived independently from the
+    /// machine configuration (the spec's own view of the correct layout).
+    pub globals: GhostGlobals,
+    opts: OracleOpts,
+    shared: Mutex<GhostState>,
+    cpus: Vec<Mutex<CpuRecord>>,
+    footprints: Mutex<HashMap<Component, BTreeSet<u64>>>,
+    violations: Mutex<Vec<Violation>>,
+    trace: Mutex<VecDeque<TrapRecord>>,
+    /// Counters.
+    pub stats: OracleStats,
+}
+
+impl Oracle {
+    /// Builds an oracle for machines booted from `config`.
+    ///
+    /// The globals are *derived from the configuration*, not copied from
+    /// the booted machine: the oracle computes what a correct layout looks
+    /// like, so layout bugs (real bug 5) surface at the boot check.
+    pub fn new(config: &MachineConfig, opts: OracleOpts) -> Arc<Oracle> {
+        let (last_base, last_size) = *config.dram.last().expect("config has DRAM");
+        let ram_end = last_base + last_size;
+        let pool_base_pfn = (ram_end - config.hyp_pool_pages * PAGE_SIZE) >> 12;
+        let layout = compute_layout(PhysAddr::new(ram_end), false).expect("layout fits");
+        let globals = GhostGlobals {
+            nr_cpus: config.nr_cpus,
+            physvirt_offset: layout.physvirt_offset,
+            uart_va: layout.uart_va.bits(),
+            hyp_range: (pool_base_pfn, config.hyp_pool_pages),
+            ram: config.dram.clone(),
+            mmio: config.mmio.clone(),
+        };
+        let shared = GhostState::blank(&globals);
+        Arc::new(Oracle {
+            cpus: (0..config.nr_cpus)
+                .map(|_| {
+                    Mutex::new(CpuRecord {
+                        in_trap: false,
+                        pre: GhostState::blank(&globals),
+                        post: GhostState::blank(&globals),
+                        call: None,
+                    })
+                })
+                .collect(),
+            globals,
+            opts,
+            shared: Mutex::new(shared),
+            footprints: Mutex::new(HashMap::new()),
+            violations: Mutex::new(Vec::new()),
+            trace: Mutex::new(VecDeque::new()),
+            stats: OracleStats::default(),
+        })
+    }
+
+    /// All violations recorded so far.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.violations.lock().clone()
+    }
+
+    /// Returns `true` if no violations have been recorded.
+    pub fn is_clean(&self) -> bool {
+        self.violations.lock().is_empty()
+    }
+
+    /// Drops all recorded violations (between test cases).
+    pub fn clear_violations(&self) {
+        self.violations.lock().clear();
+    }
+
+    /// The most recent checked traps (bounded; newest last).
+    pub fn trace(&self) -> Vec<TrapRecord> {
+        self.trace.lock().iter().cloned().collect()
+    }
+
+    fn push_trace(&self, rec: TrapRecord) {
+        let mut t = self.trace.lock();
+        if t.len() == TRACE_CAP {
+            t.pop_front();
+        }
+        t.push_back(rec);
+    }
+
+    fn report(&self, v: Violation) {
+        self.violations.lock().push(v);
+    }
+
+    fn report_anomalies(&self, context: &str, anomalies: Vec<Anomaly>) {
+        let mut vs = self.violations.lock();
+        for a in anomalies {
+            vs.push(Violation::AbstractionAnomaly {
+                context: context.into(),
+                anomaly: a,
+            });
+        }
+    }
+
+    /// Approximate resident size of the ghost state, in bytes (for the
+    /// paper's memory-impact measurement).
+    pub fn approx_ghost_bytes(&self) -> usize {
+        fn state_bytes(s: &GhostState) -> usize {
+            let mapping = |m: &crate::mapping::Mapping| m.len() * core::mem::size_of::<Maplet>();
+            let mut n = core::mem::size_of::<GhostState>();
+            if let Some(h) = &s.host {
+                n += mapping(&h.annot) + mapping(&h.shared) + h.table_pages.len() * 8;
+            }
+            if let Some(p) = &s.pkvm {
+                n += mapping(&p.pgt.mapping) + p.pgt.table_pages.len() * 8;
+            }
+            for vm in s.vms.values() {
+                n += mapping(&vm.pgt.mapping) + vm.pgt.table_pages.len() * 8;
+                n += vm.vcpus.len() * core::mem::size_of::<crate::state::GhostVcpu>();
+            }
+            n += s.locals.len() * core::mem::size_of::<GhostCpu>();
+            n
+        }
+        let mut total = state_bytes(&self.shared.lock());
+        for c in &self.cpus {
+            let rec = c.lock();
+            total += state_bytes(&rec.pre) + state_bytes(&rec.post);
+        }
+        total
+    }
+
+    /// The component abstraction function: dispatches on the view the
+    /// lock helper provided.
+    fn abstract_component(
+        &self,
+        ctx: &HookCtx<'_>,
+        comp: Component,
+        view: &ComponentView,
+    ) -> ComponentValue {
+        self.stats.abstractions.fetch_add(1, Ordering::Relaxed);
+        let mut anomalies = Vec::new();
+        let value = match view {
+            ComponentView::Host { root } => {
+                ComponentValue::Host(abstract_host(ctx.mem, *root, &self.globals, &mut anomalies))
+            }
+            ComponentView::Hyp { root } => {
+                ComponentValue::Pkvm(abstract_hyp(ctx.mem, *root, &mut anomalies))
+            }
+            ComponentView::VmTable { vms } => {
+                let mut v = vms.clone();
+                v.sort_unstable();
+                ComponentValue::VmTable(v)
+            }
+            ComponentView::Vm(view) => {
+                ComponentValue::Vm(view.handle, abstract_vm(ctx.mem, view, &mut anomalies))
+            }
+        };
+        if !anomalies.is_empty() {
+            self.report_anomalies(&format!("{comp:?}"), anomalies);
+        }
+        value
+    }
+
+    fn set_component(state: &mut GhostState, value: &ComponentValue, only_if_absent: bool) {
+        match value {
+            ComponentValue::Host(h) => {
+                if !(only_if_absent && state.host.is_some()) {
+                    state.host = Some(h.clone());
+                }
+            }
+            ComponentValue::Pkvm(p) => {
+                if !(only_if_absent && state.pkvm.is_some()) {
+                    state.pkvm = Some(p.clone());
+                }
+            }
+            ComponentValue::VmTable(t) => {
+                if !(only_if_absent && state.vm_table.is_some()) {
+                    state.vm_table = Some(t.clone());
+                }
+            }
+            ComponentValue::Vm(h, vm) => {
+                if !(only_if_absent && state.vms.contains_key(h)) {
+                    state.vms.insert(*h, vm.clone());
+                }
+            }
+        }
+    }
+
+    fn noninterference_check(&self, comp: Component, value: &ComponentValue) {
+        if !self.opts.check_noninterference {
+            return;
+        }
+        let shared = self.shared.lock();
+        let (prev, now): (GhostState, GhostState) = match value {
+            ComponentValue::Host(h) => {
+                let Some(p) = &shared.host else { return };
+                (
+                    GhostState {
+                        host: Some(p.clone()),
+                        ..GhostState::default()
+                    },
+                    GhostState {
+                        host: Some(h.clone()),
+                        ..GhostState::default()
+                    },
+                )
+            }
+            ComponentValue::Pkvm(p2) => {
+                let Some(p) = &shared.pkvm else { return };
+                (
+                    GhostState {
+                        pkvm: Some(p.clone()),
+                        ..GhostState::default()
+                    },
+                    GhostState {
+                        pkvm: Some(p2.clone()),
+                        ..GhostState::default()
+                    },
+                )
+            }
+            ComponentValue::VmTable(t) => {
+                let Some(p) = &shared.vm_table else { return };
+                (
+                    GhostState {
+                        vm_table: Some(p.clone()),
+                        ..GhostState::default()
+                    },
+                    GhostState {
+                        vm_table: Some(t.clone()),
+                        ..GhostState::default()
+                    },
+                )
+            }
+            ComponentValue::Vm(h, vm) => {
+                let Some(p) = shared.vms.get(h) else { return };
+                let mut a = GhostState::default();
+                a.vms.insert(*h, p.clone());
+                let mut b = GhostState::default();
+                b.vms.insert(*h, vm.clone());
+                (a, b)
+            }
+        };
+        drop(shared);
+        let (prev_n, now_n) = (normalize(&prev), normalize(&now));
+        if prev_n != now_n {
+            self.report(Violation::NonInterference {
+                component: format!("{comp:?}"),
+                diff: diff_states(&prev_n, &now_n),
+            });
+        }
+    }
+
+    fn trap_name(call: &GhostCallData) -> String {
+        match call.esr.ec() {
+            Some(pkvm_aarch64::esr::ExceptionClass::Hvc64) => {
+                hypercalls::name(call.regs_pre.get(0)).to_string()
+            }
+            Some(pkvm_aarch64::esr::ExceptionClass::Smc64) => "smc".into(),
+            Some(_) => "host_abort".into(),
+            None => "unknown".into(),
+        }
+    }
+
+    fn ghost_cpu(regs: &GprFile, loaded: &Option<(Handle, usize, VcpuView)>) -> GhostCpu {
+        GhostCpu {
+            regs: *regs,
+            loaded: loaded.as_ref().map(|(h, i, v)| GhostLoadedVcpu {
+                handle: *h,
+                idx: *i,
+                regs: v.regs,
+                memcache: v.memcache_pages.iter().map(|p| p.pfn()).collect(),
+            }),
+        }
+    }
+
+    /// The specification of the boot-time initial state: carveout
+    /// annotated hyp-owned in the host table; carveout linear-mapped and
+    /// the UART device-mapped in pKVM's table; no VMs.
+    pub fn spec_boot_state(&self) -> GhostState {
+        let g = &self.globals;
+        let (pool_pfn, pool_pages) = g.hyp_range;
+        let pool_base = pool_pfn << 12;
+        let mut s = GhostState::blank(g);
+        let mut host = GhostHost::default();
+        host.annot.insert_new(Maplet {
+            ia: pool_base,
+            nr_pages: pool_pages,
+            target: MapletTarget::Annotated {
+                owner: pkvm_hyp::owner::OwnerId::HYP,
+            },
+        });
+        s.host = Some(host);
+        let mut pkvm = GhostPkvm::default();
+        pkvm.pgt.mapping.insert_new(Maplet {
+            ia: g.hyp_va(pool_base),
+            nr_pages: pool_pages,
+            target: MapletTarget::Mapped {
+                oa: pool_base,
+                attrs: abs_hyp_attrs(true, PageState::Owned),
+            },
+        });
+        if let Some(&(uart_base, _)) = g.mmio.first() {
+            pkvm.pgt.mapping.insert_new(Maplet {
+                ia: g.uart_va,
+                nr_pages: 1,
+                target: MapletTarget::Mapped {
+                    oa: uart_base,
+                    attrs: abs_hyp_attrs(false, PageState::Owned),
+                },
+            });
+        }
+        s.pkvm = Some(pkvm);
+        s.vm_table = Some(Vec::new());
+        s
+    }
+
+    /// Checks the recorded post-boot state against [`Oracle::spec_boot_state`].
+    /// Call once after `Machine::boot`. Returns `true` when it matched.
+    pub fn check_boot(&self) -> bool {
+        let expected = normalize(&self.spec_boot_state());
+        let recorded = normalize(&self.shared.lock().clone());
+        let mut ok = true;
+        for (name, exp_has, rec_has) in [
+            ("host", expected.host.is_some(), recorded.host.is_some()),
+            ("pkvm", expected.pkvm.is_some(), recorded.pkvm.is_some()),
+        ] {
+            if exp_has && !rec_has {
+                self.report(Violation::SpecMismatch {
+                    trap: "boot".into(),
+                    component: name.into(),
+                    diff: "component never recorded during boot".into(),
+                });
+                ok = false;
+            }
+        }
+        let mut exp_cmp = expected.clone();
+        exp_cmp.vm_table = None; // the VM table lock is not taken at boot
+        let mut rec_cmp = recorded.clone();
+        rec_cmp.vm_table = None;
+        if exp_cmp.host.is_some() && rec_cmp.host.is_some() && exp_cmp != rec_cmp {
+            self.report(Violation::SpecMismatch {
+                trap: "boot".into(),
+                component: "initial state".into(),
+                diff: diff_states(&exp_cmp, &rec_cmp),
+            });
+            ok = false;
+        }
+        ok
+    }
+}
+
+enum ComponentValue {
+    Host(GhostHost),
+    Pkvm(GhostPkvm),
+    VmTable(Vec<(Handle, usize)>),
+    Vm(Handle, crate::state::GhostVm),
+}
+
+impl GhostHooks for Oracle {
+    fn trap_enter(
+        &self,
+        ctx: &HookCtx<'_>,
+        esr: Esr,
+        fault_ipa: Option<u64>,
+        regs: &GprFile,
+        loaded: Option<(Handle, usize, VcpuView)>,
+    ) {
+        let mut rec = self.cpus[ctx.cpu].lock();
+        rec.in_trap = true;
+        rec.pre = GhostState::blank(&self.globals);
+        rec.post = GhostState::blank(&self.globals);
+        rec.call = Some(GhostCallData::new(ctx.cpu, esr, fault_ipa, *regs));
+        let cpu_state = Self::ghost_cpu(regs, &loaded);
+        rec.pre.locals.insert(ctx.cpu, cpu_state);
+    }
+
+    fn trap_exit(
+        &self,
+        ctx: &HookCtx<'_>,
+        regs: &GprFile,
+        loaded: Option<(Handle, usize, VcpuView)>,
+    ) {
+        let mut rec = self.cpus[ctx.cpu].lock();
+        if !rec.in_trap {
+            return;
+        }
+        rec.in_trap = false;
+        let cpu_state = Self::ghost_cpu(regs, &loaded);
+        rec.post.locals.insert(ctx.cpu, cpu_state);
+        let mut call = rec.call.take().expect("trap_enter recorded call data");
+        call.regs_post = *regs;
+
+        // (7) Compute the expected post-state from the pre-state and the
+        // call data, then (8) compare.
+        let mut computed = GhostState::blank(&self.globals);
+        let name = Self::trap_name(&call);
+        match compute_post(&rec.pre, &call, &mut computed) {
+            SpecVerdict::Checked => {
+                self.stats.traps_checked.fetch_add(1, Ordering::Relaxed);
+                let outcome = check_trap(&name, &rec.pre, &rec.post, &computed);
+                self.push_trace(TrapRecord {
+                    cpu: ctx.cpu,
+                    name: name.clone(),
+                    outcome: if outcome.violations.is_empty() {
+                        TrapOutcome::Clean
+                    } else {
+                        TrapOutcome::Violated(outcome.violations.len())
+                    },
+                });
+                if !outcome.violations.is_empty() {
+                    let mut vs = self.violations.lock();
+                    vs.extend(outcome.violations);
+                }
+                // Seed spec-defined but never-recorded components into the
+                // shared copy: the next acquisition validates them.
+                if !outcome.deferred.is_empty() {
+                    let mut shared = self.shared.lock();
+                    for comp in outcome.deferred {
+                        match comp.as_str() {
+                            "host" => shared.host = computed.host.clone(),
+                            "pkvm" => shared.pkvm = computed.pkvm.clone(),
+                            "vm_table" => shared.vm_table = computed.vm_table.clone(),
+                            c if c.starts_with("vm[") => {
+                                let h: u32 = c[3..c.len() - 1].parse().expect("component name");
+                                if let Some(vm) = computed.vms.get(&h) {
+                                    shared.vms.insert(h, vm.clone());
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            SpecVerdict::Unchecked(why) => {
+                self.stats.traps_unchecked.fetch_add(1, Ordering::Relaxed);
+                self.push_trace(TrapRecord {
+                    cpu: ctx.cpu,
+                    name,
+                    outcome: TrapOutcome::Unchecked(why),
+                });
+                // Loose case: the shared copy was already updated at the
+                // lock releases.
+            }
+            SpecVerdict::Impossible(reason) => {
+                self.push_trace(TrapRecord {
+                    cpu: ctx.cpu,
+                    name: name.clone(),
+                    outcome: TrapOutcome::Violated(1),
+                });
+                self.report(Violation::SpecMismatch {
+                    trap: name,
+                    component: "spec-detected impossibility".into(),
+                    diff: reason,
+                });
+            }
+        }
+    }
+
+    fn lock_acquired(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {
+        let value = self.abstract_component(ctx, comp, view);
+        self.noninterference_check(comp, &value);
+        let mut rec = self.cpus[ctx.cpu].lock();
+        if rec.in_trap {
+            // First acquisition within the trap defines the pre-state.
+            Self::set_component(&mut rec.pre, &value, true);
+        } else {
+            drop(rec);
+            Self::set_component(&mut self.shared.lock(), &value, false);
+        }
+    }
+
+    fn lock_releasing(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {
+        let value = self.abstract_component(ctx, comp, view);
+        {
+            let mut rec = self.cpus[ctx.cpu].lock();
+            if rec.in_trap {
+                // Last release within the trap defines the post-state.
+                Self::set_component(&mut rec.post, &value, false);
+            }
+        }
+        Self::set_component(&mut self.shared.lock(), &value, false);
+    }
+
+    fn read_once(&self, ctx: &HookCtx<'_>, tag: &'static str, value: u64) {
+        self.stats.read_onces.fetch_add(1, Ordering::Relaxed);
+        let mut rec = self.cpus[ctx.cpu].lock();
+        if let Some(call) = rec.call.as_mut() {
+            call.read_onces.push((tag, value));
+        }
+    }
+
+    fn table_page_alloc(&self, _ctx: &HookCtx<'_>, comp: Component, page: PhysAddr) {
+        if !self.opts.check_separation {
+            return;
+        }
+        let mut fp = self.footprints.lock();
+        for (other, pages) in fp.iter() {
+            if *other != comp && pages.contains(&page.pfn()) {
+                let v = Violation::SeparationOverlap {
+                    component: format!("{comp:?}"),
+                    pfn: page.pfn(),
+                    owner: format!("{other:?}"),
+                };
+                drop(fp);
+                self.report(v);
+                return;
+            }
+        }
+        fp.entry(comp).or_default().insert(page.pfn());
+    }
+
+    fn table_page_free(&self, _ctx: &HookCtx<'_>, comp: Component, page: PhysAddr) {
+        if !self.opts.check_separation {
+            return;
+        }
+        if let Some(pages) = self.footprints.lock().get_mut(&comp) {
+            pages.remove(&page.pfn());
+        }
+    }
+
+    fn hyp_panic(&self, _ctx: &HookCtx<'_>, reason: &str) {
+        self.report(Violation::HypPanic {
+            reason: reason.into(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle() -> Arc<Oracle> {
+        Oracle::new(&MachineConfig::default(), OracleOpts::default())
+    }
+
+    #[test]
+    fn boot_spec_state_has_the_three_boot_components() {
+        let o = oracle();
+        let s = o.spec_boot_state();
+        let host = s.host.as_ref().expect("host annotated");
+        assert_eq!(host.annot.nr_pages(), o.globals.hyp_range.1);
+        assert!(host.shared.is_empty());
+        let pkvm = s.pkvm.as_ref().expect("linear map + uart");
+        assert_eq!(pkvm.pgt.mapping.nr_pages(), o.globals.hyp_range.1 + 1);
+        assert_eq!(s.vm_table.as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn separation_check_flags_cross_component_table_pages() {
+        let o = oracle();
+        let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        let page = PhysAddr::new(0x4400_0000);
+        o.table_page_alloc(&ctx, Component::Host, page);
+        assert!(o.is_clean());
+        // The same page backing a *different* component's table: flagged.
+        o.table_page_alloc(&ctx, Component::Hyp, page);
+        assert!(matches!(
+            o.violations()[0],
+            Violation::SeparationOverlap { .. }
+        ));
+        // Freeing and re-allocating elsewhere is fine.
+        o.clear_violations();
+        o.table_page_free(&ctx, Component::Host, page);
+        o.table_page_alloc(&ctx, Component::Hyp, page);
+        assert!(o.is_clean(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn separation_check_can_be_disabled() {
+        let o = Oracle::new(
+            &MachineConfig::default(),
+            OracleOpts {
+                check_separation: false,
+                ..Default::default()
+            },
+        );
+        let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        let page = PhysAddr::new(0x4400_0000);
+        o.table_page_alloc(&ctx, Component::Host, page);
+        o.table_page_alloc(&ctx, Component::Hyp, page);
+        assert!(o.is_clean());
+    }
+
+    #[test]
+    fn hyp_panic_is_a_violation() {
+        let o = oracle();
+        let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        o.hyp_panic(&ctx, "BUG()");
+        assert!(matches!(&o.violations()[0], Violation::HypPanic { reason } if reason == "BUG()"));
+    }
+
+    #[test]
+    fn trace_is_bounded() {
+        let o = oracle();
+        for i in 0..(TRACE_CAP + 10) {
+            o.push_trace(TrapRecord {
+                cpu: 0,
+                name: format!("t{i}"),
+                outcome: TrapOutcome::Clean,
+            });
+        }
+        let t = o.trace();
+        assert_eq!(t.len(), TRACE_CAP);
+        assert_eq!(t.last().unwrap().name, format!("t{}", TRACE_CAP + 9));
+    }
+
+    #[test]
+    fn ghost_bytes_accounting_is_nonzero_once_populated() {
+        let o = oracle();
+        let base = o.approx_ghost_bytes();
+        let mut shared = o.shared.lock();
+        let mut host = GhostHost::default();
+        host.annot.insert_new(Maplet {
+            ia: 0x4400_0000,
+            nr_pages: 16,
+            target: MapletTarget::Annotated {
+                owner: pkvm_hyp::owner::OwnerId::HYP,
+            },
+        });
+        shared.host = Some(host);
+        drop(shared);
+        assert!(o.approx_ghost_bytes() > base);
+    }
+}

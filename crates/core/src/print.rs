@@ -1,0 +1,176 @@
+//! Pretty-printing of ghost states.
+//!
+//! The paper's ghost infrastructure includes printing machinery (with its
+//! own lock, to keep EL2 UART output coherent); reified ghost datatypes
+//! make states printable and diffable, "invaluable in error reporting and
+//! debugging of both code and spec" (§4.2.2). Diffing lives in
+//! [`crate::diff`]; this module renders whole states, in the same
+//! `ia -> phys, state, perms, memtype` notation.
+
+use std::fmt::Write as _;
+
+use crate::maplet::MapletTarget;
+use crate::mapping::Mapping;
+use crate::state::{GhostState, GhostVcpu};
+
+fn render_mapping(out: &mut String, label: &str, m: &Mapping) {
+    if m.is_empty() {
+        let _ = writeln!(out, "  {label}: (empty)");
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "  {label}: {} maplet(s), {} page(s)",
+        m.len(),
+        m.nr_pages()
+    );
+    for maplet in m.iter() {
+        match maplet.target {
+            MapletTarget::Mapped { oa, attrs } => {
+                let _ = writeln!(
+                    out,
+                    "    ia:{:#014x}+{:<5} -> phys:{:#x} {}",
+                    maplet.ia, maplet.nr_pages, oa, attrs
+                );
+            }
+            MapletTarget::Annotated { owner } => {
+                let _ = writeln!(
+                    out,
+                    "    ia:{:#014x}+{:<5} owner={}",
+                    maplet.ia, maplet.nr_pages, owner
+                );
+            }
+        }
+    }
+}
+
+/// Renders a (partial) ghost state, component by component; absent
+/// components print as `--` so partiality is visible.
+pub fn render_state(s: &GhostState) -> String {
+    let mut out = String::new();
+    match &s.host {
+        Some(h) => {
+            out.push_str("host:\n");
+            render_mapping(&mut out, "annot", &h.annot);
+            render_mapping(&mut out, "share", &h.shared);
+        }
+        None => out.push_str("host: --\n"),
+    }
+    match &s.pkvm {
+        Some(p) => {
+            out.push_str("pkvm:\n");
+            render_mapping(&mut out, "pgt", &p.pgt.mapping);
+        }
+        None => out.push_str("pkvm: --\n"),
+    }
+    match &s.vm_table {
+        Some(t) => {
+            let _ = writeln!(out, "vm_table: {t:x?}");
+        }
+        None => out.push_str("vm_table: --\n"),
+    }
+    for (h, vm) in &s.vms {
+        let _ = writeln!(
+            out,
+            "vm[{h:#x}]: slot {} {} donated={:x?}",
+            vm.slot,
+            if vm.protected {
+                "protected"
+            } else {
+                "unprotected"
+            },
+            vm.donated
+        );
+        render_mapping(&mut out, "pgt", &vm.pgt.mapping);
+        for (i, v) in vm.vcpus.iter().enumerate() {
+            match v {
+                GhostVcpu::Uninit => {
+                    let _ = writeln!(out, "  vcpu[{i}]: uninit");
+                }
+                GhostVcpu::Present { regs, memcache } => {
+                    let _ = writeln!(
+                        out,
+                        "  vcpu[{i}]: present r0={:#x} r1={:#x} mc={}",
+                        regs.get(0),
+                        regs.get(1),
+                        memcache.len()
+                    );
+                }
+                GhostVcpu::Loaded { on } => {
+                    let _ = writeln!(out, "  vcpu[{i}]: loaded on cpu{on}");
+                }
+            }
+        }
+    }
+    for (cpu, l) in &s.locals {
+        let _ = write!(
+            out,
+            "locals[{cpu}]: r0={:#x} r1={:#x} r2={:#x} r3={:#x}",
+            l.regs.get(0),
+            l.regs.get(1),
+            l.regs.get(2),
+            l.regs.get(3)
+        );
+        match &l.loaded {
+            Some(lv) => {
+                let _ = writeln!(out, " loaded=({:#x},{})", lv.handle, lv.idx);
+            }
+            None => out.push('\n'),
+        }
+    }
+    out
+}
+
+impl std::fmt::Display for GhostState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&render_state(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maplet::{AbsAttrs, Maplet};
+    use crate::state::{GhostGlobals, GhostHost};
+    use pkvm_aarch64::attrs::{MemType, Perms};
+    use pkvm_hyp::owner::{OwnerId, PageState};
+
+    #[test]
+    fn blank_state_shows_partiality() {
+        let s = GhostState::blank(&GhostGlobals::default());
+        let r = render_state(&s);
+        assert!(r.contains("host: --"));
+        assert!(r.contains("pkvm: --"));
+        assert!(r.contains("vm_table: --"));
+    }
+
+    #[test]
+    fn mappings_render_in_paper_notation() {
+        let mut s = GhostState::blank(&GhostGlobals::default());
+        let mut h = GhostHost::default();
+        h.shared.insert(Maplet {
+            ia: 0x101b_1800_0,
+            nr_pages: 1,
+            target: MapletTarget::Mapped {
+                oa: 0x101b_1800_0,
+                attrs: AbsAttrs {
+                    perms: Perms::RWX,
+                    memtype: MemType::Normal,
+                    state: Some(PageState::SharedOwned),
+                },
+            },
+        });
+        h.annot.insert(Maplet {
+            ia: 0x4400_0000,
+            nr_pages: 2048,
+            target: MapletTarget::Annotated {
+                owner: OwnerId::HYP,
+            },
+        });
+        s.host = Some(h);
+        let r = s.to_string();
+        assert!(r.contains("SO RWX M"), "{r}");
+        assert!(r.contains("owner=hyp"), "{r}");
+        assert!(r.contains("2048"), "{r}");
+    }
+}

@@ -1,0 +1,239 @@
+//! The very abstract model guiding random test generation (§5).
+//!
+//! Truly random hypercalls either crash the system under test or bounce
+//! off the first permission check without ever progressing through the
+//! state machine. The paper resolves the tension by keeping, inside the
+//! generator, an abstraction *of the specification's already-abstract
+//! ghost state*: "a pool of allocated host memory, the subset of that
+//! which has been donated to pKVM, the VMs with their handles and their
+//! corresponding shared memory, the vCPUs also with their handles and
+//! corresponding shared memory, and the vCPU memcache pages". This module
+//! is that model: enough state to propose mostly-valid calls, predict
+//! which would crash the host, and steer towards deep states.
+
+use pkvm_hyp::vm::Handle;
+
+/// What the model believes about one page it allocated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageUse {
+    /// Owned by the host, free for any use.
+    Free,
+    /// Shared with the hypervisor (`host_share_hyp`).
+    SharedHyp,
+    /// Donated for VM/vCPU metadata or memcache (unavailable until the
+    /// owning VM is torn down).
+    Donated {
+        /// The VM it was donated for.
+        vm: Handle,
+    },
+    /// Mapped into a guest.
+    GuestMapped {
+        /// The VM it is mapped into.
+        vm: Handle,
+        /// The guest frame it backs.
+        gfn: u64,
+    },
+    /// Awaiting `host_reclaim_page` after a teardown.
+    Reclaimable,
+}
+
+/// One modelled vCPU.
+#[derive(Clone, Debug)]
+pub struct ModelVcpu {
+    /// Has `init_vcpu` succeeded?
+    pub initialized: bool,
+    /// The CPU it is loaded on, if any.
+    pub loaded_on: Option<usize>,
+    /// Estimated memcache fill.
+    pub memcache: u64,
+}
+
+/// One modelled VM.
+#[derive(Clone, Debug)]
+pub struct ModelVm {
+    /// The handle `init_vm` returned.
+    pub handle: Handle,
+    /// Protected VMs take donations; unprotected ones shares.
+    pub protected: bool,
+    /// Modelled vCPUs.
+    pub vcpus: Vec<ModelVcpu>,
+    /// Guest frames currently mapped, with the backing host pfn.
+    pub mapped: Vec<(u64, u64)>, // (gfn, pfn)
+    /// Guest frames currently shared back with the host.
+    pub guest_shared: Vec<u64>,
+    /// Next fresh gfn to map.
+    pub next_gfn: u64,
+}
+
+/// The generator's model of the system state.
+#[derive(Clone, Debug, Default)]
+pub struct TestModel {
+    /// Pages the test has allocated, with their believed use.
+    pub pages: Vec<(u64, PageUse)>,
+    /// Live VMs.
+    pub vms: Vec<ModelVm>,
+    /// Which vCPU each CPU has loaded: `(vm handle, vcpu idx)`.
+    pub loaded: Vec<Option<(Handle, usize)>>,
+}
+
+impl TestModel {
+    /// A fresh model for a machine with `nr_cpus` hardware threads.
+    pub fn new(nr_cpus: usize) -> TestModel {
+        TestModel {
+            pages: Vec::new(),
+            vms: Vec::new(),
+            loaded: vec![None; nr_cpus],
+        }
+    }
+
+    /// Records a freshly allocated host page.
+    pub fn add_page(&mut self, pfn: u64) {
+        self.pages.push((pfn, PageUse::Free));
+    }
+
+    /// Pages currently in `use_`.
+    pub fn pages_in(&self, use_: PageUse) -> Vec<u64> {
+        self.pages
+            .iter()
+            .filter(|(_, u)| *u == use_)
+            .map(|&(p, _)| p)
+            .collect()
+    }
+
+    /// All free pages.
+    pub fn free_pages(&self) -> Vec<u64> {
+        self.pages_in(PageUse::Free)
+    }
+
+    /// Marks `pfn` as being in `use_`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is unknown to the model (a generator bug).
+    pub fn set_page(&mut self, pfn: u64, use_: PageUse) {
+        let slot = self
+            .pages
+            .iter_mut()
+            .find(|(p, _)| *p == pfn)
+            .expect("page known to model");
+        slot.1 = use_;
+    }
+
+    /// The VM with `handle`.
+    pub fn vm(&self, handle: Handle) -> Option<&ModelVm> {
+        self.vms.iter().find(|v| v.handle == handle)
+    }
+
+    /// The VM with `handle`, mutably.
+    pub fn vm_mut(&mut self, handle: Handle) -> Option<&mut ModelVm> {
+        self.vms.iter_mut().find(|v| v.handle == handle)
+    }
+
+    /// Records a successful `init_vm`. Any stale entry under the same
+    /// handle (left by a fuzzed teardown the model did not track) is
+    /// dropped first — the real system has reused the slot.
+    pub fn add_vm(&mut self, handle: Handle, nr_vcpus: usize, protected: bool) {
+        self.vms.retain(|v| v.handle != handle);
+        for l in self.loaded.iter_mut() {
+            if matches!(l, Some((h, _)) if *h == handle) {
+                *l = None;
+            }
+        }
+        self.vms.push(ModelVm {
+            handle,
+            protected,
+            vcpus: (0..nr_vcpus)
+                .map(|_| ModelVcpu {
+                    initialized: false,
+                    loaded_on: None,
+                    memcache: 0,
+                })
+                .collect(),
+            mapped: Vec::new(),
+            guest_shared: Vec::new(),
+            next_gfn: 0x10,
+        });
+    }
+
+    /// Records a successful teardown: donated pages of this VM become
+    /// free again, guest pages become reclaimable.
+    pub fn teardown_vm(&mut self, handle: Handle) {
+        self.vms.retain(|v| v.handle != handle);
+        for (_, u) in self.pages.iter_mut() {
+            match *u {
+                PageUse::Donated { vm } if vm == handle => *u = PageUse::Free,
+                PageUse::GuestMapped { vm, .. } if vm == handle => *u = PageUse::Reclaimable,
+                _ => {}
+            }
+        }
+    }
+
+    /// Would the proposed host access at `pfn` crash the *test*, in the
+    /// sense of the paper's "(a) random API calls can crash the host by
+    /// changing memory ownership"? Touching pages the host no longer owns
+    /// is the simulation analog.
+    pub fn host_access_would_fault(&self, pfn: u64) -> bool {
+        self.pages.iter().any(|&(p, u)| {
+            p == pfn
+                && matches!(
+                    u,
+                    PageUse::Donated { .. } | PageUse::GuestMapped { .. } | PageUse::Reclaimable
+                )
+        })
+    }
+
+    /// CPUs with no loaded vCPU.
+    pub fn idle_cpus(&self) -> Vec<usize> {
+        (0..self.loaded.len())
+            .filter(|&c| self.loaded[c].is_none())
+            .collect()
+    }
+
+    /// Live VM handles.
+    pub fn handles(&self) -> Vec<Handle> {
+        self.vms.iter().map(|v| v.handle).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_lifecycle_through_the_model() {
+        let mut m = TestModel::new(2);
+        m.add_page(0x100);
+        m.add_page(0x101);
+        assert_eq!(m.free_pages(), vec![0x100, 0x101]);
+        m.set_page(0x100, PageUse::SharedHyp);
+        assert_eq!(m.free_pages(), vec![0x101]);
+        assert_eq!(m.pages_in(PageUse::SharedHyp), vec![0x100]);
+        m.set_page(0x100, PageUse::Free);
+        assert_eq!(m.free_pages().len(), 2);
+    }
+
+    #[test]
+    fn teardown_releases_donations_and_queues_reclaims() {
+        let mut m = TestModel::new(1);
+        m.add_vm(0x1000, 1, true);
+        m.add_page(0x200);
+        m.add_page(0x201);
+        m.set_page(0x200, PageUse::Donated { vm: 0x1000 });
+        m.set_page(0x201, PageUse::GuestMapped { vm: 0x1000, gfn: 5 });
+        m.teardown_vm(0x1000);
+        assert!(m.vms.is_empty());
+        assert_eq!(m.free_pages(), vec![0x200]);
+        assert_eq!(m.pages_in(PageUse::Reclaimable), vec![0x201]);
+    }
+
+    #[test]
+    fn crash_prediction_flags_unowned_pages() {
+        let mut m = TestModel::new(1);
+        m.add_page(0x300);
+        assert!(!m.host_access_would_fault(0x300));
+        m.set_page(0x300, PageUse::Donated { vm: 0x1000 });
+        assert!(m.host_access_would_fault(0x300));
+        m.set_page(0x300, PageUse::Reclaimable);
+        assert!(m.host_access_would_fault(0x300));
+    }
+}

@@ -1,0 +1,289 @@
+//! The "hyp-proxy": driving the hypercall API from test code.
+//!
+//! The paper's security model treats the kernel as untrusted after
+//! initialisation, so tests must exercise *arbitrary* hypercalls — but
+//! one wants to write them in user space. Their hyp-proxy kernel patch
+//! exposes pKVM API calls and kernel memory management to user space;
+//! [`Proxy`] plays the same role here: it bundles a booted machine with
+//! an optional oracle, a simple host page allocator (the "allocate kernel
+//! memory" half), and both well-behaved and raw invocation helpers (the
+//! OCaml-library half of §5).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
+use pkvm_ghost::oracle::{Oracle, OracleOpts};
+use pkvm_ghost::Violation;
+use pkvm_hyp::error::Errno;
+use pkvm_hyp::faults::FaultSet;
+use pkvm_hyp::hypercalls::*;
+use pkvm_hyp::machine::{Machine, MachineConfig};
+use pkvm_hyp::vm::{GuestOp, Handle};
+
+/// Proxy construction options.
+pub struct ProxyOpts {
+    /// Machine shape.
+    pub config: MachineConfig,
+    /// Install the ghost oracle (the `CONFIG_NVHE_GHOST_SPEC=y` build).
+    pub with_oracle: bool,
+    /// Faults to inject before boot.
+    pub faults: FaultSet,
+}
+
+impl Default for ProxyOpts {
+    fn default() -> Self {
+        Self {
+            config: MachineConfig::default(),
+            with_oracle: true,
+            faults: FaultSet::none(),
+        }
+    }
+}
+
+/// A user-space-like handle on the hypervisor under test.
+pub struct Proxy {
+    /// The simulated machine.
+    pub machine: Arc<Machine>,
+    /// The oracle, when installed.
+    pub oracle: Option<Arc<Oracle>>,
+    next_pfn: Mutex<u64>,
+    alloc_end_pfn: u64,
+}
+
+impl Proxy {
+    /// Boots a machine per `opts` and wraps it.
+    pub fn boot(opts: ProxyOpts) -> Proxy {
+        let oracle = opts
+            .with_oracle
+            .then(|| Oracle::new(&opts.config, OracleOpts::default()));
+        let faults = Arc::new(opts.faults);
+        let machine = match &oracle {
+            Some(o) => Machine::boot(opts.config.clone(), o.clone(), faults),
+            None => Machine::boot(
+                opts.config.clone(),
+                Arc::new(pkvm_hyp::hooks::NoHooks),
+                faults,
+            ),
+        };
+        // The allocator hands out pages from the middle of the last DRAM
+        // region, clear of the carveout at its top.
+        let (base, size) = *opts.config.dram.last().expect("config has DRAM");
+        let carveout = opts.config.hyp_pool_pages * PAGE_SIZE;
+        let start = (base + size / 2) >> 12;
+        let end = (base + size - carveout) >> 12;
+        assert!(start < end, "DRAM too small for the test allocator");
+        Proxy {
+            machine,
+            oracle,
+            next_pfn: Mutex::new(start),
+            alloc_end_pfn: end,
+        }
+    }
+
+    /// Boots with default options (oracle on, no faults).
+    pub fn boot_default() -> Proxy {
+        Self::boot(ProxyOpts::default())
+    }
+
+    /// Allocates `n` contiguous host pages, returning the first pfn.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the allocator range is exhausted.
+    pub fn alloc_pages(&self, n: u64) -> u64 {
+        let mut next = self.next_pfn.lock();
+        assert!(
+            *next + n <= self.alloc_end_pfn,
+            "host test allocator exhausted"
+        );
+        let pfn = *next;
+        *next += n;
+        pfn
+    }
+
+    /// Allocates one host page.
+    pub fn alloc_page(&self) -> u64 {
+        self.alloc_pages(1)
+    }
+
+    /// Raw hypercall with arbitrary function id and arguments.
+    pub fn hvc(&self, cpu: usize, func: u64, args: &[u64]) -> u64 {
+        self.machine.hvc(cpu, func, args)
+    }
+
+    /// `host_share_hyp` as a result.
+    pub fn share(&self, cpu: usize, pfn: u64) -> Result<(), Errno> {
+        as_result(self.hvc(cpu, HVC_HOST_SHARE_HYP, &[pfn]))
+    }
+
+    /// `host_unshare_hyp` as a result.
+    pub fn unshare(&self, cpu: usize, pfn: u64) -> Result<(), Errno> {
+        as_result(self.hvc(cpu, HVC_HOST_UNSHARE_HYP, &[pfn]))
+    }
+
+    /// `host_reclaim_page` as a result.
+    pub fn reclaim(&self, cpu: usize, pfn: u64) -> Result<(), Errno> {
+        as_result(self.hvc(cpu, HVC_HOST_RECLAIM_PAGE, &[pfn]))
+    }
+
+    /// Well-behaved `init_vm`: writes a parameter page, donates fresh
+    /// pages, returns the handle.
+    pub fn init_vm(&self, cpu: usize, nr_vcpus: u64, protected: bool) -> Result<Handle, Errno> {
+        let params_pfn = self.alloc_page();
+        let pa = PhysAddr::from_pfn(params_pfn);
+        self.machine.mem.write_u64(pa, nr_vcpus).expect("RAM");
+        self.machine
+            .mem
+            .write_u64(pa.wrapping_add(8), protected as u64)
+            .expect("RAM");
+        let donate = self.alloc_pages(2);
+        let ret = self.hvc(cpu, HVC_INIT_VM, &[params_pfn, donate, 2]);
+        match Errno::from_ret(ret) {
+            Some(e) => Err(e),
+            None => Ok(ret as Handle),
+        }
+    }
+
+    /// Well-behaved `init_vcpu` with a fresh donation.
+    pub fn init_vcpu(&self, cpu: usize, handle: Handle, idx: u64) -> Result<(), Errno> {
+        let donate = self.alloc_page();
+        as_result(self.hvc(cpu, HVC_INIT_VCPU, &[handle as u64, idx, donate]))
+    }
+
+    /// `teardown_vm` as a result.
+    pub fn teardown(&self, cpu: usize, handle: Handle) -> Result<(), Errno> {
+        as_result(self.hvc(cpu, HVC_TEARDOWN_VM, &[handle as u64]))
+    }
+
+    /// `vcpu_load` as a result.
+    pub fn vcpu_load(&self, cpu: usize, handle: Handle, idx: u64) -> Result<(), Errno> {
+        as_result(self.hvc(cpu, HVC_VCPU_LOAD, &[handle as u64, idx]))
+    }
+
+    /// `vcpu_put` as a result.
+    pub fn vcpu_put(&self, cpu: usize) -> Result<(), Errno> {
+        as_result(self.hvc(cpu, HVC_VCPU_PUT, &[]))
+    }
+
+    /// `vcpu_run`, returning the exit code.
+    pub fn vcpu_run(&self, cpu: usize) -> Result<u64, Errno> {
+        let ret = self.hvc(cpu, HVC_VCPU_RUN, &[]);
+        match Errno::from_ret(ret) {
+            Some(e) => Err(e),
+            None => Ok(ret),
+        }
+    }
+
+    /// Well-behaved memcache top-up with freshly allocated pages.
+    pub fn topup(&self, cpu: usize, nr: u64) -> Result<(), Errno> {
+        let pfn = self.alloc_pages(nr);
+        as_result(self.hvc(cpu, HVC_TOPUP_MEMCACHE, &[pfn << 12, nr]))
+    }
+
+    /// Raw memcache top-up with an arbitrary address.
+    pub fn topup_raw(&self, cpu: usize, addr: u64, nr: u64) -> Result<(), Errno> {
+        as_result(self.hvc(cpu, HVC_TOPUP_MEMCACHE, &[addr, nr]))
+    }
+
+    /// `host_map_guest` with a freshly allocated host page; returns the pfn.
+    pub fn map_guest(&self, cpu: usize, gfn: u64) -> Result<u64, Errno> {
+        let pfn = self.alloc_page();
+        as_result(self.hvc(cpu, HVC_HOST_MAP_GUEST, &[pfn, gfn])).map(|()| pfn)
+    }
+
+    /// `host_map_guest` with a caller-chosen pfn.
+    pub fn map_guest_pfn(&self, cpu: usize, pfn: u64, gfn: u64) -> Result<(), Errno> {
+        as_result(self.hvc(cpu, HVC_HOST_MAP_GUEST, &[pfn, gfn]))
+    }
+
+    /// `vcpu_get_reg(n)`: reads a saved register of the loaded vCPU.
+    pub fn vcpu_get_reg(&self, cpu: usize, n: u64) -> Result<u64, Errno> {
+        let ret = self.hvc(cpu, HVC_VCPU_GET_REG, &[n]);
+        match Errno::from_ret(ret) {
+            Some(e) => Err(e),
+            None => Ok(self.machine.cpus[cpu].lock().regs.get(2)),
+        }
+    }
+
+    /// `vcpu_set_reg(n, value)`: writes a saved register of the loaded vCPU.
+    pub fn vcpu_set_reg(&self, cpu: usize, n: u64, value: u64) -> Result<(), Errno> {
+        as_result(self.hvc(cpu, HVC_VCPU_SET_REG, &[n, value]))
+    }
+
+    /// Enqueues a guest action.
+    pub fn push_guest_op(&self, handle: Handle, idx: usize, op: GuestOp) -> Result<(), Errno> {
+        self.machine.push_guest_op(handle, idx, op)
+    }
+
+    /// Violations the oracle has recorded (empty without an oracle).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.oracle
+            .as_ref()
+            .map(|o| o.violations())
+            .unwrap_or_default()
+    }
+
+    /// Returns `true` when no violations are recorded and the hypervisor
+    /// has not panicked.
+    pub fn all_clear(&self) -> bool {
+        self.violations().is_empty() && self.machine.panicked().is_none()
+    }
+}
+
+fn as_result(ret: u64) -> Result<(), Errno> {
+    match Errno::from_ret(ret) {
+        Some(e) => Err(e),
+        None if ret == 0 => Ok(()),
+        None => Ok(()), // positive results (handles, exit codes) handled by callers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_boot_and_basic_flow() {
+        let p = Proxy::boot_default();
+        assert!(p.oracle.as_ref().unwrap().check_boot());
+        let pfn = p.alloc_page();
+        p.share(0, pfn).unwrap();
+        p.unshare(0, pfn).unwrap();
+        assert!(p.all_clear(), "{:?}", p.violations());
+    }
+
+    #[test]
+    fn proxy_vm_helpers() {
+        let p = Proxy::boot_default();
+        let h = p.init_vm(0, 1, true).unwrap();
+        p.init_vcpu(0, h, 0).unwrap();
+        p.vcpu_load(0, h, 0).unwrap();
+        p.topup(0, 8).unwrap();
+        let pfn = p.map_guest(0, 0x10).unwrap();
+        p.vcpu_put(0).unwrap();
+        p.teardown(0, h).unwrap();
+        p.reclaim(0, pfn).unwrap();
+        assert!(p.all_clear(), "{:?}", p.violations());
+    }
+
+    #[test]
+    fn allocator_hands_out_distinct_pages() {
+        let p = Proxy::boot_default();
+        let a = p.alloc_pages(3);
+        let b = p.alloc_page();
+        assert_eq!(b, a + 3);
+    }
+
+    #[test]
+    fn proxy_without_oracle_runs_bare() {
+        let p = Proxy::boot(ProxyOpts {
+            with_oracle: false,
+            ..Default::default()
+        });
+        assert!(p.oracle.is_none());
+        let pfn = p.alloc_page();
+        p.share(0, pfn).unwrap();
+        assert!(p.violations().is_empty());
+    }
+}

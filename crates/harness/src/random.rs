@@ -1,0 +1,587 @@
+//! The model-guided random tester (§5 "Random testing").
+//!
+//! Each step proposes an API call: usually a *plausible* one built from
+//! the [`TestModel`] (so runs make progress through the state machine —
+//! VMs get created, vCPUs loaded, pages donated and reclaimed), sometimes
+//! a deliberately arbitrary one (to exercise the error checks). Steps the
+//! model predicts would "crash the host" — in the simulation, host
+//! accesses to pages whose ownership was given away — are rejected before
+//! execution, resolving the paper's tension between randomness and
+//! effective testing.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use pkvm_aarch64::addr::PAGE_SIZE;
+use pkvm_aarch64::walk::Access;
+use pkvm_hyp::hypercalls::*;
+use pkvm_hyp::vm::GuestOp;
+
+use crate::model::{PageUse, TestModel};
+use crate::proxy::Proxy;
+
+/// Random tester configuration.
+#[derive(Clone, Debug)]
+pub struct RandomCfg {
+    /// RNG seed (runs are reproducible per seed).
+    pub seed: u64,
+    /// Fraction of steps that issue arbitrary (fuzzed) calls.
+    pub invalid_fraction: f64,
+    /// Cap on simultaneously live VMs.
+    pub max_vms: usize,
+    /// Cap on pages the tester allocates.
+    pub max_pages: usize,
+}
+
+impl Default for RandomCfg {
+    fn default() -> Self {
+        Self {
+            seed: 0xdeadbeef,
+            invalid_fraction: 0.15,
+            max_vms: 4,
+            max_pages: 512,
+        }
+    }
+}
+
+/// Counters for one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Hypercalls actually issued.
+    pub calls: u64,
+    /// Calls that returned success.
+    pub ok: u64,
+    /// Calls that returned an error.
+    pub errs: u64,
+    /// Steps rejected by the crash predictor.
+    pub rejected: u64,
+    /// Host memory accesses performed.
+    pub host_accesses: u64,
+    /// Per-operation counts.
+    pub per_op: HashMap<&'static str, u64>,
+}
+
+impl RunStats {
+    fn bump(&mut self, op: &'static str, ok: bool) {
+        self.calls += 1;
+        if ok {
+            self.ok += 1;
+        } else {
+            self.errs += 1;
+        }
+        *self.per_op.entry(op).or_insert(0) += 1;
+    }
+}
+
+/// The random tester: owns the proxy and its generator model.
+pub struct RandomTester {
+    /// The system under test.
+    pub proxy: Proxy,
+    /// The generator's abstract model.
+    pub model: TestModel,
+    /// Run counters.
+    pub stats: RunStats,
+    cfg: RandomCfg,
+    rng: StdRng,
+}
+
+impl RandomTester {
+    /// Wraps `proxy` with a fresh model and RNG.
+    pub fn new(proxy: Proxy, cfg: RandomCfg) -> RandomTester {
+        let model = TestModel::new(proxy.machine.nr_cpus());
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        RandomTester {
+            proxy,
+            model,
+            stats: RunStats::default(),
+            cfg,
+            rng,
+        }
+    }
+
+    /// Runs `n` steps.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Executes one randomly chosen step.
+    pub fn step(&mut self) {
+        if self.rng.gen_bool(self.cfg.invalid_fraction) {
+            self.fuzz_step();
+            return;
+        }
+        // Weighted choice over plausible operations.
+        #[expect(clippy::type_complexity)]
+        let choices: &[(u32, fn(&mut Self))] = &[
+            (20, Self::op_alloc),
+            (25, Self::op_share),
+            (15, Self::op_unshare),
+            (6, Self::op_init_vm),
+            (8, Self::op_init_vcpu),
+            (8, Self::op_vcpu_load),
+            (5, Self::op_vcpu_put),
+            (10, Self::op_topup),
+            (12, Self::op_map_guest),
+            (12, Self::op_guest_step),
+            (4, Self::op_vcpu_regs),
+            (3, Self::op_teardown),
+            (6, Self::op_reclaim),
+            (15, Self::op_host_access),
+        ];
+        let total: u32 = choices.iter().map(|(w, _)| w).sum();
+        let mut pick = self.rng.gen_range(0..total);
+        for (w, f) in choices {
+            if pick < *w {
+                f(self);
+                return;
+            }
+            pick -= w;
+        }
+        unreachable!()
+    }
+
+    fn rand_cpu(&mut self) -> usize {
+        self.rng.gen_range(0..self.proxy.machine.nr_cpus())
+    }
+
+    fn op_alloc(&mut self) {
+        if self.model.pages.len() >= self.cfg.max_pages {
+            return;
+        }
+        let pfn = self.proxy.alloc_page();
+        self.model.add_page(pfn);
+        *self.stats.per_op.entry("alloc").or_insert(0) += 1;
+    }
+
+    fn op_share(&mut self) {
+        let free = self.model.free_pages();
+        let Some(&pfn) = free.choose(&mut self.rng) else {
+            return;
+        };
+        let cpu = self.rand_cpu();
+        let ok = self.proxy.share(cpu, pfn).is_ok();
+        if ok {
+            self.model.set_page(pfn, PageUse::SharedHyp);
+        }
+        self.stats.bump("share", ok);
+    }
+
+    fn op_unshare(&mut self) {
+        let shared = self.model.pages_in(PageUse::SharedHyp);
+        let Some(&pfn) = shared.choose(&mut self.rng) else {
+            return;
+        };
+        let cpu = self.rand_cpu();
+        let ok = self.proxy.unshare(cpu, pfn).is_ok();
+        if ok {
+            self.model.set_page(pfn, PageUse::Free);
+        }
+        self.stats.bump("unshare", ok);
+    }
+
+    fn op_init_vm(&mut self) {
+        if self.model.vms.len() >= self.cfg.max_vms {
+            return;
+        }
+        let nr_vcpus = self.rng.gen_range(1..=2u64);
+        let protected = self.rng.gen_bool(0.7);
+        let cpu = self.rand_cpu();
+        match self.proxy.init_vm(cpu, nr_vcpus, protected) {
+            Ok(handle) => {
+                self.model.add_vm(handle, nr_vcpus as usize, protected);
+                self.stats.bump("init_vm", true);
+            }
+            Err(_) => self.stats.bump("init_vm", false),
+        }
+    }
+
+    fn op_init_vcpu(&mut self) {
+        let candidates: Vec<(u32, usize)> = self
+            .model
+            .vms
+            .iter()
+            .flat_map(|v| {
+                v.vcpus
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, vc)| !vc.initialized)
+                    .map(move |(i, _)| (v.handle, i))
+            })
+            .collect();
+        let Some(&(handle, idx)) = candidates.choose(&mut self.rng) else {
+            return;
+        };
+        let cpu = self.rand_cpu();
+        let ok = self.proxy.init_vcpu(cpu, handle, idx as u64).is_ok();
+        if ok {
+            // The model may have been desynced by fuzzed calls; update
+            // defensively.
+            if let Some(vm) = self.model.vm_mut(handle) {
+                if let Some(vc) = vm.vcpus.get_mut(idx) {
+                    vc.initialized = true;
+                }
+            }
+        }
+        self.stats.bump("init_vcpu", ok);
+    }
+
+    fn op_vcpu_load(&mut self) {
+        let idle = self.model.idle_cpus();
+        let Some(&cpu) = idle.choose(&mut self.rng) else {
+            return;
+        };
+        let candidates: Vec<(u32, usize)> = self
+            .model
+            .vms
+            .iter()
+            .flat_map(|v| {
+                v.vcpus
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, vc)| vc.initialized && vc.loaded_on.is_none())
+                    .map(move |(i, _)| (v.handle, i))
+            })
+            .collect();
+        let Some(&(handle, idx)) = candidates.choose(&mut self.rng) else {
+            return;
+        };
+        let ok = self.proxy.vcpu_load(cpu, handle, idx as u64).is_ok();
+        if ok {
+            if let Some(vc) = self.model.vm_mut(handle).and_then(|v| v.vcpus.get_mut(idx)) {
+                vc.loaded_on = Some(cpu);
+            }
+            self.model.loaded[cpu] = Some((handle, idx));
+        }
+        self.stats.bump("vcpu_load", ok);
+    }
+
+    fn op_vcpu_put(&mut self) {
+        let busy: Vec<usize> = (0..self.model.loaded.len())
+            .filter(|&c| self.model.loaded[c].is_some())
+            .collect();
+        let Some(&cpu) = busy.choose(&mut self.rng) else {
+            return;
+        };
+        let ok = self.proxy.vcpu_put(cpu).is_ok();
+        if ok {
+            if let Some((handle, idx)) = self.model.loaded[cpu].take() {
+                if let Some(vc) = self.model.vm_mut(handle).and_then(|v| v.vcpus.get_mut(idx)) {
+                    vc.loaded_on = None;
+                }
+            }
+        }
+        self.stats.bump("vcpu_put", ok);
+    }
+
+    fn op_topup(&mut self) {
+        let busy: Vec<usize> = (0..self.model.loaded.len())
+            .filter(|&c| self.model.loaded[c].is_some())
+            .collect();
+        let Some(&cpu) = busy.choose(&mut self.rng) else {
+            return;
+        };
+        let nr = self.rng.gen_range(1..=8u64);
+        // Use fresh pages and register them as donated to the VM.
+        let (handle, _) = self.model.loaded[cpu].expect("busy cpu");
+        let pfn = self.proxy.alloc_pages(nr);
+        let ok = self.proxy.topup_raw(cpu, pfn << 12, nr).is_ok();
+        for i in 0..nr {
+            self.model.add_page(pfn + i);
+            if ok {
+                self.model
+                    .set_page(pfn + i, PageUse::Donated { vm: handle });
+            }
+        }
+        if ok {
+            if let Some((h, idx)) = self.model.loaded[cpu] {
+                if let Some(vm) = self.model.vm_mut(h) {
+                    vm.vcpus[idx].memcache += nr;
+                }
+            }
+        }
+        self.stats.bump("topup", ok);
+    }
+
+    fn op_map_guest(&mut self) {
+        let busy: Vec<usize> = (0..self.model.loaded.len())
+            .filter(|&c| self.model.loaded[c].is_some())
+            .collect();
+        let Some(&cpu) = busy.choose(&mut self.rng) else {
+            return;
+        };
+        let (handle, _idx) = self.model.loaded[cpu].expect("busy cpu");
+        let free = self.model.free_pages();
+        let Some(&pfn) = free.choose(&mut self.rng) else {
+            return;
+        };
+        let gfn = {
+            let Some(vm) = self.model.vm_mut(handle) else {
+                return;
+            };
+            let g = vm.next_gfn;
+            vm.next_gfn += 1;
+            g
+        };
+        let ok = self.proxy.map_guest_pfn(cpu, pfn, gfn).is_ok();
+        if ok {
+            self.model
+                .set_page(pfn, PageUse::GuestMapped { vm: handle, gfn });
+            if let Some(vm) = self.model.vm_mut(handle) {
+                vm.mapped.push((gfn, pfn));
+            }
+        }
+        self.stats.bump("map_guest", ok);
+    }
+
+    fn op_guest_step(&mut self) {
+        let busy: Vec<usize> = (0..self.model.loaded.len())
+            .filter(|&c| self.model.loaded[c].is_some())
+            .collect();
+        let Some(&cpu) = busy.choose(&mut self.rng) else {
+            return;
+        };
+        let (handle, idx) = self.model.loaded[cpu].expect("busy cpu");
+        let (mapped, guest_shared) = {
+            let Some(vm) = self.model.vm(handle) else {
+                return;
+            };
+            (vm.mapped.clone(), vm.guest_shared.clone())
+        };
+        // Choose a guest action over its mapped/shared frames.
+        let op = match self.rng.gen_range(0..5) {
+            0 => mapped
+                .choose(&mut self.rng)
+                .map(|&(g, _)| GuestOp::Read(g * PAGE_SIZE)),
+            1 => {
+                let v = self.rng.gen();
+                mapped
+                    .choose(&mut self.rng)
+                    .map(|&(g, _)| GuestOp::Write(g * PAGE_SIZE, v))
+            }
+            2 => {
+                let sharable: Vec<u64> = mapped
+                    .iter()
+                    .filter(|(g, _)| !guest_shared.contains(g))
+                    .map(|&(g, _)| g)
+                    .collect();
+                sharable
+                    .choose(&mut self.rng)
+                    .map(|&g| GuestOp::HvcShareHost(g * PAGE_SIZE))
+            }
+            3 => guest_shared
+                .choose(&mut self.rng)
+                .map(|&g| GuestOp::HvcUnshareHost(g * PAGE_SIZE)),
+            _ => Some(GuestOp::Wfi),
+        };
+        let Some(op) = op else { return };
+        if self.proxy.push_guest_op(handle, idx, op).is_err() {
+            return;
+        }
+        let r = self.proxy.vcpu_run(cpu);
+        let ok = r.is_ok();
+        if ok {
+            match op {
+                GuestOp::HvcShareHost(gipa) => {
+                    if let Some(vm) = self.model.vm_mut(handle) {
+                        vm.guest_shared.push(gipa / PAGE_SIZE);
+                    }
+                }
+                GuestOp::HvcUnshareHost(gipa) => {
+                    if let Some(vm) = self.model.vm_mut(handle) {
+                        vm.guest_shared.retain(|&g| g != gipa / PAGE_SIZE);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.stats.bump("vcpu_run", ok);
+    }
+
+    fn op_vcpu_regs(&mut self) {
+        let busy: Vec<usize> = (0..self.model.loaded.len())
+            .filter(|&c| self.model.loaded[c].is_some())
+            .collect();
+        let Some(&cpu) = busy.choose(&mut self.rng) else {
+            return;
+        };
+        let n = self.rng.gen_range(0..31u64);
+        let v = self.rng.gen();
+        let set_ok = self.proxy.vcpu_set_reg(cpu, n, v).is_ok();
+        let get = self.proxy.vcpu_get_reg(cpu, n);
+        self.stats.bump("vcpu_regs", set_ok && get == Ok(v));
+    }
+
+    fn op_teardown(&mut self) {
+        let candidates: Vec<u32> = self
+            .model
+            .vms
+            .iter()
+            .filter(|v| v.vcpus.iter().all(|vc| vc.loaded_on.is_none()))
+            .map(|v| v.handle)
+            .collect();
+        let Some(&handle) = candidates.choose(&mut self.rng) else {
+            return;
+        };
+        let cpu = self.rand_cpu();
+        let ok = self.proxy.teardown(cpu, handle).is_ok();
+        if ok {
+            self.model.teardown_vm(handle);
+        }
+        self.stats.bump("teardown", ok);
+    }
+
+    fn op_reclaim(&mut self) {
+        let reclaimable = self.model.pages_in(PageUse::Reclaimable);
+        let Some(&pfn) = reclaimable.choose(&mut self.rng) else {
+            return;
+        };
+        let cpu = self.rand_cpu();
+        let ok = self.proxy.reclaim(cpu, pfn).is_ok();
+        if ok {
+            self.model.set_page(pfn, PageUse::Free);
+        }
+        self.stats.bump("reclaim", ok);
+    }
+
+    fn op_host_access(&mut self) {
+        // Pick a page and reject the access if the model predicts a fault
+        // (the "crash the host" analog).
+        let all: Vec<u64> = self.model.pages.iter().map(|&(p, _)| p).collect();
+        let Some(&pfn) = all.choose(&mut self.rng) else {
+            return;
+        };
+        if self.model.host_access_would_fault(pfn) {
+            self.stats.rejected += 1;
+            return;
+        }
+        let cpu = self.rand_cpu();
+        let access = if self.rng.gen_bool(0.5) {
+            Access::Read
+        } else {
+            Access::Write
+        };
+        let _ = self.proxy.machine.host_access(cpu, pfn * PAGE_SIZE, access);
+        self.stats.host_accesses += 1;
+    }
+
+    /// An arbitrary call: random function id from the ABI (or garbage) and
+    /// fuzzed arguments drawn from interesting neighbourhoods.
+    fn fuzz_step(&mut self) {
+        let func = if self.rng.gen_bool(0.8) {
+            *ALL_HOST_CALLS.choose(&mut self.rng).expect("nonempty")
+        } else {
+            self.rng.gen()
+        };
+        let args: Vec<u64> = (0..3).map(|_| self.fuzz_arg()).collect();
+        let cpu = self.rand_cpu();
+        let ret = self.proxy.hvc(cpu, func, &args);
+        self.stats.bump("fuzz", ret == 0);
+        // The model deliberately does not track fuzzed calls; subsequent
+        // model-guided steps may now see "unexpected" errors, which is
+        // fine — they are counted, not trusted.
+    }
+
+    fn fuzz_arg(&mut self) -> u64 {
+        let (pool_pfn, pool_pages) = self.proxy.machine.state.hyp_range;
+        match self.rng.gen_range(0..6) {
+            0 => self.rng.gen(),                               // anywhere
+            1 => self.rng.gen_range(0x40000..0x48000),         // DRAM pfns
+            2 => pool_pfn + self.rng.gen_range(0..pool_pages), // the carveout
+            3 => 0x9000 + self.rng.gen_range(0..16),           // MMIO pfns
+            4 => self.rng.gen_range(0..64),                    // small values
+            _ => 0x1000 + self.rng.gen_range(0..4),            // handle-shaped
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy::ProxyOpts;
+
+    #[test]
+    fn thousand_steps_stay_clean_under_the_oracle() {
+        let proxy = Proxy::boot(ProxyOpts::default());
+        let mut t = RandomTester::new(
+            proxy,
+            RandomCfg {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        t.run(1000);
+        assert!(t.stats.calls > 400, "tester barely ran: {:?}", t.stats);
+        assert!(
+            t.proxy.all_clear(),
+            "random run found violations on a clean hypervisor:\n{:?}",
+            t.proxy.violations()
+        );
+        assert!(t.proxy.machine.panicked().is_none());
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let run = |seed| {
+            let proxy = Proxy::boot(ProxyOpts::default());
+            let mut t = RandomTester::new(
+                proxy,
+                RandomCfg {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            t.run(300);
+            (t.stats.calls, t.stats.ok, t.stats.errs)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn random_run_reaches_deep_states() {
+        let proxy = Proxy::boot(ProxyOpts::default());
+        let mut t = RandomTester::new(
+            proxy,
+            RandomCfg {
+                seed: 7,
+                invalid_fraction: 0.05,
+                ..Default::default()
+            },
+        );
+        t.run(2000);
+        // The model guidance must get us past the shallow calls.
+        assert!(t.stats.per_op.get("init_vm").copied().unwrap_or(0) > 0);
+        assert!(t.stats.per_op.get("vcpu_load").copied().unwrap_or(0) > 0);
+        assert!(t.stats.per_op.get("map_guest").copied().unwrap_or(0) > 0);
+        assert!(t.stats.per_op.get("vcpu_run").copied().unwrap_or(0) > 0);
+        assert!(t.proxy.all_clear(), "{:?}", t.proxy.violations());
+    }
+
+    #[test]
+    fn random_run_detects_an_injected_bug() {
+        use pkvm_hyp::faults::{Fault, FaultSet};
+        let faults = FaultSet::none();
+        faults.inject(Fault::SynShareWrongState);
+        let proxy = Proxy::boot(ProxyOpts {
+            faults,
+            ..Default::default()
+        });
+        let mut t = RandomTester::new(
+            proxy,
+            RandomCfg {
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        t.run(200);
+        assert!(
+            !t.proxy.all_clear(),
+            "random testing missed an injected bug"
+        );
+    }
+}

@@ -1,0 +1,577 @@
+//! The handwritten test suite: 41 scenarios, as in §5 — 19 targeting
+//! error-free paths, 22 targeting errors, a handful highly concurrent.
+//!
+//! Every scenario runs against a freshly booted machine through the proxy
+//! and asserts both the API-level behaviour and, when the oracle is
+//! installed, that the clean hypervisor produces zero violations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pkvm_aarch64::addr::PAGE_SIZE;
+use pkvm_aarch64::walk::Access;
+use pkvm_hyp::error::Errno;
+use pkvm_hyp::vm::GuestOp;
+
+use crate::proxy::Proxy;
+
+/// Scenario classification, mirroring the paper's breakdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Exercises an error-free path.
+    Ok,
+    /// Targets an error case.
+    Err,
+}
+
+/// One handwritten test.
+pub struct Scenario {
+    /// Stable name.
+    pub name: &'static str,
+    /// Error-free or error-targeting.
+    pub kind: Kind,
+    /// Uses multiple hardware threads concurrently.
+    pub concurrent: bool,
+    /// The test body; panics on failure.
+    pub run: fn(&Proxy),
+}
+
+macro_rules! scenario {
+    ($name:ident, $kind:ident, $conc:expr, $body:expr) => {
+        Scenario {
+            name: stringify!($name),
+            kind: Kind::$kind,
+            concurrent: $conc,
+            run: $body,
+        }
+    };
+}
+
+fn vm_with_vcpu(p: &Proxy, protected: bool) -> u32 {
+    let h = p.init_vm(0, 1, protected).expect("init_vm");
+    p.init_vcpu(0, h, 0).expect("init_vcpu");
+    h
+}
+
+fn loaded_vm(p: &Proxy, protected: bool) -> u32 {
+    let h = vm_with_vcpu(p, protected);
+    p.vcpu_load(0, h, 0).expect("vcpu_load");
+    p.topup(0, 8).expect("topup");
+    h
+}
+
+/// The full suite.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        // ----------------------------------------- 19 error-free paths --
+        scenario!(share_single, Ok, false, |p| {
+            let pfn = p.alloc_page();
+            p.share(0, pfn).expect("share");
+        }),
+        scenario!(share_unshare_cycle, Ok, false, |p| {
+            let pfn = p.alloc_page();
+            p.share(0, pfn).expect("share");
+            p.unshare(0, pfn).expect("unshare");
+        }),
+        scenario!(reshare_after_unshare, Ok, false, |p| {
+            let pfn = p.alloc_page();
+            for _ in 0..3 {
+                p.share(0, pfn).expect("share");
+                p.unshare(0, pfn).expect("unshare");
+            }
+        }),
+        scenario!(share_sixteen_pages, Ok, false, |p| {
+            let base = p.alloc_pages(16);
+            for i in 0..16 {
+                p.share(0, base + i).expect("share");
+            }
+            for i in 0..16 {
+                p.unshare(0, base + i).expect("unshare");
+            }
+        }),
+        scenario!(host_fault_map_on_demand, Ok, false, |p| {
+            let pfn = p.alloc_page();
+            p.machine
+                .host_access(0, pfn * PAGE_SIZE, Access::Write)
+                .expect("host access");
+            p.machine
+                .host_access(1, pfn * PAGE_SIZE + 8, Access::Read)
+                .expect("host access");
+            // The fault installed a block mapping; sharing a page inside
+            // it forces the walker to split the block.
+            let neighbour = p.alloc_page();
+            p.share(0, neighbour).expect("share inside block");
+            p.unshare(0, neighbour).expect("unshare");
+        }),
+        scenario!(host_mmio_access, Ok, false, |p| {
+            p.machine
+                .host_access(0, 0x0900_0008, Access::Read)
+                .expect("mmio read");
+            p.machine
+                .host_access(0, 0x0900_0000, Access::Write)
+                .expect("mmio write");
+        }),
+        scenario!(init_vm_protected, Ok, false, |p| {
+            let h = p.init_vm(0, 1, true).expect("init_vm");
+            assert!(h >= 0x1000);
+        }),
+        scenario!(init_vm_unprotected, Ok, false, |p| {
+            p.init_vm(0, 2, false).expect("init_vm");
+        }),
+        scenario!(two_vms_coexist, Ok, false, |p| {
+            let a = p.init_vm(0, 1, true).expect("init_vm a");
+            let b = p.init_vm(0, 1, false).expect("init_vm b");
+            assert_ne!(a, b);
+        }),
+        scenario!(multi_vcpu_init, Ok, false, |p| {
+            let h = p.init_vm(0, 4, true).expect("init_vm");
+            for i in 0..4 {
+                p.init_vcpu(0, h, i).expect("init_vcpu");
+            }
+        }),
+        scenario!(vcpu_load_put_cycle, Ok, false, |p| {
+            let h = vm_with_vcpu(p, true);
+            for round in 0..3u64 {
+                p.vcpu_load(0, h, 0).expect("load");
+                // The host emulates an MMIO read: writes the guest's x3.
+                p.vcpu_set_reg(0, 3, 0xabc0 + round).expect("set reg");
+                assert_eq!(p.vcpu_get_reg(0, 3).expect("get reg"), 0xabc0 + round);
+                p.vcpu_put(0).expect("put");
+            }
+            // Register state persisted across the put/load cycles.
+            p.vcpu_load(0, h, 0).expect("load");
+            assert_eq!(p.vcpu_get_reg(0, 3).expect("get reg"), 0xabc2);
+            assert_eq!(p.vcpu_get_reg(0, 99), Err(Errno::EINVAL));
+            p.vcpu_put(0).expect("put");
+            assert_eq!(p.vcpu_get_reg(0, 0), Err(Errno::ENOENT));
+            assert_eq!(p.vcpu_set_reg(0, 0, 1), Err(Errno::ENOENT));
+        }),
+        scenario!(topup_memcache, Ok, false, |p| {
+            let h = vm_with_vcpu(p, true);
+            p.vcpu_load(0, h, 0).expect("load");
+            p.topup(0, 8).expect("topup");
+            p.topup(0, 4).expect("second topup");
+        }),
+        scenario!(map_guest_protected, Ok, false, |p| {
+            let _h = loaded_vm(p, true);
+            let pfn = p.map_guest(0, 0x10).expect("map_guest");
+            // Donated: the host loses access.
+            assert!(p
+                .machine
+                .host_access(1, pfn * PAGE_SIZE, Access::Read)
+                .is_err());
+        }),
+        scenario!(map_guest_unprotected, Ok, false, |p| {
+            let _h = loaded_vm(p, false);
+            let pfn = p.map_guest(0, 0x10).expect("map_guest");
+            // Shared: the host keeps access.
+            assert!(p
+                .machine
+                .host_access(1, pfn * PAGE_SIZE, Access::Read)
+                .is_ok());
+        }),
+        scenario!(guest_read_write, Ok, false, |p| {
+            let h = loaded_vm(p, true);
+            p.map_guest(0, 0x10).expect("map_guest");
+            p.push_guest_op(h, 0, GuestOp::Write(0x10 * PAGE_SIZE, 0x5ca1ab1e))
+                .unwrap();
+            assert_eq!(
+                p.vcpu_run(0).expect("run"),
+                pkvm_hyp::hypercalls::exit::CONTINUE
+            );
+            p.push_guest_op(h, 0, GuestOp::Read(0x10 * PAGE_SIZE))
+                .unwrap();
+            assert_eq!(
+                p.vcpu_run(0).expect("run"),
+                pkvm_hyp::hypercalls::exit::CONTINUE
+            );
+            // An empty script runs to WFI.
+            assert_eq!(p.vcpu_run(0).expect("run"), pkvm_hyp::hypercalls::exit::WFI);
+        }),
+        scenario!(guest_fault_then_map_retry, Ok, false, |p| {
+            let h = loaded_vm(p, true);
+            p.push_guest_op(h, 0, GuestOp::Read(0x20 * PAGE_SIZE))
+                .unwrap();
+            assert_eq!(
+                p.vcpu_run(0).expect("run"),
+                pkvm_hyp::hypercalls::exit::MEM_ABORT
+            );
+            p.map_guest(0, 0x20).expect("map_guest");
+            p.push_guest_op(h, 0, GuestOp::Read(0x20 * PAGE_SIZE))
+                .unwrap();
+            assert_eq!(
+                p.vcpu_run(0).expect("run"),
+                pkvm_hyp::hypercalls::exit::CONTINUE
+            );
+        }),
+        scenario!(guest_share_unshare_host, Ok, false, |p| {
+            let h = loaded_vm(p, true);
+            let pfn = p.map_guest(0, 0x10).expect("map_guest");
+            p.push_guest_op(h, 0, GuestOp::HvcShareHost(0x10 * PAGE_SIZE))
+                .unwrap();
+            assert_eq!(
+                p.vcpu_run(0).expect("run"),
+                pkvm_hyp::hypercalls::exit::GUEST_HVC
+            );
+            assert!(p
+                .machine
+                .host_access(1, pfn * PAGE_SIZE, Access::Read)
+                .is_ok());
+            p.push_guest_op(h, 0, GuestOp::HvcUnshareHost(0x10 * PAGE_SIZE))
+                .unwrap();
+            assert_eq!(
+                p.vcpu_run(0).expect("run"),
+                pkvm_hyp::hypercalls::exit::GUEST_HVC
+            );
+            assert!(p
+                .machine
+                .host_access(1, pfn * PAGE_SIZE, Access::Read)
+                .is_err());
+        }),
+        scenario!(teardown_reclaim_slot_reuse, Ok, false, |p| {
+            let h = loaded_vm(p, true);
+            let pfn = p.map_guest(0, 0x10).expect("map_guest");
+            p.vcpu_put(0).expect("put");
+            p.teardown(0, h).expect("teardown");
+            p.reclaim(0, pfn).expect("reclaim");
+            // The slot (and handle) is reusable.
+            let h2 = p.init_vm(0, 1, true).expect("reuse");
+            assert_eq!(h2, h);
+        }),
+        scenario!(concurrent_shares_distinct, Ok, true, |p| {
+            std::thread::scope(|s| {
+                for cpu in 0..p.machine.nr_cpus() {
+                    let base = p.alloc_pages(8);
+                    s.spawn(move || {
+                        for i in 0..8 {
+                            p.share(cpu, base + i).expect("share");
+                            p.unshare(cpu, base + i).expect("unshare");
+                        }
+                    });
+                }
+            });
+        }),
+        // --------------------------------------------- 22 error paths --
+        scenario!(share_twice, Err, false, |p| {
+            let pfn = p.alloc_page();
+            p.share(0, pfn).expect("share");
+            assert_eq!(p.share(0, pfn), Err(Errno::EPERM));
+        }),
+        scenario!(unshare_unshared, Err, false, |p| {
+            let pfn = p.alloc_page();
+            assert_eq!(p.unshare(0, pfn), Err(Errno::EPERM));
+        }),
+        scenario!(share_bad_addresses, Err, false, |p| {
+            assert_eq!(p.share(0, 0x9000), Err(Errno::EPERM), "MMIO");
+            let (pool_pfn, _) = p.machine.state.hyp_range;
+            assert_eq!(p.share(0, pool_pfn), Err(Errno::EPERM), "carveout");
+            assert_eq!(p.share(0, 1 << 40), Err(Errno::EPERM), "out of range");
+        }),
+        scenario!(unknown_hypercall, Err, false, |p| {
+            assert_eq!(
+                Errno::from_ret(p.hvc(0, 0xc600_7777, &[1, 2, 3])),
+                Some(Errno::EOPNOTSUPP)
+            );
+            // SMCs trap too, and are forwarded without state change.
+            p.machine.smc(0, 0x8400_0001);
+        }),
+        scenario!(init_vm_bad_nr_vcpus, Err, false, |p| {
+            assert_eq!(p.init_vm(0, 0, true), Err(Errno::EINVAL), "zero vCPUs");
+            assert_eq!(p.init_vm(0, 99, true), Err(Errno::EINVAL), "too many vCPUs");
+        }),
+        scenario!(init_vm_bad_donate_count, Err, false, |p| {
+            let params = p.alloc_page();
+            p.machine
+                .mem
+                .write_u64(pkvm_aarch64::PhysAddr::from_pfn(params), 1)
+                .unwrap();
+            let donate = p.alloc_pages(3);
+            assert_eq!(
+                Errno::from_ret(p.hvc(0, pkvm_hyp::hypercalls::HVC_INIT_VM, &[params, donate, 3])),
+                Some(Errno::EINVAL)
+            );
+            // Filling every VM-table slot makes the next creation fail.
+            for _ in 0..pkvm_hyp::vm::MAX_VMS {
+                p.init_vm(0, 1, true).expect("fill slot");
+            }
+            assert_eq!(p.init_vm(0, 1, true), Err(Errno::ENOMEM), "table full");
+        }),
+        scenario!(init_vm_donate_unowned, Err, false, |p| {
+            let params = p.alloc_page();
+            p.machine
+                .mem
+                .write_u64(pkvm_aarch64::PhysAddr::from_pfn(params), 1)
+                .unwrap();
+            // Donate carveout pages the host does not own.
+            let (pool_pfn, _) = p.machine.state.hyp_range;
+            assert_eq!(
+                Errno::from_ret(p.hvc(
+                    0,
+                    pkvm_hyp::hypercalls::HVC_INIT_VM,
+                    &[params, pool_pfn, 2]
+                )),
+                Some(Errno::EPERM)
+            );
+        }),
+        scenario!(init_vm_bad_params_page, Err, false, |p| {
+            assert_eq!(
+                Errno::from_ret(p.hvc(
+                    0,
+                    pkvm_hyp::hypercalls::HVC_INIT_VM,
+                    &[0x9000, p.alloc_pages(2), 2]
+                )),
+                Some(Errno::EINVAL)
+            );
+        }),
+        scenario!(init_vcpu_bad_handle, Err, false, |p| {
+            assert_eq!(p.init_vcpu(0, 0x9999, 0), Err(Errno::ENOENT));
+        }),
+        scenario!(init_vcpu_bad_index, Err, false, |p| {
+            let h = p.init_vm(0, 1, true).expect("init_vm");
+            assert_eq!(p.init_vcpu(0, h, 7), Err(Errno::EINVAL));
+        }),
+        scenario!(init_vcpu_twice, Err, false, |p| {
+            let h = vm_with_vcpu(p, true);
+            assert_eq!(p.init_vcpu(0, h, 0), Err(Errno::EEXIST));
+        }),
+        scenario!(vcpu_load_bad_handle, Err, false, |p| {
+            assert_eq!(p.vcpu_load(0, 0x9999, 0), Err(Errno::ENOENT));
+        }),
+        scenario!(vcpu_load_bad_index, Err, false, |p| {
+            let h = vm_with_vcpu(p, true);
+            assert_eq!(p.vcpu_load(0, h, 5), Err(Errno::EINVAL));
+        }),
+        scenario!(vcpu_load_uninit, Err, false, |p| {
+            let h = p.init_vm(0, 2, true).expect("init_vm");
+            p.init_vcpu(0, h, 0).expect("init_vcpu");
+            assert_eq!(p.vcpu_load(0, h, 1), Err(Errno::ENOENT));
+        }),
+        scenario!(vcpu_load_double, Err, false, |p| {
+            let h = vm_with_vcpu(p, true);
+            p.vcpu_load(0, h, 0).expect("load");
+            assert_eq!(p.vcpu_load(1, h, 0), Err(Errno::EBUSY), "other cpu");
+            assert_eq!(p.vcpu_load(0, h, 0), Err(Errno::EBUSY), "same cpu");
+        }),
+        scenario!(vcpu_put_without_load, Err, false, |p| {
+            assert_eq!(p.vcpu_put(0), Err(Errno::ENOENT));
+        }),
+        scenario!(vcpu_run_without_load, Err, false, |p| {
+            assert_eq!(p.vcpu_run(0), Err(Errno::ENOENT));
+        }),
+        scenario!(topup_unaligned_and_huge, Err, false, |p| {
+            let h = vm_with_vcpu(p, true);
+            p.vcpu_load(0, h, 0).expect("load");
+            let pfn = p.alloc_page();
+            assert_eq!(p.topup_raw(0, (pfn << 12) + 0x800, 1), Err(Errno::EINVAL));
+            assert_eq!(p.topup_raw(0, pfn << 12, 1 << 20), Err(Errno::E2BIG));
+            // Donating the same page twice: the second is no longer the
+            // host's to give.
+            assert_eq!(p.topup_raw(0, pfn << 12, 1), Ok(()));
+            assert_eq!(p.topup_raw(0, pfn << 12, 1), Err(Errno::EPERM));
+            // Without a loaded vCPU it is ENOENT.
+            p.vcpu_put(0).expect("put");
+            assert_eq!(p.topup_raw(0, pfn << 12, 1), Err(Errno::ENOENT));
+        }),
+        scenario!(map_guest_errors, Err, false, |p| {
+            assert_eq!(p.map_guest(0, 0x10), Err(Errno::ENOENT), "no loaded vcpu");
+            let _h = loaded_vm(p, true);
+            assert_eq!(
+                p.map_guest_pfn(0, 0x9000, 0x10),
+                Err(Errno::EPERM),
+                "MMIO pfn"
+            );
+            assert_eq!(
+                p.map_guest_pfn(0, p.alloc_page(), 1 << 40),
+                Err(Errno::EINVAL),
+                "huge gfn"
+            );
+            let pfn = p.map_guest(0, 0x10).expect("map");
+            assert_eq!(
+                p.map_guest_pfn(0, pfn, 0x11),
+                Err(Errno::EPERM),
+                "pfn already donated"
+            );
+            assert_eq!(
+                p.map_guest(0, 0x10),
+                Err(Errno::EPERM),
+                "gfn already mapped"
+            );
+        }),
+        scenario!(teardown_errors, Err, false, |p| {
+            assert_eq!(p.teardown(0, 0x9999), Err(Errno::ENOENT));
+            let h = vm_with_vcpu(p, true);
+            p.vcpu_load(0, h, 0).expect("load");
+            assert_eq!(p.teardown(1, h), Err(Errno::EBUSY));
+            // Reclaim of a page never given to a guest is refused.
+            assert_eq!(p.reclaim(0, p.alloc_page()), Err(Errno::EPERM));
+        }),
+        scenario!(allocator_exhaustion_is_enomem, Err, false, |_p| {
+            // A machine with a tiny carveout: shares exhaust the table
+            // allocator, and the loose spec accepts the ENOMEM.
+            let tiny = crate::proxy::Proxy::boot(crate::proxy::ProxyOpts {
+                config: pkvm_hyp::machine::MachineConfig {
+                    hyp_pool_pages: 24,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let mut saw_enomem = false;
+            for i in 0..64u64 {
+                // Spread shares across distant regions to force fresh
+                // table chains until the pool runs dry.
+                let pfn = tiny.alloc_page() + i * 0x400;
+                if let Err(Errno::ENOMEM) = tiny.share(0, pfn % 0x47000) {
+                    saw_enomem = true;
+                    break;
+                }
+            }
+            assert!(saw_enomem, "tiny pool never exhausted");
+            assert!(tiny.all_clear(), "{:?}", tiny.violations());
+        }),
+        scenario!(concurrent_same_resource, Err, true, |p| {
+            // Two threads race to share the same page: exactly one wins.
+            let pfn = p.alloc_page();
+            let wins = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for cpu in 0..2 {
+                    let wins = &wins;
+                    s.spawn(move || {
+                        if p.share(cpu, pfn).is_ok() {
+                            wins.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+            assert_eq!(wins.load(Ordering::SeqCst), 1, "exactly one share must win");
+            // Two threads race to load the same vCPU: exactly one wins.
+            let h = vm_with_vcpu(p, true);
+            let loads = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for cpu in 0..2 {
+                    let loads = &loads;
+                    s.spawn(move || {
+                        if p.vcpu_load(cpu, h, 0).is_ok() {
+                            loads.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+            assert_eq!(loads.load(Ordering::SeqCst), 1, "exactly one load must win");
+            // A host racing its own stage 1 against the fault handler: the
+            // clean hypervisor injects a fault back instead of panicking.
+            use pkvm_aarch64::attrs::{Attrs, Perms, Stage};
+            use pkvm_aarch64::desc::Pte;
+            use pkvm_aarch64::PhysAddr;
+            let s1_root = PhysAddr::from_pfn(p.alloc_pages(4));
+            let l1 = s1_root.wrapping_add(PAGE_SIZE);
+            let l2 = s1_root.wrapping_add(2 * PAGE_SIZE);
+            let l3 = s1_root.wrapping_add(3 * PAGE_SIZE);
+            let m = &p.machine;
+            m.mem.write_pte(s1_root, 0, Pte::table(l1)).unwrap();
+            m.mem.write_pte(l1, 0, Pte::table(l2)).unwrap();
+            m.mem.write_pte(l2, 0, Pte::table(l3)).unwrap();
+            m.mem
+                .write_pte(
+                    l3,
+                    0,
+                    Pte::leaf(
+                        Stage::Stage1,
+                        3,
+                        PhysAddr::from_pfn(p.alloc_page()),
+                        Attrs::normal(Perms::RWX),
+                    ),
+                )
+                .unwrap();
+            m.register_host_s1(s1_root);
+            let r = m.host_access_via_s1(0, 0, Access::Read, || {
+                m.mem.write_pte(l3, 0, Pte::invalid()).unwrap();
+            });
+            assert!(r.is_err(), "raced access reports a fault to the host");
+            assert!(
+                m.panicked().is_none(),
+                "the clean hypervisor must not panic"
+            );
+        }),
+    ]
+}
+
+/// Result of running the whole suite.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteResult {
+    /// Scenarios run.
+    pub total: usize,
+    /// Error-free-path scenarios.
+    pub ok_kind: usize,
+    /// Error-path scenarios.
+    pub err_kind: usize,
+    /// Concurrent scenarios.
+    pub concurrent: usize,
+    /// Names of scenarios whose oracle check failed (with violations).
+    pub oracle_failures: Vec<String>,
+}
+
+/// Runs every scenario on a fresh machine (with or without the oracle),
+/// asserting scenario-level behaviour and collecting oracle verdicts.
+pub fn run_all(with_oracle: bool) -> SuiteResult {
+    let mut result = SuiteResult::default();
+    for sc in all() {
+        let proxy = Proxy::boot(crate::proxy::ProxyOpts {
+            with_oracle,
+            ..Default::default()
+        });
+        (sc.run)(&proxy);
+        result.total += 1;
+        match sc.kind {
+            Kind::Ok => result.ok_kind += 1,
+            Kind::Err => result.err_kind += 1,
+        }
+        if sc.concurrent {
+            result.concurrent += 1;
+        }
+        if with_oracle && !proxy.all_clear() {
+            result.oracle_failures.push(sc.name.to_string());
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_the_papers_breakdown() {
+        let s = all();
+        assert_eq!(s.len(), 41, "the paper's suite has 41 tests");
+        assert_eq!(s.iter().filter(|x| x.kind == Kind::Ok).count(), 19);
+        assert_eq!(s.iter().filter(|x| x.kind == Kind::Err).count(), 22);
+        assert!(
+            s.iter().filter(|x| x.concurrent).count() >= 2,
+            "a handful are concurrent"
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = std::collections::HashSet::new();
+        for sc in all() {
+            assert!(names.insert(sc.name), "duplicate scenario {}", sc.name);
+        }
+    }
+
+    #[test]
+    fn whole_suite_passes_under_the_oracle() {
+        let r = run_all(true);
+        assert_eq!(r.total, 41);
+        assert!(
+            r.oracle_failures.is_empty(),
+            "oracle failures: {:?}",
+            r.oracle_failures
+        );
+    }
+
+    #[test]
+    fn whole_suite_passes_without_the_oracle() {
+        let r = run_all(false);
+        assert_eq!(r.total, 41);
+    }
+}

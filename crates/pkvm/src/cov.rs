@@ -1,0 +1,193 @@
+//! Custom coverage infrastructure.
+//!
+//! The paper could not use the kernel's GCOV at EL2 and built bespoke
+//! coverage plumbing (§5 "Coverage"). We reproduce the *capability* with a
+//! process-global registry of named coverage points: the implementation and
+//! the specification both declare their interesting branch points
+//! statically and record hits through [`hit`]; the harness computes
+//! hit/total percentages per crate, like the paper's line/branch/function
+//! coverage reports.
+//!
+//! A point name is `"area/site"`, e.g. `"host_share_hyp/check_failed"`.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+static HITS: Mutex<Option<HashMap<&'static str, u64>>> = Mutex::new(None);
+
+/// Records one hit of the named coverage point.
+#[inline]
+pub fn hit(point: &'static str) {
+    let mut g = HITS.lock();
+    *g.get_or_insert_with(HashMap::new).entry(point).or_insert(0) += 1;
+}
+
+/// Returns the hit count of `point`.
+pub fn hits(point: &str) -> u64 {
+    HITS.lock()
+        .as_ref()
+        .and_then(|m| m.get(point).copied())
+        .unwrap_or(0)
+}
+
+/// Resets all counters (between test campaigns).
+pub fn reset() {
+    *HITS.lock() = None;
+}
+
+/// A coverage report over a static list of declared points.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Points with their hit counts (0 for unhit).
+    pub points: Vec<(&'static str, u64)>,
+}
+
+impl Report {
+    /// Builds a report for the declared `points`.
+    pub fn over(points: &[&'static str]) -> Report {
+        let g = HITS.lock();
+        let map = g.as_ref();
+        Report {
+            points: points
+                .iter()
+                .map(|&p| (p, map.and_then(|m| m.get(p).copied()).unwrap_or(0)))
+                .collect(),
+        }
+    }
+
+    /// Number of points hit at least once.
+    pub fn hit_count(&self) -> usize {
+        self.points.iter().filter(|(_, n)| *n > 0).count()
+    }
+
+    /// Total number of declared points.
+    pub fn total(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Coverage percentage.
+    pub fn percent(&self) -> f64 {
+        if self.points.is_empty() {
+            100.0
+        } else {
+            100.0 * self.hit_count() as f64 / self.total() as f64
+        }
+    }
+
+    /// The declared points never hit.
+    pub fn missed(&self) -> Vec<&'static str> {
+        self.points
+            .iter()
+            .filter(|(_, n)| *n == 0)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+}
+
+/// All coverage points declared by the hypervisor implementation.
+///
+/// Kept adjacent to the code that hits them; the `coverage_points_exist`
+/// integration test exercises the whole API and checks this list stays in
+/// sync.
+pub const HYP_COV_POINTS: &[&str] = &[
+    "handle_trap/hvc",
+    "handle_trap/host_dabt",
+    "handle_trap/unknown_hvc",
+    "handle_trap/smc",
+    "host_share_hyp/ok",
+    "host_share_hyp/check_failed",
+    "host_unshare_hyp/ok",
+    "host_unshare_hyp/check_failed",
+    "host_reclaim_page/ok",
+    "host_reclaim_page/not_guest_page",
+    "host_map_guest/ok",
+    "host_map_guest/err",
+    "host_map_guest/no_vcpu",
+    "init_vm/ok",
+    "init_vm/bad_params",
+    "init_vm/donate_failed",
+    "init_vm/table_full",
+    "init_vcpu/ok",
+    "init_vcpu/err",
+    "teardown_vm/ok",
+    "teardown_vm/err",
+    "teardown_vm/busy",
+    "vcpu_load/ok",
+    "vcpu_load/err",
+    "vcpu_put/ok",
+    "vcpu_put/none",
+    "vcpu_run/exit",
+    "vcpu_run/no_vcpu",
+    "vcpu_run/guest_hvc_share",
+    "vcpu_run/guest_hvc_unshare",
+    "vcpu_run/guest_abort",
+    "topup_memcache/ok",
+    "topup_memcache/unaligned",
+    "topup_memcache/too_big",
+    "topup_memcache/err",
+    "host_abort/mapped_on_demand",
+    "host_abort/denied",
+    "host_abort/mmio",
+    "host_abort/s1_walk_raced",
+    "do_share/ok",
+    "do_share/check_failed",
+    "do_unshare/ok",
+    "do_unshare/check_failed",
+    "do_donate/ok",
+    "do_donate/check_failed",
+    "pgtable/map_block",
+    "pgtable/map_page",
+    "pgtable/split_block",
+    "pgtable/free_table",
+    "pgtable/oom",
+    "pool/alloc",
+    "pool/oom",
+    "memcache/pop",
+    "memcache/empty",
+    "vcpu_reg/get",
+    "vcpu_reg/set",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; serialise the tests that reset it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn hits_accumulate_and_reset() {
+        let _g = TEST_LOCK.lock();
+        reset();
+        hit("host_share_hyp/ok");
+        hit("host_share_hyp/ok");
+        hit("do_share/ok");
+        assert_eq!(hits("host_share_hyp/ok"), 2);
+        assert_eq!(hits("do_share/ok"), 1);
+        assert_eq!(hits("never"), 0);
+        reset();
+        assert_eq!(hits("host_share_hyp/ok"), 0);
+    }
+
+    #[test]
+    fn report_percentages() {
+        let _g = TEST_LOCK.lock();
+        reset();
+        hit("a");
+        let r = Report::over(&["a", "b", "c", "d"]);
+        assert_eq!(r.hit_count(), 1);
+        assert_eq!(r.total(), 4);
+        assert!((r.percent() - 25.0).abs() < 1e-9);
+        assert_eq!(r.missed(), vec!["b", "c", "d"]);
+        reset();
+    }
+
+    #[test]
+    fn declared_points_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for p in HYP_COV_POINTS {
+            assert!(seen.insert(p), "duplicate coverage point {p}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Kernel-style error codes.
+//!
+//! pKVM returns negative errno values to the host through register `x1`;
+//! the specification is *parametric* on some of these (notably `ENOMEM`,
+//! which the oracle allows almost anywhere), so the codes themselves are
+//! part of the specified interface.
+
+/// Error codes used by the hypervisor, with Linux errno numbering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(i64)]
+pub enum Errno {
+    /// Operation not permitted (ownership/permission check failed).
+    EPERM = 1,
+    /// No such entity (unknown VM handle, vCPU index...).
+    ENOENT = 2,
+    /// Argument list too long / count overflow.
+    E2BIG = 7,
+    /// Try again (resource transiently unavailable).
+    EAGAIN = 11,
+    /// Out of memory (allocator or memcache exhausted).
+    ENOMEM = 12,
+    /// Device or resource busy (e.g. vCPU already loaded).
+    EBUSY = 16,
+    /// Entity already exists.
+    EEXIST = 17,
+    /// Invalid argument (misaligned address, bad range...).
+    EINVAL = 22,
+    /// Result out of range.
+    ERANGE = 34,
+    /// Operation not supported (unknown hypercall).
+    EOPNOTSUPP = 95,
+}
+
+impl Errno {
+    /// The value returned to the host: the negated errno as a `u64`.
+    #[inline]
+    pub const fn to_ret(self) -> u64 {
+        (-(self as i64)) as u64
+    }
+
+    /// Decodes a register return value back into an errno, if it is one.
+    pub const fn from_ret(ret: u64) -> Option<Errno> {
+        match ret.wrapping_neg() as i64 {
+            1 => Some(Errno::EPERM),
+            2 => Some(Errno::ENOENT),
+            7 => Some(Errno::E2BIG),
+            11 => Some(Errno::EAGAIN),
+            12 => Some(Errno::ENOMEM),
+            16 => Some(Errno::EBUSY),
+            17 => Some(Errno::EEXIST),
+            22 => Some(Errno::EINVAL),
+            34 => Some(Errno::ERANGE),
+            95 => Some(Errno::EOPNOTSUPP),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for Errno {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "-{self:?}")
+    }
+}
+
+/// Result type used throughout the hypervisor.
+pub type HypResult<T = ()> = Result<T, Errno>;
+
+/// Converts a `HypResult` into the register return-value convention
+/// (0 on success, negated errno on failure).
+pub fn ret_of_result(r: HypResult<u64>) -> u64 {
+    match r {
+        Ok(v) => v,
+        Err(e) => e.to_ret(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ret_encoding_roundtrip() {
+        for e in [
+            Errno::EPERM,
+            Errno::ENOENT,
+            Errno::E2BIG,
+            Errno::EAGAIN,
+            Errno::ENOMEM,
+            Errno::EBUSY,
+            Errno::EEXIST,
+            Errno::EINVAL,
+            Errno::ERANGE,
+            Errno::EOPNOTSUPP,
+        ] {
+            assert_eq!(Errno::from_ret(e.to_ret()), Some(e));
+        }
+    }
+
+    #[test]
+    fn success_is_not_an_errno() {
+        assert_eq!(Errno::from_ret(0), None);
+        assert_eq!(Errno::from_ret(42), None);
+    }
+
+    #[test]
+    fn eperm_is_minus_one() {
+        assert_eq!(Errno::EPERM.to_ret(), u64::MAX);
+        assert_eq!(ret_of_result(Err(Errno::ENOMEM)), (-12i64) as u64);
+        assert_eq!(ret_of_result(Ok(7)), 7);
+    }
+}

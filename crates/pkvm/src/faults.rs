@@ -1,0 +1,155 @@
+//! Fault injection: re-introducible bugs.
+//!
+//! The paper validates the discriminating power of the oracle in two ways:
+//! it found five real bugs in pKVM, and it detects deliberately-introduced
+//! synthetic bugs (§5). This module makes both reproducible: each switch
+//! re-introduces one bug into the hypervisor. Real bugs (`BUG1_..` through
+//! `BUG5_..`) mirror the five found in §6; the `SYN_..` switches are the
+//! synthetic-bug catalog.
+//!
+//! All switches default to off; the clean hypervisor must pass the oracle
+//! with zero violations.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+macro_rules! faults {
+    ($($(#[$doc:meta])* $name:ident = $bit:expr;)*) => {
+        /// A single injectable fault.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[repr(u32)]
+        pub enum Fault {
+            $($(#[$doc])* $name = 1 << $bit,)*
+        }
+
+        impl Fault {
+            /// Every injectable fault, for catalog sweeps.
+            pub const ALL: &'static [Fault] = &[$(Fault::$name,)*];
+
+            /// Short stable name for reports.
+            pub const fn name(self) -> &'static str {
+                match self {
+                    $(Fault::$name => stringify!($name),)*
+                }
+            }
+        }
+    };
+}
+
+faults! {
+    /// Real bug 1: skip the page-alignment check on memcache top-up
+    /// donations, letting a malicious host cause pKVM to zero memory
+    /// spanning a page it does not own.
+    Bug1MemcacheAlignment = 0;
+    /// Real bug 2: skip the size check on memcache top-up, hitting a
+    /// (simulated signed) counter overflow for huge requests.
+    Bug2MemcacheSize = 1;
+    /// Real bug 3: drop the synchronisation between vCPU init and vCPU
+    /// load, so a racing load can observe partially-initialised state.
+    Bug3VcpuLoadRace = 2;
+    /// Real bug 4: on a host page fault whose faulting IPA must be
+    /// recovered by walking host-controlled memory, panic instead of
+    /// returning to the host when the concurrent host has changed it.
+    Bug4HostFaultRace = 3;
+    /// Real bug 5: skip the overlap check between the hypervisor linear
+    /// map and the private IO range during initialisation, so very large
+    /// DRAM makes the linear map cover device memory.
+    Bug5LinearMapOverlap = 4;
+    /// Synthetic: host_share_hyp marks the host side Owned instead of
+    /// SharedOwned.
+    SynShareWrongState = 8;
+    /// Synthetic: host_share_hyp maps the page executable in pKVM's
+    /// stage 1 (the real mapping must be RW, non-executable).
+    SynShareHypExec = 9;
+    /// Synthetic: host_unshare_hyp forgets to remove the pKVM stage 1
+    /// mapping (use-after-unshare window).
+    SynUnshareKeepsHypMapping = 10;
+    /// Synthetic: host_share_hyp skips the exclusive-ownership check,
+    /// allowing double-shares.
+    SynShareSkipsCheck = 11;
+    /// Synthetic: host_reclaim_page returns the page without wiping it,
+    /// leaking guest data to the host.
+    SynReclaimSkipsWipe = 12;
+    /// Synthetic: the host stage 2 fault handler maps one page too many
+    /// (an off-by-one in the range computation).
+    SynHostMapOffByOne = 13;
+    /// Synthetic: guest donation annotates the wrong owner id in the host
+    /// table.
+    SynDonateWrongOwner = 14;
+    /// Synthetic: vcpu_put leaves the vCPU marked as loaded.
+    SynVcpuPutLeak = 15;
+    /// Synthetic: teardown_vm skips unmapping the guest stage 2 before
+    /// returning pages to the host.
+    SynTeardownSkipsUnmap = 16;
+    /// Synthetic: the stage 2 map walker computes block output addresses
+    /// off by one block, silently mapping the wrong physical range.
+    SynBlockAlignment = 17;
+    /// Synthetic: skip every TLB invalidation after unmaps and permission
+    /// downgrades, leaving stale translations live (the bug class of the
+    /// paper's companion work on TLB synchronisation; outside the ghost
+    /// oracle's scope and caught behaviourally by the harness).
+    SynMissingTlbi = 18;
+}
+
+/// A set of injected faults, shared across all CPUs of a machine.
+#[derive(Debug, Default)]
+pub struct FaultSet {
+    bits: AtomicU32,
+}
+
+impl FaultSet {
+    /// An empty (clean hypervisor) fault set.
+    pub const fn none() -> Self {
+        Self {
+            bits: AtomicU32::new(0),
+        }
+    }
+
+    /// Enables `fault`.
+    pub fn inject(&self, fault: Fault) {
+        self.bits.fetch_or(fault as u32, Ordering::SeqCst);
+    }
+
+    /// Disables `fault`.
+    pub fn clear(&self, fault: Fault) {
+        self.bits.fetch_and(!(fault as u32), Ordering::SeqCst);
+    }
+
+    /// Returns `true` if `fault` is currently injected.
+    #[inline]
+    pub fn is(&self, fault: Fault) -> bool {
+        self.bits.load(Ordering::Relaxed) & fault as u32 != 0
+    }
+
+    /// Returns `true` if no faults are injected.
+    pub fn is_clean(&self) -> bool {
+        self.bits.load(Ordering::Relaxed) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_and_clear() {
+        let f = FaultSet::none();
+        assert!(f.is_clean());
+        f.inject(Fault::Bug1MemcacheAlignment);
+        f.inject(Fault::SynShareWrongState);
+        assert!(f.is(Fault::Bug1MemcacheAlignment));
+        assert!(f.is(Fault::SynShareWrongState));
+        assert!(!f.is(Fault::Bug2MemcacheSize));
+        f.clear(Fault::Bug1MemcacheAlignment);
+        assert!(!f.is(Fault::Bug1MemcacheAlignment));
+        assert!(f.is(Fault::SynShareWrongState));
+    }
+
+    #[test]
+    fn catalog_has_distinct_bits() {
+        let mut seen = std::collections::HashSet::new();
+        for &f in Fault::ALL {
+            assert!(seen.insert(f as u32), "duplicate bit for {}", f.name());
+        }
+        assert!(Fault::ALL.len() >= 15);
+    }
+}

@@ -1,0 +1,182 @@
+//! Instrumentation hooks for the ghost specification.
+//!
+//! The paper splices ghost recording calls into pKVM at a few key points,
+//! guarded by `CONFIG_NVHE_GHOST_SPEC` (§3.2): entry/exit of the top-level
+//! exception handlers, acquisition/release of each component lock, the
+//! vCPU load/put ownership transfers, `READ_ONCE` accesses to host-shared
+//! memory, and page-table page allocation (for the separation check).
+//!
+//! We express the same points as a trait with no-op defaults. The
+//! hypervisor calls them; the `pkvm-ghost` crate implements them. The
+//! hypervisor never depends on the specification — the same hygiene
+//! boundary as the paper's `ghost/` directories.
+
+use pkvm_aarch64::{Esr, GprFile, PhysAddr, PhysMem};
+
+use crate::vm::Handle;
+
+/// The lock-protected components of the hypervisor's shared state, mirroring
+/// pKVM's per-page-table locking (§3.1 "Following the ownership structure").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// pKVM's own stage 1 page table.
+    Hyp,
+    /// The host's stage 2 page table (and ownership annotations).
+    Host,
+    /// The table of guest VM metadata.
+    VmTable,
+    /// One guest VM: its stage 2 table and vCPU metadata.
+    Vm(Handle),
+}
+
+/// A read-only snapshot of one vCPU's metadata, for abstraction recording.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VcpuView {
+    /// Whether `init_vcpu` has completed for this vCPU.
+    pub initialized: bool,
+    /// The physical CPU this vCPU is loaded on, if any.
+    pub loaded_on: Option<usize>,
+    /// The vCPU's saved general-purpose registers.
+    pub regs: GprFile,
+    /// The pages currently in the vCPU's memcache (empty while loaded:
+    /// the cache is then owned by the hardware thread).
+    pub memcache_pages: Vec<PhysAddr>,
+}
+
+/// A read-only snapshot of one VM's metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VmView {
+    /// The VM's handle.
+    pub handle: Handle,
+    /// The VM-table slot (determines the guest's owner id).
+    pub slot: usize,
+    /// Root of the guest's stage 2 table.
+    pub s2_root: PhysAddr,
+    /// Whether this is a protected VM.
+    pub protected: bool,
+    /// Host pages donated for VM metadata.
+    pub donated: Vec<PhysAddr>,
+    /// Per-vCPU snapshots.
+    pub vcpus: Vec<VcpuView>,
+}
+
+/// What a component lock protects, exposed to the abstraction functions at
+/// the moment the lock is held.
+#[derive(Clone, Debug)]
+pub enum ComponentView {
+    /// pKVM's stage 1: the translation root.
+    Hyp {
+        /// Root of pKVM's stage 1 table.
+        root: PhysAddr,
+    },
+    /// Host stage 2: the translation root.
+    Host {
+        /// Root of the host's stage 2 table.
+        root: PhysAddr,
+    },
+    /// The VM table: which slots hold which handles.
+    VmTable {
+        /// Handle and slot of every live VM.
+        vms: Vec<(Handle, usize)>,
+    },
+    /// One VM's metadata and stage 2 root.
+    Vm(VmView),
+}
+
+/// Context passed to every hook: the simulated memory (so abstraction
+/// functions can interpret concrete page tables) and the hardware thread.
+pub struct HookCtx<'a> {
+    /// Simulated physical memory.
+    pub mem: &'a PhysMem,
+    /// Index of the hardware thread executing the handler.
+    pub cpu: usize,
+}
+
+/// The ghost instrumentation points.
+///
+/// All methods default to no-ops so the hypervisor runs unmodified when no
+/// oracle is installed (the `#ifdef`-off configuration of the paper).
+#[allow(unused_variables)]
+pub trait GhostHooks: Send + Sync {
+    /// Entry of the top-level exception handler: record thread-local
+    /// pre-state (saved host/guest registers, syndrome, for aborts the
+    /// faulting intermediate-physical address when the hardware provided
+    /// one, and the vCPU currently loaded on this thread).
+    fn trap_enter(
+        &self,
+        ctx: &HookCtx<'_>,
+        esr: Esr,
+        fault_ipa: Option<u64>,
+        regs: &GprFile,
+        loaded: Option<(Handle, usize, VcpuView)>,
+    ) {
+    }
+
+    /// Exit of the top-level handler: record thread-local post-state and
+    /// run the oracle check for this trap.
+    fn trap_exit(
+        &self,
+        ctx: &HookCtx<'_>,
+        regs: &GprFile,
+        loaded: Option<(Handle, usize, VcpuView)>,
+    ) {
+    }
+
+    /// A component lock was just acquired; record the pre abstraction.
+    fn lock_acquired(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {}
+
+    /// A component lock is about to be released; record the post abstraction.
+    fn lock_releasing(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {}
+
+    /// A vCPU was loaded onto this physical CPU (ownership of its metadata
+    /// transfers from the VM lock to the hardware thread).
+    fn vcpu_loaded(&self, ctx: &HookCtx<'_>, vm: Handle, vcpu_idx: usize, view: &VcpuView) {}
+
+    /// The loaded vCPU is being put back (ownership returns to the VM lock).
+    fn vcpu_put(&self, ctx: &HookCtx<'_>, vm: Handle, vcpu_idx: usize, view: &VcpuView) {}
+
+    /// The implementation performed a `READ_ONCE` of host-writable shared
+    /// memory; the value is nondeterministic and the spec is parameterised
+    /// on it (§4.3).
+    fn read_once(&self, ctx: &HookCtx<'_>, tag: &'static str, value: u64) {}
+
+    /// A page was allocated to back a translation table of `comp`
+    /// (separation-footprint tracking, §4.4).
+    fn table_page_alloc(&self, ctx: &HookCtx<'_>, comp: Component, page: PhysAddr) {}
+
+    /// A translation-table page of `comp` was freed.
+    fn table_page_free(&self, ctx: &HookCtx<'_>, comp: Component, page: PhysAddr) {}
+
+    /// The hypervisor panicked (internal invariant failure).
+    fn hyp_panic(&self, ctx: &HookCtx<'_>, reason: &str) {}
+}
+
+/// The always-off instrumentation (no ghost configured).
+pub struct NoHooks;
+
+impl GhostHooks for NoHooks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_hooks_is_a_valid_ghost() {
+        // Compile-time check that the default impls satisfy the trait and
+        // can be used as a trait object.
+        let hooks: &dyn GhostHooks = &NoHooks;
+        let mem = PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        hooks.trap_enter(&ctx, Esr::hvc64(0), None, &GprFile::default(), None);
+        hooks.read_once(&ctx, "test", 7);
+        hooks.hyp_panic(&ctx, "nothing");
+    }
+
+    #[test]
+    fn component_ordering_is_stable() {
+        // The locking discipline orders Host before Hyp in two-phase
+        // sections; the enum ordering is used in reports.
+        assert!(Component::Hyp < Component::Host);
+        assert!(Component::Host < Component::VmTable);
+    }
+}

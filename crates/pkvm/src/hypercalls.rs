@@ -1,0 +1,119 @@
+//! The hypercall ABI.
+//!
+//! Host hypercalls follow the SMCCC convention the paper shows in its
+//! Fig. 5 diff: the function identifier travels in `x0` (base
+//! `0xc600_0000`), arguments in `x1..`, and on return the handler writes
+//! `0` to `x0` and the result (0 or a negated errno) to `x1`, scrubbing
+//! the argument registers.
+
+/// Base of the host hypercall function-id space.
+pub const HVC_BASE: u64 = 0xc600_0000;
+
+/// `__pkvm_host_share_hyp(pfn)`.
+pub const HVC_HOST_SHARE_HYP: u64 = HVC_BASE + 1;
+/// `__pkvm_host_unshare_hyp(pfn)`.
+pub const HVC_HOST_UNSHARE_HYP: u64 = HVC_BASE + 2;
+/// `__pkvm_host_reclaim_page(pfn)`.
+pub const HVC_HOST_RECLAIM_PAGE: u64 = HVC_BASE + 3;
+/// `__pkvm_init_vm(params_pfn, donate_pfn, donate_nr)` -> handle.
+pub const HVC_INIT_VM: u64 = HVC_BASE + 4;
+/// `__pkvm_init_vcpu(handle, vcpu_idx, donate_pfn)`.
+pub const HVC_INIT_VCPU: u64 = HVC_BASE + 5;
+/// `__pkvm_teardown_vm(handle)`.
+pub const HVC_TEARDOWN_VM: u64 = HVC_BASE + 6;
+/// `__pkvm_vcpu_load(handle, vcpu_idx)`.
+pub const HVC_VCPU_LOAD: u64 = HVC_BASE + 7;
+/// `__pkvm_vcpu_put()`.
+pub const HVC_VCPU_PUT: u64 = HVC_BASE + 8;
+/// `__kvm_vcpu_run()` -> exit code.
+pub const HVC_VCPU_RUN: u64 = HVC_BASE + 9;
+/// `__pkvm_topup_vcpu_memcache(addr, nr)` (donates into the loaded vCPU).
+pub const HVC_TOPUP_MEMCACHE: u64 = HVC_BASE + 10;
+/// `__pkvm_host_map_guest(pfn, gfn)` (maps into the loaded vCPU's VM).
+pub const HVC_HOST_MAP_GUEST: u64 = HVC_BASE + 11;
+/// `__pkvm_vcpu_get_reg(n)` -> value in `x2` (reads the loaded vCPU's
+/// saved register, e.g. for MMIO emulation by the host).
+pub const HVC_VCPU_GET_REG: u64 = HVC_BASE + 12;
+/// `__pkvm_vcpu_set_reg(n, value)` (writes the loaded vCPU's saved
+/// register, e.g. to complete an emulated MMIO read).
+pub const HVC_VCPU_SET_REG: u64 = HVC_BASE + 13;
+
+/// Exit codes returned by `HVC_VCPU_RUN` in `x1`.
+pub mod exit {
+    /// The guest performed a step and can be run again.
+    pub const CONTINUE: u64 = 0;
+    /// The guest executed WFI (or has nothing left to do).
+    pub const WFI: u64 = 1;
+    /// The guest took a stage 2 abort; the faulting IPA is in `x2` and the
+    /// write flag in `x3`.
+    pub const MEM_ABORT: u64 = 2;
+    /// The guest made a hypercall that was handled at EL2; its result is
+    /// in the guest's `x0`.
+    pub const GUEST_HVC: u64 = 3;
+}
+
+/// Guest-to-hypervisor hypercall function ids (issued via `GuestOp`).
+pub mod guest {
+    /// `mem_share(ipa)`: share a guest page with the host.
+    pub const MEM_SHARE: u64 = super::HVC_BASE + 0x101;
+    /// `mem_unshare(ipa)`: revoke a share.
+    pub const MEM_UNSHARE: u64 = super::HVC_BASE + 0x102;
+}
+
+/// Human-readable name of a host hypercall id (diagnostics, coverage).
+pub fn name(func: u64) -> &'static str {
+    match func {
+        HVC_HOST_SHARE_HYP => "host_share_hyp",
+        HVC_HOST_UNSHARE_HYP => "host_unshare_hyp",
+        HVC_HOST_RECLAIM_PAGE => "host_reclaim_page",
+        HVC_INIT_VM => "init_vm",
+        HVC_INIT_VCPU => "init_vcpu",
+        HVC_TEARDOWN_VM => "teardown_vm",
+        HVC_VCPU_LOAD => "vcpu_load",
+        HVC_VCPU_PUT => "vcpu_put",
+        HVC_VCPU_RUN => "vcpu_run",
+        HVC_TOPUP_MEMCACHE => "topup_memcache",
+        HVC_HOST_MAP_GUEST => "host_map_guest",
+        HVC_VCPU_GET_REG => "vcpu_get_reg",
+        HVC_VCPU_SET_REG => "vcpu_set_reg",
+        _ => "unknown",
+    }
+}
+
+/// Every host hypercall id, for the random tester and coverage sweeps.
+pub const ALL_HOST_CALLS: &[u64] = &[
+    HVC_HOST_SHARE_HYP,
+    HVC_HOST_UNSHARE_HYP,
+    HVC_HOST_RECLAIM_PAGE,
+    HVC_INIT_VM,
+    HVC_INIT_VCPU,
+    HVC_TEARDOWN_VM,
+    HVC_VCPU_LOAD,
+    HVC_VCPU_PUT,
+    HVC_VCPU_RUN,
+    HVC_TOPUP_MEMCACHE,
+    HVC_HOST_MAP_GUEST,
+    HVC_VCPU_GET_REG,
+    HVC_VCPU_SET_REG,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for &id in ALL_HOST_CALLS {
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    fn names_resolve() {
+        for &id in ALL_HOST_CALLS {
+            assert_ne!(name(id), "unknown");
+        }
+        assert_eq!(name(0xdead), "unknown");
+    }
+}

@@ -1,0 +1,135 @@
+//! The hypervisor's own address-space layout.
+//!
+//! pKVM runs on a single-stage EL2 translation of its own. Its virtual
+//! address space has two parts:
+//!
+//! - the *linear map*: every physical page it owns (or borrows) appears at
+//!   `pa + physvirt_offset`, so ownership transfers need only page-table
+//!   state changes, not address arithmetic;
+//! - a *private range* above the linear map for IO mappings (the UART) and
+//!   other fixed structures.
+//!
+//! Real pKVM bug 5 (§6) lived exactly here: for devices with very large
+//! physical memory the private range was placed *inside* the span the
+//! linear map would grow into, so linear-map addresses aliased the IO
+//! mappings, "leading to unchecked accesses to IO devices". The clean
+//! [`compute_layout`] checks for the overlap; the injected variant uses the
+//! original fixed placement.
+
+use pkvm_aarch64::addr::{page_align_up, PhysAddr, VirtAddr, PAGE_SIZE};
+
+use crate::error::{Errno, HypResult};
+
+/// Base of the hypervisor linear map.
+pub const HYP_LINEAR_BASE: u64 = 0x8000_0000_0000;
+
+/// The fixed private-range placement used by the buggy layout: 256 GiB
+/// above the linear base, enough for every device *the authors had tested
+/// on* — but not for very large DRAM.
+pub const HYP_FIXED_PRIVATE_BASE: u64 = HYP_LINEAR_BASE + 0x40_0000_0000;
+
+/// Guard gap between the linear map and the private range.
+const PRIVATE_GUARD: u64 = 16 * PAGE_SIZE;
+
+/// The computed EL2 virtual-address layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HypVaLayout {
+    /// `hyp_va = pa + physvirt_offset` within the linear map.
+    pub physvirt_offset: u64,
+    /// First VA of the private range.
+    pub private_base: VirtAddr,
+    /// VA at which the UART is mapped.
+    pub uart_va: VirtAddr,
+    /// One past the highest physical address the linear map must cover.
+    pub linear_end_pa: PhysAddr,
+}
+
+impl HypVaLayout {
+    /// The linear-map virtual address of physical address `pa`.
+    #[inline]
+    pub fn hyp_va(&self, pa: PhysAddr) -> VirtAddr {
+        VirtAddr::new(pa.bits().wrapping_add(self.physvirt_offset))
+    }
+
+    /// The physical address behind linear-map address `va`.
+    #[inline]
+    pub fn hyp_pa(&self, va: VirtAddr) -> PhysAddr {
+        PhysAddr::new(va.bits().wrapping_sub(self.physvirt_offset))
+    }
+
+    /// Returns `true` if `va` lies in the linear-map span.
+    pub fn in_linear_map(&self, va: VirtAddr) -> bool {
+        va.bits() >= HYP_LINEAR_BASE && va.bits() < self.hyp_va(self.linear_end_pa).bits()
+    }
+}
+
+/// Computes the EL2 VA layout for a machine whose highest RAM address is
+/// `ram_end`.
+///
+/// With `buggy_fixed_private` (fault injection for bug 5) the private range
+/// is placed at the historical fixed offset with *no overlap check*.
+///
+/// # Errors
+///
+/// The clean path returns `ERANGE` if the layout cannot fit (it always can
+/// for 48-bit PAs, but the check mirrors the fixed code).
+pub fn compute_layout(ram_end: PhysAddr, buggy_fixed_private: bool) -> HypResult<HypVaLayout> {
+    let physvirt_offset = HYP_LINEAR_BASE;
+    let linear_end_va = HYP_LINEAR_BASE
+        .checked_add(ram_end.bits())
+        .ok_or(Errno::ERANGE)?;
+    let private_base = if buggy_fixed_private {
+        // Bug 5: no check that the linear map stays below the private range.
+        HYP_FIXED_PRIVATE_BASE
+    } else {
+        let base = page_align_up(linear_end_va) + PRIVATE_GUARD;
+        if base >= 1 << 48 {
+            return Err(Errno::ERANGE);
+        }
+        base
+    };
+    Ok(HypVaLayout {
+        physvirt_offset,
+        private_base: VirtAddr::new(private_base),
+        uart_va: VirtAddr::new(private_base),
+        linear_end_pa: ram_end,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_map_roundtrip() {
+        let l = compute_layout(PhysAddr::new(0x1_0000_0000), false).unwrap();
+        let pa = PhysAddr::new(0x4012_3000);
+        assert_eq!(l.hyp_pa(l.hyp_va(pa)), pa);
+        assert!(l.in_linear_map(l.hyp_va(pa)));
+        assert!(!l.in_linear_map(l.private_base));
+    }
+
+    #[test]
+    fn clean_layout_places_private_above_linear() {
+        // 1 TiB of RAM: more than the fixed placement can tolerate.
+        let ram_end = PhysAddr::new(0x100_0000_0000);
+        let l = compute_layout(ram_end, false).unwrap();
+        assert!(l.private_base.bits() >= l.hyp_va(ram_end).bits());
+    }
+
+    #[test]
+    fn buggy_layout_overlaps_for_large_ram() {
+        let ram_end = PhysAddr::new(0x100_0000_0000);
+        let l = compute_layout(ram_end, true).unwrap();
+        // The private (IO) range now lies inside the linear-map span: the
+        // essence of bug 5.
+        assert!(l.in_linear_map(l.private_base));
+    }
+
+    #[test]
+    fn buggy_layout_is_fine_for_small_ram() {
+        // On the devices that existed when the code was written, no overlap.
+        let l = compute_layout(PhysAddr::new(0x2_0000_0000), true).unwrap();
+        assert!(!l.in_linear_map(l.private_base));
+    }
+}

@@ -1,0 +1,269 @@
+//! The hypervisor's shared state and its locking discipline.
+//!
+//! Mirroring pKVM (§3.1): rather than one big lock, each page table is
+//! protected by its own lock — one for the hypervisor's stage 1, one for
+//! the host's stage 2, one per guest — plus one for the VM table, and
+//! separate internal locks for the allocator. Handlers take only the locks
+//! their operation needs, in a fixed order (host → hyp → vm_table → vm),
+//! and the ghost instrumentation records component abstractions exactly at
+//! acquisition and release through the lock helpers here.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard};
+use pkvm_aarch64::memory::PhysMem;
+use pkvm_aarch64::tlb::Tlb;
+
+use crate::faults::FaultSet;
+use crate::hooks::{Component, ComponentView, GhostHooks, HookCtx, VcpuView, VmView};
+use crate::mm::HypVaLayout;
+use crate::owner::OwnerId;
+use crate::pgtable::KvmPgtable;
+use crate::pool::HypPool;
+use crate::vm::{VcpuSlot, Vm, VmInner, VmTable};
+
+/// Execution context threaded through every handler: the memory, the
+/// executing hardware thread, the installed ghost hooks, and the fault
+/// injection switches.
+pub struct HypCtx<'a> {
+    /// Simulated physical memory.
+    pub mem: &'a PhysMem,
+    /// The simulated TLB the hypervisor must keep coherent.
+    pub tlb: &'a Tlb,
+    /// Hardware thread index.
+    pub cpu: usize,
+    /// Ghost instrumentation (no-op when no oracle is installed).
+    pub hooks: &'a dyn GhostHooks,
+    /// Injected faults.
+    pub faults: &'a FaultSet,
+}
+
+impl HypCtx<'_> {
+    /// The context handed to hook invocations.
+    pub fn hook_ctx(&self) -> HookCtx<'_> {
+        HookCtx {
+            mem: self.mem,
+            cpu: self.cpu,
+        }
+    }
+}
+
+/// The lock-structured shared state of the hypervisor.
+pub struct HypState {
+    /// The hypervisor page allocator (its own lock, as in the paper).
+    pub pool: Mutex<HypPool>,
+    /// pKVM's stage 1 table, under the hyp component lock.
+    pub hyp_pgt: Mutex<KvmPgtable>,
+    /// The host's stage 2 table, under the host component lock.
+    pub host_pgt: Mutex<KvmPgtable>,
+    /// The table of guest VMs.
+    pub vm_table: Mutex<VmTable>,
+    /// Pages awaiting `host_reclaim_page` after a VM teardown, with the
+    /// owner id they were annotated with.
+    pub reclaim: Mutex<HashMap<u64, OwnerId>>,
+    /// The EL2 virtual-address layout fixed at initialisation.
+    pub layout: HypVaLayout,
+    /// The hypervisor carveout: (base pfn, page count).
+    pub hyp_range: (u64, u64),
+}
+
+impl HypState {
+    /// Acquires the host stage 2 lock, recording the pre abstraction
+    /// (the `host_lock_component` of §3.2).
+    pub fn host_lock<'a>(&'a self, ctx: &HypCtx<'_>) -> MutexGuard<'a, KvmPgtable> {
+        let g = self.host_pgt.lock();
+        ctx.hooks.lock_acquired(
+            &ctx.hook_ctx(),
+            Component::Host,
+            &ComponentView::Host { root: g.root },
+        );
+        g
+    }
+
+    /// Records the post abstraction and releases the host lock.
+    pub fn host_unlock(&self, ctx: &HypCtx<'_>, g: MutexGuard<'_, KvmPgtable>) {
+        ctx.hooks.lock_releasing(
+            &ctx.hook_ctx(),
+            Component::Host,
+            &ComponentView::Host { root: g.root },
+        );
+        drop(g);
+    }
+
+    /// Acquires the hypervisor stage 1 lock, recording the pre abstraction.
+    pub fn hyp_lock<'a>(&'a self, ctx: &HypCtx<'_>) -> MutexGuard<'a, KvmPgtable> {
+        let g = self.hyp_pgt.lock();
+        ctx.hooks.lock_acquired(
+            &ctx.hook_ctx(),
+            Component::Hyp,
+            &ComponentView::Hyp { root: g.root },
+        );
+        g
+    }
+
+    /// Records the post abstraction and releases the hyp lock.
+    pub fn hyp_unlock(&self, ctx: &HypCtx<'_>, g: MutexGuard<'_, KvmPgtable>) {
+        ctx.hooks.lock_releasing(
+            &ctx.hook_ctx(),
+            Component::Hyp,
+            &ComponentView::Hyp { root: g.root },
+        );
+        drop(g);
+    }
+
+    /// Acquires the VM-table lock, recording the pre abstraction.
+    pub fn vm_table_lock<'a>(&'a self, ctx: &HypCtx<'_>) -> MutexGuard<'a, VmTable> {
+        let g = self.vm_table.lock();
+        ctx.hooks.lock_acquired(
+            &ctx.hook_ctx(),
+            Component::VmTable,
+            &ComponentView::VmTable { vms: g.live() },
+        );
+        g
+    }
+
+    /// Records the post abstraction and releases the VM-table lock.
+    pub fn vm_table_unlock(&self, ctx: &HypCtx<'_>, g: MutexGuard<'_, VmTable>) {
+        ctx.hooks.lock_releasing(
+            &ctx.hook_ctx(),
+            Component::VmTable,
+            &ComponentView::VmTable { vms: g.live() },
+        );
+        drop(g);
+    }
+
+    /// Acquires one VM's lock, recording the pre abstraction of its
+    /// stage 2 and vCPU metadata.
+    pub fn vm_lock<'a>(&self, ctx: &HypCtx<'_>, vm: &'a Arc<Vm>) -> MutexGuard<'a, VmInner> {
+        let g = vm.inner.lock();
+        ctx.hooks.lock_acquired(
+            &ctx.hook_ctx(),
+            Component::Vm(vm.handle),
+            &vm_view(ctx.mem, vm, &g),
+        );
+        g
+    }
+
+    /// Records the post abstraction and releases the VM lock.
+    pub fn vm_unlock(&self, ctx: &HypCtx<'_>, vm: &Arc<Vm>, g: MutexGuard<'_, VmInner>) {
+        ctx.hooks.lock_releasing(
+            &ctx.hook_ctx(),
+            Component::Vm(vm.handle),
+            &vm_view(ctx.mem, vm, &g),
+        );
+        drop(g);
+    }
+}
+
+/// Builds the abstraction-recording view of a locked VM.
+pub fn vm_view(mem: &PhysMem, vm: &Vm, inner: &VmInner) -> ComponentView {
+    ComponentView::Vm(VmView {
+        handle: vm.handle,
+        slot: vm.slot,
+        s2_root: inner.pgt.root,
+        protected: vm.protected,
+        donated: inner.donated.clone(),
+        vcpus: inner.vcpus.iter().map(|s| vcpu_view(mem, s)).collect(),
+    })
+}
+
+/// Builds the abstraction-recording view of one vCPU slot.
+pub fn vcpu_view(mem: &PhysMem, slot: &VcpuSlot) -> VcpuView {
+    match slot {
+        VcpuSlot::Uninit => VcpuView {
+            initialized: false,
+            loaded_on: None,
+            regs: Default::default(),
+            memcache_pages: Vec::new(),
+        },
+        VcpuSlot::Present(v) => VcpuView {
+            initialized: true,
+            loaded_on: None,
+            regs: v.regs,
+            memcache_pages: v.memcache.peek_pages(mem),
+        },
+        VcpuSlot::LoadedOn(cpu) => VcpuView {
+            initialized: true,
+            loaded_on: Some(*cpu),
+            regs: Default::default(),
+            memcache_pages: Vec::new(),
+        },
+    }
+}
+
+/// A view of a loaded vCPU for the load/put ownership-transfer hooks.
+pub fn loaded_vcpu_view(mem: &PhysMem, vcpu: &crate::vm::Vcpu, cpu: usize) -> VcpuView {
+    VcpuView {
+        initialized: true,
+        loaded_on: Some(cpu),
+        regs: vcpu.regs,
+        memcache_pages: vcpu.memcache.peek_pages(mem),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoHooks;
+    use pkvm_aarch64::addr::PhysAddr;
+    use pkvm_aarch64::attrs::Stage;
+    use pkvm_aarch64::memory::MemRegion;
+
+    fn state(mem: &PhysMem) -> HypState {
+        let _ = mem;
+        HypState {
+            pool: Mutex::new(HypPool::new(PhysAddr::new(0x4400_0000), 64)),
+            hyp_pgt: Mutex::new(KvmPgtable {
+                root: PhysAddr::new(0x4400_0000),
+                stage: Stage::Stage1,
+            }),
+            host_pgt: Mutex::new(KvmPgtable {
+                root: PhysAddr::new(0x4400_1000),
+                stage: Stage::Stage2,
+            }),
+            vm_table: Mutex::new(VmTable::new()),
+            reclaim: Mutex::new(HashMap::new()),
+            layout: crate::mm::compute_layout(PhysAddr::new(0x8000_0000), false).unwrap(),
+            hyp_range: (0x44000, 64),
+        }
+    }
+
+    #[test]
+    fn lock_helpers_roundtrip_with_no_hooks() {
+        let mem = PhysMem::new(vec![MemRegion::ram(0x4000_0000, 0x800_0000)]);
+        let st = state(&mem);
+        let faults = FaultSet::none();
+        let tlb = Tlb::new();
+        let ctx = HypCtx {
+            mem: &mem,
+            tlb: &tlb,
+            cpu: 0,
+            hooks: &NoHooks,
+            faults: &faults,
+        };
+        let g = st.host_lock(&ctx);
+        assert_eq!(g.root, PhysAddr::new(0x4400_1000));
+        st.host_unlock(&ctx, g);
+        let g = st.hyp_lock(&ctx);
+        st.hyp_unlock(&ctx, g);
+        let g = st.vm_table_lock(&ctx);
+        assert!(g.is_empty());
+        st.vm_table_unlock(&ctx, g);
+    }
+
+    #[test]
+    fn vcpu_views_reflect_slot_state() {
+        let mem = PhysMem::new(vec![MemRegion::ram(0x4000_0000, 0x800_0000)]);
+        let uninit = vcpu_view(&mem, &VcpuSlot::Uninit);
+        assert!(!uninit.initialized);
+        let present = vcpu_view(
+            &mem,
+            &VcpuSlot::Present(Box::new(crate::vm::Vcpu::initialised())),
+        );
+        assert!(present.initialized);
+        assert_eq!(present.loaded_on, None);
+        let loaded = vcpu_view(&mem, &VcpuSlot::LoadedOn(2));
+        assert_eq!(loaded.loaded_on, Some(2));
+    }
+}

@@ -1,0 +1,135 @@
+//! TLB coherence tests: the hypervisor must invalidate cached
+//! translations whenever it removes or downgrades mappings, or revoked
+//! access keeps working through stale entries — the bug class of the
+//! paper's companion work on TLB synchronisation.
+
+use pkvm_aarch64::addr::PAGE_SIZE;
+use pkvm_aarch64::tlb::VMID_HOST;
+use pkvm_aarch64::walk::Access;
+use pkvm_hyp::error::Errno;
+use pkvm_hyp::faults::{Fault, FaultSet};
+use pkvm_hyp::hypercalls::*;
+use pkvm_hyp::machine::{Machine, MachineConfig};
+use pkvm_hyp::vm::GuestOp;
+use std::sync::Arc;
+
+fn boot_with(faults: FaultSet) -> Arc<Machine> {
+    Machine::boot(
+        MachineConfig::default(),
+        Arc::new(pkvm_hyp::hooks::NoHooks),
+        Arc::new(faults),
+    )
+}
+
+const PFN: u64 = 0x40900;
+
+#[test]
+fn repeated_host_accesses_hit_the_tlb() {
+    let m = boot_with(FaultSet::none());
+    m.host_access(0, PFN * PAGE_SIZE, Access::Read).unwrap();
+    let misses = m.tlb.misses();
+    let hits_before = m.tlb.hits();
+    for _ in 0..10 {
+        m.host_access(0, PFN * PAGE_SIZE + 8, Access::Read).unwrap();
+    }
+    assert_eq!(m.tlb.misses(), misses, "no further walks needed");
+    assert!(m.tlb.hits() >= hits_before + 10);
+}
+
+#[test]
+fn donation_invalidates_the_host_tlb_entry() {
+    let m = boot_with(FaultSet::none());
+    // Build a VM so the memcache top-up (a donation) is available.
+    let params = 0x40200u64;
+    m.mem
+        .write_u64(pkvm_aarch64::PhysAddr::from_pfn(params), 1)
+        .unwrap();
+    assert!(Errno::from_ret(m.hvc(0, HVC_INIT_VM, &[params, 0x40300, 2])).is_none());
+    assert_eq!(m.hvc(0, HVC_INIT_VCPU, &[0x1000, 0, 0x40310]), 0);
+    assert_eq!(m.hvc(0, HVC_VCPU_LOAD, &[0x1000, 0]), 0);
+    // Host warms the TLB for the page, then donates it.
+    m.host_access(0, PFN * PAGE_SIZE, Access::Read).unwrap();
+    assert!(m.tlb.lookup(VMID_HOST, PFN * PAGE_SIZE).is_some());
+    assert_eq!(m.hvc(0, HVC_TOPUP_MEMCACHE, &[PFN << 12, 1]), 0);
+    // The stale entry is gone and the access now faults for real.
+    assert!(m.tlb.lookup(VMID_HOST, PFN * PAGE_SIZE).is_none());
+    assert!(m.host_access(0, PFN * PAGE_SIZE, Access::Read).is_err());
+}
+
+#[test]
+fn share_unshare_keeps_the_tlb_coherent() {
+    let m = boot_with(FaultSet::none());
+    assert_eq!(m.hvc(0, HVC_HOST_SHARE_HYP, &[PFN]), 0);
+    m.host_access(0, PFN * PAGE_SIZE, Access::Read).unwrap();
+    assert_eq!(m.hvc(0, HVC_HOST_UNSHARE_HYP, &[PFN]), 0);
+    // The host still owns the page; the access refaults and remaps — but
+    // through a *fresh* walk, not the stale shared-state entry.
+    let misses_before = m.tlb.misses();
+    m.host_access(0, PFN * PAGE_SIZE, Access::Read).unwrap();
+    assert!(
+        m.tlb.misses() > misses_before,
+        "stale entry must not satisfy the retry"
+    );
+}
+
+#[test]
+fn guest_translations_are_cached_and_retired_at_teardown() {
+    let m = boot_with(FaultSet::none());
+    let params = 0x40200u64;
+    m.mem
+        .write_u64(pkvm_aarch64::PhysAddr::from_pfn(params), 1)
+        .unwrap();
+    m.mem
+        .write_u64(pkvm_aarch64::PhysAddr::from_pfn(params).wrapping_add(8), 1)
+        .unwrap();
+    let h = m.hvc(0, HVC_INIT_VM, &[params, 0x40300, 2]);
+    assert!(Errno::from_ret(h).is_none());
+    assert_eq!(m.hvc(0, HVC_INIT_VCPU, &[h, 0, 0x40310]), 0);
+    assert_eq!(m.hvc(0, HVC_VCPU_LOAD, &[h, 0]), 0);
+    assert_eq!(m.hvc(0, HVC_TOPUP_MEMCACHE, &[0x40500 << 12, 8]), 0);
+    assert_eq!(m.hvc(0, HVC_HOST_MAP_GUEST, &[0x40600, 0x10]), 0);
+    // Two guest reads: the second hits the guest-VMID TLB entry.
+    m.push_guest_op(h as u32, 0, GuestOp::Read(0x10 * PAGE_SIZE))
+        .unwrap();
+    assert_eq!(m.hvc(0, HVC_VCPU_RUN, &[]), exit::CONTINUE);
+    let hits = m.tlb.hits();
+    m.push_guest_op(h as u32, 0, GuestOp::Read(0x10 * PAGE_SIZE))
+        .unwrap();
+    assert_eq!(m.hvc(0, HVC_VCPU_RUN, &[]), exit::CONTINUE);
+    assert!(m.tlb.hits() > hits);
+    // Teardown retires the guest VMID.
+    assert_eq!(m.hvc(0, HVC_VCPU_PUT, &[]), 0);
+    assert_eq!(m.hvc(0, HVC_TEARDOWN_VM, &[h]), 0);
+    assert!(
+        m.tlb.lookup(2, 0x10 * PAGE_SIZE).is_none(),
+        "guest vmid 2 retired"
+    );
+}
+
+#[test]
+fn missing_tlbi_lets_the_host_read_donated_memory() {
+    // The injected bug: no invalidations. The isolation breach is purely
+    // architectural (page tables are correct!), so the ghost oracle —
+    // which checks the tables' extensional meaning — cannot see it; the
+    // behavioural check does.
+    let faults = FaultSet::none();
+    faults.inject(Fault::SynMissingTlbi);
+    let m = boot_with(faults);
+    let params = 0x40200u64;
+    m.mem
+        .write_u64(pkvm_aarch64::PhysAddr::from_pfn(params), 1)
+        .unwrap();
+    let h = m.hvc(0, HVC_INIT_VM, &[params, 0x40300, 2]);
+    assert!(Errno::from_ret(h).is_none());
+    assert_eq!(m.hvc(0, HVC_INIT_VCPU, &[h, 0, 0x40310]), 0);
+    assert_eq!(m.hvc(0, HVC_VCPU_LOAD, &[h, 0]), 0);
+    // Warm, donate, and... the revoked access still works.
+    m.host_access(0, PFN * PAGE_SIZE, Access::Read).unwrap();
+    assert_eq!(m.hvc(0, HVC_TOPUP_MEMCACHE, &[PFN << 12, 1]), 0);
+    assert!(
+        m.host_access(0, PFN * PAGE_SIZE, Access::Read).is_ok(),
+        "the stale TLB entry keeps serving the host"
+    );
+    // With the fix, the same sequence faults (see
+    // donation_invalidates_the_host_tlb_entry).
+}

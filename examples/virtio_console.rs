@@ -1,0 +1,122 @@
+//! A virtio-style guest/host console, the paper's motivating
+//! communication pattern (§2: "guests can share/unshare virtual machine
+//! memory back with the host and communicate with the host through
+//! pagefaults (typically with virtio)") — run end to end under the
+//! oracle.
+//!
+//! The protected guest owns a ring page and a set of buffer pages. To
+//! send a message it writes the payload into a buffer, *shares* the
+//! buffer with the host, and posts the buffer's frame number in the
+//! (permanently shared) ring. The host polls the ring, reads the payload
+//! directly from guest memory, acknowledges in place, and the guest
+//! *unshares* — after which the host provably cannot touch the buffer
+//! again.
+//!
+//! Run with `cargo run --example virtio_console`.
+
+use pkvm_aarch64::addr::PAGE_SIZE;
+use pkvm_aarch64::walk::Access;
+use pkvm_harness::proxy::{Proxy, ProxyOpts};
+use pkvm_hyp::hypercalls::exit;
+use pkvm_hyp::vm::GuestOp;
+
+const RING_GFN: u64 = 0x80;
+const BUF_GFNS: [u64; 3] = [0x90, 0x91, 0x92];
+
+fn guest_step(p: &Proxy, handle: u32, op: GuestOp) -> u64 {
+    p.push_guest_op(handle, 0, op).expect("queue guest op");
+    p.vcpu_run(0).expect("vcpu_run")
+}
+
+fn main() {
+    let p = Proxy::boot(ProxyOpts::default());
+    let oracle = p.oracle.as_ref().expect("oracle installed");
+
+    // Bring up a protected VM with a ring page and three buffers.
+    let handle = p.init_vm(0, 1, true).expect("init_vm");
+    p.init_vcpu(0, handle, 0).expect("init_vcpu");
+    p.vcpu_load(0, handle, 0).expect("vcpu_load");
+    p.topup(0, 16).expect("topup");
+    let ring_pfn = p.map_guest(0, RING_GFN).expect("map ring");
+    let buf_pfns: Vec<u64> = BUF_GFNS
+        .iter()
+        .map(|&g| p.map_guest(0, g).expect("map buffer"))
+        .collect();
+
+    // The ring stays shared with the host for the VM's lifetime.
+    assert_eq!(
+        guest_step(&p, handle, GuestOp::HvcShareHost(RING_GFN * PAGE_SIZE)),
+        exit::GUEST_HVC
+    );
+    println!("guest ring at gfn {RING_GFN:#x} (pfn {ring_pfn:#x}) shared with the host");
+
+    for (i, msg) in [0xc0ffee_u64, 0xf00d, 0x5ec2e7].iter().enumerate() {
+        let gfn = BUF_GFNS[i];
+        let pfn = buf_pfns[i];
+        // Guest: write the payload, share the buffer, post it in the ring.
+        assert_eq!(
+            guest_step(&p, handle, GuestOp::Write(gfn * PAGE_SIZE, *msg)),
+            exit::CONTINUE
+        );
+        assert_eq!(
+            guest_step(&p, handle, GuestOp::HvcShareHost(gfn * PAGE_SIZE)),
+            exit::GUEST_HVC
+        );
+        assert_eq!(
+            guest_step(&p, handle, GuestOp::Write(RING_GFN * PAGE_SIZE, gfn)),
+            exit::CONTINUE
+        );
+
+        // Host: poll the ring, then read the payload straight out of the
+        // (now shared) guest buffer.
+        let posted = p
+            .machine
+            .host_read(1, ring_pfn * PAGE_SIZE)
+            .expect("ring readable");
+        assert_eq!(posted, gfn);
+        let payload = p
+            .machine
+            .host_read(1, pfn * PAGE_SIZE)
+            .expect("buffer shared");
+        assert_eq!(payload, *msg);
+        // Host acknowledges in place; the guest sees the ack.
+        p.machine
+            .host_write(1, pfn * PAGE_SIZE, payload | 0xacc0_0000_0000)
+            .expect("ack");
+        assert_eq!(
+            guest_step(&p, handle, GuestOp::Read(gfn * PAGE_SIZE)),
+            exit::CONTINUE
+        );
+        println!("message {i}: guest sent {msg:#x}, host acked");
+
+        // Guest revokes the buffer; the host loses access immediately.
+        assert_eq!(
+            guest_step(&p, handle, GuestOp::HvcUnshareHost(gfn * PAGE_SIZE)),
+            exit::GUEST_HVC
+        );
+        assert!(
+            p.machine
+                .host_access(1, pfn * PAGE_SIZE, Access::Read)
+                .is_err(),
+            "revoked buffer must not be host-readable"
+        );
+    }
+
+    // Tear everything down and reclaim.
+    assert_eq!(
+        guest_step(&p, handle, GuestOp::HvcUnshareHost(RING_GFN * PAGE_SIZE)),
+        exit::GUEST_HVC
+    );
+    p.vcpu_put(0).expect("vcpu_put");
+    p.teardown(0, handle).expect("teardown");
+    for pfn in buf_pfns.iter().chain([ring_pfn].iter()) {
+        p.reclaim(0, *pfn).expect("reclaim");
+    }
+
+    let checked = oracle
+        .stats
+        .traps_checked
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(p.all_clear(), "violations: {:?}", p.violations());
+    println!("\nconsole session complete; oracle checked {checked} traps, all clean");
+}

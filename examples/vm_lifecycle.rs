@@ -1,0 +1,92 @@
+//! A protected VM's whole life, checked by the oracle at every trap:
+//! creation from host-donated pages, vCPU init/load, memcache top-up,
+//! donation of guest memory, guest execution (faults, virtio-style shares
+//! with the host), teardown, and page reclaim.
+//!
+//! Run with `cargo run --example vm_lifecycle`.
+
+use pkvm_aarch64::addr::PAGE_SIZE;
+use pkvm_aarch64::walk::Access;
+use pkvm_harness::proxy::{Proxy, ProxyOpts};
+use pkvm_hyp::hypercalls::exit;
+use pkvm_hyp::vm::GuestOp;
+
+fn main() {
+    let p = Proxy::boot(ProxyOpts::default());
+    let oracle = p.oracle.as_ref().expect("oracle installed");
+    assert!(oracle.check_boot());
+
+    // Create a protected VM with one vCPU; the host donates the metadata
+    // and stage 2 root pages.
+    let handle = p.init_vm(0, 1, true).expect("init_vm");
+    p.init_vcpu(0, handle, 0).expect("init_vcpu");
+    println!("created protected VM {handle:#x} with one vCPU");
+
+    // Load the vCPU onto CPU 0 and pre-pay for its stage 2 tables.
+    p.vcpu_load(0, handle, 0).expect("vcpu_load");
+    p.topup(0, 8).expect("topup");
+
+    // The guest touches an unmapped page: stage 2 abort exit.
+    p.push_guest_op(handle, 0, GuestOp::Write(0x10 * PAGE_SIZE, 0xfeed))
+        .unwrap();
+    assert_eq!(p.vcpu_run(0).expect("run"), exit::MEM_ABORT);
+    let gipa = p.machine.cpus[0].lock().regs.get(2);
+    println!("guest aborted at IPA {gipa:#x}; host resolves the fault");
+
+    // The host donates a page at the faulting gfn and re-runs the guest.
+    let pfn = p.map_guest(0, gipa / PAGE_SIZE).expect("host_map_guest");
+    println!("host donated pfn {pfn:#x} to the guest (now invisible to the host)");
+    assert!(p
+        .machine
+        .host_access(1, pfn * PAGE_SIZE, Access::Read)
+        .is_err());
+    p.push_guest_op(handle, 0, GuestOp::Write(0x10 * PAGE_SIZE, 0xfeed))
+        .unwrap();
+    assert_eq!(p.vcpu_run(0).expect("run"), exit::CONTINUE);
+
+    // The guest shares the page back (virtio-style) and revokes it.
+    p.push_guest_op(handle, 0, GuestOp::HvcShareHost(0x10 * PAGE_SIZE))
+        .unwrap();
+    assert_eq!(p.vcpu_run(0).expect("run"), exit::GUEST_HVC);
+    assert_eq!(
+        p.machine
+            .host_access(1, pfn * PAGE_SIZE, Access::Read)
+            .expect("shared back"),
+        0xfeed,
+        "the host sees the guest's write through the share"
+    );
+    println!("guest shared its page with the host; host read the guest's data");
+    p.push_guest_op(handle, 0, GuestOp::HvcUnshareHost(0x10 * PAGE_SIZE))
+        .unwrap();
+    assert_eq!(p.vcpu_run(0).expect("run"), exit::GUEST_HVC);
+    assert!(p
+        .machine
+        .host_access(1, pfn * PAGE_SIZE, Access::Read)
+        .is_err());
+    println!("guest revoked the share; host access faults again");
+
+    // Teardown: infrastructure pages return immediately, guest memory
+    // only through the (wiping) reclaim protocol.
+    p.vcpu_put(0).expect("vcpu_put");
+    p.teardown(0, handle).expect("teardown");
+    assert!(p
+        .machine
+        .host_access(1, pfn * PAGE_SIZE, Access::Read)
+        .is_err());
+    p.reclaim(0, pfn).expect("reclaim");
+    assert_eq!(
+        p.machine
+            .host_access(1, pfn * PAGE_SIZE, Access::Read)
+            .expect("reclaimed"),
+        0,
+        "reclaimed pages are wiped before the host regains them"
+    );
+    println!("VM torn down; guest page wiped and reclaimed");
+
+    let checked = oracle
+        .stats
+        .traps_checked
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(p.all_clear(), "violations: {:?}", p.violations());
+    println!("\noracle checked {checked} traps: all clean");
+}

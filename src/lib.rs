@@ -1,0 +1,16 @@
+//! Reproduction of *"Ghost in the Android Shell: Pragmatic Test-oracle
+//! Specification of a Production Hypervisor"* (SOSP 2025).
+//!
+//! This meta-crate re-exports the workspace: the simulated Arm-A substrate
+//! ([`aarch64`]), the pKVM-style hypervisor under test ([`hyp`]), the
+//! reified ghost state and executable specification ([`ghost`] — the
+//! paper's contribution), and the test infrastructure ([`harness`]).
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and experiment index, and `examples/` for runnable
+//! walkthroughs (start with `cargo run --example quickstart`).
+
+pub use pkvm_aarch64 as aarch64;
+pub use pkvm_ghost as ghost;
+pub use pkvm_harness as harness;
+pub use pkvm_hyp as hyp;

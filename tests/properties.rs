@@ -1,0 +1,452 @@
+//! Property-based tests over the core data structures and invariants.
+//!
+//! - the abstract [`Mapping`] agrees with a naive per-page model under
+//!   arbitrary insert/remove sequences, and stays canonical;
+//! - descriptor encode/decode round-trips for every attribute combination;
+//! - the implementation's map walker and the ghost's interpretation
+//!   function agree: installing arbitrary page sets and reading them back
+//!   through `interpret_pgtable` and through the hardware walk yield the
+//!   same extension;
+//! - the buddy allocator never double-allocates and conserves pages;
+//! - arbitrary well-formed share/unshare interleavings stay clean under
+//!   the oracle.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use pkvm_repro::aarch64::addr::PAGE_SIZE;
+use pkvm_repro::aarch64::attrs::{Attrs, MemType, Perms, Stage};
+use pkvm_repro::aarch64::desc::Pte;
+use pkvm_repro::aarch64::memory::{MemRegion, PhysMem};
+use pkvm_repro::aarch64::{walk as hw_walk, PhysAddr};
+use pkvm_repro::ghost::maplet::{AbsAttrs, Maplet, MapletTarget};
+use pkvm_repro::ghost::Mapping;
+use pkvm_repro::hyp::owner::{OwnerId, PageState};
+use pkvm_repro::hyp::pgtable::{
+    kvm_pgtable_walk, KvmPgtable, MapWalker, PoolOps, SetOwnerWalker, WalkState,
+};
+use pkvm_repro::hyp::pool::HypPool;
+
+// ------------------------------------------------------------ mapping --
+
+#[derive(Clone, Debug)]
+enum MapOp {
+    InsertMapped {
+        ia_page: u64,
+        nr: u64,
+        oa_page: u64,
+        perms: u8,
+    },
+    InsertAnnot {
+        ia_page: u64,
+        nr: u64,
+        owner: u8,
+    },
+    Remove {
+        ia_page: u64,
+        nr: u64,
+    },
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (0u64..64, 1u64..8, 0u64..64, 0u8..4).prop_map(|(ia_page, nr, oa_page, perms)| {
+            MapOp::InsertMapped {
+                ia_page,
+                nr,
+                oa_page,
+                perms,
+            }
+        }),
+        (0u64..64, 1u64..8, 0u8..4).prop_map(|(ia_page, nr, owner)| MapOp::InsertAnnot {
+            ia_page,
+            nr,
+            owner
+        }),
+        (0u64..64, 1u64..8).prop_map(|(ia_page, nr)| MapOp::Remove { ia_page, nr }),
+    ]
+}
+
+fn perms_of(p: u8) -> Perms {
+    [Perms::RWX, Perms::RW, Perms::RX, Perms::R][p as usize % 4]
+}
+
+proptest! {
+    /// The coalescing range map has exactly the semantics of a per-page map.
+    #[test]
+    fn mapping_matches_per_page_model(ops in proptest::collection::vec(map_op(), 1..60)) {
+        let mut mapping = Mapping::new();
+        let mut model: BTreeMap<u64, MapletTarget> = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::InsertMapped { ia_page, nr, oa_page, perms } => {
+                    let attrs = AbsAttrs {
+                        perms: perms_of(perms),
+                        memtype: MemType::Normal,
+                        state: Some(PageState::Owned),
+                    };
+                    mapping.insert(Maplet {
+                        ia: ia_page * PAGE_SIZE,
+                        nr_pages: nr,
+                        target: MapletTarget::Mapped { oa: oa_page * PAGE_SIZE, attrs },
+                    });
+                    for i in 0..nr {
+                        model.insert(
+                            (ia_page + i) * PAGE_SIZE,
+                            MapletTarget::Mapped { oa: (oa_page + i) * PAGE_SIZE, attrs },
+                        );
+                    }
+                }
+                MapOp::InsertAnnot { ia_page, nr, owner } => {
+                    let owner = OwnerId(owner);
+                    mapping.insert(Maplet {
+                        ia: ia_page * PAGE_SIZE,
+                        nr_pages: nr,
+                        target: MapletTarget::Annotated { owner },
+                    });
+                    for i in 0..nr {
+                        model.insert((ia_page + i) * PAGE_SIZE, MapletTarget::Annotated { owner });
+                    }
+                }
+                MapOp::Remove { ia_page, nr } => {
+                    mapping.remove(ia_page * PAGE_SIZE, nr);
+                    for i in 0..nr {
+                        model.remove(&((ia_page + i) * PAGE_SIZE));
+                    }
+                }
+            }
+            // Canonical-form invariant after every operation.
+            mapping.check_canonical().unwrap();
+        }
+        // Pointwise agreement over the whole exercised window.
+        for page in 0..80u64 {
+            let ia = page * PAGE_SIZE;
+            prop_assert_eq!(mapping.lookup(ia), model.get(&ia).copied(), "page {:#x}", ia);
+        }
+        prop_assert_eq!(mapping.nr_pages(), model.len() as u64);
+    }
+
+    /// Two orders of building the same extension compare equal.
+    #[test]
+    fn mapping_equality_is_extensional(
+        pages in proptest::collection::btree_set(0u64..48, 1..24),
+    ) {
+        let mut forward = Mapping::new();
+        for &p in pages.iter() {
+            forward.insert(Maplet {
+                ia: p * PAGE_SIZE,
+                nr_pages: 1,
+                target: MapletTarget::Annotated { owner: OwnerId::HYP },
+            });
+        }
+        let mut backward = Mapping::new();
+        for &p in pages.iter().rev() {
+            backward.insert(Maplet {
+                ia: p * PAGE_SIZE,
+                nr_pages: 1,
+                target: MapletTarget::Annotated { owner: OwnerId::HYP },
+            });
+        }
+        prop_assert_eq!(&forward, &backward);
+        prop_assert!(forward.diff(&backward).is_empty());
+    }
+
+    // ------------------------------------------------------ descriptors --
+
+    /// Leaf descriptors round-trip for every stage/level/attribute combo.
+    #[test]
+    fn pte_leaf_roundtrip(
+        stage_s2 in any::<bool>(),
+        level in 1u8..=3,
+        oa_block in 0u64..512,
+        r in any::<bool>(),
+        w in any::<bool>(),
+        x in any::<bool>(),
+        device in any::<bool>(),
+        sw in 0u8..3,
+    ) {
+        let stage = if stage_s2 { Stage::Stage2 } else { Stage::Stage1 };
+        let block_size = pkvm_repro::aarch64::addr::level_size(level);
+        let oa = PhysAddr::new(oa_block * block_size);
+        let perms = if stage == Stage::Stage1 {
+            // Stage 1 encodes no read-disable; r is architectural.
+            Perms { r: true, w, x }
+        } else {
+            Perms { r, w, x }
+        };
+        let attrs = Attrs {
+            perms,
+            memtype: if device { MemType::Device } else { MemType::Normal },
+            sw,
+        };
+        let pte = Pte::leaf(stage, level, oa, attrs);
+        prop_assert_eq!(pte.leaf_oa(level), oa);
+        prop_assert_eq!(pte.leaf_attrs(stage), attrs);
+    }
+
+    /// Owner annotations round-trip.
+    #[test]
+    fn annotation_roundtrip(owner in 0u8..32) {
+        let pte = pkvm_repro::hyp::owner::annotation_pte(OwnerId(owner));
+        prop_assert!(!pte.is_valid());
+        prop_assert_eq!(pkvm_repro::hyp::owner::annotation_owner(pte), OwnerId(owner));
+    }
+
+    // ------------------------------------ walker vs interpretation ------
+
+    /// Installing arbitrary page mappings through the implementation's
+    /// walker and interpreting the table with the ghost's abstraction
+    /// function recovers exactly the intended extension — and the
+    /// hardware walk agrees pointwise.
+    #[test]
+    fn walker_and_interpretation_agree(
+        entries in proptest::collection::btree_map(0u64..96, (0u64..96, any::<bool>()), 1..32),
+    ) {
+        let mem = PhysMem::new(vec![MemRegion::ram(0x4000_0000, 0x800_0000)]);
+        let mut pool = HypPool::new(PhysAddr::new(0x4400_0000), 2048);
+        let root = pool.alloc_page().unwrap();
+        mem.zero_page(root).unwrap();
+        let pgt = KvmPgtable { root, stage: Stage::Stage2 };
+
+        let ia_base = 0x4000_0000u64;
+        let oa_base = 0x4100_0000u64;
+        let mut expected = Mapping::new();
+        for (&ia_page, &(oa_page, writable)) in &entries {
+            let perms = if writable { Perms::RWX } else { Perms::RX };
+            let attrs = Attrs { perms, memtype: MemType::Normal, sw: PageState::Owned.to_sw() };
+            let mut mm = PoolOps(&mut pool);
+            let mut ws = WalkState::new(&mem, &mut mm);
+            let mut w = MapWalker {
+                stage: Stage::Stage2,
+                phys_base: PhysAddr::new(oa_base + oa_page * PAGE_SIZE),
+                ia_base: ia_base + ia_page * PAGE_SIZE,
+                attrs,
+                force_pages: true,
+                corrupt_block_oa: false,
+            };
+            kvm_pgtable_walk(&pgt, &mut ws, ia_base + ia_page * PAGE_SIZE, PAGE_SIZE, &mut w)
+                .unwrap();
+            expected.insert(Maplet {
+                ia: ia_base + ia_page * PAGE_SIZE,
+                nr_pages: 1,
+                target: MapletTarget::Mapped {
+                    oa: oa_base + oa_page * PAGE_SIZE,
+                    attrs: AbsAttrs {
+                        perms,
+                        memtype: MemType::Normal,
+                        state: Some(PageState::Owned),
+                    },
+                },
+            });
+        }
+
+        // Ghost interpretation recovers the extension.
+        let mut anomalies = Vec::new();
+        let abs = pkvm_repro::ghost::interpret_pgtable(&mem, Stage::Stage2, root, &mut anomalies);
+        prop_assert!(anomalies.is_empty(), "{:?}", anomalies);
+        prop_assert_eq!(&abs.mapping, &expected);
+
+        // The hardware walk agrees pointwise with the abstract mapping.
+        for page in 0..100u64 {
+            let ia = ia_base + page * PAGE_SIZE;
+            let hw = hw_walk::walk(&mem, Stage::Stage2, root, ia).ok().map(|t| t.oa.bits());
+            let abstract_oa = expected.lookup(ia).map(|t| match t {
+                MapletTarget::Mapped { oa, .. } => oa,
+                MapletTarget::Annotated { .. } => unreachable!(),
+            });
+            prop_assert_eq!(hw, abstract_oa, "ia {:#x}", ia);
+        }
+    }
+
+    /// Unmapping (annotating) arbitrary sub-ranges of a block-mapped
+    /// region preserves the complement exactly.
+    #[test]
+    fn block_split_preserves_complement(
+        holes in proptest::collection::btree_set(0u64..512, 1..20),
+    ) {
+        let mem = PhysMem::new(vec![MemRegion::ram(0x4000_0000, 0x800_0000)]);
+        let mut pool = HypPool::new(PhysAddr::new(0x4400_0000), 2048);
+        let root = pool.alloc_page().unwrap();
+        mem.zero_page(root).unwrap();
+        let pgt = KvmPgtable { root, stage: Stage::Stage2 };
+        let base = 0x4020_0000u64; // one 2 MiB block
+        let attrs = Attrs::normal(Perms::RWX).with_sw(PageState::Owned.to_sw());
+        {
+            let mut mm = PoolOps(&mut pool);
+            let mut ws = WalkState::new(&mem, &mut mm);
+            let mut w = MapWalker {
+                stage: Stage::Stage2,
+                phys_base: PhysAddr::new(base),
+                ia_base: base,
+                attrs,
+                force_pages: false,
+                corrupt_block_oa: false,
+            };
+            kvm_pgtable_walk(&pgt, &mut ws, base, 512 * PAGE_SIZE, &mut w).unwrap();
+        }
+        for &h in &holes {
+            let mut mm = PoolOps(&mut pool);
+            let mut ws = WalkState::new(&mem, &mut mm);
+            let mut v = SetOwnerWalker {
+                stage: Stage::Stage2,
+                annotation: pkvm_repro::hyp::owner::annotation_pte(OwnerId::HYP),
+            };
+            kvm_pgtable_walk(&pgt, &mut ws, base + h * PAGE_SIZE, PAGE_SIZE, &mut v).unwrap();
+        }
+        for page in 0..512u64 {
+            let ia = base + page * PAGE_SIZE;
+            let tr = hw_walk::walk(&mem, Stage::Stage2, root, ia);
+            if holes.contains(&page) {
+                prop_assert!(tr.is_err(), "hole {:#x} still mapped", ia);
+            } else {
+                prop_assert_eq!(tr.unwrap().oa, PhysAddr::new(ia), "page {:#x} damaged", ia);
+            }
+        }
+    }
+
+    // ------------------------------------------------------- allocator --
+
+    /// The buddy allocator conserves pages and never hands out
+    /// overlapping blocks.
+    #[test]
+    fn buddy_allocator_invariants(ops in proptest::collection::vec((0u8..4, any::<bool>()), 1..100)) {
+        let mut pool = HypPool::new(PhysAddr::new(0x4400_0000), 512);
+        let mut live: Vec<(PhysAddr, u8)> = Vec::new();
+        for (order, free_instead) in ops {
+            if free_instead && !live.is_empty() {
+                let (pa, _) = live.swap_remove(0);
+                pool.put_page(pa);
+            } else if let Ok(pa) = pool.alloc_pages(order) {
+                // No overlap with any live block.
+                for &(other, oorder) in &live {
+                    let a = (pa.pfn(), pa.pfn() + (1 << order));
+                    let b = (other.pfn(), other.pfn() + (1 << oorder));
+                    prop_assert!(a.1 <= b.0 || b.1 <= a.0, "overlap {:?} {:?}", a, b);
+                }
+                // Natural alignment.
+                prop_assert_eq!(pa.pfn() % (1 << order), 0);
+                live.push((pa, order));
+            }
+            let live_pages: u64 = live.iter().map(|&(_, o)| 1u64 << o).sum();
+            prop_assert_eq!(pool.free_pages() + live_pages, 512);
+        }
+        for (pa, _) in live {
+            pool.put_page(pa);
+        }
+        prop_assert_eq!(pool.free_pages(), 512);
+    }
+}
+
+// --------------------------------------------- oracle under randomness --
+
+/// Abstract VM-lifecycle operations for the property below.
+#[derive(Clone, Debug)]
+enum VmOp {
+    Load(usize),
+    Put(usize),
+    Topup(usize),
+    MapGuest(usize),
+    GuestWrite(usize),
+}
+
+fn vm_op() -> impl Strategy<Value = VmOp> {
+    prop_oneof![
+        (0usize..2).prop_map(VmOp::Load),
+        (0usize..2).prop_map(VmOp::Put),
+        (0usize..2).prop_map(VmOp::Topup),
+        (0usize..2).prop_map(VmOp::MapGuest),
+        (0usize..2).prop_map(VmOp::GuestWrite),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary VM-lifecycle interleavings over two CPUs: every call
+    /// either succeeds or fails with the model-predicted error, and the
+    /// oracle stays clean throughout.
+    #[test]
+    fn vm_lifecycle_sequences_stay_clean(ops in proptest::collection::vec(vm_op(), 1..30)) {
+        use pkvm_repro::harness::proxy::{Proxy, ProxyOpts};
+        use pkvm_repro::hyp::vm::GuestOp;
+        let p = Proxy::boot(ProxyOpts::default());
+        let h = p.init_vm(0, 1, true).unwrap();
+        p.init_vcpu(0, h, 0).unwrap();
+        // Model: which cpu (if any) holds the single vCPU, its memcache
+        // estimate, and the next fresh gfn.
+        let mut held: Option<usize> = None;
+        let mut memcache = 0u64;
+        let mut gfn = 0x10u64;
+        for op in ops {
+            match op {
+                VmOp::Load(cpu) => {
+                    let r = p.vcpu_load(cpu, h, 0);
+                    prop_assert_eq!(r.is_ok(), held.is_none(), "load on cpu{}", cpu);
+                    if r.is_ok() {
+                        held = Some(cpu);
+                    }
+                }
+                VmOp::Put(cpu) => {
+                    let r = p.vcpu_put(cpu);
+                    prop_assert_eq!(r.is_ok(), held == Some(cpu));
+                    if r.is_ok() {
+                        held = None;
+                    }
+                }
+                VmOp::Topup(cpu) => {
+                    let r = p.topup(cpu, 4);
+                    prop_assert_eq!(r.is_ok(), held == Some(cpu));
+                    if r.is_ok() {
+                        memcache += 4;
+                    }
+                }
+                VmOp::MapGuest(cpu) => {
+                    let r = p.map_guest(cpu, gfn);
+                    if held == Some(cpu) && memcache >= 3 {
+                        prop_assert!(r.is_ok(), "map_guest: {:?}", r);
+                        gfn += 1;
+                        memcache = memcache.saturating_sub(3);
+                    } else if held != Some(cpu) {
+                        prop_assert!(r.is_err());
+                    } else if r.is_ok() {
+                        // Fewer tables were needed than the conservative
+                        // estimate; account for the page.
+                        gfn += 1;
+                    }
+                }
+                VmOp::GuestWrite(cpu) => {
+                    if held == Some(cpu) && gfn > 0x10 {
+                        p.push_guest_op(h, 0, GuestOp::Write(0x10 * PAGE_SIZE, 1)).unwrap();
+                        let exit = p.vcpu_run(cpu).unwrap();
+                        prop_assert_eq!(exit, pkvm_repro::hyp::hypercalls::exit::CONTINUE);
+                    }
+                }
+            }
+        }
+        prop_assert!(p.all_clear(), "{:?}", p.violations());
+    }
+
+    /// Arbitrary well-formed share/unshare interleavings stay clean under
+    /// the oracle (a property-based slice of the random tester).
+    #[test]
+    fn share_sequences_stay_clean(ops in proptest::collection::vec((0u64..24, any::<bool>()), 1..40)) {
+        use pkvm_repro::harness::proxy::{Proxy, ProxyOpts};
+        let p = Proxy::boot(ProxyOpts::default());
+        let base = p.alloc_pages(24);
+        let mut shared = [false; 24];
+        for (page, do_share) in ops {
+            let pfn = base + page;
+            if do_share {
+                let r = p.share(0, pfn);
+                prop_assert_eq!(r.is_ok(), !shared[page as usize]);
+                shared[page as usize] = true;
+            } else {
+                let r = p.unshare(0, pfn);
+                prop_assert_eq!(r.is_ok(), shared[page as usize]);
+                shared[page as usize] = false;
+            }
+        }
+        prop_assert!(p.all_clear(), "{:?}", p.violations());
+    }
+}
