@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full local gate: everything CI would run, in dependency order.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace --all-targets
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt =="
+cargo fmt --all -- --check
+
+echo "== bench smoke (PKVM_BENCH_QUICK=1) =="
+PKVM_BENCH_QUICK=1 cargo bench -p pkvm-bench
+
+echo "ci.sh: all green"

@@ -28,6 +28,7 @@ pub mod attrs;
 pub mod desc;
 pub mod esr;
 pub mod memory;
+pub mod sync;
 pub mod sysreg;
 pub mod tlb;
 pub mod walk;

@@ -11,13 +11,133 @@
 //! tests (and the linear-map-overlap reproduction) can observe the
 //! hypervisor touching device memory it never intended to.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use crate::sync::{Mutex, RwLock};
 
 use crate::addr::{PhysAddr, PAGE_MASK, PAGE_SIZE};
 use crate::desc::Pte;
+
+/// Dirty-page tracking: a generational log of every page the simulated
+/// system writes.
+///
+/// Consumers (the ghost oracle's incremental abstraction cache) take a
+/// [`WriteLog::snapshot_generation`] *before* reading derived state, and
+/// later ask [`WriteLog::dirty_since`] that snapshot to learn which pages
+/// may have invalidated it. Writes racing with the read land at or after
+/// the snapshot generation and so are re-reported next time — the log
+/// over-approximates, never under-reports.
+///
+/// Tracking is off by default (one relaxed atomic load per write); the
+/// instrumented machine switches it on when its hooks want dirty
+/// information. The log is bounded: on overflow the oldest half is
+/// discarded and snapshots from before the trim point report `None`
+/// ("unknown — assume everything dirty").
+#[derive(Debug, Default)]
+pub struct WriteLog {
+    enabled: AtomicBool,
+    inner: Mutex<WriteLogInner>,
+}
+
+#[derive(Debug, Default)]
+struct WriteLogInner {
+    /// Current generation; bumped by every snapshot.
+    generation: u64,
+    /// `(generation, pfn)` in non-decreasing generation order.
+    entries: VecDeque<(u64, u64)>,
+    /// Pages already logged in the current generation (dedup).
+    seen: HashSet<u64>,
+    /// Snapshots older than this have lost entries to trimming.
+    trimmed_before: u64,
+}
+
+/// Cap on retained log entries; oldest half is dropped on overflow.
+const WRITE_LOG_CAP: usize = 1 << 16;
+
+impl WriteLog {
+    /// Returns `true` if writes are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Switches recording on or off. Turning it off clears the log, so
+    /// pre-existing snapshots conservatively report `None`.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+        if !on {
+            let mut l = self.inner.lock();
+            l.trimmed_before = l.generation + 1;
+            l.entries.clear();
+            l.seen.clear();
+        }
+    }
+
+    /// The current generation (diagnostics; snapshots come from
+    /// [`Self::snapshot_generation`]).
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().generation
+    }
+
+    /// Retained log entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Returns `true` if no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Opens a new generation and returns it: every write logged from now
+    /// on — including writes racing with state the caller is about to
+    /// read — satisfies `dirty_since(returned)`.
+    pub fn snapshot_generation(&self) -> u64 {
+        let mut l = self.inner.lock();
+        l.generation += 1;
+        l.seen.clear();
+        l.generation
+    }
+
+    /// The set of pages written at or after snapshot `gen`, or `None` if
+    /// the log cannot answer (tracking off, or `gen` trimmed away) and the
+    /// caller must assume everything is dirty.
+    pub fn dirty_since(&self, gen: u64) -> Option<BTreeSet<u64>> {
+        if !self.enabled() {
+            return None;
+        }
+        let l = self.inner.lock();
+        if gen < l.trimmed_before {
+            return None;
+        }
+        // Entries are in generation order: the answer is a suffix.
+        Some(
+            l.entries
+                .iter()
+                .rev()
+                .take_while(|&&(g, _)| g >= gen)
+                .map(|&(_, pfn)| pfn)
+                .collect(),
+        )
+    }
+
+    fn record(&self, pfn: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut l = self.inner.lock();
+        if !l.seen.insert(pfn) {
+            return;
+        }
+        let g = l.generation;
+        l.entries.push_back((g, pfn));
+        if l.entries.len() > WRITE_LOG_CAP {
+            l.entries.drain(..WRITE_LOG_CAP / 2);
+            // The oldest retained generation may now be incomplete.
+            l.trimmed_before = l.entries.front().map_or(g + 1, |&(g, _)| g + 1);
+        }
+    }
+}
 
 /// The kind of a physical-memory region.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,6 +212,7 @@ pub struct PhysMem {
     pages: RwLock<HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>>,
     mmio_reads: AtomicU64,
     mmio_writes: AtomicU64,
+    write_log: WriteLog,
 }
 
 impl PhysMem {
@@ -120,6 +241,7 @@ impl PhysMem {
             pages: RwLock::new(HashMap::new()),
             mmio_reads: AtomicU64::new(0),
             mmio_writes: AtomicU64::new(0),
+            write_log: WriteLog::default(),
         }
     }
 
@@ -151,6 +273,11 @@ impl PhysMem {
     /// Number of MMIO write accesses performed so far.
     pub fn mmio_writes(&self) -> u64 {
         self.mmio_writes.load(Ordering::Relaxed)
+    }
+
+    /// The dirty-page log recording this memory's writes.
+    pub fn write_log(&self) -> &WriteLog {
+        &self.write_log
     }
 
     /// Number of RAM pages currently backed by real storage (touched pages).
@@ -208,6 +335,7 @@ impl PhysMem {
     pub fn write_u64(&self, pa: PhysAddr, value: u64) -> Result<(), BusError> {
         assert!(pa.bits().is_multiple_of(8), "misaligned u64 write at {pa}");
         self.note_access(pa, true)?;
+        self.write_log.record(pa.pfn());
         let mut pages = self.pages.write();
         let page = pages
             .entry(pa.pfn())
@@ -248,6 +376,7 @@ impl PhysMem {
             let a = pa.wrapping_add(i as u64);
             if a.page_offset() == 0 || i == 0 {
                 self.note_access(a, true)?;
+                self.write_log.record(a.pfn());
             }
             let page = pages
                 .entry(a.pfn())
@@ -264,6 +393,7 @@ impl PhysMem {
     /// Returns [`BusError`] for addresses outside every region.
     pub fn zero_page(&self, pa: PhysAddr) -> Result<(), BusError> {
         self.note_access(pa, true)?;
+        self.write_log.record(pa.pfn());
         // Dropping the backing restores zero-fill semantics cheaply.
         self.pages.write().remove(&pa.pfn());
         Ok(())
@@ -384,5 +514,98 @@ mod tests {
             MemRegion::ram(0x1000, 0x2000),
             MemRegion::ram(0x2000, 0x2000),
         ]);
+    }
+
+    #[test]
+    fn write_log_disabled_by_default_and_answers_none() {
+        let m = mem();
+        m.write_u64(PhysAddr::new(0x4000_0000), 1).unwrap();
+        assert!(!m.write_log().enabled());
+        assert!(m.write_log().is_empty());
+        assert_eq!(m.write_log().dirty_since(0), None);
+    }
+
+    #[test]
+    fn write_log_records_each_written_page_once_per_generation() {
+        let m = mem();
+        m.write_log().set_enabled(true);
+        let snap = m.write_log().snapshot_generation();
+        // Two writes to the same page, one to another; reads don't count.
+        m.write_u64(PhysAddr::new(0x4000_0000), 1).unwrap();
+        m.write_u64(PhysAddr::new(0x4000_0008), 2).unwrap();
+        m.write_u64(PhysAddr::new(0x4000_1000), 3).unwrap();
+        m.read_u64(PhysAddr::new(0x4000_2000)).unwrap();
+        let dirty = m.write_log().dirty_since(snap).unwrap();
+        assert_eq!(
+            dirty.into_iter().collect::<Vec<_>>(),
+            vec![0x40000, 0x40001]
+        );
+        assert_eq!(m.write_log().len(), 2, "same-page writes deduplicated");
+    }
+
+    #[test]
+    fn snapshot_bumps_the_generation_and_resets_dedup() {
+        let m = mem();
+        m.write_log().set_enabled(true);
+        let g1 = m.write_log().snapshot_generation();
+        m.write_u64(PhysAddr::new(0x4000_0000), 1).unwrap();
+        let g2 = m.write_log().snapshot_generation();
+        assert!(g2 > g1);
+        // The same page dirtied again lands in the *new* generation.
+        m.write_u64(PhysAddr::new(0x4000_0000), 2).unwrap();
+        assert_eq!(m.write_log().dirty_since(g2).unwrap().len(), 1);
+        // And the older snapshot still sees both generations' entries.
+        assert_eq!(m.write_log().dirty_since(g1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn write_log_covers_byte_writes_and_page_zeroing() {
+        let m = mem();
+        m.write_log().set_enabled(true);
+        let snap = m.write_log().snapshot_generation();
+        // A byte write straddling a page boundary dirties both pages.
+        m.write_bytes(PhysAddr::new(0x4000_0ffc), &[0xff; 8])
+            .unwrap();
+        m.zero_page(PhysAddr::new(0x4000_3000)).unwrap();
+        let dirty = m.write_log().dirty_since(snap).unwrap();
+        assert!(dirty.contains(&0x40000));
+        assert!(dirty.contains(&0x40001));
+        assert!(dirty.contains(&0x40003));
+    }
+
+    #[test]
+    fn disabling_clears_the_log_and_invalidates_old_snapshots() {
+        let m = mem();
+        m.write_log().set_enabled(true);
+        let snap = m.write_log().snapshot_generation();
+        m.write_u64(PhysAddr::new(0x4000_0000), 1).unwrap();
+        m.write_log().set_enabled(false);
+        m.write_log().set_enabled(true);
+        // The old snapshot predates the gap in coverage: no answer.
+        assert_eq!(m.write_log().dirty_since(snap), None);
+        // A fresh snapshot works again.
+        let snap2 = m.write_log().snapshot_generation();
+        m.write_u64(PhysAddr::new(0x4000_1000), 1).unwrap();
+        assert_eq!(m.write_log().dirty_since(snap2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn overflow_trims_oldest_entries_and_reports_unanswerable() {
+        let m = mem();
+        m.write_log().set_enabled(true);
+        let snap = m.write_log().snapshot_generation();
+        // One distinct page per generation, enough to overflow the cap.
+        for i in 0..(WRITE_LOG_CAP as u64 + 2) {
+            m.write_log().snapshot_generation();
+            m.write_u64(PhysAddr::new(0x4000_0000 + (i % 0x1000) * 0x1000), i)
+                .unwrap();
+        }
+        assert!(m.write_log().len() <= WRITE_LOG_CAP);
+        // The trimmed-away snapshot cannot be answered...
+        assert_eq!(m.write_log().dirty_since(snap), None);
+        // ...but a current one can.
+        let snap2 = m.write_log().snapshot_generation();
+        m.write_u64(PhysAddr::new(0x4000_5000), 9).unwrap();
+        assert_eq!(m.write_log().dirty_since(snap2).unwrap().len(), 1);
     }
 }

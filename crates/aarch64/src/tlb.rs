@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use crate::addr::PAGE_MASK;
 use crate::walk::Translation;

@@ -7,12 +7,13 @@
 //! mappings) and contrast with block-mapped tables of the same span,
 //! where coalescing makes the abstraction cheap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pkvm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use pkvm_aarch64::addr::PhysAddr;
 use pkvm_aarch64::attrs::Stage;
 use pkvm_bench::{build_block_table, build_page_table};
-use pkvm_ghost::interpret_pgtable;
+use pkvm_ghost::{interpret_pgtable, interpret_pgtable_with_meta, AbsCache, CacheKey};
 
 fn bench_interpret_pages(c: &mut Criterion) {
     let mut g = c.benchmark_group("F2_interpret_page_grain");
@@ -48,5 +49,65 @@ fn bench_interpret_blocks(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_interpret_pages, bench_interpret_blocks);
+/// The incremental-abstraction headline: after a small-delta critical
+/// section (one PTE written in a populated table), re-abstraction via the
+/// cache replays one subtree instead of re-walking everything. Contrast
+/// `full/N` with `incremental/N` at equal population.
+fn bench_small_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F2_small_delta_reabstraction");
+    for nr_pages in [4096u64, 16384] {
+        let (mem, root) = build_page_table(nr_pages);
+        mem.write_log().set_enabled(true);
+
+        // Locate one leaf-level table node and its first descriptor; the
+        // per-iteration "critical section" rewrites that descriptor (same
+        // value — the write alone dirties the page).
+        let mut anomalies = Vec::new();
+        let (_, meta) = interpret_pgtable_with_meta(&mem, Stage::Stage2, root, &mut anomalies);
+        assert!(anomalies.is_empty());
+        let (&leaf_pfn, _) = meta
+            .iter()
+            .find(|(_, &(level, _))| level == 3)
+            .expect("page-grain table has leaf tables");
+        let leaf = PhysAddr::from_pfn(leaf_pfn);
+        let pte = mem.read_pte(leaf, 0).unwrap();
+
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("full", nr_pages), &nr_pages, |b, _| {
+            b.iter(|| {
+                mem.write_pte(leaf, 0, pte).unwrap();
+                let mut a = Vec::new();
+                black_box(interpret_pgtable(&mem, Stage::Stage2, root, &mut a))
+            })
+        });
+
+        let mut cache = AbsCache::new();
+        let mut a = Vec::new();
+        cache.interp(&mem, Stage::Stage2, root, CacheKey::Host, &mut a); // warm
+        g.bench_with_input(
+            BenchmarkId::new("incremental", nr_pages),
+            &nr_pages,
+            |b, _| {
+                b.iter(|| {
+                    mem.write_pte(leaf, 0, pte).unwrap();
+                    let mut a = Vec::new();
+                    black_box(cache.interp(&mem, Stage::Stage2, root, CacheKey::Host, &mut a))
+                })
+            },
+        );
+        assert!(
+            cache.stats.incremental > 0 && cache.stats.full_walks() <= 1,
+            "cache did not serve incrementally: {:?}",
+            cache.stats
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interpret_pages,
+    bench_interpret_blocks,
+    bench_small_delta
+);
 criterion_main!(benches);

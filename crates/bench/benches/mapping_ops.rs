@@ -7,7 +7,7 @@
 //! map sizes, for both fragmented (alternating) and coalescible
 //! (contiguous) workloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pkvm_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use pkvm_aarch64::addr::PAGE_SIZE;
@@ -94,7 +94,7 @@ fn bench_remove(c: &mut Criterion) {
                     assert!(m.is_empty());
                     black_box(m)
                 },
-                criterion::BatchSize::SmallInput,
+                pkvm_bench::minibench::BatchSize::SmallInput,
             )
         });
     }

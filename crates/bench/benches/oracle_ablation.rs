@@ -7,8 +7,7 @@
 //! oracle with each §4.4 invariant disabled, quantifying the design
 //! choices `DESIGN.md` calls out.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use pkvm_bench::minibench::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
 use pkvm_ghost::oracle::{Oracle, OracleOpts};
@@ -30,36 +29,38 @@ fn bench_ablation(c: &mut Criterion) {
         Arc::new(NoHooks),
         Arc::new(FaultSet::none()),
     );
-    g.bench_function("no_oracle", |b| b.iter(|| black_box(pair(&bare))));
+    g.bench_function("no_oracle", |b| b.iter(|| pair(&bare)));
 
     for (name, opts) in [
         ("full_oracle", OracleOpts::default()),
         (
             "no_noninterference",
-            OracleOpts {
-                check_noninterference: false,
-                ..Default::default()
-            },
+            OracleOpts::builder().check_noninterference(false).build(),
         ),
         (
             "no_separation",
-            OracleOpts {
-                check_separation: false,
-                ..Default::default()
-            },
+            OracleOpts::builder().check_separation(false).build(),
         ),
         (
             "spec_check_only",
-            OracleOpts {
-                check_noninterference: false,
-                check_separation: false,
-            },
+            OracleOpts::builder()
+                .check_noninterference(false)
+                .check_separation(false)
+                .build(),
+        ),
+        (
+            "incremental_abstraction",
+            OracleOpts::builder().incremental_abstraction(true).build(),
+        ),
+        (
+            "shadow_validation",
+            OracleOpts::builder().shadow_validation(true).build(),
         ),
     ] {
         let config = MachineConfig::default();
         let oracle = Oracle::new(&config, opts);
         let m = Machine::boot(config, oracle.clone(), Arc::new(FaultSet::none()));
-        g.bench_function(name, |b| b.iter(|| black_box(pair(&m))));
+        g.bench_function(name, |b| b.iter(|| pair(&m)));
         assert!(oracle.is_clean());
     }
     g.finish();

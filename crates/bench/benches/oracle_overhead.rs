@@ -7,7 +7,7 @@
 //! 41-scenario suite with/without the oracle — plus the per-hypercall
 //! overhead that drives them.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pkvm_bench::minibench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use pkvm_bench::boot;

@@ -6,7 +6,7 @@
 //! This bench times each phase in isolation for a `host_share_hyp`, on a
 //! machine with a realistically-populated host stage 2.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pkvm_bench::minibench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use pkvm_aarch64::esr::Esr;

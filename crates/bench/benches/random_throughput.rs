@@ -6,26 +6,25 @@
 //! report binary converts the with-oracle figure to hypercalls/hour for
 //! the EXPERIMENTS.md comparison.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pkvm_bench::minibench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use pkvm_harness::proxy::{Proxy, ProxyOpts};
+use pkvm_ghost::oracle::OracleOpts;
+use pkvm_harness::proxy::Proxy;
 use pkvm_harness::random::{RandomCfg, RandomTester};
 
 const STEPS: u64 = 1000;
 
 fn run(with_oracle: bool, seed: u64) -> u64 {
-    let proxy = Proxy::boot(ProxyOpts {
-        with_oracle,
-        ..Default::default()
-    });
-    let mut t = RandomTester::new(
-        proxy,
-        RandomCfg {
-            seed,
-            ..Default::default()
-        },
-    );
+    run_opts(with_oracle, OracleOpts::default(), seed)
+}
+
+fn run_opts(with_oracle: bool, opts: OracleOpts, seed: u64) -> u64 {
+    let proxy = Proxy::builder()
+        .with_oracle(with_oracle)
+        .oracle_opts(opts)
+        .boot();
+    let mut t = RandomTester::new(proxy, RandomCfg::builder().seed(seed).build());
     t.run(STEPS);
     assert!(t.proxy.violations().is_empty());
     t.stats.calls
@@ -46,6 +45,16 @@ fn bench_random(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             black_box(run(false, seed))
+        })
+    });
+    g.bench_function("with_incremental_oracle", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_opts(
+                true,
+                OracleOpts::builder().incremental_abstraction(true).build(),
+                seed,
+            ))
         })
     });
     g.finish();

@@ -13,10 +13,10 @@ use std::time::Instant;
 
 use pkvm_aarch64::walk::Access;
 use pkvm_bench::boot;
-use pkvm_ghost::oracle::{Oracle, OracleOpts};
+use pkvm_ghost::oracle::Oracle;
 use pkvm_harness::bugs::{self, Detection};
 use pkvm_harness::coverage::{self, CoverageSummary};
-use pkvm_harness::proxy::{Proxy, ProxyOpts};
+use pkvm_harness::proxy::Proxy;
 use pkvm_harness::random::{RandomCfg, RandomTester};
 use pkvm_harness::scenarios;
 use pkvm_hyp::faults::FaultSet;
@@ -44,7 +44,7 @@ fn main() {
     heading("E6: coverage (paper: 100% of reachable impl lines for host_share_hyp; spec 92% = 459/497 lines)");
     println!("after the handwritten suite:");
     print!("{}", CoverageSummary::collect().render());
-    let proxy = Proxy::boot(ProxyOpts::default());
+    let proxy = Proxy::builder().boot();
     let mut tester = RandomTester::new(proxy, RandomCfg::default());
     tester.run(5000);
     assert!(tester.proxy.all_clear());
@@ -54,7 +54,7 @@ fn main() {
     // ------------------------------------------------ E4: memory impact
     heading("E4: ghost memory impact (paper: ~18 MB, dominated by page-table representations)");
     let config = MachineConfig::default();
-    let oracle = Oracle::new(&config, OracleOpts::default());
+    let oracle = Oracle::builder(&config).build();
     let machine = Machine::boot(config, oracle.clone(), Arc::new(FaultSet::none()));
     // Populate with a *fragmented* workload (alternating pages, so the
     // maplets cannot coalesce — the paper's memory is likewise dominated
@@ -201,14 +201,8 @@ fn main() {
     heading(
         "E3: random-tester throughput (paper: ~200,000 hypercalls/hour in QEMU on a Mac Mini M2)",
     );
-    let proxy = Proxy::boot(ProxyOpts::default());
-    let mut tester = RandomTester::new(
-        proxy,
-        RandomCfg {
-            seed: 99,
-            ..Default::default()
-        },
-    );
+    let proxy = Proxy::builder().boot();
+    let mut tester = RandomTester::new(proxy, RandomCfg::builder().seed(99).build());
     let t = Instant::now();
     tester.run(20_000);
     let dt = t.elapsed();

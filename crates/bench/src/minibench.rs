@@ -1,0 +1,321 @@
+//! Minimal in-tree benchmark harness with a criterion-shaped API.
+//!
+//! The workspace builds hermetically (no crates.io), so the bench targets
+//! run on this instead of criterion. It mirrors exactly the subset the
+//! targets use — `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `iter`, `iter_batched`, `Throughput::Elements`, `sample_size` — and
+//! prints per-benchmark median/mean wall time plus derived throughput.
+//!
+//! Set `PKVM_BENCH_QUICK=1` for a smoke run (one short sample per bench,
+//! as used by `ci.sh`); timings are then indicative only.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level driver handed to each registered bench function.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: std::env::var_os("PKVM_BENCH_QUICK").is_some_and(|v| v != "0"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group; results print as `group/bench`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            crit: self,
+            name: name.to_string(),
+            sample_size: 0,
+            throughput: None,
+        }
+    }
+
+    /// Runs a bench outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        self.benchmark_group("").bench_function(name, f);
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (pages, steps, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; accepted for API parity, the
+/// harness reruns setup per iteration either way (setup time excluded).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A parameterised benchmark name.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: &str, param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    crit: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Requests roughly `n` samples (clamped; quick mode runs one).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchId, mut f: F) {
+        let samples = if self.crit.quick {
+            1
+        } else {
+            self.sample_size.clamp(10, 100)
+        };
+        let budget = if self.crit.quick {
+            Duration::from_millis(20)
+        } else {
+            Duration::from_millis(300)
+        };
+        let mut b = Bencher {
+            samples,
+            budget,
+            times: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        self.report(&id.into_bench_id(), &b);
+    }
+
+    /// Times `f` under `id`, passing `input` through (criterion parity).
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (printing is incremental; this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        if b.times.is_empty() {
+            println!("{full:<44} (no measurements)");
+            return;
+        }
+        let mut ns: Vec<f64> = b.times.iter().map(|d| d.as_secs_f64() * 1e9).collect();
+        ns.sort_by(f64::total_cmp);
+        let median = ns[ns.len() / 2];
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  {:>12}/s", si(n as f64 / (median * 1e-9))),
+            Some(Throughput::Bytes(n)) => format!("  {:>11}B/s", si(n as f64 / (median * 1e-9))),
+            None => String::new(),
+        };
+        println!(
+            "{full:<44} median {:>10}  mean {:>10}  ({} samples x {} iters){rate}",
+            fmt_ns(median),
+            fmt_ns(mean),
+            b.times.len(),
+            b.iters_per_sample,
+        );
+    }
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] names.
+pub trait IntoBenchId {
+    /// The rendered name.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.0
+    }
+}
+
+/// The per-benchmark timing loop.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    times: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording per-iteration wall time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.run(|iters| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            t0.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.run(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                total += t0.elapsed();
+            }
+            total
+        });
+    }
+
+    // Calibrates an iteration count against the time budget, then takes
+    // `samples` timed samples of that many iterations each.
+    fn run(&mut self, mut sample: impl FnMut(u64) -> Duration) {
+        let once = sample(1); // warmup + calibration
+        let per_sample = self.budget.as_secs_f64() / self.samples.max(1) as f64;
+        let iters = (per_sample / once.as_secs_f64().max(1e-9)).clamp(1.0, 1e6) as u64;
+        self.iters_per_sample = iters;
+        for _ in 0..self.samples {
+            self.times.push(sample(iters) / iters as u32);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} Gelem", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} Melem", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} Kelem", rate / 1e3)
+    } else {
+        format!("{rate:.1} elem")
+    }
+}
+
+/// Registers bench functions under a group name, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::minibench::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the registered groups, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records_samples() {
+        let mut c = Criterion { quick: true };
+        let mut g = c.benchmark_group("t");
+        let mut calls = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_input() {
+        let mut c = Criterion { quick: true };
+        let mut g = c.benchmark_group("t");
+        g.bench_with_input(BenchmarkId::new("consume", 3), &3u64, |b, &n| {
+            b.iter_batched(
+                || vec![0u8; n as usize],
+                |v| {
+                    assert_eq!(v.len(), 3);
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("insert", 16).into_bench_id(), "insert/16");
+        assert_eq!(BenchmarkId::from_parameter(512).into_bench_id(), "512");
+    }
+}

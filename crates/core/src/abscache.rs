@@ -1,0 +1,497 @@
+//! Incremental abstraction: caching page-table interpretations between
+//! lock events and re-interpreting only dirtied subtrees.
+//!
+//! Full interpretation ([`interpret_pgtable`]) walks the entire tree at
+//! every lock acquisition *and* release — the dominant per-event cost of
+//! the oracle (§4, Fig. 6 steps (2)–(5)) — even when the critical section
+//! wrote a handful of PTEs. This module keeps, per component, the last
+//! interpretation keyed by `(root, write-log generation)` plus the
+//! [`TableMeta`] locating every table node, and on the next event:
+//!
+//! 1. asks the [`WriteLog`](pkvm_aarch64::memory::WriteLog) which pages
+//!    were written since the cached snapshot;
+//! 2. intersects them with the cached table footprint — writes to
+//!    non-table pages cannot change the interpretation;
+//! 3. re-interprets only the subtrees rooted at dirtied table nodes
+//!    (keeping the shallowest when nested) and splices each delta over
+//!    its span in the cached map ([`Mapping::splice`]);
+//! 4. falls back to a full walk when the root moved, the log was trimmed,
+//!    the dirty ratio is high, or a replayed subtree reports an anomaly.
+//!
+//! ## Why the dirty intersection is sound
+//!
+//! The cached snapshot generation is taken *before* the walk it
+//! describes, so writes racing with that walk are re-reported next time
+//! (the log over-approximates). A table node leaves or joins the tree
+//! only by a PTE write in its (cached) parent node, so a stale footprint
+//! entry whose page was re-used is always shadowed by a dirtied ancestor
+//! and dropped by the shallowest-subtree filter. Anomalous states are
+//! never cached: every event over them takes the full walk and re-reports
+//! the anomalies, exactly like the non-incremental oracle.
+
+use std::collections::HashMap;
+
+use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
+use pkvm_aarch64::attrs::Stage;
+use pkvm_aarch64::memory::PhysMem;
+
+use crate::abstraction::{
+    interpret_pgtable_with_meta, interpret_subtree, table_span_pages, Anomaly, TableMeta,
+};
+use crate::state::AbstractPgtable;
+
+/// Which component's interpretation a cache entry holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// pKVM's own stage 1.
+    Hyp,
+    /// The host's stage 2.
+    Host,
+    /// A guest VM's stage 2, by handle.
+    Vm(u32),
+}
+
+/// If more than one table in `4^-1` of the footprint is dirty, replaying
+/// subtrees stops paying; take the full walk.
+const DIRTY_RATIO_DEN: usize = 4;
+
+/// Counters describing how the cache resolved requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Served unchanged (no dirty table pages).
+    pub clean_hits: u64,
+    /// Served by replaying dirty subtrees into the cached map.
+    pub incremental: u64,
+    /// Subtrees replayed across all incremental serves.
+    pub subtrees_replayed: u64,
+    /// Full walks: no cache entry yet.
+    pub full_cold: u64,
+    /// Full walks: the root changed.
+    pub full_root_changed: u64,
+    /// Full walks: the write log could not answer (disabled or trimmed).
+    pub full_log_unavailable: u64,
+    /// Full walks: dirty ratio above threshold.
+    pub full_dirty_ratio: u64,
+    /// Full walks: a replayed subtree reported an anomaly.
+    pub full_anomaly: u64,
+}
+
+impl CacheStats {
+    /// Total requests resolved.
+    pub fn requests(&self) -> u64 {
+        self.clean_hits
+            + self.incremental
+            + self.full_cold
+            + self.full_root_changed
+            + self.full_log_unavailable
+            + self.full_dirty_ratio
+            + self.full_anomaly
+    }
+
+    /// Total full walks taken.
+    pub fn full_walks(&self) -> u64 {
+        self.full_cold
+            + self.full_root_changed
+            + self.full_log_unavailable
+            + self.full_dirty_ratio
+            + self.full_anomaly
+    }
+}
+
+struct CacheEntry {
+    root: PhysAddr,
+    stage: Stage,
+    /// Write-log snapshot taken before the walk that produced `interp`.
+    gen: u64,
+    interp: AbstractPgtable,
+    meta: TableMeta,
+}
+
+/// The per-oracle incremental abstraction cache.
+#[derive(Default)]
+pub struct AbsCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    /// Resolution counters (exposed for benches, tests and reports).
+    pub stats: CacheStats,
+}
+
+impl AbsCache {
+    /// An empty cache.
+    pub fn new() -> AbsCache {
+        AbsCache::default()
+    }
+
+    /// Drops every cached interpretation (e.g. when a VM is torn down its
+    /// entry must not survive handle reuse).
+    pub fn invalidate(&mut self, key: CacheKey) {
+        self.entries.remove(&key);
+    }
+
+    /// Drops cached VM interpretations whose handle fails `live` — called
+    /// when the VM table is observed, so torn-down VMs do not keep their
+    /// (now dangling) interpretations resident.
+    pub fn retain_vms(&mut self, live: impl Fn(u32) -> bool) {
+        self.entries.retain(|k, _| match k {
+            CacheKey::Vm(h) => live(*h),
+            _ => true,
+        });
+    }
+
+    /// Interprets the table rooted at `root`, reusing the cached
+    /// interpretation for `key` where the write log proves it still
+    /// valid. Appends anomalies exactly as [`interpret_pgtable`] would.
+    ///
+    /// [`interpret_pgtable`]: crate::abstraction::interpret_pgtable
+    pub fn interp(
+        &mut self,
+        mem: &PhysMem,
+        stage: Stage,
+        root: PhysAddr,
+        key: CacheKey,
+        anomalies: &mut Vec<Anomaly>,
+    ) -> AbstractPgtable {
+        let log = mem.write_log();
+        // Snapshot before reading any table state: writes racing with
+        // this interpretation will be at or after `snap` and therefore
+        // re-reported by the next dirty_since query.
+        let snap = log.snapshot_generation();
+
+        match self.plan(mem, stage, root, key) {
+            Plan::Clean => {
+                self.stats.clean_hits += 1;
+                let e = self.entries.get_mut(&key).expect("planned over entry");
+                e.gen = snap;
+                e.interp.clone()
+            }
+            Plan::Replay(subtrees) => {
+                match self.replay(mem, key, snap, &subtrees) {
+                    Some(interp) => {
+                        self.stats.incremental += 1;
+                        self.stats.subtrees_replayed += subtrees.len() as u64;
+                        interp
+                    }
+                    None => {
+                        // A replayed subtree was anomalous; take the full
+                        // walk so anomalies are reported once, coherently.
+                        self.stats.full_anomaly += 1;
+                        self.full_walk(mem, stage, root, key, snap, anomalies)
+                    }
+                }
+            }
+            Plan::Full(reason) => {
+                *match reason {
+                    FullReason::Cold => &mut self.stats.full_cold,
+                    FullReason::RootChanged => &mut self.stats.full_root_changed,
+                    FullReason::LogUnavailable => &mut self.stats.full_log_unavailable,
+                    FullReason::DirtyRatio => &mut self.stats.full_dirty_ratio,
+                } += 1;
+                self.full_walk(mem, stage, root, key, snap, anomalies)
+            }
+        }
+    }
+
+    fn plan(&self, mem: &PhysMem, stage: Stage, root: PhysAddr, key: CacheKey) -> Plan {
+        let Some(e) = self.entries.get(&key) else {
+            return Plan::Full(FullReason::Cold);
+        };
+        if e.root != root || e.stage != stage {
+            return Plan::Full(FullReason::RootChanged);
+        }
+        let Some(dirty) = mem.write_log().dirty_since(e.gen) else {
+            return Plan::Full(FullReason::LogUnavailable);
+        };
+        // Only writes to pages that were table nodes can change the
+        // interpretation; everything else is data.
+        let mut dirty_tables: Vec<(u64, u8, u64)> = dirty
+            .iter()
+            .filter_map(|pfn| e.meta.get(pfn).map(|&(level, ia)| (*pfn, level, ia)))
+            .collect();
+        if dirty_tables.is_empty() {
+            return Plan::Clean;
+        }
+        if dirty_tables.len() * DIRTY_RATIO_DEN > e.meta.len() {
+            return Plan::Full(FullReason::DirtyRatio);
+        }
+        // Keep only the shallowest dirty nodes: a dirty node inside
+        // another dirty node's span is covered by replaying the ancestor
+        // (and a *stale* node — freed and reused — is always covered by
+        // the ancestor whose PTE write unlinked it).
+        dirty_tables.sort_by_key(|&(_, level, ia)| (level, ia));
+        let mut kept: Vec<(u64, u8, u64)> = Vec::with_capacity(dirty_tables.len());
+        'next: for &(pfn, level, ia) in &dirty_tables {
+            for &(_, klevel, kia) in &kept {
+                let span = table_span_pages(klevel) * PAGE_SIZE;
+                if level > klevel && ia >= kia && ia - kia < span {
+                    continue 'next;
+                }
+            }
+            kept.push((pfn, level, ia));
+        }
+        Plan::Replay(kept)
+    }
+
+    // Replays `subtrees` over the cached entry; returns `None` (entry
+    // invalidated) if any subtree is anomalous.
+    fn replay(
+        &mut self,
+        mem: &PhysMem,
+        key: CacheKey,
+        snap: u64,
+        subtrees: &[(u64, u8, u64)],
+    ) -> Option<AbstractPgtable> {
+        let e = self.entries.get_mut(&key).expect("planned over entry");
+        let stage = e.stage;
+        for &(pfn, level, ia_base) in subtrees {
+            let mut sub_meta = TableMeta::new();
+            let mut sub_anomalies = Vec::new();
+            let sub = interpret_subtree(
+                mem,
+                stage,
+                PhysAddr::new(pfn * PAGE_SIZE),
+                level,
+                ia_base,
+                &mut sub_meta,
+                &mut sub_anomalies,
+            );
+            if !sub_anomalies.is_empty() {
+                self.entries.remove(&key);
+                return None;
+            }
+            let span = table_span_pages(level);
+            // Splice the subtree's extension over its span, and swap the
+            // span's table-node footprint for the subtree's.
+            e.interp
+                .mapping
+                .splice(ia_base, span, sub.mapping.iter().copied());
+            let span_bytes = span * PAGE_SIZE;
+            let stale: Vec<u64> = e
+                .meta
+                .iter()
+                .filter(|&(_, &(l, ia))| l >= level && ia >= ia_base && ia - ia_base < span_bytes)
+                .map(|(&pfn, _)| pfn)
+                .collect();
+            for pfn in stale {
+                e.meta.remove(&pfn);
+                e.interp.table_pages.remove(&pfn);
+            }
+            e.meta.extend(sub_meta);
+            e.interp.table_pages.extend(sub.table_pages);
+        }
+        e.gen = snap;
+        Some(e.interp.clone())
+    }
+
+    fn full_walk(
+        &mut self,
+        mem: &PhysMem,
+        stage: Stage,
+        root: PhysAddr,
+        key: CacheKey,
+        snap: u64,
+        anomalies: &mut Vec<Anomaly>,
+    ) -> AbstractPgtable {
+        let before = anomalies.len();
+        let (interp, meta) = interpret_pgtable_with_meta(mem, stage, root, anomalies);
+        if anomalies.len() == before {
+            self.entries.insert(
+                key,
+                CacheEntry {
+                    root,
+                    stage,
+                    gen: snap,
+                    interp: interp.clone(),
+                    meta,
+                },
+            );
+        } else {
+            // Never cache anomalous states: every event over them must
+            // re-walk and re-report, like the non-incremental oracle.
+            self.entries.remove(&key);
+        }
+        interp
+    }
+}
+
+enum Plan {
+    Clean,
+    Replay(Vec<(u64, u8, u64)>),
+    Full(FullReason),
+}
+
+enum FullReason {
+    Cold,
+    RootChanged,
+    LogUnavailable,
+    DirtyRatio,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::interpret_pgtable;
+    use pkvm_aarch64::attrs::{Attrs, Perms};
+    use pkvm_aarch64::desc::Pte;
+    use pkvm_aarch64::memory::MemRegion;
+    use pkvm_hyp::owner::{annotation_pte, OwnerId, PageState};
+
+    fn mem() -> PhysMem {
+        let m = PhysMem::new(vec![MemRegion::ram(0x4000_0000, 0x800_0000)]);
+        m.write_log().set_enabled(true);
+        m
+    }
+
+    fn leaf(oa: u64) -> Pte {
+        Pte::leaf(
+            Stage::Stage2,
+            3,
+            PhysAddr::new(oa),
+            Attrs::normal(Perms::RWX).with_sw(PageState::Owned.to_sw()),
+        )
+    }
+
+    /// root -> l1 -> l2 -> l3 with two pages mapped.
+    fn build(m: &PhysMem) -> PhysAddr {
+        let root = PhysAddr::new(0x4400_0000);
+        let l1 = PhysAddr::new(0x4400_1000);
+        let l2 = PhysAddr::new(0x4400_2000);
+        let l3 = PhysAddr::new(0x4400_3000);
+        m.write_pte(root, 0, Pte::table(l1)).unwrap();
+        m.write_pte(l1, 0, Pte::table(l2)).unwrap();
+        m.write_pte(l2, 0, Pte::table(l3)).unwrap();
+        m.write_pte(l3, 0, leaf(0x4200_0000)).unwrap();
+        m.write_pte(l3, 1, leaf(0x4200_1000)).unwrap();
+        root
+    }
+
+    fn check_agrees(cache: &mut AbsCache, m: &PhysMem, root: PhysAddr) {
+        let mut a1 = Vec::new();
+        let inc = cache.interp(m, Stage::Stage2, root, CacheKey::Host, &mut a1);
+        let mut a2 = Vec::new();
+        let full = interpret_pgtable(m, Stage::Stage2, root, &mut a2);
+        assert_eq!(inc, full);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn clean_reuse_after_data_writes() {
+        let m = mem();
+        let root = build(&m);
+        let mut cache = AbsCache::new();
+        check_agrees(&mut cache, &m, root);
+        assert_eq!(cache.stats.full_cold, 1);
+        // Data writes (not table pages) must not force any re-walk.
+        m.write_u64(PhysAddr::new(0x4200_0000), 77).unwrap();
+        check_agrees(&mut cache, &m, root);
+        assert_eq!(cache.stats.clean_hits, 1);
+        assert_eq!(cache.stats.incremental, 0);
+    }
+
+    #[test]
+    fn pte_write_replays_one_subtree() {
+        let m = mem();
+        let root = build(&m);
+        let mut cache = AbsCache::new();
+        check_agrees(&mut cache, &m, root);
+        // Change a leaf: only the l3 subtree should replay.
+        m.write_pte(PhysAddr::new(0x4400_3000), 2, leaf(0x4200_2000))
+            .unwrap();
+        check_agrees(&mut cache, &m, root);
+        assert_eq!(cache.stats.incremental, 1);
+        assert_eq!(cache.stats.subtrees_replayed, 1);
+        // Unmap one: replay again.
+        m.write_pte(PhysAddr::new(0x4400_3000), 0, Pte(0)).unwrap();
+        check_agrees(&mut cache, &m, root);
+        assert_eq!(cache.stats.incremental, 2);
+    }
+
+    #[test]
+    fn nested_dirty_tables_replay_the_ancestor_once() {
+        let m = mem();
+        let root = build(&m);
+        let mut cache = AbsCache::new();
+        check_agrees(&mut cache, &m, root);
+        // Dirty both l2 (link a second l3) and the new l3's contents.
+        let l3b = PhysAddr::new(0x4400_4000);
+        m.write_pte(l3b, 0, leaf(0x4200_4000)).unwrap();
+        m.write_pte(PhysAddr::new(0x4400_2000), 1, Pte::table(l3b))
+            .unwrap();
+        check_agrees(&mut cache, &m, root);
+        assert_eq!(cache.stats.incremental, 1);
+        // l3b was not in the cached footprint, so only l2 replays.
+        assert_eq!(cache.stats.subtrees_replayed, 1);
+    }
+
+    #[test]
+    fn unlink_and_reuse_of_a_table_page_is_covered_by_the_parent() {
+        let m = mem();
+        let root = build(&m);
+        let mut cache = AbsCache::new();
+        check_agrees(&mut cache, &m, root);
+        let l2 = PhysAddr::new(0x4400_2000);
+        let l3 = PhysAddr::new(0x4400_3000);
+        // Unlink l3 from l2 and scribble garbage over the freed page (as
+        // a reused data page would).
+        m.write_pte(l2, 0, Pte(0)).unwrap();
+        m.write_u64(l3, 0xdead_beef).unwrap();
+        check_agrees(&mut cache, &m, root);
+        // The stale l3 must not have been replayed as a subtree.
+        let mut a = Vec::new();
+        let now = cache.interp(&m, Stage::Stage2, root, CacheKey::Host, &mut a);
+        assert!(!now.table_pages.contains(&l3.pfn()));
+    }
+
+    #[test]
+    fn root_change_falls_back_to_full_walk() {
+        let m = mem();
+        let root = build(&m);
+        let mut cache = AbsCache::new();
+        check_agrees(&mut cache, &m, root);
+        let root2 = PhysAddr::new(0x4500_0000);
+        m.write_pte(root2, 0, annotation_pte(OwnerId::HYP)).unwrap();
+        let mut a = Vec::new();
+        cache.interp(&m, Stage::Stage2, root2, CacheKey::Host, &mut a);
+        assert_eq!(cache.stats.full_root_changed, 1);
+        check_agrees(&mut cache, &m, root2);
+    }
+
+    #[test]
+    fn log_unavailable_falls_back_to_full_walk() {
+        let m = mem();
+        let root = build(&m);
+        let mut cache = AbsCache::new();
+        check_agrees(&mut cache, &m, root);
+        m.write_log().set_enabled(false);
+        m.write_log().set_enabled(true);
+        check_agrees(&mut cache, &m, root);
+        assert_eq!(cache.stats.full_log_unavailable, 1);
+    }
+
+    #[test]
+    fn anomalous_states_are_never_cached() {
+        let m = mem();
+        let root = build(&m);
+        let mut cache = AbsCache::new();
+        check_agrees(&mut cache, &m, root);
+        // Introduce a reserved descriptor (0b01 at level 3) through a
+        // tracked table page.
+        m.write_pte(PhysAddr::new(0x4400_3000), 3, Pte(0b01))
+            .unwrap();
+        check_agrees(&mut cache, &m, root);
+        assert_eq!(cache.stats.full_anomaly, 1);
+        // Still anomalous: must full-walk (and re-report) again, not hit.
+        check_agrees(&mut cache, &m, root);
+        assert_eq!(cache.stats.full_cold, 2);
+        assert_eq!(cache.stats.clean_hits, 0);
+    }
+
+    #[test]
+    fn invalidate_forces_cold_walk() {
+        let m = mem();
+        let root = build(&m);
+        let mut cache = AbsCache::new();
+        check_agrees(&mut cache, &m, root);
+        cache.invalidate(CacheKey::Host);
+        check_agrees(&mut cache, &m, root);
+        assert_eq!(cache.stats.full_cold, 2);
+    }
+}

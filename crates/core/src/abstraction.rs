@@ -12,6 +12,8 @@
 //! [`abstract_host`] (with its legality check of the loosely-specified
 //! mapped-on-demand region), and [`abstract_vm`].
 
+use std::collections::BTreeMap;
+
 use pkvm_aarch64::addr::{level_pages, PhysAddr, PAGE_SIZE, PTES_PER_TABLE, START_LEVEL};
 use pkvm_aarch64::attrs::{MemType, Perms, Stage};
 use pkvm_aarch64::desc::EntryKind;
@@ -66,6 +68,17 @@ pub enum Anomaly {
     },
 }
 
+/// Where each table node sits in the tree: `pfn -> (level, ia base of the
+/// node's span)`. Collected alongside interpretation so the incremental
+/// abstraction cache (`abscache`) can map a dirtied table page back to the
+/// subtree it roots.
+pub type TableMeta = BTreeMap<u64, (u8, u64)>;
+
+/// Pages spanned by one whole table node at `level` (512 entries).
+pub fn table_span_pages(level: u8) -> u64 {
+    PTES_PER_TABLE * level_pages(level)
+}
+
 /// Interprets the concrete page table rooted at `root` into an abstract
 /// page table: the `_interpret_pgtable` of Fig. 2, specialised (as in the
 /// paper) to the 4-level, 4 KiB-granule configuration Android uses.
@@ -75,11 +88,42 @@ pub fn interpret_pgtable(
     root: PhysAddr,
     anomalies: &mut Vec<Anomaly>,
 ) -> AbstractPgtable {
+    let mut meta = TableMeta::new();
+    interpret_subtree(mem, stage, root, START_LEVEL, 0, &mut meta, anomalies)
+}
+
+/// [`interpret_pgtable`], additionally returning the per-node
+/// [`TableMeta`] the incremental cache keys its invalidation on.
+pub fn interpret_pgtable_with_meta(
+    mem: &PhysMem,
+    stage: Stage,
+    root: PhysAddr,
+    anomalies: &mut Vec<Anomaly>,
+) -> (AbstractPgtable, TableMeta) {
+    let mut meta = TableMeta::new();
+    let out = interpret_subtree(mem, stage, root, START_LEVEL, 0, &mut meta, anomalies);
+    (out, meta)
+}
+
+/// Interprets the subtree rooted at the table node `table`, which sits at
+/// `level` and maps input addresses from `ia_base`. The root call is
+/// `interpret_subtree(mem, stage, root, START_LEVEL, 0, ..)`; the
+/// incremental cache re-enters at interior nodes it knows were dirtied.
+pub fn interpret_subtree(
+    mem: &PhysMem,
+    stage: Stage,
+    table: PhysAddr,
+    level: u8,
+    ia_base: u64,
+    meta: &mut TableMeta,
+    anomalies: &mut Vec<Anomaly>,
+) -> AbstractPgtable {
     let mut out = AbstractPgtable::default();
-    interpret_table(mem, stage, root, START_LEVEL, 0, &mut out, anomalies);
+    interpret_table(mem, stage, table, level, ia_base, &mut out, meta, anomalies);
     out
 }
 
+#[expect(clippy::too_many_arguments)]
 fn interpret_table(
     mem: &PhysMem,
     stage: Stage,
@@ -87,9 +131,11 @@ fn interpret_table(
     level: u8,
     va_partial: u64,
     out: &mut AbstractPgtable,
+    meta: &mut TableMeta,
     anomalies: &mut Vec<Anomaly>,
 ) {
     out.table_pages.insert(table.pfn());
+    meta.insert(table.pfn(), (level, va_partial));
     let nr_pages = level_pages(level);
     // Iterate over the current table entries.
     for idx in 0..PTES_PER_TABLE as usize {
@@ -127,6 +173,7 @@ fn interpret_table(
                     level + 1,
                     va_partial_new,
                     out,
+                    meta,
                     anomalies,
                 );
             }
@@ -184,6 +231,18 @@ pub fn abstract_host(
     anomalies: &mut Vec<Anomaly>,
 ) -> GhostHost {
     let interp = interpret_pgtable(mem, Stage::Stage2, root, anomalies);
+    abstract_host_from_interp(interp, globals, anomalies)
+}
+
+/// The partitioning-and-checking half of [`abstract_host`], over an
+/// already-computed interpretation (possibly served by the incremental
+/// cache). The mapped-on-demand legality checks deliberately rerun on
+/// every call — they are per-event checks, not part of the cached value.
+pub fn abstract_host_from_interp(
+    interp: AbstractPgtable,
+    globals: &GhostGlobals,
+    anomalies: &mut Vec<Anomaly>,
+) -> GhostHost {
     let mut host = GhostHost {
         table_pages: interp.table_pages,
         ..GhostHost::default()
@@ -234,11 +293,18 @@ pub fn abstract_host(
 /// Abstraction of one VM's lock-protected metadata, from the concrete
 /// view exposed at its lock.
 pub fn abstract_vm(mem: &PhysMem, view: &VmView, anomalies: &mut Vec<Anomaly>) -> GhostVm {
+    let pgt = interpret_pgtable(mem, Stage::Stage2, view.s2_root, anomalies);
+    abstract_vm_with_pgt(view, pgt)
+}
+
+/// The metadata half of [`abstract_vm`], over an already-interpreted
+/// stage 2 (possibly served by the incremental cache).
+pub fn abstract_vm_with_pgt(view: &VmView, pgt: AbstractPgtable) -> GhostVm {
     GhostVm {
         handle: view.handle,
         slot: view.slot,
         protected: view.protected,
-        pgt: interpret_pgtable(mem, Stage::Stage2, view.s2_root, anomalies),
+        pgt,
         donated: view.donated.iter().map(|p| p.pfn()).collect(),
         vcpus: view
             .vcpus

@@ -62,6 +62,14 @@ pub enum Violation {
         /// The panic reason.
         reason: String,
     },
+    /// Oracle self-check: under shadow validation the incremental
+    /// abstraction diverged from the full walk.
+    ShadowDivergence {
+        /// Which component's interpretation diverged.
+        component: String,
+        /// Rendered diff (full vs incremental).
+        diff: String,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -95,6 +103,12 @@ impl std::fmt::Display for Violation {
                 write!(f, "malformed concrete state in {context}: {anomaly:?}")
             }
             Violation::HypPanic { reason } => write!(f, "hypervisor panic: {reason}"),
+            Violation::ShadowDivergence { component, diff } => {
+                write!(
+                    f,
+                    "shadow validation: incremental abstraction diverged on {component}:\n{diff}"
+                )
+            }
         }
     }
 }

@@ -194,10 +194,10 @@ mod tests {
         let a = state_with_host();
         let mut b = a.clone();
         b.host.as_mut().unwrap().shared.insert(Maplet {
-            ia: 0x101b_1800_0,
+            ia: 0x0001_01b1_8000,
             nr_pages: 1,
             target: MapletTarget::Mapped {
-                oa: 0x101b_1800_0,
+                oa: 0x0001_01b1_8000,
                 attrs: AbsAttrs {
                     perms: Perms::RWX,
                     memtype: MemType::Normal,

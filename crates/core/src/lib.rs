@@ -27,13 +27,13 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use pkvm_ghost::oracle::{Oracle, OracleOpts};
+//! use pkvm_ghost::prelude::*;
 //! use pkvm_hyp::machine::{Machine, MachineConfig};
 //! use pkvm_hyp::faults::FaultSet;
 //! use pkvm_hyp::hypercalls::HVC_HOST_SHARE_HYP;
 //!
 //! let config = MachineConfig::default();
-//! let oracle = Oracle::new(&config, OracleOpts::default());
+//! let oracle = Oracle::builder(&config).build();
 //! let machine = Machine::boot(config, oracle.clone(), Arc::new(FaultSet::none()));
 //! assert!(oracle.check_boot());
 //! let ret = machine.hvc(0, HVC_HOST_SHARE_HYP, &[0x40100]);
@@ -41,6 +41,7 @@
 //! assert!(oracle.is_clean(), "{:#?}", oracle.violations());
 //! ```
 
+pub mod abscache;
 pub mod abstraction;
 pub mod calldata;
 pub mod check;
@@ -48,11 +49,16 @@ pub mod diff;
 pub mod maplet;
 pub mod mapping;
 pub mod oracle;
+pub mod prelude;
 pub mod print;
 pub mod spec;
 pub mod state;
 
-pub use abstraction::{abstract_host, abstract_hyp, abstract_vm, interpret_pgtable, Anomaly};
+pub use abscache::{AbsCache, CacheKey, CacheStats};
+pub use abstraction::{
+    abstract_host, abstract_host_from_interp, abstract_hyp, abstract_vm, abstract_vm_with_pgt,
+    interpret_pgtable, interpret_pgtable_with_meta, interpret_subtree, Anomaly, TableMeta,
+};
 pub use calldata::GhostCallData;
 pub use check::{check_trap, normalize, CheckOutcome, Violation};
 pub use diff::diff_states;

@@ -164,6 +164,63 @@ impl Mapping {
         self.maplets.push(maplet);
     }
 
+    /// Replaces the range `[ia, ia + nr_pages)` wholesale with
+    /// `replacement` — the delta-application primitive of the incremental
+    /// abstraction: a re-interpreted subtree's maplets are spliced over
+    /// the subtree's span in the cached map.
+    ///
+    /// `replacement` must be sorted, non-overlapping, and lie within the
+    /// replaced range (any canonical [`Mapping`]'s maplets over that range
+    /// qualify). Coalescing is restored at the two seams in O(n + k)
+    /// rather than the O(n·k) of repeated [`Self::insert`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if `replacement` violates the ordering or range
+    /// requirements.
+    pub fn splice(
+        &mut self,
+        ia: u64,
+        nr_pages: u64,
+        replacement: impl IntoIterator<Item = Maplet>,
+    ) {
+        if nr_pages == 0 {
+            return;
+        }
+        self.remove(ia, nr_pages);
+        let end = ia + nr_pages * PAGE_SIZE;
+        let rep: Vec<Maplet> = replacement.into_iter().filter(|m| m.nr_pages > 0).collect();
+        for w in rep.windows(2) {
+            debug_assert!(w[0].end() <= w[1].ia, "replacement out of order");
+        }
+        if let (Some(first), Some(last)) = (rep.first(), rep.last()) {
+            debug_assert!(
+                first.ia >= ia && last.end() <= end,
+                "replacement outside splice range"
+            );
+        }
+        let pos = self.maplets.partition_point(|m| m.ia < ia);
+        let at = pos + rep.len();
+        self.maplets.splice(pos..pos, rep);
+        // Restore coalescing at the trailing seam first (indices shift),
+        // then the leading one; the interior of the replacement is already
+        // canonical.
+        if at > pos && at < self.maplets.len() {
+            let next = self.maplets[at];
+            if self.maplets[at - 1].can_coalesce_with(&next) {
+                self.maplets[at - 1].nr_pages += next.nr_pages;
+                self.maplets.remove(at);
+            }
+        }
+        if at > pos && pos > 0 {
+            let cur = self.maplets[pos];
+            if self.maplets[pos - 1].can_coalesce_with(&cur) {
+                self.maplets[pos - 1].nr_pages += cur.nr_pages;
+                self.maplets.remove(pos);
+            }
+        }
+    }
+
     fn coalesce_around(&mut self, pos: usize) {
         // Try to merge with the successor first, then the predecessor.
         if pos + 1 < self.maplets.len() {
@@ -465,5 +522,77 @@ mod tests {
         m.insert(mapped(0x2000, 1, 0x2000));
         assert_eq!(m.len(), 2);
         m.check_canonical().unwrap();
+    }
+
+    /// Reference implementation of splice: remove + repeated insert.
+    fn splice_naive(m: &Mapping, ia: u64, nr: u64, rep: &[Maplet]) -> Mapping {
+        let mut out = m.clone();
+        out.remove(ia, nr);
+        for r in rep {
+            out.insert(*r);
+        }
+        out
+    }
+
+    #[test]
+    fn splice_replaces_a_middle_range_and_recoalesces() {
+        let mut m = Mapping::new();
+        m.insert(mapped(0x1000, 8, 0x8000));
+        // Replace pages [0x3000, 0x5000) with output-contiguous content:
+        // the seams coalesce back into a single maplet.
+        let rep = vec![mapped(0x3000, 2, 0xa000)];
+        let expect = splice_naive(&m, 0x3000, 2, &rep);
+        m.splice(0x3000, 2, rep);
+        assert_eq!(m, expect);
+        assert_eq!(m.len(), 1);
+        m.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn splice_with_different_content_keeps_seams_split() {
+        let mut m = Mapping::new();
+        m.insert(mapped(0x1000, 8, 0x8000));
+        let rep = vec![annotated(0x3000, 1, OwnerId::HYP)];
+        let expect = splice_naive(&m, 0x3000, 2, &rep);
+        m.splice(0x3000, 2, rep);
+        assert_eq!(m, expect);
+        // Left part, annotation, hole, right part.
+        assert_eq!(m.len(), 3);
+        assert!(m.lookup(0x4000).is_none());
+        m.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn splice_empty_replacement_is_remove() {
+        let mut m = Mapping::new();
+        m.insert(mapped(0x1000, 4, 0x8000));
+        let expect = splice_naive(&m, 0x2000, 2, &[]);
+        m.splice(0x2000, 2, Vec::new());
+        assert_eq!(m, expect);
+        assert_eq!(m.nr_pages(), 2);
+        m.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn splice_into_empty_and_at_the_edges() {
+        let mut m = Mapping::new();
+        m.splice(0x1000, 4, vec![mapped(0x2000, 1, 0x9000)]);
+        assert_eq!(m.len(), 1);
+        m.check_canonical().unwrap();
+        // At the low edge, coalescing with nothing on the left.
+        m.splice(0x0, 2, vec![mapped(0x1000, 1, 0x8000)]);
+        // At the high edge beyond everything present.
+        m.splice(0x10_0000, 2, vec![mapped(0x10_0000, 2, 0xb000)]);
+        m.check_canonical().unwrap();
+        assert_eq!(m.nr_pages(), 4);
+    }
+
+    #[test]
+    fn splice_zero_pages_is_a_no_op() {
+        let mut m = Mapping::new();
+        m.insert(mapped(0x1000, 2, 0x8000));
+        let before = m.clone();
+        m.splice(0x1000, 0, Vec::new());
+        assert_eq!(m, before);
     }
 }

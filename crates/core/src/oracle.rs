@@ -18,9 +18,10 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
+use pkvm_aarch64::attrs::Stage;
 use pkvm_aarch64::esr::Esr;
+use pkvm_aarch64::sync::Mutex;
 use pkvm_aarch64::sysreg::GprFile;
 use pkvm_hyp::hooks::{Component, ComponentView, GhostHooks, HookCtx, VcpuView};
 use pkvm_hyp::hypercalls;
@@ -29,22 +30,39 @@ use pkvm_hyp::mm::compute_layout;
 use pkvm_hyp::owner::PageState;
 use pkvm_hyp::vm::Handle;
 
-use crate::abstraction::{abstract_host, abstract_hyp, abstract_vm, Anomaly};
+use crate::abscache::{AbsCache, CacheKey, CacheStats};
+use crate::abstraction::{
+    abstract_host, abstract_host_from_interp, abstract_hyp, abstract_vm, abstract_vm_with_pgt,
+    interpret_pgtable, Anomaly,
+};
 use crate::calldata::GhostCallData;
 use crate::check::{check_trap, normalize, Violation};
 use crate::diff::diff_states;
 use crate::maplet::{Maplet, MapletTarget};
 use crate::spec::{abs_hyp_attrs, compute_post, SpecVerdict};
-use crate::state::{GhostCpu, GhostGlobals, GhostHost, GhostLoadedVcpu, GhostPkvm, GhostState};
+use crate::state::{
+    AbstractPgtable, GhostCpu, GhostGlobals, GhostHost, GhostLoadedVcpu, GhostPkvm, GhostState,
+};
 
 /// Oracle configuration switches.
+///
+/// Construct with [`OracleOpts::builder`] (or [`Default`]): the builder
+/// keeps call sites valid as switches are added.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct OracleOpts {
     /// Check that lock-protected state is unchanged between critical
     /// sections (§4.4 invariant 1).
     pub check_noninterference: bool,
     /// Check the page-table footprint separation (§4.4 invariant 2).
     pub check_separation: bool,
+    /// Serve component abstractions from the incremental cache
+    /// ([`AbsCache`]), re-interpreting only write-log-dirtied subtrees.
+    pub incremental_abstraction: bool,
+    /// Run the full and incremental abstractions side by side and report
+    /// any divergence as an oracle self-check violation. Implies the
+    /// cache is maintained; the *full* result feeds the checks.
+    pub shadow_validation: bool,
 }
 
 impl Default for OracleOpts {
@@ -52,7 +70,55 @@ impl Default for OracleOpts {
         Self {
             check_noninterference: true,
             check_separation: true,
+            incremental_abstraction: false,
+            shadow_validation: false,
         }
+    }
+}
+
+impl OracleOpts {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> OracleOptsBuilder {
+        OracleOptsBuilder(OracleOpts::default())
+    }
+
+    fn uses_cache(&self) -> bool {
+        self.incremental_abstraction || self.shadow_validation
+    }
+}
+
+/// Builder for [`OracleOpts`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OracleOptsBuilder(OracleOpts);
+
+impl OracleOptsBuilder {
+    /// Toggle the §4.4 non-interference check (default on).
+    pub fn check_noninterference(mut self, on: bool) -> Self {
+        self.0.check_noninterference = on;
+        self
+    }
+
+    /// Toggle the §4.4 footprint-separation check (default on).
+    pub fn check_separation(mut self, on: bool) -> Self {
+        self.0.check_separation = on;
+        self
+    }
+
+    /// Toggle the incremental abstraction cache (default off).
+    pub fn incremental_abstraction(mut self, on: bool) -> Self {
+        self.0.incremental_abstraction = on;
+        self
+    }
+
+    /// Toggle shadow validation of the incremental cache (default off).
+    pub fn shadow_validation(mut self, on: bool) -> Self {
+        self.0.shadow_validation = on;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> OracleOpts {
+        self.0
     }
 }
 
@@ -111,6 +177,7 @@ pub struct Oracle {
     shared: Mutex<GhostState>,
     cpus: Vec<Mutex<CpuRecord>>,
     footprints: Mutex<HashMap<Component, BTreeSet<u64>>>,
+    abscache: Mutex<AbsCache>,
     violations: Mutex<Vec<Violation>>,
     trace: Mutex<VecDeque<TrapRecord>>,
     /// Counters.
@@ -152,10 +219,26 @@ impl Oracle {
             opts,
             shared: Mutex::new(shared),
             footprints: Mutex::new(HashMap::new()),
+            abscache: Mutex::new(AbsCache::new()),
             violations: Mutex::new(Vec::new()),
             trace: Mutex::new(VecDeque::new()),
             stats: OracleStats::default(),
         })
+    }
+
+    /// Starts a builder for machines booted from `config`; configure the
+    /// switches fluently, then [`build`](OracleBuilder::build).
+    pub fn builder(config: &MachineConfig) -> OracleBuilder<'_> {
+        OracleBuilder {
+            config,
+            opts: OracleOpts::default(),
+        }
+    }
+
+    /// Resolution counters of the incremental abstraction cache (all zero
+    /// unless `incremental_abstraction` or `shadow_validation` is on).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.abscache.lock().stats
     }
 
     /// All violations recorded so far.
@@ -236,10 +319,25 @@ impl Oracle {
         view: &ComponentView,
     ) -> ComponentValue {
         self.stats.abstractions.fetch_add(1, Ordering::Relaxed);
+        let cached = self.opts.uses_cache();
         let mut anomalies = Vec::new();
         let value = match view {
+            ComponentView::Host { root } if cached => {
+                let interp =
+                    self.cached_interp(ctx, Stage::Stage2, *root, CacheKey::Host, &mut anomalies);
+                ComponentValue::Host(abstract_host_from_interp(
+                    interp,
+                    &self.globals,
+                    &mut anomalies,
+                ))
+            }
             ComponentView::Host { root } => {
                 ComponentValue::Host(abstract_host(ctx.mem, *root, &self.globals, &mut anomalies))
+            }
+            ComponentView::Hyp { root } if cached => {
+                let pgt =
+                    self.cached_interp(ctx, Stage::Stage1, *root, CacheKey::Hyp, &mut anomalies);
+                ComponentValue::Pkvm(GhostPkvm { pgt })
             }
             ComponentView::Hyp { root } => {
                 ComponentValue::Pkvm(abstract_hyp(ctx.mem, *root, &mut anomalies))
@@ -247,7 +345,25 @@ impl Oracle {
             ComponentView::VmTable { vms } => {
                 let mut v = vms.clone();
                 v.sort_unstable();
+                if cached {
+                    // VM teardown is observed here: drop the interpretation
+                    // of any handle no longer in the table, so a reused
+                    // handle never resurrects a stale entry.
+                    self.abscache
+                        .lock()
+                        .retain_vms(|h| v.iter().any(|&(live, _)| live == h));
+                }
                 ComponentValue::VmTable(v)
+            }
+            ComponentView::Vm(view) if cached => {
+                let pgt = self.cached_interp(
+                    ctx,
+                    Stage::Stage2,
+                    view.s2_root,
+                    CacheKey::Vm(view.handle),
+                    &mut anomalies,
+                );
+                ComponentValue::Vm(view.handle, abstract_vm_with_pgt(view, pgt))
             }
             ComponentView::Vm(view) => {
                 ComponentValue::Vm(view.handle, abstract_vm(ctx.mem, view, &mut anomalies))
@@ -257,6 +373,40 @@ impl Oracle {
             self.report_anomalies(&format!("{comp:?}"), anomalies);
         }
         value
+    }
+
+    /// Interprets `root` through the incremental cache. Under shadow
+    /// validation the full walk also runs; a divergence is reported as an
+    /// oracle self-check violation and the full result wins, so a cache
+    /// bug can never mask (or fabricate) a hypervisor bug.
+    fn cached_interp(
+        &self,
+        ctx: &HookCtx<'_>,
+        stage: Stage,
+        root: PhysAddr,
+        key: CacheKey,
+        anomalies: &mut Vec<Anomaly>,
+    ) -> AbstractPgtable {
+        if !self.opts.shadow_validation {
+            return self
+                .abscache
+                .lock()
+                .interp(ctx.mem, stage, root, key, anomalies);
+        }
+        let mut inc_anomalies = Vec::new();
+        let inc = self
+            .abscache
+            .lock()
+            .interp(ctx.mem, stage, root, key, &mut inc_anomalies);
+        let before = anomalies.len();
+        let full = interpret_pgtable(ctx.mem, stage, root, anomalies);
+        if inc != full || inc_anomalies != anomalies[before..] {
+            self.report(Violation::ShadowDivergence {
+                component: format!("{key:?}"),
+                diff: pgtable_divergence(&full, &inc, &anomalies[before..], &inc_anomalies),
+            });
+        }
+        full
     }
 
     fn set_component(state: &mut GhostState, value: &ComponentValue, only_if_absent: bool) {
@@ -447,6 +597,88 @@ impl Oracle {
     }
 }
 
+/// Fluent construction of an [`Oracle`]; see [`Oracle::builder`].
+pub struct OracleBuilder<'a> {
+    config: &'a MachineConfig,
+    opts: OracleOpts,
+}
+
+impl OracleBuilder<'_> {
+    /// Replaces the accumulated switches wholesale.
+    pub fn opts(mut self, opts: OracleOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Toggle the §4.4 non-interference check (default on).
+    pub fn check_noninterference(mut self, on: bool) -> Self {
+        self.opts.check_noninterference = on;
+        self
+    }
+
+    /// Toggle the §4.4 footprint-separation check (default on).
+    pub fn check_separation(mut self, on: bool) -> Self {
+        self.opts.check_separation = on;
+        self
+    }
+
+    /// Toggle the incremental abstraction cache (default off).
+    pub fn incremental_abstraction(mut self, on: bool) -> Self {
+        self.opts.incremental_abstraction = on;
+        self
+    }
+
+    /// Toggle shadow validation of the incremental cache (default off).
+    pub fn shadow_validation(mut self, on: bool) -> Self {
+        self.opts.shadow_validation = on;
+        self
+    }
+
+    /// Builds the oracle.
+    pub fn build(self) -> Arc<Oracle> {
+        Oracle::new(self.config, self.opts)
+    }
+}
+
+/// Renders what differed between the full walk and the incremental
+/// replay, maplet by maplet, for the shadow-divergence report.
+fn pgtable_divergence(
+    full: &AbstractPgtable,
+    inc: &AbstractPgtable,
+    full_anomalies: &[Anomaly],
+    inc_anomalies: &[Anomaly],
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for m in full.mapping.iter() {
+        if !inc.mapping.iter().any(|n| n == m) {
+            let _ = writeln!(out, "  full only: {m:?}");
+        }
+    }
+    for m in inc.mapping.iter() {
+        if !full.mapping.iter().any(|n| n == m) {
+            let _ = writeln!(out, "  incremental only: {m:?}");
+        }
+    }
+    if full.table_pages != inc.table_pages {
+        let _ = writeln!(
+            out,
+            "  table pages: full {:?} vs incremental {:?}",
+            full.table_pages, inc.table_pages
+        );
+    }
+    if full_anomalies != inc_anomalies {
+        let _ = writeln!(
+            out,
+            "  anomalies: full {full_anomalies:?} vs incremental {inc_anomalies:?}"
+        );
+    }
+    if out.is_empty() {
+        out.push_str("  (states compare equal after the fact; transient divergence)\n");
+    }
+    out
+}
+
 enum ComponentValue {
     Host(GhostHost),
     Pkvm(GhostPkvm),
@@ -621,6 +853,10 @@ impl GhostHooks for Oracle {
             reason: reason.into(),
         });
     }
+
+    fn wants_write_log(&self) -> bool {
+        self.opts.uses_cache()
+    }
 }
 
 #[cfg(test)]
@@ -666,13 +902,9 @@ mod tests {
 
     #[test]
     fn separation_check_can_be_disabled() {
-        let o = Oracle::new(
-            &MachineConfig::default(),
-            OracleOpts {
-                check_separation: false,
-                ..Default::default()
-            },
-        );
+        let o = Oracle::builder(&MachineConfig::default())
+            .check_separation(false)
+            .build();
         let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
         let ctx = HookCtx { mem: &mem, cpu: 0 };
         let page = PhysAddr::new(0x4400_0000);

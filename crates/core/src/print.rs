@@ -149,10 +149,10 @@ mod tests {
         let mut s = GhostState::blank(&GhostGlobals::default());
         let mut h = GhostHost::default();
         h.shared.insert(Maplet {
-            ia: 0x101b_1800_0,
+            ia: 0x0001_01b1_8000,
             nr_pages: 1,
             target: MapletTarget::Mapped {
-                oa: 0x101b_1800_0,
+                oa: 0x0001_01b1_8000,
                 attrs: AbsAttrs {
                     perms: Perms::RWX,
                     memtype: MemType::Normal,

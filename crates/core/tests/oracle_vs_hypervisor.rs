@@ -10,8 +10,8 @@ use std::sync::Arc;
 
 use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
 use pkvm_aarch64::walk::Access;
-use pkvm_ghost::oracle::{Oracle, OracleOpts};
-use pkvm_ghost::Violation;
+use pkvm_ghost::prelude::*;
+
 use pkvm_hyp::error::Errno;
 use pkvm_hyp::faults::{Fault, FaultSet};
 use pkvm_hyp::hypercalls::*;
@@ -32,7 +32,7 @@ struct Rig {
 
 fn boot_with_oracle(faults: FaultSet) -> Rig {
     let config = MachineConfig::default();
-    let oracle = Oracle::new(&config, OracleOpts::default());
+    let oracle = Oracle::builder(&config).build();
     let machine = Machine::boot(config, oracle.clone(), Arc::new(faults));
     Rig { machine, oracle }
 }
@@ -496,7 +496,7 @@ fn catches_bug5_linear_map_overlap() {
     let faults = Arc::new(FaultSet::none());
     faults.inject(Fault::Bug5LinearMapOverlap);
     let config = MachineConfig::huge_dram();
-    let oracle = Oracle::new(&config, OracleOpts::default());
+    let oracle = Oracle::builder(&config).build();
     let machine = Machine::boot(config, oracle.clone(), faults);
     // The boot check compares against the *correct* layout and flags the
     // misplaced UART mapping.
@@ -515,14 +515,13 @@ fn catches_bug5_linear_map_overlap() {
 #[test]
 fn clean_huge_dram_passes_boot_check() {
     let config = MachineConfig::huge_dram();
-    let oracle = Oracle::new(&config, OracleOpts::default());
+    let oracle = Oracle::builder(&config).build();
     let _machine = Machine::boot(config, oracle.clone(), Arc::new(FaultSet::none()));
     assert!(oracle.check_boot(), "{}", render(&oracle.violations()));
 }
 
 #[test]
 fn trap_trace_records_outcomes() {
-    use pkvm_ghost::oracle::TrapOutcome;
     let r = boot_with_oracle(FaultSet::none());
     assert_eq!(r.machine.hvc(0, HVC_HOST_SHARE_HYP, &[SHARE_PFN]), 0);
     assert_eq!(r.machine.hvc(0, HVC_HOST_UNSHARE_HYP, &[SHARE_PFN]), 0);

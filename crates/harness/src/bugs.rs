@@ -11,11 +11,11 @@ use std::sync::Arc;
 
 use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
 use pkvm_aarch64::walk::Access;
-use pkvm_ghost::oracle::{Oracle, OracleOpts};
+use pkvm_ghost::oracle::Oracle;
 use pkvm_hyp::faults::{Fault, FaultSet};
 use pkvm_hyp::machine::{Machine, MachineConfig};
 
-use crate::proxy::{Proxy, ProxyOpts};
+use crate::proxy::Proxy;
 
 /// How a bug was (or was not) detected.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -83,10 +83,7 @@ fn verdict(p: &Proxy, content_flag: bool) -> (Detection, Option<String>) {
 fn detect_common(fault: Fault) -> (Detection, Option<String>) {
     let faults = FaultSet::none();
     faults.inject(fault);
-    let p = Proxy::boot(ProxyOpts {
-        faults,
-        ..Default::default()
-    });
+    let p = Proxy::builder().faults(faults).boot();
     let mut content_flag = false;
     match fault {
         Fault::Bug1MemcacheAlignment => {
@@ -239,7 +236,7 @@ fn detect_bug5() -> (Detection, Option<String>) {
     let faults = Arc::new(FaultSet::none());
     faults.inject(Fault::Bug5LinearMapOverlap);
     let config = MachineConfig::huge_dram();
-    let oracle = Oracle::new(&config, OracleOpts::default());
+    let oracle = Oracle::builder(&config).build();
     let machine = Machine::boot(config, oracle.clone(), faults);
     let boot_ok = oracle.check_boot();
     let _ = machine;

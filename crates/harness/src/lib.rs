@@ -17,6 +17,7 @@ pub mod coverage;
 pub mod model;
 pub mod proxy;
 pub mod random;
+pub mod rng;
 pub mod scenarios;
 
 pub use bugs::{detect, sweep, BugReport, Detection};
@@ -24,4 +25,5 @@ pub use coverage::CoverageSummary;
 pub use model::{PageUse, TestModel};
 pub use proxy::{Proxy, ProxyOpts};
 pub use random::{RandomCfg, RandomTester, RunStats};
+pub use rng::Rng;
 pub use scenarios::{all as all_scenarios, run_all, Kind, Scenario, SuiteResult};

@@ -11,8 +11,8 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
+use pkvm_aarch64::sync::Mutex;
 use pkvm_ghost::oracle::{Oracle, OracleOpts};
 use pkvm_ghost::Violation;
 use pkvm_hyp::error::Errno;
@@ -22,11 +22,17 @@ use pkvm_hyp::machine::{Machine, MachineConfig};
 use pkvm_hyp::vm::{GuestOp, Handle};
 
 /// Proxy construction options.
+///
+/// Construct with [`Proxy::builder`] (or [`Default`]): the builder keeps
+/// call sites valid as options are added.
+#[non_exhaustive]
 pub struct ProxyOpts {
     /// Machine shape.
     pub config: MachineConfig,
     /// Install the ghost oracle (the `CONFIG_NVHE_GHOST_SPEC=y` build).
     pub with_oracle: bool,
+    /// Switches for the installed oracle (ignored without one).
+    pub oracle_opts: OracleOpts,
     /// Faults to inject before boot.
     pub faults: FaultSet,
 }
@@ -36,8 +42,44 @@ impl Default for ProxyOpts {
         Self {
             config: MachineConfig::default(),
             with_oracle: true,
+            oracle_opts: OracleOpts::default(),
             faults: FaultSet::none(),
         }
+    }
+}
+
+/// Fluent construction of a [`Proxy`]; see [`Proxy::builder`].
+#[derive(Default)]
+pub struct ProxyBuilder(ProxyOpts);
+
+impl ProxyBuilder {
+    /// Sets the machine shape.
+    pub fn config(mut self, config: MachineConfig) -> Self {
+        self.0.config = config;
+        self
+    }
+
+    /// Install (or omit) the ghost oracle (default installed).
+    pub fn with_oracle(mut self, on: bool) -> Self {
+        self.0.with_oracle = on;
+        self
+    }
+
+    /// Sets the oracle's switches (implies the oracle stays installed).
+    pub fn oracle_opts(mut self, opts: OracleOpts) -> Self {
+        self.0.oracle_opts = opts;
+        self
+    }
+
+    /// Adds faults to inject before boot.
+    pub fn faults(mut self, faults: FaultSet) -> Self {
+        self.0.faults = faults;
+        self
+    }
+
+    /// Boots the machine and wraps it.
+    pub fn boot(self) -> Proxy {
+        Proxy::boot(self.0)
     }
 }
 
@@ -52,11 +94,17 @@ pub struct Proxy {
 }
 
 impl Proxy {
+    /// Starts a builder; configure the options fluently, then
+    /// [`boot`](ProxyBuilder::boot).
+    pub fn builder() -> ProxyBuilder {
+        ProxyBuilder::default()
+    }
+
     /// Boots a machine per `opts` and wraps it.
     pub fn boot(opts: ProxyOpts) -> Proxy {
         let oracle = opts
             .with_oracle
-            .then(|| Oracle::new(&opts.config, OracleOpts::default()));
+            .then(|| Oracle::new(&opts.config, opts.oracle_opts));
         let faults = Arc::new(opts.faults);
         let machine = match &oracle {
             Some(o) => Machine::boot(opts.config.clone(), o.clone(), faults),
@@ -277,10 +325,7 @@ mod tests {
 
     #[test]
     fn proxy_without_oracle_runs_bare() {
-        let p = Proxy::boot(ProxyOpts {
-            with_oracle: false,
-            ..Default::default()
-        });
+        let p = Proxy::builder().with_oracle(false).boot();
         assert!(p.oracle.is_none());
         let pfn = p.alloc_page();
         p.share(0, pfn).unwrap();

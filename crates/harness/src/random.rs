@@ -11,9 +11,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, SliceChoose};
 
 use pkvm_aarch64::addr::PAGE_SIZE;
 use pkvm_aarch64::walk::Access;
@@ -44,6 +42,48 @@ impl Default for RandomCfg {
             max_vms: 4,
             max_pages: 512,
         }
+    }
+}
+
+impl RandomCfg {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> RandomCfgBuilder {
+        RandomCfgBuilder(RandomCfg::default())
+    }
+}
+
+/// Builder for [`RandomCfg`].
+#[derive(Clone, Debug, Default)]
+pub struct RandomCfgBuilder(RandomCfg);
+
+impl RandomCfgBuilder {
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.0.seed = seed;
+        self
+    }
+
+    /// Sets the fraction of fuzzed (arbitrary-argument) steps.
+    pub fn invalid_fraction(mut self, f: f64) -> Self {
+        self.0.invalid_fraction = f;
+        self
+    }
+
+    /// Caps simultaneously live VMs.
+    pub fn max_vms(mut self, n: usize) -> Self {
+        self.0.max_vms = n;
+        self
+    }
+
+    /// Caps pages the tester allocates.
+    pub fn max_pages(mut self, n: usize) -> Self {
+        self.0.max_pages = n;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> RandomCfg {
+        self.0
     }
 }
 
@@ -85,14 +125,14 @@ pub struct RandomTester {
     /// Run counters.
     pub stats: RunStats,
     cfg: RandomCfg,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl RandomTester {
     /// Wraps `proxy` with a fresh model and RNG.
     pub fn new(proxy: Proxy, cfg: RandomCfg) -> RandomTester {
         let model = TestModel::new(proxy.machine.nr_cpus());
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = Rng::seed_from_u64(cfg.seed);
         RandomTester {
             proxy,
             model,
@@ -353,12 +393,12 @@ impl RandomTester {
             (vm.mapped.clone(), vm.guest_shared.clone())
         };
         // Choose a guest action over its mapped/shared frames.
-        let op = match self.rng.gen_range(0..5) {
+        let op = match self.rng.gen_range(0..5u32) {
             0 => mapped
                 .choose(&mut self.rng)
                 .map(|&(g, _)| GuestOp::Read(g * PAGE_SIZE)),
             1 => {
-                let v = self.rng.gen();
+                let v = self.rng.gen_u64();
                 mapped
                     .choose(&mut self.rng)
                     .map(|&(g, _)| GuestOp::Write(g * PAGE_SIZE, v))
@@ -410,7 +450,7 @@ impl RandomTester {
             return;
         };
         let n = self.rng.gen_range(0..31u64);
-        let v = self.rng.gen();
+        let v = self.rng.gen_u64();
         let set_ok = self.proxy.vcpu_set_reg(cpu, n, v).is_ok();
         let get = self.proxy.vcpu_get_reg(cpu, n);
         self.stats.bump("vcpu_regs", set_ok && get == Ok(v));
@@ -475,7 +515,7 @@ impl RandomTester {
         let func = if self.rng.gen_bool(0.8) {
             *ALL_HOST_CALLS.choose(&mut self.rng).expect("nonempty")
         } else {
-            self.rng.gen()
+            self.rng.gen_u64()
         };
         let args: Vec<u64> = (0..3).map(|_| self.fuzz_arg()).collect();
         let cpu = self.rand_cpu();
@@ -488,13 +528,13 @@ impl RandomTester {
 
     fn fuzz_arg(&mut self) -> u64 {
         let (pool_pfn, pool_pages) = self.proxy.machine.state.hyp_range;
-        match self.rng.gen_range(0..6) {
-            0 => self.rng.gen(),                               // anywhere
-            1 => self.rng.gen_range(0x40000..0x48000),         // DRAM pfns
+        match self.rng.gen_range(0..6u32) {
+            0 => self.rng.gen_u64(),                           // anywhere
+            1 => self.rng.gen_range(0x40000u64..0x48000),      // DRAM pfns
             2 => pool_pfn + self.rng.gen_range(0..pool_pages), // the carveout
-            3 => 0x9000 + self.rng.gen_range(0..16),           // MMIO pfns
-            4 => self.rng.gen_range(0..64),                    // small values
-            _ => 0x1000 + self.rng.gen_range(0..4),            // handle-shaped
+            3 => 0x9000 + self.rng.gen_range(0..16u64),        // MMIO pfns
+            4 => self.rng.gen_range(0..64u64),                 // small values
+            _ => 0x1000 + self.rng.gen_range(0..4u64),         // handle-shaped
         }
     }
 }
@@ -502,18 +542,11 @@ impl RandomTester {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proxy::ProxyOpts;
 
     #[test]
     fn thousand_steps_stay_clean_under_the_oracle() {
-        let proxy = Proxy::boot(ProxyOpts::default());
-        let mut t = RandomTester::new(
-            proxy,
-            RandomCfg {
-                seed: 1,
-                ..Default::default()
-            },
-        );
+        let proxy = Proxy::builder().boot();
+        let mut t = RandomTester::new(proxy, RandomCfg::builder().seed(1).build());
         t.run(1000);
         assert!(t.stats.calls > 400, "tester barely ran: {:?}", t.stats);
         assert!(
@@ -527,14 +560,8 @@ mod tests {
     #[test]
     fn runs_are_reproducible_per_seed() {
         let run = |seed| {
-            let proxy = Proxy::boot(ProxyOpts::default());
-            let mut t = RandomTester::new(
-                proxy,
-                RandomCfg {
-                    seed,
-                    ..Default::default()
-                },
-            );
+            let proxy = Proxy::builder().boot();
+            let mut t = RandomTester::new(proxy, RandomCfg::builder().seed(seed).build());
             t.run(300);
             (t.stats.calls, t.stats.ok, t.stats.errs)
         };
@@ -544,14 +571,10 @@ mod tests {
 
     #[test]
     fn random_run_reaches_deep_states() {
-        let proxy = Proxy::boot(ProxyOpts::default());
+        let proxy = Proxy::builder().boot();
         let mut t = RandomTester::new(
             proxy,
-            RandomCfg {
-                seed: 7,
-                invalid_fraction: 0.05,
-                ..Default::default()
-            },
+            RandomCfg::builder().seed(7).invalid_fraction(0.05).build(),
         );
         t.run(2000);
         // The model guidance must get us past the shallow calls.
@@ -567,17 +590,8 @@ mod tests {
         use pkvm_hyp::faults::{Fault, FaultSet};
         let faults = FaultSet::none();
         faults.inject(Fault::SynShareWrongState);
-        let proxy = Proxy::boot(ProxyOpts {
-            faults,
-            ..Default::default()
-        });
-        let mut t = RandomTester::new(
-            proxy,
-            RandomCfg {
-                seed: 3,
-                ..Default::default()
-            },
-        );
+        let proxy = Proxy::builder().faults(faults).boot();
+        let mut t = RandomTester::new(proxy, RandomCfg::builder().seed(3).build());
         t.run(200);
         assert!(
             !t.proxy.all_clear(),

@@ -407,13 +407,12 @@ pub fn all() -> Vec<Scenario> {
         scenario!(allocator_exhaustion_is_enomem, Err, false, |_p| {
             // A machine with a tiny carveout: shares exhaust the table
             // allocator, and the loose spec accepts the ENOMEM.
-            let tiny = crate::proxy::Proxy::boot(crate::proxy::ProxyOpts {
-                config: pkvm_hyp::machine::MachineConfig {
+            let tiny = crate::proxy::Proxy::builder()
+                .config(pkvm_hyp::machine::MachineConfig {
                     hyp_pool_pages: 24,
                     ..Default::default()
-                },
-                ..Default::default()
-            });
+                })
+                .boot();
             let mut saw_enomem = false;
             for i in 0..64u64 {
                 // Spread shares across distant regions to force fresh
@@ -514,10 +513,7 @@ pub struct SuiteResult {
 pub fn run_all(with_oracle: bool) -> SuiteResult {
     let mut result = SuiteResult::default();
     for sc in all() {
-        let proxy = Proxy::boot(crate::proxy::ProxyOpts {
-            with_oracle,
-            ..Default::default()
-        });
+        let proxy = Proxy::builder().with_oracle(with_oracle).boot();
         (sc.run)(&proxy);
         result.total += 1;
         match sc.kind {

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use pkvm_aarch64::sync::Mutex;
 
 static HITS: Mutex<Option<HashMap<&'static str, u64>>> = Mutex::new(None);
 

@@ -6,8 +6,8 @@
 //! argument registers scrubbed — the register changes visible in the
 //! paper's Fig. 5 diff.
 
-use parking_lot::MutexGuard;
 use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
+use pkvm_aarch64::sync::MutexGuard;
 use pkvm_aarch64::walk::{translate, Access};
 
 use crate::cov;

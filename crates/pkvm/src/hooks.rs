@@ -149,6 +149,13 @@ pub trait GhostHooks: Send + Sync {
 
     /// The hypervisor panicked (internal invariant failure).
     fn hyp_panic(&self, ctx: &HookCtx<'_>, reason: &str) {}
+
+    /// Whether the machine should enable physical-memory write logging
+    /// for this ghost (queried once at boot). The incremental abstraction
+    /// cache needs it; everything else runs without the logging overhead.
+    fn wants_write_log(&self) -> bool {
+        false
+    }
 }
 
 /// The always-off instrumentation (no ghost configured).

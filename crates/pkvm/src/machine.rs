@@ -12,11 +12,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, MutexGuard};
 use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
 use pkvm_aarch64::attrs::Stage;
 use pkvm_aarch64::esr::Esr;
 use pkvm_aarch64::memory::{MemRegion, PhysMem};
+use pkvm_aarch64::sync::{Mutex, MutexGuard};
 use pkvm_aarch64::sysreg::{GprFile, SysRegs, Vttbr};
 use pkvm_aarch64::tlb::{Tlb, VMID_HOST};
 use pkvm_aarch64::walk::{translate, walk, Access};
@@ -150,6 +150,9 @@ impl Machine {
             .collect();
         regions.extend(config.mmio.iter().map(|&(b, s)| MemRegion::mmio(b, s)));
         let mem = PhysMem::new(regions);
+        // The ghost decides whether page-write logging is worth the
+        // overhead (the incremental abstraction cache depends on it).
+        mem.write_log().set_enabled(hooks.wants_write_log());
 
         // Carve the hypervisor pool out of the top of the last DRAM region.
         let (last_base, last_size) = *config.dram.last().expect("checked");

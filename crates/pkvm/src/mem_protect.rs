@@ -905,10 +905,10 @@ mod tests {
     use crate::mm::compute_layout;
     use crate::pool::HypPool;
     use crate::vm::VmTable;
-    use parking_lot::Mutex;
     use pkvm_aarch64::attrs::MemType;
     use pkvm_aarch64::attrs::Stage;
     use pkvm_aarch64::memory::MemRegion;
+    use pkvm_aarch64::sync::Mutex;
     use pkvm_aarch64::walk::{walk as hw_walk, Access};
     use std::collections::HashMap;
 

@@ -11,8 +11,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, MutexGuard};
 use pkvm_aarch64::memory::PhysMem;
+use pkvm_aarch64::sync::{Mutex, MutexGuard};
 use pkvm_aarch64::tlb::Tlb;
 
 use crate::faults::FaultSet;

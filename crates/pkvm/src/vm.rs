@@ -11,9 +11,9 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use pkvm_aarch64::addr::PhysAddr;
 use pkvm_aarch64::attrs::Stage;
+use pkvm_aarch64::sync::Mutex;
 use pkvm_aarch64::sysreg::GprFile;
 
 use crate::error::{Errno, HypResult};

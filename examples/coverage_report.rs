@@ -4,7 +4,7 @@
 //! Run with `cargo run --release --example coverage_report`.
 
 use pkvm_harness::coverage::{self, CoverageSummary};
-use pkvm_harness::proxy::{Proxy, ProxyOpts};
+use pkvm_harness::proxy::Proxy;
 use pkvm_harness::random::{RandomCfg, RandomTester};
 use pkvm_harness::scenarios;
 
@@ -26,7 +26,7 @@ fn main() {
     print!("{}", after_suite.render());
 
     // Phase 2: a random burst on top.
-    let proxy = Proxy::boot(ProxyOpts::default());
+    let proxy = Proxy::builder().boot();
     let mut tester = RandomTester::new(proxy, RandomCfg::default());
     tester.run(5000);
     assert!(tester.proxy.all_clear());

@@ -6,8 +6,8 @@
 
 use std::sync::Arc;
 
-use pkvm_ghost::oracle::{Oracle, OracleOpts};
-use pkvm_ghost::{abstract_host, abstract_hyp, diff_states, GhostState};
+use pkvm_ghost::prelude::*;
+use pkvm_ghost::{abstract_host, abstract_hyp, diff_states};
 use pkvm_hyp::faults::FaultSet;
 use pkvm_hyp::hypercalls::HVC_HOST_SHARE_HYP;
 use pkvm_hyp::machine::{Machine, MachineConfig};
@@ -39,7 +39,7 @@ fn main() {
     // Boot the machine with the ghost spec installed (the paper's
     // CONFIG_NVHE_GHOST_SPEC=y build).
     let config = MachineConfig::default();
-    let oracle = Oracle::new(&config, OracleOpts::default());
+    let oracle = Oracle::builder(&config).build();
     let machine = Machine::boot(config, oracle.clone(), Arc::new(FaultSet::none()));
     assert!(oracle.check_boot(), "boot state must match the boot spec");
     println!("booted; boot-state check passed");

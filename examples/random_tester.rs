@@ -5,7 +5,7 @@
 
 use std::time::Instant;
 
-use pkvm_harness::proxy::{Proxy, ProxyOpts};
+use pkvm_harness::proxy::Proxy;
 use pkvm_harness::random::{RandomCfg, RandomTester};
 
 fn main() {
@@ -13,14 +13,8 @@ fn main() {
     let steps: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0xc0ffee);
 
-    let proxy = Proxy::boot(ProxyOpts::default());
-    let mut tester = RandomTester::new(
-        proxy,
-        RandomCfg {
-            seed,
-            ..Default::default()
-        },
-    );
+    let proxy = Proxy::builder().boot();
+    let mut tester = RandomTester::new(proxy, RandomCfg::builder().seed(seed).build());
 
     let start = Instant::now();
     tester.run(steps);

@@ -16,7 +16,7 @@
 
 use pkvm_aarch64::addr::PAGE_SIZE;
 use pkvm_aarch64::walk::Access;
-use pkvm_harness::proxy::{Proxy, ProxyOpts};
+use pkvm_harness::proxy::Proxy;
 use pkvm_hyp::hypercalls::exit;
 use pkvm_hyp::vm::GuestOp;
 
@@ -29,7 +29,7 @@ fn guest_step(p: &Proxy, handle: u32, op: GuestOp) -> u64 {
 }
 
 fn main() {
-    let p = Proxy::boot(ProxyOpts::default());
+    let p = Proxy::builder().boot();
     let oracle = p.oracle.as_ref().expect("oracle installed");
 
     // Bring up a protected VM with a ring page and three buffers.

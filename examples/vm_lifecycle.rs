@@ -7,12 +7,12 @@
 
 use pkvm_aarch64::addr::PAGE_SIZE;
 use pkvm_aarch64::walk::Access;
-use pkvm_harness::proxy::{Proxy, ProxyOpts};
+use pkvm_harness::proxy::Proxy;
 use pkvm_hyp::hypercalls::exit;
 use pkvm_hyp::vm::GuestOp;
 
 fn main() {
-    let p = Proxy::boot(ProxyOpts::default());
+    let p = Proxy::builder().boot();
     let oracle = p.oracle.as_ref().expect("oracle installed");
     assert!(oracle.check_boot());
 

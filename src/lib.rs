@@ -12,5 +12,6 @@
 
 pub use pkvm_aarch64 as aarch64;
 pub use pkvm_ghost as ghost;
+pub use pkvm_ghost::prelude;
 pub use pkvm_harness as harness;
 pub use pkvm_hyp as hyp;

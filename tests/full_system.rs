@@ -4,7 +4,7 @@
 use pkvm_repro::aarch64::addr::PAGE_SIZE;
 use pkvm_repro::aarch64::walk::Access;
 use pkvm_repro::harness::bugs::{self, Detection};
-use pkvm_repro::harness::proxy::{Proxy, ProxyOpts};
+use pkvm_repro::harness::proxy::Proxy;
 use pkvm_repro::harness::random::{RandomCfg, RandomTester};
 use pkvm_repro::harness::scenarios;
 use pkvm_repro::hyp::faults::{Fault, FaultSet};
@@ -23,14 +23,8 @@ fn clean_hypervisor_passes_everything() {
 #[test]
 fn random_campaign_multiple_seeds() {
     for seed in [1, 2, 3] {
-        let proxy = Proxy::boot(ProxyOpts::default());
-        let mut t = RandomTester::new(
-            proxy,
-            RandomCfg {
-                seed,
-                ..Default::default()
-            },
-        );
+        let proxy = Proxy::builder().boot();
+        let mut t = RandomTester::new(proxy, RandomCfg::builder().seed(seed).build());
         t.run(1500);
         assert!(
             t.proxy.all_clear(),
@@ -52,7 +46,7 @@ fn bug_sweep_detects_everything() {
 /// it is reclaimed — and reclaim wipes it.
 #[test]
 fn end_to_end_isolation_story() {
-    let p = Proxy::boot(ProxyOpts::default());
+    let p = Proxy::builder().boot();
     let h = p.init_vm(0, 1, true).unwrap();
     p.init_vcpu(0, h, 0).unwrap();
     p.vcpu_load(0, h, 0).unwrap();
@@ -88,7 +82,7 @@ fn end_to_end_isolation_story() {
 /// oracle tracking the vCPU ownership transfers.
 #[test]
 fn vcpu_migrates_across_cpus() {
-    let p = Proxy::boot(ProxyOpts::default());
+    let p = Proxy::builder().boot();
     let h = p.init_vm(0, 1, true).unwrap();
     p.init_vcpu(0, h, 0).unwrap();
     for cpu in 0..p.machine.nr_cpus() {
@@ -107,7 +101,7 @@ fn vcpu_migrates_across_cpus() {
 /// one CPU is still in the vCPU context after moving to another CPU.
 #[test]
 fn guest_state_survives_migration() {
-    let p = Proxy::boot(ProxyOpts::default());
+    let p = Proxy::builder().boot();
     let h = p.init_vm(0, 1, true).unwrap();
     p.init_vcpu(0, h, 0).unwrap();
     p.vcpu_load(0, h, 0).unwrap();
@@ -139,7 +133,7 @@ fn guest_state_survives_migration() {
 /// blamed on earlier clean history.
 #[test]
 fn mid_run_injection_is_localised() {
-    let p = Proxy::boot(ProxyOpts::default());
+    let p = Proxy::builder().boot();
     let pfn = p.alloc_page();
     p.share(0, pfn).unwrap();
     p.unshare(0, pfn).unwrap();
@@ -167,14 +161,14 @@ fn mid_run_injection_is_localised() {
 /// the carveout comes from the last region and the layout spans all.
 #[test]
 fn multi_region_dram_configurations() {
-    use pkvm_repro::ghost::oracle::{Oracle, OracleOpts};
     use pkvm_repro::hyp::machine::{Machine, MachineConfig};
+    use pkvm_repro::prelude::*;
     use std::sync::Arc;
     let config = MachineConfig {
         dram: vec![(0x4000_0000, 0x400_0000), (0x9000_0000, 0x400_0000)],
         ..MachineConfig::default()
     };
-    let oracle = Oracle::new(&config, OracleOpts::default());
+    let oracle = Oracle::builder(&config).build();
     let m = Machine::boot(config, oracle.clone(), Arc::new(FaultSet::none()));
     assert!(oracle.check_boot(), "{:?}", oracle.violations());
     // Host faults and shares in both regions.
@@ -208,10 +202,7 @@ fn combined_injections_are_all_detected() {
     let faults = FaultSet::none();
     faults.inject(Fault::SynShareWrongState);
     faults.inject(Fault::SynVcpuPutLeak);
-    let p = Proxy::boot(ProxyOpts {
-        faults,
-        ..Default::default()
-    });
+    let p = Proxy::builder().faults(faults).boot();
     let pfn = p.alloc_page();
     p.share(0, pfn).unwrap();
     let h = p.init_vm(0, 1, true).unwrap();
@@ -227,10 +218,7 @@ fn combined_injections_are_all_detected() {
 #[test]
 fn sustained_concurrent_stress() {
     let faults = FaultSet::none();
-    let p = Proxy::boot(ProxyOpts {
-        faults,
-        ..Default::default()
-    });
+    let p = Proxy::builder().faults(faults).boot();
     std::thread::scope(|s| {
         // One VM worker.
         s.spawn(|| {

@@ -1,5 +1,10 @@
 //! Property-based tests over the core data structures and invariants.
 //!
+//! Driven by the in-tree deterministic [`Rng`] (no external property
+//! framework in the hermetic build): each property runs many randomized
+//! cases from fixed seeds, so failures are reproducible from the seed
+//! printed in the assertion message.
+//!
 //! - the abstract [`Mapping`] agrees with a naive per-page model under
 //!   arbitrary insert/remove sequences, and stays canonical;
 //! - descriptor encode/decode round-trips for every attribute combination;
@@ -11,9 +16,7 @@
 //! - arbitrary well-formed share/unshare interleavings stay clean under
 //!   the oracle.
 
-use std::collections::BTreeMap;
-
-use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
 
 use pkvm_repro::aarch64::addr::PAGE_SIZE;
 use pkvm_repro::aarch64::attrs::{Attrs, MemType, Perms, Stage};
@@ -22,6 +25,7 @@ use pkvm_repro::aarch64::memory::{MemRegion, PhysMem};
 use pkvm_repro::aarch64::{walk as hw_walk, PhysAddr};
 use pkvm_repro::ghost::maplet::{AbsAttrs, Maplet, MapletTarget};
 use pkvm_repro::ghost::Mapping;
+use pkvm_repro::harness::rng::Rng;
 use pkvm_repro::hyp::owner::{OwnerId, PageState};
 use pkvm_repro::hyp::pgtable::{
     kvm_pgtable_walk, KvmPgtable, MapWalker, PoolOps, SetOwnerWalker, WalkState,
@@ -49,38 +53,46 @@ enum MapOp {
     },
 }
 
-fn map_op() -> impl Strategy<Value = MapOp> {
-    prop_oneof![
-        (0u64..64, 1u64..8, 0u64..64, 0u8..4).prop_map(|(ia_page, nr, oa_page, perms)| {
-            MapOp::InsertMapped {
-                ia_page,
-                nr,
-                oa_page,
-                perms,
-            }
-        }),
-        (0u64..64, 1u64..8, 0u8..4).prop_map(|(ia_page, nr, owner)| MapOp::InsertAnnot {
-            ia_page,
-            nr,
-            owner
-        }),
-        (0u64..64, 1u64..8).prop_map(|(ia_page, nr)| MapOp::Remove { ia_page, nr }),
-    ]
+fn map_op(rng: &mut Rng) -> MapOp {
+    match rng.gen_range(0..3u32) {
+        0 => MapOp::InsertMapped {
+            ia_page: rng.gen_range(0..64u64),
+            nr: rng.gen_range(1..8u64),
+            oa_page: rng.gen_range(0..64u64),
+            perms: rng.gen_range(0..4u64) as u8,
+        },
+        1 => MapOp::InsertAnnot {
+            ia_page: rng.gen_range(0..64u64),
+            nr: rng.gen_range(1..8u64),
+            owner: rng.gen_range(0..4u64) as u8,
+        },
+        _ => MapOp::Remove {
+            ia_page: rng.gen_range(0..64u64),
+            nr: rng.gen_range(1..8u64),
+        },
+    }
 }
 
 fn perms_of(p: u8) -> Perms {
     [Perms::RWX, Perms::RW, Perms::RX, Perms::R][p as usize % 4]
 }
 
-proptest! {
-    /// The coalescing range map has exactly the semantics of a per-page map.
-    #[test]
-    fn mapping_matches_per_page_model(ops in proptest::collection::vec(map_op(), 1..60)) {
+/// The coalescing range map has exactly the semantics of a per-page map.
+#[test]
+fn mapping_matches_per_page_model() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let nr_ops = rng.gen_range(1..60usize);
         let mut mapping = Mapping::new();
         let mut model: BTreeMap<u64, MapletTarget> = BTreeMap::new();
-        for op in ops {
-            match op {
-                MapOp::InsertMapped { ia_page, nr, oa_page, perms } => {
+        for _ in 0..nr_ops {
+            match map_op(&mut rng) {
+                MapOp::InsertMapped {
+                    ia_page,
+                    nr,
+                    oa_page,
+                    perms,
+                } => {
                     let attrs = AbsAttrs {
                         perms: perms_of(perms),
                         memtype: MemType::Normal,
@@ -89,12 +101,18 @@ proptest! {
                     mapping.insert(Maplet {
                         ia: ia_page * PAGE_SIZE,
                         nr_pages: nr,
-                        target: MapletTarget::Mapped { oa: oa_page * PAGE_SIZE, attrs },
+                        target: MapletTarget::Mapped {
+                            oa: oa_page * PAGE_SIZE,
+                            attrs,
+                        },
                     });
                     for i in 0..nr {
                         model.insert(
                             (ia_page + i) * PAGE_SIZE,
-                            MapletTarget::Mapped { oa: (oa_page + i) * PAGE_SIZE, attrs },
+                            MapletTarget::Mapped {
+                                oa: (oa_page + i) * PAGE_SIZE,
+                                attrs,
+                            },
                         );
                     }
                 }
@@ -122,22 +140,34 @@ proptest! {
         // Pointwise agreement over the whole exercised window.
         for page in 0..80u64 {
             let ia = page * PAGE_SIZE;
-            prop_assert_eq!(mapping.lookup(ia), model.get(&ia).copied(), "page {:#x}", ia);
+            assert_eq!(
+                mapping.lookup(ia),
+                model.get(&ia).copied(),
+                "seed {seed}, page {ia:#x}"
+            );
         }
-        prop_assert_eq!(mapping.nr_pages(), model.len() as u64);
+        assert_eq!(mapping.nr_pages(), model.len() as u64, "seed {seed}");
     }
+}
 
-    /// Two orders of building the same extension compare equal.
-    #[test]
-    fn mapping_equality_is_extensional(
-        pages in proptest::collection::btree_set(0u64..48, 1..24),
-    ) {
+/// Two orders of building the same extension compare equal.
+#[test]
+fn mapping_equality_is_extensional() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let nr = rng.gen_range(1..24usize);
+        let mut pages = BTreeSet::new();
+        for _ in 0..nr {
+            pages.insert(rng.gen_range(0..48u64));
+        }
         let mut forward = Mapping::new();
         for &p in pages.iter() {
             forward.insert(Maplet {
                 ia: p * PAGE_SIZE,
                 nr_pages: 1,
-                target: MapletTarget::Annotated { owner: OwnerId::HYP },
+                target: MapletTarget::Annotated {
+                    owner: OwnerId::HYP,
+                },
             });
         }
         let mut backward = Mapping::new();
@@ -145,30 +175,32 @@ proptest! {
             backward.insert(Maplet {
                 ia: p * PAGE_SIZE,
                 nr_pages: 1,
-                target: MapletTarget::Annotated { owner: OwnerId::HYP },
+                target: MapletTarget::Annotated {
+                    owner: OwnerId::HYP,
+                },
             });
         }
-        prop_assert_eq!(&forward, &backward);
-        prop_assert!(forward.diff(&backward).is_empty());
+        assert_eq!(&forward, &backward, "seed {seed}");
+        assert!(forward.diff(&backward).is_empty(), "seed {seed}");
     }
+}
 
-    // ------------------------------------------------------ descriptors --
+// ------------------------------------------------------ descriptors --
 
-    /// Leaf descriptors round-trip for every stage/level/attribute combo.
-    #[test]
-    fn pte_leaf_roundtrip(
-        stage_s2 in any::<bool>(),
-        level in 1u8..=3,
-        oa_block in 0u64..512,
-        r in any::<bool>(),
-        w in any::<bool>(),
-        x in any::<bool>(),
-        device in any::<bool>(),
-        sw in 0u8..3,
-    ) {
-        let stage = if stage_s2 { Stage::Stage2 } else { Stage::Stage1 };
+/// Leaf descriptors round-trip for every stage/level/attribute combo.
+#[test]
+fn pte_leaf_roundtrip() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let stage = if rng.gen_bool(0.5) {
+            Stage::Stage2
+        } else {
+            Stage::Stage1
+        };
+        let level = rng.gen_range(1..=3u64) as u8;
         let block_size = pkvm_repro::aarch64::addr::level_size(level);
-        let oa = PhysAddr::new(oa_block * block_size);
+        let oa = PhysAddr::new(rng.gen_range(0..512u64) * block_size);
+        let (r, w, x) = (rng.gen_bool(0.5), rng.gen_bool(0.5), rng.gen_bool(0.5));
         let perms = if stage == Stage::Stage1 {
             // Stage 1 encodes no read-disable; r is architectural.
             Perms { r: true, w, x }
@@ -177,44 +209,69 @@ proptest! {
         };
         let attrs = Attrs {
             perms,
-            memtype: if device { MemType::Device } else { MemType::Normal },
-            sw,
+            memtype: if rng.gen_bool(0.5) {
+                MemType::Device
+            } else {
+                MemType::Normal
+            },
+            sw: rng.gen_range(0..3u64) as u8,
         };
         let pte = Pte::leaf(stage, level, oa, attrs);
-        prop_assert_eq!(pte.leaf_oa(level), oa);
-        prop_assert_eq!(pte.leaf_attrs(stage), attrs);
+        assert_eq!(pte.leaf_oa(level), oa, "seed {seed}");
+        assert_eq!(pte.leaf_attrs(stage), attrs, "seed {seed}");
     }
+}
 
-    /// Owner annotations round-trip.
-    #[test]
-    fn annotation_roundtrip(owner in 0u8..32) {
+/// Owner annotations round-trip.
+#[test]
+fn annotation_roundtrip() {
+    for owner in 0u8..32 {
         let pte = pkvm_repro::hyp::owner::annotation_pte(OwnerId(owner));
-        prop_assert!(!pte.is_valid());
-        prop_assert_eq!(pkvm_repro::hyp::owner::annotation_owner(pte), OwnerId(owner));
+        assert!(!pte.is_valid());
+        assert_eq!(
+            pkvm_repro::hyp::owner::annotation_owner(pte),
+            OwnerId(owner)
+        );
     }
+}
 
-    // ------------------------------------ walker vs interpretation ------
+// ------------------------------------ walker vs interpretation ------
 
-    /// Installing arbitrary page mappings through the implementation's
-    /// walker and interpreting the table with the ghost's abstraction
-    /// function recovers exactly the intended extension — and the
-    /// hardware walk agrees pointwise.
-    #[test]
-    fn walker_and_interpretation_agree(
-        entries in proptest::collection::btree_map(0u64..96, (0u64..96, any::<bool>()), 1..32),
-    ) {
+/// Installing arbitrary page mappings through the implementation's
+/// walker and interpreting the table with the ghost's abstraction
+/// function recovers exactly the intended extension — and the
+/// hardware walk agrees pointwise.
+#[test]
+fn walker_and_interpretation_agree() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let nr = rng.gen_range(1..32usize);
+        let mut entries: BTreeMap<u64, (u64, bool)> = BTreeMap::new();
+        for _ in 0..nr {
+            entries.insert(
+                rng.gen_range(0..96u64),
+                (rng.gen_range(0..96u64), rng.gen_bool(0.5)),
+            );
+        }
         let mem = PhysMem::new(vec![MemRegion::ram(0x4000_0000, 0x800_0000)]);
         let mut pool = HypPool::new(PhysAddr::new(0x4400_0000), 2048);
         let root = pool.alloc_page().unwrap();
         mem.zero_page(root).unwrap();
-        let pgt = KvmPgtable { root, stage: Stage::Stage2 };
+        let pgt = KvmPgtable {
+            root,
+            stage: Stage::Stage2,
+        };
 
         let ia_base = 0x4000_0000u64;
         let oa_base = 0x4100_0000u64;
         let mut expected = Mapping::new();
         for (&ia_page, &(oa_page, writable)) in &entries {
             let perms = if writable { Perms::RWX } else { Perms::RX };
-            let attrs = Attrs { perms, memtype: MemType::Normal, sw: PageState::Owned.to_sw() };
+            let attrs = Attrs {
+                perms,
+                memtype: MemType::Normal,
+                sw: PageState::Owned.to_sw(),
+            };
             let mut mm = PoolOps(&mut pool);
             let mut ws = WalkState::new(&mem, &mut mm);
             let mut w = MapWalker {
@@ -225,8 +282,14 @@ proptest! {
                 force_pages: true,
                 corrupt_block_oa: false,
             };
-            kvm_pgtable_walk(&pgt, &mut ws, ia_base + ia_page * PAGE_SIZE, PAGE_SIZE, &mut w)
-                .unwrap();
+            kvm_pgtable_walk(
+                &pgt,
+                &mut ws,
+                ia_base + ia_page * PAGE_SIZE,
+                PAGE_SIZE,
+                &mut w,
+            )
+            .unwrap();
             expected.insert(Maplet {
                 ia: ia_base + ia_page * PAGE_SIZE,
                 nr_pages: 1,
@@ -244,32 +307,43 @@ proptest! {
         // Ghost interpretation recovers the extension.
         let mut anomalies = Vec::new();
         let abs = pkvm_repro::ghost::interpret_pgtable(&mem, Stage::Stage2, root, &mut anomalies);
-        prop_assert!(anomalies.is_empty(), "{:?}", anomalies);
-        prop_assert_eq!(&abs.mapping, &expected);
+        assert!(anomalies.is_empty(), "seed {seed}: {anomalies:?}");
+        assert_eq!(&abs.mapping, &expected, "seed {seed}");
 
         // The hardware walk agrees pointwise with the abstract mapping.
         for page in 0..100u64 {
             let ia = ia_base + page * PAGE_SIZE;
-            let hw = hw_walk::walk(&mem, Stage::Stage2, root, ia).ok().map(|t| t.oa.bits());
+            let hw = hw_walk::walk(&mem, Stage::Stage2, root, ia)
+                .ok()
+                .map(|t| t.oa.bits());
             let abstract_oa = expected.lookup(ia).map(|t| match t {
                 MapletTarget::Mapped { oa, .. } => oa,
                 MapletTarget::Annotated { .. } => unreachable!(),
             });
-            prop_assert_eq!(hw, abstract_oa, "ia {:#x}", ia);
+            assert_eq!(hw, abstract_oa, "seed {seed}, ia {ia:#x}");
         }
     }
+}
 
-    /// Unmapping (annotating) arbitrary sub-ranges of a block-mapped
-    /// region preserves the complement exactly.
-    #[test]
-    fn block_split_preserves_complement(
-        holes in proptest::collection::btree_set(0u64..512, 1..20),
-    ) {
+/// Unmapping (annotating) arbitrary sub-ranges of a block-mapped
+/// region preserves the complement exactly.
+#[test]
+fn block_split_preserves_complement() {
+    for seed in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let nr = rng.gen_range(1..20usize);
+        let mut holes = BTreeSet::new();
+        for _ in 0..nr {
+            holes.insert(rng.gen_range(0..512u64));
+        }
         let mem = PhysMem::new(vec![MemRegion::ram(0x4000_0000, 0x800_0000)]);
         let mut pool = HypPool::new(PhysAddr::new(0x4400_0000), 2048);
         let root = pool.alloc_page().unwrap();
         mem.zero_page(root).unwrap();
-        let pgt = KvmPgtable { root, stage: Stage::Stage2 };
+        let pgt = KvmPgtable {
+            root,
+            stage: Stage::Stage2,
+        };
         let base = 0x4020_0000u64; // one 2 MiB block
         let attrs = Attrs::normal(Perms::RWX).with_sw(PageState::Owned.to_sw());
         {
@@ -298,22 +372,32 @@ proptest! {
             let ia = base + page * PAGE_SIZE;
             let tr = hw_walk::walk(&mem, Stage::Stage2, root, ia);
             if holes.contains(&page) {
-                prop_assert!(tr.is_err(), "hole {:#x} still mapped", ia);
+                assert!(tr.is_err(), "seed {seed}: hole {ia:#x} still mapped");
             } else {
-                prop_assert_eq!(tr.unwrap().oa, PhysAddr::new(ia), "page {:#x} damaged", ia);
+                assert_eq!(
+                    tr.unwrap().oa,
+                    PhysAddr::new(ia),
+                    "seed {seed}: page {ia:#x} damaged"
+                );
             }
         }
     }
+}
 
-    // ------------------------------------------------------- allocator --
+// ------------------------------------------------------- allocator --
 
-    /// The buddy allocator conserves pages and never hands out
-    /// overlapping blocks.
-    #[test]
-    fn buddy_allocator_invariants(ops in proptest::collection::vec((0u8..4, any::<bool>()), 1..100)) {
+/// The buddy allocator conserves pages and never hands out
+/// overlapping blocks.
+#[test]
+fn buddy_allocator_invariants() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let nr_ops = rng.gen_range(1..100usize);
         let mut pool = HypPool::new(PhysAddr::new(0x4400_0000), 512);
         let mut live: Vec<(PhysAddr, u8)> = Vec::new();
-        for (order, free_instead) in ops {
+        for _ in 0..nr_ops {
+            let order = rng.gen_range(0..4u64) as u8;
+            let free_instead = rng.gen_bool(0.5);
             if free_instead && !live.is_empty() {
                 let (pa, _) = live.swap_remove(0);
                 pool.put_page(pa);
@@ -322,19 +406,19 @@ proptest! {
                 for &(other, oorder) in &live {
                     let a = (pa.pfn(), pa.pfn() + (1 << order));
                     let b = (other.pfn(), other.pfn() + (1 << oorder));
-                    prop_assert!(a.1 <= b.0 || b.1 <= a.0, "overlap {:?} {:?}", a, b);
+                    assert!(a.1 <= b.0 || b.1 <= a.0, "seed {seed}: overlap {a:?} {b:?}");
                 }
                 // Natural alignment.
-                prop_assert_eq!(pa.pfn() % (1 << order), 0);
+                assert_eq!(pa.pfn() % (1 << order), 0, "seed {seed}");
                 live.push((pa, order));
             }
             let live_pages: u64 = live.iter().map(|&(_, o)| 1u64 << o).sum();
-            prop_assert_eq!(pool.free_pages() + live_pages, 512);
+            assert_eq!(pool.free_pages() + live_pages, 512, "seed {seed}");
         }
         for (pa, _) in live {
             pool.put_page(pa);
         }
-        prop_assert_eq!(pool.free_pages(), 512);
+        assert_eq!(pool.free_pages(), 512, "seed {seed}");
     }
 }
 
@@ -350,27 +434,28 @@ enum VmOp {
     GuestWrite(usize),
 }
 
-fn vm_op() -> impl Strategy<Value = VmOp> {
-    prop_oneof![
-        (0usize..2).prop_map(VmOp::Load),
-        (0usize..2).prop_map(VmOp::Put),
-        (0usize..2).prop_map(VmOp::Topup),
-        (0usize..2).prop_map(VmOp::MapGuest),
-        (0usize..2).prop_map(VmOp::GuestWrite),
-    ]
+fn vm_op(rng: &mut Rng) -> VmOp {
+    let cpu = rng.gen_range(0..2usize);
+    match rng.gen_range(0..5u32) {
+        0 => VmOp::Load(cpu),
+        1 => VmOp::Put(cpu),
+        2 => VmOp::Topup(cpu),
+        3 => VmOp::MapGuest(cpu),
+        _ => VmOp::GuestWrite(cpu),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Arbitrary VM-lifecycle interleavings over two CPUs: every call
-    /// either succeeds or fails with the model-predicted error, and the
-    /// oracle stays clean throughout.
-    #[test]
-    fn vm_lifecycle_sequences_stay_clean(ops in proptest::collection::vec(vm_op(), 1..30)) {
-        use pkvm_repro::harness::proxy::{Proxy, ProxyOpts};
-        use pkvm_repro::hyp::vm::GuestOp;
-        let p = Proxy::boot(ProxyOpts::default());
+/// Arbitrary VM-lifecycle interleavings over two CPUs: every call
+/// either succeeds or fails with the model-predicted error, and the
+/// oracle stays clean throughout.
+#[test]
+fn vm_lifecycle_sequences_stay_clean() {
+    use pkvm_repro::harness::proxy::Proxy;
+    use pkvm_repro::hyp::vm::GuestOp;
+    for seed in 0..12u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let nr_ops = rng.gen_range(1..30usize);
+        let p = Proxy::builder().boot();
         let h = p.init_vm(0, 1, true).unwrap();
         p.init_vcpu(0, h, 0).unwrap();
         // Model: which cpu (if any) holds the single vCPU, its memcache
@@ -378,25 +463,25 @@ proptest! {
         let mut held: Option<usize> = None;
         let mut memcache = 0u64;
         let mut gfn = 0x10u64;
-        for op in ops {
-            match op {
+        for _ in 0..nr_ops {
+            match vm_op(&mut rng) {
                 VmOp::Load(cpu) => {
                     let r = p.vcpu_load(cpu, h, 0);
-                    prop_assert_eq!(r.is_ok(), held.is_none(), "load on cpu{}", cpu);
+                    assert_eq!(r.is_ok(), held.is_none(), "seed {seed}: load on cpu{cpu}");
                     if r.is_ok() {
                         held = Some(cpu);
                     }
                 }
                 VmOp::Put(cpu) => {
                     let r = p.vcpu_put(cpu);
-                    prop_assert_eq!(r.is_ok(), held == Some(cpu));
+                    assert_eq!(r.is_ok(), held == Some(cpu), "seed {seed}");
                     if r.is_ok() {
                         held = None;
                     }
                 }
                 VmOp::Topup(cpu) => {
                     let r = p.topup(cpu, 4);
-                    prop_assert_eq!(r.is_ok(), held == Some(cpu));
+                    assert_eq!(r.is_ok(), held == Some(cpu), "seed {seed}");
                     if r.is_ok() {
                         memcache += 4;
                     }
@@ -404,11 +489,11 @@ proptest! {
                 VmOp::MapGuest(cpu) => {
                     let r = p.map_guest(cpu, gfn);
                     if held == Some(cpu) && memcache >= 3 {
-                        prop_assert!(r.is_ok(), "map_guest: {:?}", r);
+                        assert!(r.is_ok(), "seed {seed}: map_guest: {r:?}");
                         gfn += 1;
                         memcache = memcache.saturating_sub(3);
                     } else if held != Some(cpu) {
-                        prop_assert!(r.is_err());
+                        assert!(r.is_err(), "seed {seed}");
                     } else if r.is_ok() {
                         // Fewer tables were needed than the conservative
                         // estimate; account for the page.
@@ -417,36 +502,84 @@ proptest! {
                 }
                 VmOp::GuestWrite(cpu) => {
                     if held == Some(cpu) && gfn > 0x10 {
-                        p.push_guest_op(h, 0, GuestOp::Write(0x10 * PAGE_SIZE, 1)).unwrap();
+                        p.push_guest_op(h, 0, GuestOp::Write(0x10 * PAGE_SIZE, 1))
+                            .unwrap();
                         let exit = p.vcpu_run(cpu).unwrap();
-                        prop_assert_eq!(exit, pkvm_repro::hyp::hypercalls::exit::CONTINUE);
+                        assert_eq!(
+                            exit,
+                            pkvm_repro::hyp::hypercalls::exit::CONTINUE,
+                            "seed {seed}"
+                        );
                     }
                 }
             }
         }
-        prop_assert!(p.all_clear(), "{:?}", p.violations());
+        assert!(p.all_clear(), "seed {seed}: {:?}", p.violations());
     }
+}
 
-    /// Arbitrary well-formed share/unshare interleavings stay clean under
-    /// the oracle (a property-based slice of the random tester).
-    #[test]
-    fn share_sequences_stay_clean(ops in proptest::collection::vec((0u64..24, any::<bool>()), 1..40)) {
-        use pkvm_repro::harness::proxy::{Proxy, ProxyOpts};
-        let p = Proxy::boot(ProxyOpts::default());
+/// The incremental abstraction is extensionally equal to the full walk:
+/// randomized hypercall sequences run with shadow validation on, so every
+/// lock event computes both and any divergence is reported as a
+/// [`ShadowDivergence`](pkvm_repro::prelude::Violation::ShadowDivergence)
+/// violation — of which there must be none, while the cache must actually
+/// serve (otherwise the property is vacuous).
+#[test]
+fn incremental_abstraction_matches_full_walk() {
+    use pkvm_repro::harness::proxy::Proxy;
+    use pkvm_repro::harness::random::{RandomCfg, RandomTester};
+    use pkvm_repro::prelude::*;
+    for seed in [5u64, 11, 23] {
+        let proxy = Proxy::builder()
+            .oracle_opts(OracleOpts::builder().shadow_validation(true).build())
+            .boot();
+        let mut t = RandomTester::new(proxy, RandomCfg::builder().seed(seed).build());
+        t.run(800);
+        let oracle = t.proxy.oracle.as_ref().expect("oracle installed");
+        let divergences: Vec<_> = oracle
+            .violations()
+            .into_iter()
+            .filter(|v| matches!(v, Violation::ShadowDivergence { .. }))
+            .collect();
+        assert!(divergences.is_empty(), "seed {seed}:\n{divergences:#?}");
+        assert!(
+            t.proxy.all_clear(),
+            "seed {seed}: {:?}",
+            t.proxy.violations()
+        );
+        let stats = oracle.cache_stats();
+        assert!(
+            stats.clean_hits + stats.incremental > 0,
+            "seed {seed}: cache never served a request: {stats:?}"
+        );
+    }
+}
+
+/// Arbitrary well-formed share/unshare interleavings stay clean under
+/// the oracle (a property-based slice of the random tester).
+#[test]
+fn share_sequences_stay_clean() {
+    use pkvm_repro::harness::proxy::Proxy;
+    for seed in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let nr_ops = rng.gen_range(1..40usize);
+        let p = Proxy::builder().boot();
         let base = p.alloc_pages(24);
         let mut shared = [false; 24];
-        for (page, do_share) in ops {
+        for _ in 0..nr_ops {
+            let page = rng.gen_range(0..24u64);
+            let do_share = rng.gen_bool(0.5);
             let pfn = base + page;
             if do_share {
                 let r = p.share(0, pfn);
-                prop_assert_eq!(r.is_ok(), !shared[page as usize]);
+                assert_eq!(r.is_ok(), !shared[page as usize], "seed {seed}");
                 shared[page as usize] = true;
             } else {
                 let r = p.unshare(0, pfn);
-                prop_assert_eq!(r.is_ok(), shared[page as usize]);
+                assert_eq!(r.is_ok(), shared[page as usize], "seed {seed}");
                 shared[page as usize] = false;
             }
         }
-        prop_assert!(p.all_clear(), "{:?}", p.violations());
+        assert!(p.all_clear(), "seed {seed}: {:?}", p.violations());
     }
 }
