@@ -19,4 +19,10 @@ cargo fmt --all -- --check
 echo "== bench smoke (PKVM_BENCH_QUICK=1) =="
 PKVM_BENCH_QUICK=1 cargo bench -p pkvm-bench
 
+echo "== quick campaign (2 workers, fixed seed) =="
+# A short concurrent random-testing campaign under the oracle; the example
+# exits non-zero on any violation or panic, so a concurrency regression in
+# the oracle or the hypervisor fails the gate.
+cargo run --release --example campaign -- 2 500 0xc1
+
 echo "ci.sh: all green"

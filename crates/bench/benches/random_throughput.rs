@@ -6,14 +6,36 @@
 //! report binary converts the with-oracle figure to hypercalls/hour for
 //! the EXPERIMENTS.md comparison.
 
+//! The multi-worker rows measure the parallel campaign at a fixed *total*
+//! step budget split across workers, so elements/second compare directly:
+//! the 4-worker aggregate over the 1-worker figure is the scaling factor.
+
 use pkvm_bench::minibench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use pkvm_ghost::oracle::OracleOpts;
+use pkvm_harness::campaign::{run as run_campaign, CampaignCfg};
 use pkvm_harness::proxy::Proxy;
 use pkvm_harness::random::{RandomCfg, RandomTester};
 
 const STEPS: u64 = 1000;
+
+/// Total steps of every campaign row, split evenly across its workers.
+const CAMPAIGN_STEPS: u64 = 4000;
+
+fn campaign(workers: usize, with_oracle: bool, seed: u64) -> u64 {
+    let report = run_campaign(
+        &CampaignCfg::builder()
+            .workers(workers)
+            .steps_per_worker(CAMPAIGN_STEPS / workers as u64)
+            .base_seed(seed)
+            .with_oracle(with_oracle)
+            .record_trace(false)
+            .build(),
+    );
+    assert!(report.is_clean(), "{:?}", report.violations);
+    report.total_calls()
+}
 
 fn run(with_oracle: bool, seed: u64) -> u64 {
     run_opts(with_oracle, OracleOpts::default(), seed)
@@ -60,5 +82,27 @@ fn bench_random(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_random);
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E3_campaign");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(CAMPAIGN_STEPS));
+    let mut seed = 0x9e37_79b9u64;
+    for workers in [1usize, 4] {
+        g.bench_function(format!("{workers}_workers_with_oracle"), |b| {
+            b.iter(|| {
+                seed += 1;
+                black_box(campaign(workers, true, seed))
+            })
+        });
+        g.bench_function(format!("{workers}_workers_without_oracle"), |b| {
+            b.iter(|| {
+                seed += 1;
+                black_box(campaign(workers, false, seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_random, bench_campaign);
 criterion_main!(benches);

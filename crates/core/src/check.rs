@@ -62,6 +62,16 @@ pub enum Violation {
         /// The panic reason.
         reason: String,
     },
+    /// Oracle self-check: the oracle's own bookkeeping hit a state it
+    /// cannot interpret (e.g. a malformed internal component name). The
+    /// run continues — one confused record must not poison a whole
+    /// campaign — but the confusion itself is surfaced as a finding.
+    OracleSelfCheck {
+        /// Where the oracle got confused.
+        context: String,
+        /// What it could not interpret.
+        detail: String,
+    },
     /// Oracle self-check: under shadow validation the incremental
     /// abstraction diverged from the full walk.
     ShadowDivergence {
@@ -103,6 +113,9 @@ impl std::fmt::Display for Violation {
                 write!(f, "malformed concrete state in {context}: {anomaly:?}")
             }
             Violation::HypPanic { reason } => write!(f, "hypervisor panic: {reason}"),
+            Violation::OracleSelfCheck { context, detail } => {
+                write!(f, "oracle self-check failed in {context}: {detail}")
+            }
             Violation::ShadowDivergence { component, diff } => {
                 write!(
                     f,

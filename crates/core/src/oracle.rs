@@ -14,7 +14,7 @@
 //! nothing changed while the lock was free (non-interference), and the
 //! per-component page-table footprints (separation).
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -159,6 +159,132 @@ pub struct OracleStats {
     pub abstractions: AtomicU64,
     /// Individual `READ_ONCE` values recorded.
     pub read_onces: AtomicU64,
+    /// Per-component checks skipped because a foreign trap updated the
+    /// component between two of the checked trap's critical sections
+    /// (the atomic per-trap comparison does not apply).
+    pub interleaved_skips: AtomicU64,
+}
+
+/// Key of one shared-copy component (the update-stamp granularity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum CompKey {
+    Host,
+    Pkvm,
+    VmTable,
+    Vm(Handle),
+}
+
+/// Parses the spec's component naming (`host`, `pkvm`, `vm_table`,
+/// `vm[<handle>]`) into a shared-copy key. `locals[..]` and malformed
+/// names yield `None`.
+fn comp_key_of_name(name: &str) -> Option<CompKey> {
+    match name {
+        "host" => Some(CompKey::Host),
+        "pkvm" => Some(CompKey::Pkvm),
+        "vm_table" => Some(CompKey::VmTable),
+        c => c
+            .strip_prefix("vm[")
+            .and_then(|rest| rest.strip_suffix(']'))
+            .and_then(|h| h.parse::<Handle>().ok())
+            .map(CompKey::Vm),
+    }
+}
+
+impl ComponentValue {
+    fn key(&self) -> CompKey {
+        match self {
+            ComponentValue::Host(_) => CompKey::Host,
+            ComponentValue::Pkvm(_) => CompKey::Pkvm,
+            ComponentValue::VmTable(..) => CompKey::VmTable,
+            ComponentValue::Vm(h, ..) => CompKey::Vm(*h),
+        }
+    }
+}
+
+/// The single shared copy of the ghost state (§4.4 invariant 1), plus a
+/// monotonic update stamp per component so concurrent traps can tell
+/// whether a component moved underneath them while they ran.
+struct SharedGhost {
+    state: GhostState,
+    versions: HashMap<CompKey, u64>,
+    tick: u64,
+    /// Incarnation id ([`pkvm_hyp::vm::Vm::uniq`]) of the VM whose state
+    /// `state.vms[handle]` currently holds. Handles are slot-derived and
+    /// reused after teardown, and `do_teardown_vm` releases the dying VM's
+    /// lock *after* dropping the table lock, so without this a dead VM's
+    /// final abstraction could overwrite (and later be compared against) a
+    /// fresh VM that concurrently reused the handle.
+    vm_uniq: HashMap<Handle, u64>,
+}
+
+impl SharedGhost {
+    /// Records `value` into the shared copy and stamps the component.
+    ///
+    /// VM components are gated by incarnation: a recording from an older
+    /// incarnation of a (reused) handle never lands on top of a newer
+    /// one, and a release from a VM no longer in the recorded table (the
+    /// tail of teardown) is dropped rather than resurrecting the dead
+    /// VM's state. Recording the VM table prunes the state of every VM
+    /// that left it.
+    fn set(&mut self, value: &ComponentValue) {
+        match value {
+            ComponentValue::VmTable(vms, uniqs) => {
+                let dead: Vec<Handle> = self
+                    .state
+                    .vms
+                    .keys()
+                    .copied()
+                    .filter(|h| !vms.iter().any(|&(live, _)| live == *h))
+                    .collect();
+                for h in dead {
+                    self.state.vms.remove(&h);
+                    self.stamp(CompKey::Vm(h));
+                }
+                self.vm_uniq
+                    .retain(|h, _| vms.iter().any(|&(live, _)| live == *h));
+                for &(h, uniq) in uniqs {
+                    if let Some(old) = self.vm_uniq.insert(h, uniq) {
+                        if old != uniq && self.state.vms.remove(&h).is_some() {
+                            // The stored state belonged to a previous
+                            // incarnation of this handle; not comparable.
+                            self.stamp(CompKey::Vm(h));
+                        }
+                    }
+                }
+            }
+            ComponentValue::Vm(h, uniq, _) => {
+                match self.vm_uniq.get(h) {
+                    Some(&stored) if stored > *uniq => return,
+                    None => {
+                        let live = self
+                            .state
+                            .vm_table
+                            .as_ref()
+                            .is_none_or(|t| t.iter().any(|&(lh, _)| lh == *h));
+                        if !live {
+                            // The tail of a teardown: the table no longer
+                            // lists this VM, so its dying abstraction must
+                            // not re-enter the shared copy.
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+                self.vm_uniq.insert(*h, *uniq);
+            }
+            _ => {}
+        }
+        self.tick += 1;
+        self.versions.insert(value.key(), self.tick);
+        Oracle::set_component(&mut self.state, value, false);
+    }
+
+    /// Bumps the stamp of `key` without going through a component value
+    /// (deferred seeding writes the spec-computed state directly).
+    fn stamp(&mut self, key: CompKey) {
+        self.tick += 1;
+        self.versions.insert(key, self.tick);
+    }
 }
 
 struct CpuRecord {
@@ -166,6 +292,23 @@ struct CpuRecord {
     pre: GhostState,
     post: GhostState,
     call: Option<GhostCallData>,
+    /// Shared-copy component stamps at trap entry: deferred seeding only
+    /// lands if the component has not moved since (otherwise a concurrent
+    /// trap's legitimate update would be overwritten with a stale
+    /// expectation, and the next acquisition would report a spurious
+    /// non-interference violation).
+    versions_at_entry: HashMap<CompKey, u64>,
+    /// Shared-copy stamp left by this trap's most recent release of each
+    /// component, so a re-acquisition can tell whether a *foreign* trap
+    /// updated the component between two of this trap's own critical
+    /// sections.
+    last_release: HashMap<CompKey, u64>,
+    /// Components a foreign trap updated between two of this trap's
+    /// critical sections. The per-trap check pretends the handler ran
+    /// atomically; for these components it did not, so their comparison
+    /// is skipped (the ternary check's "unchecked" answer) instead of
+    /// reporting a spurious mismatch.
+    interleaved: HashSet<CompKey>,
 }
 
 /// The runtime test oracle; install as the machine's [`GhostHooks`].
@@ -174,11 +317,12 @@ pub struct Oracle {
     /// machine configuration (the spec's own view of the correct layout).
     pub globals: GhostGlobals,
     opts: OracleOpts,
-    shared: Mutex<GhostState>,
+    shared: Mutex<SharedGhost>,
     cpus: Vec<Mutex<CpuRecord>>,
     footprints: Mutex<HashMap<Component, BTreeSet<u64>>>,
     abscache: Mutex<AbsCache>,
     violations: Mutex<Vec<Violation>>,
+    nr_violations: AtomicU64,
     trace: Mutex<VecDeque<TrapRecord>>,
     /// Counters.
     pub stats: OracleStats,
@@ -212,15 +356,24 @@ impl Oracle {
                         pre: GhostState::blank(&globals),
                         post: GhostState::blank(&globals),
                         call: None,
+                        versions_at_entry: HashMap::new(),
+                        last_release: HashMap::new(),
+                        interleaved: HashSet::new(),
                     })
                 })
                 .collect(),
             globals,
             opts,
-            shared: Mutex::new(shared),
+            shared: Mutex::new(SharedGhost {
+                state: shared,
+                versions: HashMap::new(),
+                tick: 0,
+                vm_uniq: HashMap::new(),
+            }),
             footprints: Mutex::new(HashMap::new()),
             abscache: Mutex::new(AbsCache::new()),
             violations: Mutex::new(Vec::new()),
+            nr_violations: AtomicU64::new(0),
             trace: Mutex::new(VecDeque::new()),
             stats: OracleStats::default(),
         })
@@ -246,14 +399,23 @@ impl Oracle {
         self.violations.lock().clone()
     }
 
+    /// Number of violations recorded so far, without cloning the reports.
+    /// A single relaxed atomic load: cheap enough for worker threads of a
+    /// random-testing campaign to poll every few steps.
+    pub fn violation_count(&self) -> u64 {
+        self.nr_violations.load(Ordering::Relaxed)
+    }
+
     /// Returns `true` if no violations have been recorded.
     pub fn is_clean(&self) -> bool {
-        self.violations.lock().is_empty()
+        self.violation_count() == 0
     }
 
     /// Drops all recorded violations (between test cases).
     pub fn clear_violations(&self) {
-        self.violations.lock().clear();
+        let mut vs = self.violations.lock();
+        vs.clear();
+        self.nr_violations.store(0, Ordering::Relaxed);
     }
 
     /// The most recent checked traps (bounded; newest last).
@@ -270,7 +432,15 @@ impl Oracle {
     }
 
     fn report(&self, v: Violation) {
-        self.violations.lock().push(v);
+        let mut vs = self.violations.lock();
+        vs.push(v);
+        self.nr_violations.store(vs.len() as u64, Ordering::Relaxed);
+    }
+
+    fn report_all(&self, new: Vec<Violation>) {
+        let mut vs = self.violations.lock();
+        vs.extend(new);
+        self.nr_violations.store(vs.len() as u64, Ordering::Relaxed);
     }
 
     fn report_anomalies(&self, context: &str, anomalies: Vec<Anomaly>) {
@@ -281,6 +451,7 @@ impl Oracle {
                 anomaly: a,
             });
         }
+        self.nr_violations.store(vs.len() as u64, Ordering::Relaxed);
     }
 
     /// Approximate resident size of the ghost state, in bytes (for the
@@ -302,7 +473,7 @@ impl Oracle {
             n += s.locals.len() * core::mem::size_of::<GhostCpu>();
             n
         }
-        let mut total = state_bytes(&self.shared.lock());
+        let mut total = state_bytes(&self.shared.lock().state);
         for c in &self.cpus {
             let rec = c.lock();
             total += state_bytes(&rec.pre) + state_bytes(&rec.post);
@@ -342,9 +513,11 @@ impl Oracle {
             ComponentView::Hyp { root } => {
                 ComponentValue::Pkvm(abstract_hyp(ctx.mem, *root, &mut anomalies))
             }
-            ComponentView::VmTable { vms } => {
+            ComponentView::VmTable { vms, uniqs } => {
                 let mut v = vms.clone();
                 v.sort_unstable();
+                let mut u = uniqs.clone();
+                u.sort_unstable();
                 if cached {
                     // VM teardown is observed here: drop the interpretation
                     // of any handle no longer in the table, so a reused
@@ -353,7 +526,7 @@ impl Oracle {
                         .lock()
                         .retain_vms(|h| v.iter().any(|&(live, _)| live == h));
                 }
-                ComponentValue::VmTable(v)
+                ComponentValue::VmTable(v, u)
             }
             ComponentView::Vm(view) if cached => {
                 let pgt = self.cached_interp(
@@ -363,11 +536,13 @@ impl Oracle {
                     CacheKey::Vm(view.handle),
                     &mut anomalies,
                 );
-                ComponentValue::Vm(view.handle, abstract_vm_with_pgt(view, pgt))
+                ComponentValue::Vm(view.handle, view.uniq, abstract_vm_with_pgt(view, pgt))
             }
-            ComponentView::Vm(view) => {
-                ComponentValue::Vm(view.handle, abstract_vm(ctx.mem, view, &mut anomalies))
-            }
+            ComponentView::Vm(view) => ComponentValue::Vm(
+                view.handle,
+                view.uniq,
+                abstract_vm(ctx.mem, view, &mut anomalies),
+            ),
         };
         if !anomalies.is_empty() {
             self.report_anomalies(&format!("{comp:?}"), anomalies);
@@ -421,12 +596,12 @@ impl Oracle {
                     state.pkvm = Some(p.clone());
                 }
             }
-            ComponentValue::VmTable(t) => {
+            ComponentValue::VmTable(t, _) => {
                 if !(only_if_absent && state.vm_table.is_some()) {
                     state.vm_table = Some(t.clone());
                 }
             }
-            ComponentValue::Vm(h, vm) => {
+            ComponentValue::Vm(h, _, vm) => {
                 if !(only_if_absent && state.vms.contains_key(h)) {
                     state.vms.insert(*h, vm.clone());
                 }
@@ -438,7 +613,8 @@ impl Oracle {
         if !self.opts.check_noninterference {
             return;
         }
-        let shared = self.shared.lock();
+        let guard = self.shared.lock();
+        let shared = &guard.state;
         let (prev, now): (GhostState, GhostState) = match value {
             ComponentValue::Host(h) => {
                 let Some(p) = &shared.host else { return };
@@ -466,7 +642,7 @@ impl Oracle {
                     },
                 )
             }
-            ComponentValue::VmTable(t) => {
+            ComponentValue::VmTable(t, _) => {
                 let Some(p) = &shared.vm_table else { return };
                 (
                     GhostState {
@@ -479,7 +655,12 @@ impl Oracle {
                     },
                 )
             }
-            ComponentValue::Vm(h, vm) => {
+            ComponentValue::Vm(h, uniq, vm) => {
+                if guard.vm_uniq.get(h).is_some_and(|&stored| stored != *uniq) {
+                    // The stored state belongs to a different incarnation
+                    // of this (reused) handle; nothing comparable.
+                    return;
+                }
                 let Some(p) = shared.vms.get(h) else { return };
                 let mut a = GhostState::default();
                 a.vms.insert(*h, p.clone());
@@ -488,7 +669,7 @@ impl Oracle {
                 (a, b)
             }
         };
-        drop(shared);
+        drop(guard);
         let (prev_n, now_n) = (normalize(&prev), normalize(&now));
         if prev_n != now_n {
             self.report(Violation::NonInterference {
@@ -566,7 +747,7 @@ impl Oracle {
     /// Call once after `Machine::boot`. Returns `true` when it matched.
     pub fn check_boot(&self) -> bool {
         let expected = normalize(&self.spec_boot_state());
-        let recorded = normalize(&self.shared.lock().clone());
+        let recorded = normalize(&self.shared.lock().state.clone());
         let mut ok = true;
         for (name, exp_has, rec_has) in [
             ("host", expected.host.is_some(), recorded.host.is_some()),
@@ -594,6 +775,76 @@ impl Oracle {
             ok = false;
         }
         ok
+    }
+
+    /// Seeds spec-defined but never-recorded components into the shared
+    /// copy after a checked trap, so the *next* acquisition validates
+    /// them. Two hardening rules apply. First, seeding runs without the
+    /// component's lock, so a computed value only lands if the component
+    /// has not moved since this trap entered — otherwise a concurrent
+    /// trap's legitimate update would be overwritten with a stale
+    /// expectation and the next acquisition would report a spurious
+    /// non-interference violation. Second, a malformed component name is
+    /// an oracle bug, not a hypervisor bug: it is surfaced as an
+    /// [`Violation::OracleSelfCheck`] instead of panicking the run.
+    fn seed_deferred(
+        &self,
+        trap: &str,
+        deferred: &[String],
+        computed: &GhostState,
+        versions_at_entry: &HashMap<CompKey, u64>,
+    ) {
+        let mut self_check = Vec::new();
+        let mut shared = self.shared.lock();
+        for comp in deferred {
+            let key = match comp_key_of_name(comp) {
+                Some(k) => k,
+                None => {
+                    if comp.starts_with("vm[") {
+                        self_check.push(Violation::OracleSelfCheck {
+                            context: format!("deferred seeding after {trap}"),
+                            detail: format!("malformed component name {comp:?}"),
+                        });
+                    }
+                    continue;
+                }
+            };
+            if shared.versions.get(&key) != versions_at_entry.get(&key) {
+                // The component moved while this trap ran; the concurrent
+                // recording is fresher than our computed expectation.
+                continue;
+            }
+            match key {
+                CompKey::Host => {
+                    if let Some(h) = &computed.host {
+                        shared.state.host = Some(h.clone());
+                        shared.stamp(key);
+                    }
+                }
+                CompKey::Pkvm => {
+                    if let Some(p) = &computed.pkvm {
+                        shared.state.pkvm = Some(p.clone());
+                        shared.stamp(key);
+                    }
+                }
+                CompKey::VmTable => {
+                    if let Some(t) = &computed.vm_table {
+                        shared.state.vm_table = Some(t.clone());
+                        shared.stamp(key);
+                    }
+                }
+                CompKey::Vm(h) => {
+                    if let Some(vm) = computed.vms.get(&h) {
+                        shared.state.vms.insert(h, vm.clone());
+                        shared.stamp(key);
+                    }
+                }
+            }
+        }
+        drop(shared);
+        if !self_check.is_empty() {
+            self.report_all(self_check);
+        }
     }
 }
 
@@ -682,8 +933,11 @@ fn pgtable_divergence(
 enum ComponentValue {
     Host(GhostHost),
     Pkvm(GhostPkvm),
-    VmTable(Vec<(Handle, usize)>),
-    Vm(Handle, crate::state::GhostVm),
+    /// Live (handle, slot) pairs, plus (handle, incarnation) pairs so the
+    /// shared copy can detect handle reuse across a teardown.
+    VmTable(Vec<(Handle, usize)>, Vec<(Handle, u64)>),
+    /// Handle, incarnation id, abstract state.
+    Vm(Handle, u64, crate::state::GhostVm),
 }
 
 impl GhostHooks for Oracle {
@@ -695,11 +949,15 @@ impl GhostHooks for Oracle {
         regs: &GprFile,
         loaded: Option<(Handle, usize, VcpuView)>,
     ) {
+        let versions = self.shared.lock().versions.clone();
         let mut rec = self.cpus[ctx.cpu].lock();
         rec.in_trap = true;
         rec.pre = GhostState::blank(&self.globals);
         rec.post = GhostState::blank(&self.globals);
         rec.call = Some(GhostCallData::new(ctx.cpu, esr, fault_ipa, *regs));
+        rec.versions_at_entry = versions;
+        rec.last_release.clear();
+        rec.interleaved.clear();
         let cpu_state = Self::ghost_cpu(regs, &loaded);
         rec.pre.locals.insert(ctx.cpu, cpu_state);
     }
@@ -727,7 +985,27 @@ impl GhostHooks for Oracle {
         match compute_post(&rec.pre, &call, &mut computed) {
             SpecVerdict::Checked => {
                 self.stats.traps_checked.fetch_add(1, Ordering::Relaxed);
-                let outcome = check_trap(&name, &rec.pre, &rec.post, &computed);
+                let mut outcome = check_trap(&name, &rec.pre, &rec.post, &computed);
+                if !rec.interleaved.is_empty() {
+                    // Foreign traps updated these components between two of
+                    // our critical sections; their recorded post is not
+                    // "pre plus this handler's effect", so comparing it is
+                    // meaningless. Drop their findings (counted, so a
+                    // campaign can see how often the check degraded).
+                    let interleaved = &rec.interleaved;
+                    outcome.violations.retain(|v| {
+                        let comp = match v {
+                            Violation::SpecMismatch { component, .. }
+                            | Violation::UnexpectedChange { component, .. } => component,
+                            _ => return true,
+                        };
+                        let skip = comp_key_of_name(comp).is_some_and(|k| interleaved.contains(&k));
+                        if skip {
+                            self.stats.interleaved_skips.fetch_add(1, Ordering::Relaxed);
+                        }
+                        !skip
+                    });
+                }
                 self.push_trace(TrapRecord {
                     cpu: ctx.cpu,
                     name: name.clone(),
@@ -738,27 +1016,12 @@ impl GhostHooks for Oracle {
                     },
                 });
                 if !outcome.violations.is_empty() {
-                    let mut vs = self.violations.lock();
-                    vs.extend(outcome.violations);
+                    self.report_all(outcome.violations);
                 }
                 // Seed spec-defined but never-recorded components into the
                 // shared copy: the next acquisition validates them.
                 if !outcome.deferred.is_empty() {
-                    let mut shared = self.shared.lock();
-                    for comp in outcome.deferred {
-                        match comp.as_str() {
-                            "host" => shared.host = computed.host.clone(),
-                            "pkvm" => shared.pkvm = computed.pkvm.clone(),
-                            "vm_table" => shared.vm_table = computed.vm_table.clone(),
-                            c if c.starts_with("vm[") => {
-                                let h: u32 = c[3..c.len() - 1].parse().expect("component name");
-                                if let Some(vm) = computed.vms.get(&h) {
-                                    shared.vms.insert(h, vm.clone());
-                                }
-                            }
-                            _ => {}
-                        }
-                    }
+                    self.seed_deferred(&name, &outcome.deferred, &computed, &rec.versions_at_entry);
                 }
             }
             SpecVerdict::Unchecked(why) => {
@@ -789,26 +1052,44 @@ impl GhostHooks for Oracle {
     fn lock_acquired(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {
         let value = self.abstract_component(ctx, comp, view);
         self.noninterference_check(comp, &value);
+        let key = value.key();
+        // Safe to read outside the rec lock: we hold the component's lock,
+        // so no foreign trap can stamp this component right now.
+        let version = self.shared.lock().versions.get(&key).copied();
         let mut rec = self.cpus[ctx.cpu].lock();
         if rec.in_trap {
+            // A re-acquisition after one of our own releases: if the stamp
+            // moved in between, a foreign trap updated the component and
+            // the atomic per-trap check no longer applies to it.
+            if let Some(&last) = rec.last_release.get(&key) {
+                if version != Some(last) {
+                    rec.interleaved.insert(key);
+                }
+            }
             // First acquisition within the trap defines the pre-state.
             Self::set_component(&mut rec.pre, &value, true);
         } else {
             drop(rec);
-            Self::set_component(&mut self.shared.lock(), &value, false);
+            self.shared.lock().set(&value);
         }
     }
 
     fn lock_releasing(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {
         let value = self.abstract_component(ctx, comp, view);
-        {
-            let mut rec = self.cpus[ctx.cpu].lock();
-            if rec.in_trap {
-                // Last release within the trap defines the post-state.
-                Self::set_component(&mut rec.post, &value, false);
+        let key = value.key();
+        let version = {
+            let mut shared = self.shared.lock();
+            shared.set(&value);
+            shared.versions.get(&key).copied()
+        };
+        let mut rec = self.cpus[ctx.cpu].lock();
+        if rec.in_trap {
+            // Last release within the trap defines the post-state.
+            Self::set_component(&mut rec.post, &value, false);
+            if let Some(v) = version {
+                rec.last_release.insert(key, v);
             }
         }
-        Self::set_component(&mut self.shared.lock(), &value, false);
     }
 
     fn read_once(&self, ctx: &HookCtx<'_>, tag: &'static str, value: u64) {
@@ -913,6 +1194,90 @@ mod tests {
         assert!(o.is_clean());
     }
 
+    fn ghost_vm(handle: Handle, donated: &[u64]) -> crate::state::GhostVm {
+        crate::state::GhostVm {
+            handle,
+            slot: 0,
+            protected: true,
+            pgt: Default::default(),
+            donated: donated.to_vec(),
+            vcpus: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn shared_copy_drops_the_dying_release_of_a_torn_down_vm() {
+        // `do_teardown_vm` releases the dying VM's lock *after* dropping
+        // the table lock, so the release arrives when the table no longer
+        // lists the VM. It must not resurrect the dead state: a concurrent
+        // `init_vm` reusing the handle would otherwise be compared against
+        // it.
+        let o = oracle();
+        let h: Handle = 0x1000;
+        let mut shared = o.shared.lock();
+        shared.set(&ComponentValue::VmTable(vec![(h, 0)], vec![(h, 1)]));
+        shared.set(&ComponentValue::Vm(h, 1, ghost_vm(h, &[0x44007])));
+        assert!(shared.state.vms.contains_key(&h));
+        // Teardown: table recorded without the VM prunes its entry...
+        shared.set(&ComponentValue::VmTable(Vec::new(), Vec::new()));
+        assert!(!shared.state.vms.contains_key(&h));
+        // ...and the dying VM's trailing lock release is dropped.
+        shared.set(&ComponentValue::Vm(h, 1, ghost_vm(h, &[0x44007])));
+        assert!(!shared.state.vms.contains_key(&h), "dead VM resurrected");
+        // A new incarnation reusing the handle records normally.
+        shared.set(&ComponentValue::VmTable(vec![(h, 0)], vec![(h, 2)]));
+        shared.set(&ComponentValue::Vm(h, 2, ghost_vm(h, &[0x44e07])));
+        assert_eq!(shared.state.vms[&h].donated, vec![0x44e07]);
+        // An even later stale release from the old incarnation still loses.
+        shared.set(&ComponentValue::Vm(h, 1, ghost_vm(h, &[0x44007])));
+        assert_eq!(shared.state.vms[&h].donated, vec![0x44e07]);
+    }
+
+    #[test]
+    fn noninterference_skips_a_reused_handles_old_incarnation() {
+        let o = oracle();
+        let h: Handle = 0x1000;
+        {
+            let mut shared = o.shared.lock();
+            shared.set(&ComponentValue::VmTable(vec![(h, 0)], vec![(h, 2)]));
+            shared.set(&ComponentValue::Vm(h, 2, ghost_vm(h, &[0x44e07])));
+        }
+        // A different incarnation's view differing from the stored state
+        // is not interference — the two states describe different VMs.
+        o.noninterference_check(
+            Component::Vm(h),
+            &ComponentValue::Vm(h, 1, ghost_vm(h, &[0x44007])),
+        );
+        assert!(o.is_clean(), "{:?}", o.violations());
+        // The same incarnation differing is the real §4.4 violation.
+        o.noninterference_check(
+            Component::Vm(h),
+            &ComponentValue::Vm(h, 2, ghost_vm(h, &[0x44007])),
+        );
+        assert!(matches!(
+            &o.violations()[0],
+            Violation::NonInterference { .. }
+        ));
+    }
+
+    #[test]
+    fn table_recording_invalidates_a_stale_incarnations_state() {
+        // Belt and braces: if an old incarnation's state is somehow still
+        // stored when the table is recorded with a new incarnation under
+        // the same handle, the stale state is dropped (and the component
+        // stamped) rather than compared against the new VM.
+        let o = oracle();
+        let h: Handle = 0x1000;
+        let mut shared = o.shared.lock();
+        shared.set(&ComponentValue::VmTable(vec![(h, 0)], vec![(h, 1)]));
+        shared.set(&ComponentValue::Vm(h, 1, ghost_vm(h, &[0x44007])));
+        let stamp_before = shared.versions[&CompKey::Vm(h)];
+        shared.set(&ComponentValue::VmTable(vec![(h, 0)], vec![(h, 5)]));
+        assert!(!shared.state.vms.contains_key(&h));
+        assert!(shared.versions[&CompKey::Vm(h)] > stamp_before);
+        assert_eq!(shared.vm_uniq[&h], 5);
+    }
+
     #[test]
     fn hyp_panic_is_a_violation() {
         let o = oracle();
@@ -950,8 +1315,64 @@ mod tests {
                 owner: pkvm_hyp::owner::OwnerId::HYP,
             },
         });
-        shared.host = Some(host);
+        shared.state.host = Some(host);
         drop(shared);
         assert!(o.approx_ghost_bytes() > base);
+    }
+
+    #[test]
+    fn malformed_deferred_name_reports_a_self_check_violation() {
+        let o = oracle();
+        let computed = GhostState::blank(&o.globals);
+        o.seed_deferred(
+            "init_vm",
+            &["vm[bogus]".to_string(), "vm[".to_string()],
+            &computed,
+            &HashMap::new(),
+        );
+        let vs = o.violations();
+        assert_eq!(vs.len(), 2, "{vs:?}");
+        for v in &vs {
+            assert!(
+                matches!(v, Violation::OracleSelfCheck { context, detail }
+                    if context.contains("init_vm") && detail.contains("malformed")),
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn deferred_seeding_respects_concurrent_component_updates() {
+        let o = oracle();
+        // A concurrent trap recorded the host component after this trap
+        // entered (entry snapshot is empty, shared copy is stamped).
+        let concurrent = GhostHost::default();
+        {
+            let mut shared = o.shared.lock();
+            shared.state.host = Some(concurrent.clone());
+            shared.stamp(CompKey::Host);
+        }
+        let mut computed = GhostState::blank(&o.globals);
+        let mut stale = GhostHost::default();
+        stale.annot.insert_new(Maplet {
+            ia: 0x4400_0000,
+            nr_pages: 1,
+            target: MapletTarget::Annotated {
+                owner: pkvm_hyp::owner::OwnerId::HYP,
+            },
+        });
+        computed.host = Some(stale);
+        o.seed_deferred("share", &["host".to_string()], &computed, &HashMap::new());
+        // The stale expectation must not overwrite the fresher recording.
+        let shared = o.shared.lock();
+        assert_eq!(shared.state.host.as_ref(), Some(&concurrent));
+        drop(shared);
+        assert!(o.is_clean());
+
+        // With matching versions the seed lands.
+        let versions = o.shared.lock().versions.clone();
+        o.seed_deferred("share", &["host".to_string()], &computed, &versions);
+        let shared = o.shared.lock();
+        assert_eq!(shared.state.host.as_ref(), computed.host.as_ref());
     }
 }

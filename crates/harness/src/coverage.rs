@@ -68,17 +68,27 @@ impl CoverageSummary {
         }
     }
 
-    /// Spec coverage computed over the *reachable* points only (the
-    /// paper's methodology of discounting manually-identified unreachable
-    /// code before reporting the remainder).
-    pub fn spec_percent_reachable(&self) -> f64 {
-        let reachable: Vec<(&str, u64)> = self
-            .spec
+    /// The spec points that remain after discounting the manually
+    /// identified unreachable list. Both [`spec_percent_reachable`]
+    /// (CoverageSummary::spec_percent_reachable) and [`render`]
+    /// (CoverageSummary::render) derive from this one filtered set, so
+    /// the reported denominator cannot drift from the percentage when
+    /// the unreachable list and the registry diverge (e.g. a stale entry
+    /// naming a point that no longer exists).
+    pub fn spec_reachable_points(&self) -> Vec<(&'static str, u64)> {
+        self.spec
             .points
             .iter()
             .filter(|(p, _)| !SPEC_UNREACHABLE_ON_CLEAN.contains(p))
             .map(|&(p, n)| (p, n))
-            .collect();
+            .collect()
+    }
+
+    /// Spec coverage computed over the *reachable* points only (the
+    /// paper's methodology of discounting manually-identified unreachable
+    /// code before reporting the remainder).
+    pub fn spec_percent_reachable(&self) -> f64 {
+        let reachable = self.spec_reachable_points();
         if reachable.is_empty() {
             return 100.0;
         }
@@ -98,7 +108,7 @@ impl CoverageSummary {
             self.spec.hit_count(),
             self.spec.total(),
             self.spec_percent_reachable(),
-            self.spec.total() - SPEC_UNREACHABLE_ON_CLEAN.len(),
+            self.spec_reachable_points().len(),
         )
     }
 }
@@ -121,6 +131,36 @@ mod tests {
             assert!(p.starts_with("spec/"), "spec point {p} must be namespaced");
             assert!(!hyp_points().contains(p));
         }
+    }
+
+    #[test]
+    fn unreachable_list_matches_the_registry() {
+        // Every entry of the manual unreachable list must name a live
+        // registry point; a stale entry would silently skew the reachable
+        // accounting it is subtracted from.
+        for p in SPEC_UNREACHABLE_ON_CLEAN {
+            assert!(
+                spec_points().contains(p),
+                "unreachable list entry {p} is not a registered spec point"
+            );
+        }
+    }
+
+    #[test]
+    fn render_reachable_count_derives_from_the_filtered_set() {
+        let c = CoverageSummary::collect();
+        let reachable = c.spec_reachable_points().len();
+        assert!(c.render().contains(&format!("{reachable} reachable")));
+        // The filtered set is what the percentage divides by, so the two
+        // figures in the rendered row agree by construction.
+        assert_eq!(
+            reachable,
+            c.spec
+                .points
+                .iter()
+                .filter(|(p, _)| !SPEC_UNREACHABLE_ON_CLEAN.contains(p))
+                .count()
+        );
     }
 
     #[test]

@@ -7,12 +7,15 @@
 //!   paths, a handful highly concurrent);
 //! - [`model`] / [`random`] — the model-guided random tester, with crash
 //!   prediction, reproducible per seed;
+//! - [`campaign`] — parallel multi-worker random-testing campaigns with
+//!   recorded schedules, deterministic replay and trace minimization;
 //! - [`coverage`] — implementation and specification coverage reports
 //!   over the custom coverage registry;
 //! - [`bugs`] — the bug catalog: triggers and detection verdicts for the
 //!   five real pKVM bugs and the synthetic-bug suite.
 
 pub mod bugs;
+pub mod campaign;
 pub mod coverage;
 pub mod model;
 pub mod proxy;
@@ -21,6 +24,10 @@ pub mod rng;
 pub mod scenarios;
 
 pub use bugs::{detect, sweep, BugReport, Detection};
+pub use campaign::{
+    minimize, replay, CampaignCfg, CampaignReport, CampaignTrace, ReplayOutcome, TraceEvent,
+    TraceOp, TraceRecorder, WorkerReport,
+};
 pub use coverage::CoverageSummary;
 pub use model::{PageUse, TestModel};
 pub use proxy::{Proxy, ProxyOpts};

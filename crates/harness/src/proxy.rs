@@ -13,13 +13,16 @@ use std::sync::Arc;
 
 use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
 use pkvm_aarch64::sync::Mutex;
+use pkvm_aarch64::walk::Access;
 use pkvm_ghost::oracle::{Oracle, OracleOpts};
 use pkvm_ghost::Violation;
 use pkvm_hyp::error::Errno;
 use pkvm_hyp::faults::FaultSet;
 use pkvm_hyp::hypercalls::*;
-use pkvm_hyp::machine::{Machine, MachineConfig};
+use pkvm_hyp::machine::{HostAccessFault, Machine, MachineConfig};
 use pkvm_hyp::vm::{GuestOp, Handle};
+
+use crate::campaign::{TraceOp, TraceRecorder};
 
 /// Proxy construction options.
 ///
@@ -83,14 +86,29 @@ impl ProxyBuilder {
     }
 }
 
+/// The host page-allocator range a proxy hands pages out of.
+#[derive(Debug)]
+struct AllocRange {
+    next: u64,
+    end: u64,
+}
+
 /// A user-space-like handle on the hypervisor under test.
+///
+/// Cloning is cheap (two `Arc` bumps) and clones share the machine, the
+/// oracle *and* the allocator — use [`Proxy::partition`] to split the
+/// allocator into disjoint per-worker ranges instead when several
+/// threads drive the same machine, so each worker's page stream stays
+/// deterministic regardless of the interleaving.
+#[derive(Clone)]
 pub struct Proxy {
     /// The simulated machine.
     pub machine: Arc<Machine>,
     /// The oracle, when installed.
     pub oracle: Option<Arc<Oracle>>,
-    next_pfn: Mutex<u64>,
-    alloc_end_pfn: u64,
+    alloc: Arc<Mutex<AllocRange>>,
+    worker: usize,
+    recorder: Option<Arc<TraceRecorder>>,
 }
 
 impl Proxy {
@@ -124,8 +142,9 @@ impl Proxy {
         Proxy {
             machine,
             oracle,
-            next_pfn: Mutex::new(start),
-            alloc_end_pfn: end,
+            alloc: Arc::new(Mutex::new(AllocRange { next: start, end })),
+            worker: 0,
+            recorder: None,
         }
     }
 
@@ -134,20 +153,80 @@ impl Proxy {
         Self::boot(ProxyOpts::default())
     }
 
+    /// Splits this proxy's *remaining* allocator range into `n` disjoint
+    /// sub-ranges and returns one clone per range, numbered `0..n` (the
+    /// worker id, reported in recorded traces). The parent's own range is
+    /// consumed: after partitioning, allocations must go through the
+    /// returned handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the remaining range is too small to give every worker a
+    /// useful slice.
+    pub fn partition(&self, n: usize) -> Vec<Proxy> {
+        assert!(n > 0, "cannot partition into zero workers");
+        let mut alloc = self.alloc.lock();
+        let (start, end) = (alloc.next, alloc.end);
+        alloc.next = end;
+        drop(alloc);
+        let span = (end - start) / n as u64;
+        assert!(span > 0, "allocator range too small to partition {n} ways");
+        (0..n as u64)
+            .map(|i| {
+                let lo = start + i * span;
+                let hi = if i + 1 == n as u64 { end } else { lo + span };
+                Proxy {
+                    machine: self.machine.clone(),
+                    oracle: self.oracle.clone(),
+                    alloc: Arc::new(Mutex::new(AllocRange { next: lo, end: hi })),
+                    worker: i as usize,
+                    recorder: self.recorder.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// This handle's worker id (0 unless produced by [`Proxy::partition`]).
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Installs a trace recorder: every hypercall, parameter-page write,
+    /// host access and guest-op injection made through this handle is
+    /// recorded (immediately before it executes) for deterministic replay.
+    pub fn set_recorder(&mut self, recorder: Arc<TraceRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    fn record(&self, op: TraceOp) {
+        if let Some(rec) = &self.recorder {
+            rec.record(self.worker, op);
+        }
+    }
+
+    /// Allocates `n` contiguous host pages, returning the first pfn, or
+    /// `None` when this handle's range is exhausted. Long campaigns hit
+    /// exhaustion as a matter of course; it must degrade into `-ENOMEM`
+    /// behaviour, not a panic.
+    pub fn try_alloc_pages(&self, n: u64) -> Option<u64> {
+        let mut alloc = self.alloc.lock();
+        if alloc.next + n > alloc.end {
+            return None;
+        }
+        let pfn = alloc.next;
+        alloc.next += n;
+        Some(pfn)
+    }
+
     /// Allocates `n` contiguous host pages, returning the first pfn.
     ///
     /// # Panics
     ///
-    /// Panics when the allocator range is exhausted.
+    /// Panics when the allocator range is exhausted (use
+    /// [`Proxy::try_alloc_pages`] where exhaustion is expected).
     pub fn alloc_pages(&self, n: u64) -> u64 {
-        let mut next = self.next_pfn.lock();
-        assert!(
-            *next + n <= self.alloc_end_pfn,
-            "host test allocator exhausted"
-        );
-        let pfn = *next;
-        *next += n;
-        pfn
+        self.try_alloc_pages(n)
+            .expect("host test allocator exhausted")
     }
 
     /// Allocates one host page.
@@ -157,7 +236,37 @@ impl Proxy {
 
     /// Raw hypercall with arbitrary function id and arguments.
     pub fn hvc(&self, cpu: usize, func: u64, args: &[u64]) -> u64 {
+        self.record(TraceOp::Hvc {
+            cpu,
+            func,
+            args: args.to_vec(),
+        });
         self.machine.hvc(cpu, func, args)
+    }
+
+    /// Writes host memory directly (parameter-page setup), recorded for
+    /// replay.
+    pub fn write_mem(&self, pa: PhysAddr, value: u64) {
+        self.record(TraceOp::WriteMem {
+            pa: pa.bits(),
+            value,
+        });
+        self.machine.mem.write_u64(pa, value).expect("RAM");
+    }
+
+    /// A host load/store through the host's stage 2, recorded for replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostAccessFault`] if the access faults.
+    pub fn host_access(
+        &self,
+        cpu: usize,
+        addr: u64,
+        access: Access,
+    ) -> Result<u64, HostAccessFault> {
+        self.record(TraceOp::HostAccess { cpu, addr, access });
+        self.machine.host_access(cpu, addr, access)
     }
 
     /// `host_share_hyp` as a result.
@@ -176,16 +285,14 @@ impl Proxy {
     }
 
     /// Well-behaved `init_vm`: writes a parameter page, donates fresh
-    /// pages, returns the handle.
+    /// pages, returns the handle. `-ENOMEM` when the test allocator is
+    /// exhausted.
     pub fn init_vm(&self, cpu: usize, nr_vcpus: u64, protected: bool) -> Result<Handle, Errno> {
-        let params_pfn = self.alloc_page();
+        let params_pfn = self.try_alloc_pages(1).ok_or(Errno::ENOMEM)?;
         let pa = PhysAddr::from_pfn(params_pfn);
-        self.machine.mem.write_u64(pa, nr_vcpus).expect("RAM");
-        self.machine
-            .mem
-            .write_u64(pa.wrapping_add(8), protected as u64)
-            .expect("RAM");
-        let donate = self.alloc_pages(2);
+        self.write_mem(pa, nr_vcpus);
+        self.write_mem(pa.wrapping_add(8), protected as u64);
+        let donate = self.try_alloc_pages(2).ok_or(Errno::ENOMEM)?;
         let ret = self.hvc(cpu, HVC_INIT_VM, &[params_pfn, donate, 2]);
         match Errno::from_ret(ret) {
             Some(e) => Err(e),
@@ -193,9 +300,10 @@ impl Proxy {
         }
     }
 
-    /// Well-behaved `init_vcpu` with a fresh donation.
+    /// Well-behaved `init_vcpu` with a fresh donation. `-ENOMEM` when the
+    /// test allocator is exhausted.
     pub fn init_vcpu(&self, cpu: usize, handle: Handle, idx: u64) -> Result<(), Errno> {
-        let donate = self.alloc_page();
+        let donate = self.try_alloc_pages(1).ok_or(Errno::ENOMEM)?;
         as_result(self.hvc(cpu, HVC_INIT_VCPU, &[handle as u64, idx, donate]))
     }
 
@@ -224,8 +332,9 @@ impl Proxy {
     }
 
     /// Well-behaved memcache top-up with freshly allocated pages.
+    /// `-ENOMEM` when the test allocator is exhausted.
     pub fn topup(&self, cpu: usize, nr: u64) -> Result<(), Errno> {
-        let pfn = self.alloc_pages(nr);
+        let pfn = self.try_alloc_pages(nr).ok_or(Errno::ENOMEM)?;
         as_result(self.hvc(cpu, HVC_TOPUP_MEMCACHE, &[pfn << 12, nr]))
     }
 
@@ -234,9 +343,10 @@ impl Proxy {
         as_result(self.hvc(cpu, HVC_TOPUP_MEMCACHE, &[addr, nr]))
     }
 
-    /// `host_map_guest` with a freshly allocated host page; returns the pfn.
+    /// `host_map_guest` with a freshly allocated host page; returns the
+    /// pfn. `-ENOMEM` when the test allocator is exhausted.
     pub fn map_guest(&self, cpu: usize, gfn: u64) -> Result<u64, Errno> {
-        let pfn = self.alloc_page();
+        let pfn = self.try_alloc_pages(1).ok_or(Errno::ENOMEM)?;
         as_result(self.hvc(cpu, HVC_HOST_MAP_GUEST, &[pfn, gfn])).map(|()| pfn)
     }
 
@@ -259,8 +369,9 @@ impl Proxy {
         as_result(self.hvc(cpu, HVC_VCPU_SET_REG, &[n, value]))
     }
 
-    /// Enqueues a guest action.
+    /// Enqueues a guest action, recorded for replay.
     pub fn push_guest_op(&self, handle: Handle, idx: usize, op: GuestOp) -> Result<(), Errno> {
+        self.record(TraceOp::PushGuestOp { handle, idx, op });
         self.machine.push_guest_op(handle, idx, op)
     }
 
@@ -321,6 +432,56 @@ mod tests {
         let a = p.alloc_pages(3);
         let b = p.alloc_page();
         assert_eq!(b, a + 3);
+    }
+
+    #[test]
+    fn partitioned_allocators_are_disjoint_and_consume_the_parent() {
+        let p = Proxy::boot_default();
+        let parts = p.partition(4);
+        assert_eq!(parts.len(), 4);
+        // Parent range is consumed.
+        assert_eq!(p.try_alloc_pages(1), None);
+        // Each worker's allocations stay inside its own slice, disjoint
+        // from every other worker's, independent of allocation order.
+        let mut seen = std::collections::HashSet::new();
+        for part in &parts {
+            for _ in 0..8 {
+                let pfn = part.try_alloc_pages(1).expect("slice not exhausted");
+                assert!(seen.insert(pfn), "pfn {pfn:#x} handed out twice");
+            }
+        }
+        for (i, part) in parts.iter().enumerate() {
+            assert_eq!(part.worker(), i);
+        }
+    }
+
+    #[test]
+    fn allocator_exhaustion_degrades_into_enomem() {
+        let p = Proxy::boot_default();
+        // Drain the allocator, then every helper that needs fresh pages
+        // must report -ENOMEM instead of panicking.
+        while p.try_alloc_pages(64).is_some() {}
+        while p.try_alloc_pages(1).is_some() {}
+        assert_eq!(p.init_vm(0, 1, true), Err(Errno::ENOMEM));
+        assert_eq!(p.init_vcpu(0, 0x1000, 0), Err(Errno::ENOMEM));
+        assert_eq!(p.topup(0, 4), Err(Errno::ENOMEM));
+        assert_eq!(p.map_guest(0, 0x10), Err(Errno::ENOMEM));
+    }
+
+    #[test]
+    fn recorded_handles_capture_the_op_stream() {
+        use crate::campaign::{TraceOp, TraceRecorder};
+        let rec = TraceRecorder::new();
+        let mut p = Proxy::boot_default();
+        p.set_recorder(rec.clone());
+        let pfn = p.alloc_page();
+        p.share(0, pfn).unwrap();
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            &events[0].op,
+            TraceOp::Hvc { cpu: 0, func, args } if *func == HVC_HOST_SHARE_HYP && args == &[pfn]
+        ));
     }
 
     #[test]

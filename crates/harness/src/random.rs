@@ -32,6 +32,9 @@ pub struct RandomCfg {
     pub max_vms: usize,
     /// Cap on pages the tester allocates.
     pub max_pages: usize,
+    /// Pin every issued call to this CPU (campaign workers set it so each
+    /// worker drives its own simulated hardware thread).
+    pub pin_cpu: Option<usize>,
 }
 
 impl Default for RandomCfg {
@@ -41,6 +44,7 @@ impl Default for RandomCfg {
             invalid_fraction: 0.15,
             max_vms: 4,
             max_pages: 512,
+            pin_cpu: None,
         }
     }
 }
@@ -81,8 +85,24 @@ impl RandomCfgBuilder {
         self
     }
 
-    /// Finishes the builder.
-    pub fn build(self) -> RandomCfg {
+    /// Pins every issued call to one CPU.
+    pub fn pin_cpu(mut self, cpu: usize) -> Self {
+        self.0.pin_cpu = Some(cpu);
+        self
+    }
+
+    /// Finishes the builder. `invalid_fraction` is sanitised here: NaN
+    /// falls back to the default, anything else is clamped into [0, 1] —
+    /// `gen_bool` otherwise silently skews (NaN compares false against
+    /// everything, so `NaN` would mean "never fuzz" while `1.7` would
+    /// mean "always fuzz" without saying so).
+    pub fn build(mut self) -> RandomCfg {
+        let f = self.0.invalid_fraction;
+        self.0.invalid_fraction = if f.is_nan() {
+            RandomCfg::default().invalid_fraction
+        } else {
+            f.clamp(0.0, 1.0)
+        };
         self.0
     }
 }
@@ -105,6 +125,18 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    /// Folds another run's counters into this one (campaign aggregation).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.calls += other.calls;
+        self.ok += other.ok;
+        self.errs += other.errs;
+        self.rejected += other.rejected;
+        self.host_accesses += other.host_accesses;
+        for (op, n) in &other.per_op {
+            *self.per_op.entry(op).or_insert(0) += n;
+        }
+    }
+
     fn bump(&mut self, op: &'static str, ok: bool) {
         self.calls += 1;
         if ok {
@@ -186,14 +218,44 @@ impl RandomTester {
     }
 
     fn rand_cpu(&mut self) -> usize {
-        self.rng.gen_range(0..self.proxy.machine.nr_cpus())
+        match self.cfg.pin_cpu {
+            Some(c) => c,
+            None => self.rng.gen_range(0..self.proxy.machine.nr_cpus()),
+        }
+    }
+
+    /// A CPU with no loaded vCPU — the pinned CPU when pinning, so a
+    /// campaign worker never loads onto another worker's thread.
+    fn pick_idle_cpu(&mut self) -> Option<usize> {
+        match self.cfg.pin_cpu {
+            Some(c) => (self.model.loaded.get(c) == Some(&None)).then_some(c),
+            None => {
+                let idle = self.model.idle_cpus();
+                idle.choose(&mut self.rng).copied()
+            }
+        }
+    }
+
+    /// A CPU with a loaded vCPU — the pinned CPU when pinning.
+    fn pick_busy_cpu(&mut self) -> Option<usize> {
+        match self.cfg.pin_cpu {
+            Some(c) => matches!(self.model.loaded.get(c), Some(Some(_))).then_some(c),
+            None => {
+                let busy: Vec<usize> = (0..self.model.loaded.len())
+                    .filter(|&c| self.model.loaded[c].is_some())
+                    .collect();
+                busy.choose(&mut self.rng).copied()
+            }
+        }
     }
 
     fn op_alloc(&mut self) {
         if self.model.pages.len() >= self.cfg.max_pages {
             return;
         }
-        let pfn = self.proxy.alloc_page();
+        let Some(pfn) = self.proxy.try_alloc_pages(1) else {
+            return;
+        };
         self.model.add_page(pfn);
         *self.stats.per_op.entry("alloc").or_insert(0) += 1;
     }
@@ -271,8 +333,7 @@ impl RandomTester {
     }
 
     fn op_vcpu_load(&mut self) {
-        let idle = self.model.idle_cpus();
-        let Some(&cpu) = idle.choose(&mut self.rng) else {
+        let Some(cpu) = self.pick_idle_cpu() else {
             return;
         };
         let candidates: Vec<(u32, usize)> = self
@@ -301,10 +362,7 @@ impl RandomTester {
     }
 
     fn op_vcpu_put(&mut self) {
-        let busy: Vec<usize> = (0..self.model.loaded.len())
-            .filter(|&c| self.model.loaded[c].is_some())
-            .collect();
-        let Some(&cpu) = busy.choose(&mut self.rng) else {
+        let Some(cpu) = self.pick_busy_cpu() else {
             return;
         };
         let ok = self.proxy.vcpu_put(cpu).is_ok();
@@ -319,16 +377,15 @@ impl RandomTester {
     }
 
     fn op_topup(&mut self) {
-        let busy: Vec<usize> = (0..self.model.loaded.len())
-            .filter(|&c| self.model.loaded[c].is_some())
-            .collect();
-        let Some(&cpu) = busy.choose(&mut self.rng) else {
+        let Some(cpu) = self.pick_busy_cpu() else {
             return;
         };
         let nr = self.rng.gen_range(1..=8u64);
         // Use fresh pages and register them as donated to the VM.
         let (handle, _) = self.model.loaded[cpu].expect("busy cpu");
-        let pfn = self.proxy.alloc_pages(nr);
+        let Some(pfn) = self.proxy.try_alloc_pages(nr) else {
+            return;
+        };
         let ok = self.proxy.topup_raw(cpu, pfn << 12, nr).is_ok();
         for i in 0..nr {
             self.model.add_page(pfn + i);
@@ -348,10 +405,7 @@ impl RandomTester {
     }
 
     fn op_map_guest(&mut self) {
-        let busy: Vec<usize> = (0..self.model.loaded.len())
-            .filter(|&c| self.model.loaded[c].is_some())
-            .collect();
-        let Some(&cpu) = busy.choose(&mut self.rng) else {
+        let Some(cpu) = self.pick_busy_cpu() else {
             return;
         };
         let (handle, _idx) = self.model.loaded[cpu].expect("busy cpu");
@@ -379,10 +433,7 @@ impl RandomTester {
     }
 
     fn op_guest_step(&mut self) {
-        let busy: Vec<usize> = (0..self.model.loaded.len())
-            .filter(|&c| self.model.loaded[c].is_some())
-            .collect();
-        let Some(&cpu) = busy.choose(&mut self.rng) else {
+        let Some(cpu) = self.pick_busy_cpu() else {
             return;
         };
         let (handle, idx) = self.model.loaded[cpu].expect("busy cpu");
@@ -443,10 +494,7 @@ impl RandomTester {
     }
 
     fn op_vcpu_regs(&mut self) {
-        let busy: Vec<usize> = (0..self.model.loaded.len())
-            .filter(|&c| self.model.loaded[c].is_some())
-            .collect();
-        let Some(&cpu) = busy.choose(&mut self.rng) else {
+        let Some(cpu) = self.pick_busy_cpu() else {
             return;
         };
         let n = self.rng.gen_range(0..31u64);
@@ -505,7 +553,7 @@ impl RandomTester {
         } else {
             Access::Write
         };
-        let _ = self.proxy.machine.host_access(cpu, pfn * PAGE_SIZE, access);
+        let _ = self.proxy.host_access(cpu, pfn * PAGE_SIZE, access);
         self.stats.host_accesses += 1;
     }
 
@@ -582,6 +630,34 @@ mod tests {
         assert!(t.stats.per_op.get("vcpu_load").copied().unwrap_or(0) > 0);
         assert!(t.stats.per_op.get("map_guest").copied().unwrap_or(0) > 0);
         assert!(t.stats.per_op.get("vcpu_run").copied().unwrap_or(0) > 0);
+        assert!(t.proxy.all_clear(), "{:?}", t.proxy.violations());
+    }
+
+    #[test]
+    fn builder_sanitises_invalid_fraction() {
+        let build = |f| RandomCfg::builder().invalid_fraction(f).build();
+        assert_eq!(build(0.4).invalid_fraction, 0.4);
+        assert_eq!(build(-0.3).invalid_fraction, 0.0);
+        assert_eq!(build(1.7).invalid_fraction, 1.0);
+        assert_eq!(build(f64::INFINITY).invalid_fraction, 1.0);
+        assert_eq!(
+            build(f64::NAN).invalid_fraction,
+            RandomCfg::default().invalid_fraction
+        );
+    }
+
+    #[test]
+    fn pinned_tester_only_issues_calls_on_its_cpu() {
+        let proxy = Proxy::builder().boot();
+        let machine = proxy.machine.clone();
+        let mut t = RandomTester::new(proxy, RandomCfg::builder().seed(11).pin_cpu(2).build());
+        t.run(500);
+        assert!(t.stats.calls > 100, "{:?}", t.stats);
+        // Only CPU 2's register file should ever have been touched.
+        for cpu in 0..machine.nr_cpus() {
+            let used = machine.cpus[cpu].lock().regs != Default::default();
+            assert_eq!(used, cpu == 2, "cpu {cpu} usage");
+        }
         assert!(t.proxy.all_clear(), "{:?}", t.proxy.violations());
     }
 

@@ -124,6 +124,18 @@ impl FaultSet {
     pub fn is_clean(&self) -> bool {
         self.bits.load(Ordering::Relaxed) == 0
     }
+
+    /// Snapshot of the raw switch bits (for recording a campaign trace).
+    pub fn bits(&self) -> u32 {
+        self.bits.load(Ordering::SeqCst)
+    }
+
+    /// Rebuilds a set from recorded bits (for deterministic replay).
+    pub fn from_bits(bits: u32) -> Self {
+        Self {
+            bits: AtomicU32::new(bits),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +154,17 @@ mod tests {
         f.clear(Fault::Bug1MemcacheAlignment);
         assert!(!f.is(Fault::Bug1MemcacheAlignment));
         assert!(f.is(Fault::SynShareWrongState));
+    }
+
+    #[test]
+    fn bits_roundtrip_through_a_snapshot() {
+        let f = FaultSet::none();
+        f.inject(Fault::Bug3VcpuLoadRace);
+        f.inject(Fault::SynReclaimSkipsWipe);
+        let g = FaultSet::from_bits(f.bits());
+        assert!(g.is(Fault::Bug3VcpuLoadRace));
+        assert!(g.is(Fault::SynReclaimSkipsWipe));
+        assert!(!g.is(Fault::Bug1MemcacheAlignment));
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct VcpuView {
 pub struct VmView {
     /// The VM's handle.
     pub handle: Handle,
+    /// The VM's incarnation id ([`crate::vm::Vm::uniq`]): handles are
+    /// reused after teardown, so recorded abstractions carry the
+    /// incarnation to keep two VMs with the same handle apart.
+    pub uniq: u64,
     /// The VM-table slot (determines the guest's owner id).
     pub slot: usize,
     /// Root of the guest's stage 2 table.
@@ -78,6 +82,9 @@ pub enum ComponentView {
     VmTable {
         /// Handle and slot of every live VM.
         vms: Vec<(Handle, usize)>,
+        /// Handle and incarnation id of every live VM (same order as
+        /// `vms`); lets observers detect handle reuse across teardown.
+        uniqs: Vec<(Handle, u64)>,
     },
     /// One VM's metadata and stage 2 root.
     Vm(VmView),

@@ -118,7 +118,10 @@ impl HypState {
         ctx.hooks.lock_acquired(
             &ctx.hook_ctx(),
             Component::VmTable,
-            &ComponentView::VmTable { vms: g.live() },
+            &ComponentView::VmTable {
+                vms: g.live(),
+                uniqs: g.live_uniqs(),
+            },
         );
         g
     }
@@ -128,7 +131,10 @@ impl HypState {
         ctx.hooks.lock_releasing(
             &ctx.hook_ctx(),
             Component::VmTable,
-            &ComponentView::VmTable { vms: g.live() },
+            &ComponentView::VmTable {
+                vms: g.live(),
+                uniqs: g.live_uniqs(),
+            },
         );
         drop(g);
     }
@@ -160,6 +166,7 @@ impl HypState {
 pub fn vm_view(mem: &PhysMem, vm: &Vm, inner: &VmInner) -> ComponentView {
     ComponentView::Vm(VmView {
         handle: vm.handle,
+        uniq: vm.uniq,
         slot: vm.slot,
         s2_root: inner.pgt.root,
         protected: vm.protected,

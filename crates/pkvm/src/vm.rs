@@ -129,6 +129,11 @@ pub struct Vm {
     pub handle: Handle,
     /// Table slot (determines the guest [`OwnerId`] and VMID).
     pub slot: usize,
+    /// Boot-monotonic incarnation id. Handles are slot-derived and reused
+    /// after teardown, so two VMs can carry the same handle over a run's
+    /// lifetime; the incarnation id is never reused and lets observers
+    /// (the ghost oracle) tell a reused handle from the same VM.
+    pub uniq: u64,
     /// Protected VMs receive *donated* memory; unprotected ones share.
     pub protected: bool,
     /// Number of vCPU slots.
@@ -153,6 +158,9 @@ impl Vm {
 #[derive(Debug, Default)]
 pub struct VmTable {
     slots: Vec<Option<Arc<Vm>>>,
+    /// Source of [`Vm::uniq`] incarnation ids (starts at 1; 0 never names
+    /// a VM).
+    next_uniq: u64,
 }
 
 impl VmTable {
@@ -160,6 +168,7 @@ impl VmTable {
     pub fn new() -> Self {
         Self {
             slots: (0..MAX_VMS).map(|_| None).collect(),
+            next_uniq: 0,
         }
     }
 
@@ -181,9 +190,11 @@ impl VmTable {
             .iter()
             .position(Option::is_none)
             .ok_or(Errno::ENOMEM)?;
+        self.next_uniq += 1;
         let vm = Arc::new(Vm {
             handle: handle_of_slot(slot),
             slot,
+            uniq: self.next_uniq,
             protected,
             nr_vcpus,
             inner: Mutex::new(VmInner {
@@ -226,6 +237,15 @@ impl VmTable {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|vm| (vm.handle, i)))
+            .collect()
+    }
+
+    /// Handles and incarnation ids of all live VMs (for the oracle's
+    /// handle-reuse disambiguation).
+    pub fn live_uniqs(&self) -> Vec<(Handle, u64)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|vm| (vm.handle, vm.uniq)))
             .collect()
     }
 
@@ -279,6 +299,18 @@ mod tests {
         t.remove(a.handle).unwrap();
         let c = t.insert(false, 1, root(), vec![]).unwrap();
         assert_eq!(c.handle, a.handle, "first free slot is reused");
+    }
+
+    #[test]
+    fn incarnation_ids_survive_handle_reuse() {
+        let mut t = VmTable::new();
+        let a = t.insert(true, 1, root(), vec![]).unwrap();
+        let a_uniq = a.uniq;
+        t.remove(a.handle).unwrap();
+        let b = t.insert(true, 1, root(), vec![]).unwrap();
+        assert_eq!(b.handle, a.handle, "handle is reused");
+        assert_ne!(b.uniq, a_uniq, "incarnation id is not");
+        assert_eq!(t.live_uniqs(), vec![(b.handle, b.uniq)]);
     }
 
     #[test]
