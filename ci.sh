@@ -25,4 +25,15 @@ echo "== quick campaign (2 workers, fixed seed) =="
 # the oracle or the hypervisor fails the gate.
 cargo run --release --example campaign -- 2 500 0xc1
 
+echo "== chaos campaign (fixed seed, all hook families) =="
+# Corrupts the oracle's inputs for a whole campaign, then replays the
+# recorded trace twice; exits non-zero if the oracle (rather than the
+# containment layer) crashes or the chaotic replay diverges.
+cargo run --release --example chaos -- campaign 0xc2
+
+echo "== mutation mini-sweep (3 bugs x 3 chaos families) =="
+# Known bugs injected while chaos corrupts the oracle's inputs; exits
+# non-zero unless every bug is still detected with no worker panic.
+cargo run --release --example chaos -- mutation 0xc3
+
 echo "ci.sh: all green"

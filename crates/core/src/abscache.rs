@@ -157,12 +157,21 @@ impl AbsCache {
         let snap = log.snapshot_generation();
 
         match self.plan(mem, stage, root, key) {
-            Plan::Clean => {
-                self.stats.clean_hits += 1;
-                let e = self.entries.get_mut(&key).expect("planned over entry");
-                e.gen = snap;
-                e.interp.clone()
-            }
+            Plan::Clean => match self.entries.get_mut(&key) {
+                Some(e) => {
+                    self.stats.clean_hits += 1;
+                    e.gen = snap;
+                    e.interp.clone()
+                }
+                // The plan raced with an eviction (possible only under
+                // chaos/containment, where a contained panic can leave the
+                // cache partially updated): degrade to a full walk rather
+                // than panic in the oracle hot path.
+                None => {
+                    self.stats.full_cold += 1;
+                    self.full_walk(mem, stage, root, key, snap, anomalies)
+                }
+            },
             Plan::Replay(subtrees) => {
                 match self.replay(mem, key, snap, &subtrees) {
                     Some(interp) => {
@@ -239,7 +248,10 @@ impl AbsCache {
         snap: u64,
         subtrees: &[(u64, u8, u64)],
     ) -> Option<AbstractPgtable> {
-        let e = self.entries.get_mut(&key).expect("planned over entry");
+        // `None` (entry vanished between plan and replay — only possible
+        // when containment interrupted an update) degrades to a full walk
+        // via the caller's anomaly fallback.
+        let e = self.entries.get_mut(&key)?;
         let stage = e.stage;
         for &(pfn, level, ia_base) in subtrees {
             let mut sub_meta = TableMeta::new();

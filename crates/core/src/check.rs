@@ -20,6 +20,8 @@ pub enum Violation {
         trap: String,
         /// Which component disagreed.
         component: String,
+        /// The incarnation id of the VM involved, if the component is a VM.
+        uniq: Option<u64>,
         /// Rendered diff (computed vs recorded).
         diff: String,
     },
@@ -29,6 +31,8 @@ pub enum Violation {
         trap: String,
         /// Which component changed.
         component: String,
+        /// The incarnation id of the VM involved, if the component is a VM.
+        uniq: Option<u64>,
         /// Rendered diff (pre vs recorded post).
         diff: String,
     },
@@ -37,6 +41,8 @@ pub enum Violation {
     NonInterference {
         /// Which component.
         component: String,
+        /// The incarnation id of the VM involved, if the component is a VM.
+        uniq: Option<u64>,
         /// Rendered diff (last recorded vs now observed).
         diff: String,
     },
@@ -80,49 +86,128 @@ pub enum Violation {
         /// Rendered diff (full vs incremental).
         diff: String,
     },
+    /// An oracle-internal step (abstraction, spec, or check) panicked and
+    /// the panic was contained. The system under test is *not* implicated:
+    /// this is the oracle reporting on itself so a campaign can keep
+    /// running instead of aborting.
+    OracleInternal {
+        /// The component (or oracle step) whose processing panicked.
+        component: String,
+        /// The stringified panic payload.
+        payload: String,
+    },
 }
 
-impl std::fmt::Display for Violation {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl Violation {
+    /// Stable kind tag, usable as a grep key in reports.
+    pub fn kind(&self) -> &'static str {
         match self {
-            Violation::SpecMismatch {
-                trap,
-                component,
-                diff,
-            } => {
-                write!(f, "[{trap}] spec mismatch on {component}:\n{diff}")
+            Violation::SpecMismatch { .. } => "spec-mismatch",
+            Violation::UnexpectedChange { .. } => "unexpected-change",
+            Violation::NonInterference { .. } => "non-interference",
+            Violation::SeparationOverlap { .. } => "separation-overlap",
+            Violation::AbstractionAnomaly { .. } => "abstraction-anomaly",
+            Violation::HypPanic { .. } => "hyp-panic",
+            Violation::OracleSelfCheck { .. } => "oracle-self-check",
+            Violation::ShadowDivergence { .. } => "shadow-divergence",
+            Violation::OracleInternal { .. } => "oracle-internal",
+        }
+    }
+
+    /// The trap being checked when the violation was found, if any.
+    pub fn trap(&self) -> Option<&str> {
+        match self {
+            Violation::SpecMismatch { trap, .. } | Violation::UnexpectedChange { trap, .. } => {
+                Some(trap)
             }
-            Violation::UnexpectedChange {
-                trap,
-                component,
-                diff,
-            } => {
-                write!(f, "[{trap}] unexpected change to {component}:\n{diff}")
+            _ => None,
+        }
+    }
+
+    /// The component (or context acting as one) the violation concerns.
+    pub fn component(&self) -> Option<&str> {
+        match self {
+            Violation::SpecMismatch { component, .. }
+            | Violation::UnexpectedChange { component, .. }
+            | Violation::NonInterference { component, .. }
+            | Violation::SeparationOverlap { component, .. }
+            | Violation::ShadowDivergence { component, .. }
+            | Violation::OracleInternal { component, .. } => Some(component),
+            Violation::AbstractionAnomaly { context, .. }
+            | Violation::OracleSelfCheck { context, .. } => Some(context),
+            Violation::HypPanic { .. } => None,
+        }
+    }
+
+    /// The incarnation id (`Vm::uniq`) of the VM involved, when known.
+    pub fn vm_uniq(&self) -> Option<u64> {
+        match self {
+            Violation::SpecMismatch { uniq, .. }
+            | Violation::UnexpectedChange { uniq, .. }
+            | Violation::NonInterference { uniq, .. } => *uniq,
+            _ => None,
+        }
+    }
+
+    /// Annotates the VM incarnation id on variants that carry one, leaving
+    /// an already-set id alone.
+    pub fn set_vm_uniq(&mut self, id: u64) {
+        match self {
+            Violation::SpecMismatch { uniq, .. }
+            | Violation::UnexpectedChange { uniq, .. }
+            | Violation::NonInterference { uniq, .. }
+                if uniq.is_none() =>
+            {
+                *uniq = Some(id);
             }
-            Violation::NonInterference { component, diff } => {
-                write!(f, "non-interference violated on {component}:\n{diff}")
+            _ => {}
+        }
+    }
+
+    fn detail(&self) -> String {
+        match self {
+            Violation::SpecMismatch { diff, .. } => format!("spec mismatch:\n{diff}"),
+            Violation::UnexpectedChange { diff, .. } => format!("unexpected change:\n{diff}"),
+            Violation::NonInterference { diff, .. } => {
+                format!("changed while unlocked:\n{diff}")
             }
-            Violation::SeparationOverlap {
-                component,
-                pfn,
-                owner,
-            } => {
-                write!(f, "separation violated: {component} allocated table page {pfn:#x} owned by {owner}")
+            Violation::SeparationOverlap { pfn, owner, .. } => {
+                format!("allocated table page {pfn:#x} owned by {owner}")
             }
-            Violation::AbstractionAnomaly { context, anomaly } => {
-                write!(f, "malformed concrete state in {context}: {anomaly:?}")
+            Violation::AbstractionAnomaly { anomaly, .. } => {
+                format!("malformed concrete state: {anomaly:?}")
             }
-            Violation::HypPanic { reason } => write!(f, "hypervisor panic: {reason}"),
-            Violation::OracleSelfCheck { context, detail } => {
-                write!(f, "oracle self-check failed in {context}: {detail}")
+            Violation::HypPanic { reason } => format!("hypervisor panic: {reason}"),
+            Violation::OracleSelfCheck { detail, .. } => {
+                format!("oracle self-check failed: {detail}")
             }
-            Violation::ShadowDivergence { component, diff } => {
-                write!(
-                    f,
-                    "shadow validation: incremental abstraction diverged on {component}:\n{diff}"
-                )
+            Violation::ShadowDivergence { diff, .. } => {
+                format!("incremental abstraction diverged from full walk:\n{diff}")
+            }
+            Violation::OracleInternal { payload, .. } => {
+                format!("contained oracle panic: {payload}")
             }
         }
+    }
+}
+
+/// Every violation renders through the same header so reports are
+/// greppable without per-variant knowledge: `violation kind=<kind>
+/// trap=<trap|-> comp=<component|-> uniq=<Vm::uniq|-> :: <detail>`.
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let uniq = self
+            .vm_uniq()
+            .map_or_else(|| "-".to_string(), |u| u.to_string());
+        write!(
+            f,
+            "violation kind={} trap={} comp={} uniq={} :: {}",
+            self.kind(),
+            self.trap().unwrap_or("-"),
+            self.component().unwrap_or("-"),
+            uniq,
+            self.detail(),
+        )
     }
 }
 
@@ -167,6 +252,14 @@ pub fn normalize(state: &GhostState) -> GhostState {
     s
 }
 
+// Extracts the index out of a bracketed component name like "vm[3]" or
+// "locals[0]". `None` on malformed names: component names are generated
+// internally, but under chaos injection the check path must stay total, so
+// a name it cannot parse degrades to "not present" instead of panicking.
+fn bracket_index<T: std::str::FromStr>(name: &str, prefix: &str) -> Option<T> {
+    name.strip_prefix(prefix)?.strip_suffix(']')?.parse().ok()
+}
+
 // The component comparison is done on projected single-component states so
 // the diff renderer can be reused untouched.
 fn project(state: &GhostState, component: &str) -> GhostState {
@@ -177,18 +270,23 @@ fn project(state: &GhostState, component: &str) -> GhostState {
         "pkvm" => s.pkvm = state.pkvm.clone(),
         "vm_table" => s.vm_table = state.vm_table.clone(),
         c if c.starts_with("vm[") => {
-            let h: u32 = c[3..c.len() - 1].parse().expect("component name");
-            if let Some(vm) = state.vms.get(&h) {
-                s.vms.insert(h, vm.clone());
+            if let Some(h) = bracket_index::<u32>(c, "vm[") {
+                if let Some(vm) = state.vms.get(&h) {
+                    s.vms.insert(h, vm.clone());
+                }
             }
         }
         c if c.starts_with("locals[") => {
-            let cpu: usize = c[7..c.len() - 1].parse().expect("component name");
-            if let Some(l) = state.locals.get(&cpu) {
-                s.locals.insert(cpu, l.clone());
+            if let Some(cpu) = bracket_index::<usize>(c, "locals[") {
+                if let Some(l) = state.locals.get(&cpu) {
+                    s.locals.insert(cpu, l.clone());
+                }
             }
         }
-        _ => unreachable!("unknown component {component}"),
+        // An unknown name projects to the empty state: both sides of the
+        // comparison see the same nothing, so it can never fabricate a
+        // violation — and never panics mid-campaign.
+        _ => {}
     }
     s
 }
@@ -199,14 +297,12 @@ fn component_present(state: &GhostState, component: &str) -> bool {
         "pkvm" => state.pkvm.is_some(),
         "vm_table" => state.vm_table.is_some(),
         c if c.starts_with("vm[") => {
-            let h: u32 = c[3..c.len() - 1].parse().expect("component name");
-            state.vms.contains_key(&h)
+            bracket_index::<u32>(c, "vm[").is_some_and(|h| state.vms.contains_key(&h))
         }
         c if c.starts_with("locals[") => {
-            let cpu: usize = c[7..c.len() - 1].parse().expect("component name");
-            state.locals.contains_key(&cpu)
+            bracket_index::<usize>(c, "locals[").is_some_and(|cpu| state.locals.contains_key(&cpu))
         }
-        _ => unreachable!("unknown component {component}"),
+        _ => false,
     }
 }
 
@@ -258,6 +354,7 @@ pub fn check_trap(
                     out.violations.push(Violation::SpecMismatch {
                         trap: trap.into(),
                         component: comp.clone(),
+                        uniq: None,
                         diff: diff_states(&c, &r),
                     });
                 }
@@ -277,6 +374,7 @@ pub fn check_trap(
                         out.violations.push(Violation::UnexpectedChange {
                             trap: trap.into(),
                             component: comp.clone(),
+                            uniq: None,
                             diff: diff_states(&p, &r),
                         });
                     }
@@ -374,6 +472,52 @@ mod tests {
         let o = check_trap("init", &pre, &recorded, &computed);
         assert!(o.violations.is_empty());
         assert_eq!(o.deferred, vec!["host".to_string()]);
+    }
+
+    #[test]
+    fn display_is_uniform_and_greppable() {
+        let v = Violation::SpecMismatch {
+            trap: "host_share_hyp".into(),
+            component: "host".into(),
+            uniq: None,
+            diff: "d".into(),
+        };
+        assert!(
+            v.to_string().starts_with(
+                "violation kind=spec-mismatch trap=host_share_hyp comp=host uniq=- ::"
+            ),
+            "{v}"
+        );
+        let mut v = Violation::NonInterference {
+            component: "vm[3]".into(),
+            uniq: None,
+            diff: "d".into(),
+        };
+        v.set_vm_uniq(42);
+        assert!(
+            v.to_string()
+                .starts_with("violation kind=non-interference trap=- comp=vm[3] uniq=42 ::"),
+            "{v}"
+        );
+        let v = Violation::OracleInternal {
+            component: "spec:vcpu_run".into(),
+            payload: "boom".into(),
+        };
+        let s = v.to_string();
+        assert!(
+            s.starts_with("violation kind=oracle-internal trap=- comp=spec:vcpu_run uniq=- ::")
+                && s.contains("boom"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn malformed_component_names_do_not_panic_the_check() {
+        let s = GhostState::blank(&GhostGlobals::default());
+        for name in ["vm[bogus]", "vm[", "locals[x]", "wat"] {
+            assert!(!component_present(&s, name), "{name}");
+            assert_eq!(project(&s, name), GhostState::default(), "{name}");
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod abscache;
 pub mod abstraction;
 pub mod calldata;
 pub mod check;
+pub mod containment;
 pub mod diff;
 pub mod maplet;
 pub mod mapping;
@@ -61,10 +62,11 @@ pub use abstraction::{
 };
 pub use calldata::GhostCallData;
 pub use check::{check_trap, normalize, CheckOutcome, Violation};
+pub use containment::{contain, Disposition, Quarantine};
 pub use diff::diff_states;
 pub use maplet::{AbsAttrs, Maplet, MapletTarget};
 pub use mapping::Mapping;
-pub use oracle::{Oracle, OracleOpts, OracleStats, TrapOutcome, TrapRecord};
+pub use oracle::{Oracle, OracleOpts, OracleStats, ResilienceSnapshot, TrapOutcome, TrapRecord};
 pub use print::render_state;
 pub use spec::{compute_post, SpecVerdict};
 pub use state::{

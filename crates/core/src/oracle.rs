@@ -37,6 +37,7 @@ use crate::abstraction::{
 };
 use crate::calldata::GhostCallData;
 use crate::check::{check_trap, normalize, Violation};
+use crate::containment::{contain, Disposition, Quarantine};
 use crate::diff::diff_states;
 use crate::maplet::{Maplet, MapletTarget};
 use crate::spec::{abs_hyp_attrs, compute_post, SpecVerdict};
@@ -63,6 +64,22 @@ pub struct OracleOpts {
     /// any divergence as an oracle self-check violation. Implies the
     /// cache is maintained; the *full* result feeds the checks.
     pub shadow_validation: bool,
+    /// Upper bound on retained violation reports; excess reports are
+    /// dropped and counted in `OracleStats::violations_dropped` so a
+    /// pathological run cannot exhaust memory through its own findings.
+    pub violation_cap: usize,
+    /// Per-trap budget of lock events processed at full fidelity. Beyond
+    /// it the oracle degrades: remaining events evict their component
+    /// from the shared copy instead of abstracting it, and the trap's
+    /// check is skipped (`degraded_traps`). Default is effectively
+    /// unlimited.
+    pub trap_check_budget: u64,
+    /// Consecutive contained panics of one component (or spec step)
+    /// before it is quarantined.
+    pub quarantine_threshold: u32,
+    /// How many traps a quarantined component sits out before it is
+    /// recovered by re-seeding from a full abstraction pass.
+    pub quarantine_traps: u64,
 }
 
 impl Default for OracleOpts {
@@ -72,6 +89,10 @@ impl Default for OracleOpts {
             check_separation: true,
             incremental_abstraction: false,
             shadow_validation: false,
+            violation_cap: 4096,
+            trap_check_budget: u64::MAX,
+            quarantine_threshold: 3,
+            quarantine_traps: 16,
         }
     }
 }
@@ -113,6 +134,31 @@ impl OracleOptsBuilder {
     /// Toggle shadow validation of the incremental cache (default off).
     pub fn shadow_validation(mut self, on: bool) -> Self {
         self.0.shadow_validation = on;
+        self
+    }
+
+    /// Bound the retained violation log (default 4096; minimum 1).
+    pub fn violation_cap(mut self, cap: usize) -> Self {
+        self.0.violation_cap = cap.max(1);
+        self
+    }
+
+    /// Bound the lock events processed at full fidelity per trap
+    /// (default unlimited).
+    pub fn trap_check_budget(mut self, budget: u64) -> Self {
+        self.0.trap_check_budget = budget;
+        self
+    }
+
+    /// Consecutive contained panics before quarantine (default 3).
+    pub fn quarantine_threshold(mut self, n: u32) -> Self {
+        self.0.quarantine_threshold = n;
+        self
+    }
+
+    /// Quarantine duration in traps (default 16).
+    pub fn quarantine_traps(mut self, n: u64) -> Self {
+        self.0.quarantine_traps = n;
         self
     }
 
@@ -163,6 +209,73 @@ pub struct OracleStats {
     /// component between two of the checked trap's critical sections
     /// (the atomic per-trap comparison does not apply).
     pub interleaved_skips: AtomicU64,
+    /// Oracle-internal panics caught and converted into
+    /// [`Violation::OracleInternal`] instead of unwinding the caller.
+    pub contained_panics: AtomicU64,
+    /// Hook events skipped because their component (or spec step) was
+    /// quarantined after repeated contained panics.
+    pub quarantined_skips: AtomicU64,
+    /// Quarantined components recovered by re-seeding from a full
+    /// abstraction pass once their bench time expired.
+    pub quarantine_recoveries: AtomicU64,
+    /// Violation reports dropped because the bounded log was full.
+    pub violations_dropped: AtomicU64,
+    /// Traps whose check was skipped because the per-trap check budget
+    /// ran out mid-trap.
+    pub degraded_traps: AtomicU64,
+    /// Lock events degraded to a shared-copy eviction (no abstraction)
+    /// because the per-trap check budget was exhausted.
+    pub budget_degraded_events: AtomicU64,
+}
+
+/// A plain-value snapshot of the oracle's resilience counters: everything
+/// that says "the oracle absorbed trouble without crashing". Campaign
+/// reports carry this so a chaos sweep can distinguish *degraded but
+/// safe* from *saw nothing*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceSnapshot {
+    /// See [`OracleStats::contained_panics`].
+    pub contained_panics: u64,
+    /// See [`OracleStats::quarantined_skips`].
+    pub quarantined_skips: u64,
+    /// See [`OracleStats::quarantine_recoveries`].
+    pub quarantine_recoveries: u64,
+    /// See [`OracleStats::violations_dropped`].
+    pub violations_dropped: u64,
+    /// See [`OracleStats::degraded_traps`].
+    pub degraded_traps: u64,
+    /// See [`OracleStats::budget_degraded_events`].
+    pub budget_degraded_events: u64,
+    /// See [`OracleStats::interleaved_skips`].
+    pub interleaved_skips: u64,
+}
+
+impl ResilienceSnapshot {
+    /// `true` when any degradation or containment machinery fired.
+    pub fn degraded(&self) -> bool {
+        self.contained_panics
+            + self.quarantined_skips
+            + self.quarantine_recoveries
+            + self.violations_dropped
+            + self.degraded_traps
+            + self.budget_degraded_events
+            > 0
+    }
+}
+
+impl OracleStats {
+    /// Snapshots the resilience counters.
+    pub fn resilience(&self) -> ResilienceSnapshot {
+        ResilienceSnapshot {
+            contained_panics: self.contained_panics.load(Ordering::Relaxed),
+            quarantined_skips: self.quarantined_skips.load(Ordering::Relaxed),
+            quarantine_recoveries: self.quarantine_recoveries.load(Ordering::Relaxed),
+            violations_dropped: self.violations_dropped.load(Ordering::Relaxed),
+            degraded_traps: self.degraded_traps.load(Ordering::Relaxed),
+            budget_degraded_events: self.budget_degraded_events.load(Ordering::Relaxed),
+            interleaved_skips: self.interleaved_skips.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Key of one shared-copy component (the update-stamp granularity).
@@ -172,6 +285,29 @@ enum CompKey {
     Pkvm,
     VmTable,
     Vm(Handle),
+}
+
+/// The spec's component naming for a lock-protected [`Component`]: the
+/// same strings `check_trap` produces (`host`, `pkvm`, `vm_table`,
+/// `vm[<handle>]`), so every report — and every quarantine key — greps
+/// the same way.
+fn comp_name(comp: Component) -> String {
+    match comp {
+        Component::Host => "host".into(),
+        Component::Hyp => "pkvm".into(),
+        Component::VmTable => "vm_table".into(),
+        Component::Vm(h) => format!("vm[{h}]"),
+    }
+}
+
+/// The shared-copy key of a lock-protected [`Component`].
+fn comp_key_of(comp: Component) -> CompKey {
+    match comp {
+        Component::Host => CompKey::Host,
+        Component::Hyp => CompKey::Pkvm,
+        Component::VmTable => CompKey::VmTable,
+        Component::Vm(h) => CompKey::Vm(h),
+    }
 }
 
 /// Parses the spec's component naming (`host`, `pkvm`, `vm_table`,
@@ -309,6 +445,12 @@ struct CpuRecord {
     /// is skipped (the ternary check's "unchecked" answer) instead of
     /// reporting a spurious mismatch.
     interleaved: HashSet<CompKey>,
+    /// Lock events processed so far within this trap (the per-trap check
+    /// budget's spend counter).
+    events_this_trap: u64,
+    /// The budget ran out mid-trap: remaining events degrade to evictions
+    /// and the trap's check is skipped.
+    degraded: bool,
 }
 
 /// The runtime test oracle; install as the machine's [`GhostHooks`].
@@ -324,6 +466,7 @@ pub struct Oracle {
     violations: Mutex<Vec<Violation>>,
     nr_violations: AtomicU64,
     trace: Mutex<VecDeque<TrapRecord>>,
+    quarantine: Quarantine,
     /// Counters.
     pub stats: OracleStats,
 }
@@ -359,6 +502,8 @@ impl Oracle {
                         versions_at_entry: HashMap::new(),
                         last_release: HashMap::new(),
                         interleaved: HashSet::new(),
+                        events_this_trap: 0,
+                        degraded: false,
                     })
                 })
                 .collect(),
@@ -375,6 +520,7 @@ impl Oracle {
             violations: Mutex::new(Vec::new()),
             nr_violations: AtomicU64::new(0),
             trace: Mutex::new(VecDeque::new()),
+            quarantine: Quarantine::new(opts.quarantine_threshold, opts.quarantine_traps),
             stats: OracleStats::default(),
         })
     }
@@ -432,26 +578,128 @@ impl Oracle {
     }
 
     fn report(&self, v: Violation) {
-        let mut vs = self.violations.lock();
-        vs.push(v);
-        self.nr_violations.store(vs.len() as u64, Ordering::Relaxed);
+        self.report_all(vec![v]);
     }
 
-    fn report_all(&self, new: Vec<Violation>) {
+    fn report_all(&self, mut new: Vec<Violation>) {
+        self.annotate_vm_uniq(&mut new);
+        let cap = self.opts.violation_cap.max(1);
         let mut vs = self.violations.lock();
-        vs.extend(new);
+        for v in new {
+            if vs.len() >= cap {
+                self.stats
+                    .violations_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                vs.push(v);
+            }
+        }
         self.nr_violations.store(vs.len() as u64, Ordering::Relaxed);
     }
 
     fn report_anomalies(&self, context: &str, anomalies: Vec<Anomaly>) {
-        let mut vs = self.violations.lock();
-        for a in anomalies {
-            vs.push(Violation::AbstractionAnomaly {
-                context: context.into(),
-                anomaly: a,
-            });
+        self.report_all(
+            anomalies
+                .into_iter()
+                .map(|a| Violation::AbstractionAnomaly {
+                    context: context.into(),
+                    anomaly: a,
+                })
+                .collect(),
+        );
+    }
+
+    /// Fills in the VM incarnation id on reports about a `vm[<handle>]`
+    /// component, from the shared copy's incarnation table. (Reports that
+    /// already know their incarnation keep it.)
+    fn annotate_vm_uniq(&self, vs: &mut [Violation]) {
+        let wants = |v: &Violation| {
+            v.vm_uniq().is_none()
+                && matches!(
+                    v.component().and_then(comp_key_of_name),
+                    Some(CompKey::Vm(_))
+                )
+        };
+        if !vs.iter().any(wants) {
+            return;
         }
-        self.nr_violations.store(vs.len() as u64, Ordering::Relaxed);
+        let guard = self.shared.lock();
+        for v in vs.iter_mut() {
+            if let Some(CompKey::Vm(h)) = v.component().and_then(comp_key_of_name) {
+                if let Some(&u) = guard.vm_uniq.get(&h) {
+                    v.set_vm_uniq(u);
+                }
+            }
+        }
+    }
+
+    /// Runs one oracle step with panics contained: a panic becomes a
+    /// [`Violation::OracleInternal`] and a strike against `key`'s
+    /// quarantine record, never an unwind into the hypervisor.
+    fn guarded(&self, key: &str, f: impl FnOnce()) {
+        match contain(f) {
+            Ok(()) => self.quarantine.record_success(key),
+            Err(payload) => {
+                self.stats.contained_panics.fetch_add(1, Ordering::Relaxed);
+                self.quarantine.record_failure(key);
+                self.report(Violation::OracleInternal {
+                    component: key.to_string(),
+                    payload,
+                });
+            }
+        }
+    }
+
+    /// Degrades one lock event: instead of abstracting the component, its
+    /// entry is evicted from the shared copy (and stamped), so nothing
+    /// stale is ever compared later. Used when the component is
+    /// quarantined or the per-trap budget ran out — the cheap-but-safe
+    /// fallback.
+    fn evict_shared(&self, comp: Component) {
+        let key = comp_key_of(comp);
+        let mut shared = self.shared.lock();
+        match key {
+            CompKey::Host => shared.state.host = None,
+            CompKey::Pkvm => shared.state.pkvm = None,
+            CompKey::VmTable => shared.state.vm_table = None,
+            CompKey::Vm(h) => {
+                shared.state.vms.remove(&h);
+            }
+        }
+        shared.stamp(key);
+    }
+
+    /// Accounts one lock event against the per-trap check budget. `true`
+    /// means the budget is spent: the caller must degrade this event.
+    fn budget_exhausted(&self, cpu: usize) -> bool {
+        let mut rec = self.cpus[cpu].lock();
+        if !rec.in_trap {
+            return false;
+        }
+        rec.events_this_trap += 1;
+        if rec.events_this_trap > self.opts.trap_check_budget {
+            rec.degraded = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bookkeeping for a lock event skipped under quarantine: count it,
+    /// evict the component so nothing stale is compared, and mark it
+    /// interleaved so the running trap's check ignores it.
+    fn note_quarantine_skip(&self, ctx: &HookCtx<'_>, comp: Component) {
+        self.stats.quarantined_skips.fetch_add(1, Ordering::Relaxed);
+        self.evict_shared(comp);
+        let mut rec = self.cpus[ctx.cpu].lock();
+        if rec.in_trap {
+            rec.interleaved.insert(comp_key_of(comp));
+        }
+    }
+
+    /// Number of components (or spec steps) currently quarantined.
+    pub fn quarantined(&self) -> usize {
+        self.quarantine.active()
     }
 
     /// Approximate resident size of the ghost state, in bytes (for the
@@ -672,8 +920,13 @@ impl Oracle {
         drop(guard);
         let (prev_n, now_n) = (normalize(&prev), normalize(&now));
         if prev_n != now_n {
+            let uniq = match value {
+                ComponentValue::Vm(_, u, _) => Some(*u),
+                _ => None,
+            };
             self.report(Violation::NonInterference {
-                component: format!("{comp:?}"),
+                component: comp_name(comp),
+                uniq,
                 diff: diff_states(&prev_n, &now_n),
             });
         }
@@ -757,6 +1010,7 @@ impl Oracle {
                 self.report(Violation::SpecMismatch {
                     trap: "boot".into(),
                     component: name.into(),
+                    uniq: None,
                     diff: "component never recorded during boot".into(),
                 });
                 ok = false;
@@ -770,6 +1024,7 @@ impl Oracle {
             self.report(Violation::SpecMismatch {
                 trap: "boot".into(),
                 component: "initial state".into(),
+                uniq: None,
                 diff: diff_states(&exp_cmp, &rec_cmp),
             });
             ok = false;
@@ -885,6 +1140,33 @@ impl OracleBuilder<'_> {
         self
     }
 
+    /// Caps the retained violation log (default 4096, minimum 1).
+    pub fn violation_cap(mut self, cap: usize) -> Self {
+        self.opts.violation_cap = cap.max(1);
+        self
+    }
+
+    /// Caps checked hook events per trap before degrading (default
+    /// unlimited).
+    pub fn trap_check_budget(mut self, budget: u64) -> Self {
+        self.opts.trap_check_budget = budget;
+        self
+    }
+
+    /// Contained panics of one component before it is quarantined
+    /// (default 3).
+    pub fn quarantine_threshold(mut self, n: u32) -> Self {
+        self.opts.quarantine_threshold = n;
+        self
+    }
+
+    /// Traps a quarantined component sits out before recovery
+    /// (default 16).
+    pub fn quarantine_traps(mut self, n: u64) -> Self {
+        self.opts.quarantine_traps = n;
+        self
+    }
+
     /// Builds the oracle.
     pub fn build(self) -> Arc<Oracle> {
         Oracle::new(self.config, self.opts)
@@ -940,52 +1222,18 @@ enum ComponentValue {
     Vm(Handle, u64, crate::state::GhostVm),
 }
 
-impl GhostHooks for Oracle {
-    fn trap_enter(
-        &self,
-        ctx: &HookCtx<'_>,
-        esr: Esr,
-        fault_ipa: Option<u64>,
-        regs: &GprFile,
-        loaded: Option<(Handle, usize, VcpuView)>,
-    ) {
-        let versions = self.shared.lock().versions.clone();
-        let mut rec = self.cpus[ctx.cpu].lock();
-        rec.in_trap = true;
-        rec.pre = GhostState::blank(&self.globals);
-        rec.post = GhostState::blank(&self.globals);
-        rec.call = Some(GhostCallData::new(ctx.cpu, esr, fault_ipa, *regs));
-        rec.versions_at_entry = versions;
-        rec.last_release.clear();
-        rec.interleaved.clear();
-        let cpu_state = Self::ghost_cpu(regs, &loaded);
-        rec.pre.locals.insert(ctx.cpu, cpu_state);
-    }
-
-    fn trap_exit(
-        &self,
-        ctx: &HookCtx<'_>,
-        regs: &GprFile,
-        loaded: Option<(Handle, usize, VcpuView)>,
-    ) {
-        let mut rec = self.cpus[ctx.cpu].lock();
-        if !rec.in_trap {
-            return;
-        }
-        rec.in_trap = false;
-        let cpu_state = Self::ghost_cpu(regs, &loaded);
-        rec.post.locals.insert(ctx.cpu, cpu_state);
-        let mut call = rec.call.take().expect("trap_enter recorded call data");
-        call.regs_post = *regs;
-
+impl Oracle {
+    /// The spec+check phase of `trap_exit` (runs contained). Reads the
+    /// trap's recordings and reports through the bounded log; it never
+    /// mutates `rec`, so a contained panic leaves no half-written record.
+    fn spec_and_check(&self, cpu: usize, rec: &CpuRecord, call: &GhostCallData, name: &str) {
         // (7) Compute the expected post-state from the pre-state and the
         // call data, then (8) compare.
         let mut computed = GhostState::blank(&self.globals);
-        let name = Self::trap_name(&call);
-        match compute_post(&rec.pre, &call, &mut computed) {
+        match compute_post(&rec.pre, call, &mut computed) {
             SpecVerdict::Checked => {
                 self.stats.traps_checked.fetch_add(1, Ordering::Relaxed);
-                let mut outcome = check_trap(&name, &rec.pre, &rec.post, &computed);
+                let mut outcome = check_trap(name, &rec.pre, &rec.post, &computed);
                 if !rec.interleaved.is_empty() {
                     // Foreign traps updated these components between two of
                     // our critical sections; their recorded post is not
@@ -1007,8 +1255,8 @@ impl GhostHooks for Oracle {
                     });
                 }
                 self.push_trace(TrapRecord {
-                    cpu: ctx.cpu,
-                    name: name.clone(),
+                    cpu,
+                    name: name.to_string(),
                     outcome: if outcome.violations.is_empty() {
                         TrapOutcome::Clean
                     } else {
@@ -1021,14 +1269,14 @@ impl GhostHooks for Oracle {
                 // Seed spec-defined but never-recorded components into the
                 // shared copy: the next acquisition validates them.
                 if !outcome.deferred.is_empty() {
-                    self.seed_deferred(&name, &outcome.deferred, &computed, &rec.versions_at_entry);
+                    self.seed_deferred(name, &outcome.deferred, &computed, &rec.versions_at_entry);
                 }
             }
             SpecVerdict::Unchecked(why) => {
                 self.stats.traps_unchecked.fetch_add(1, Ordering::Relaxed);
                 self.push_trace(TrapRecord {
-                    cpu: ctx.cpu,
-                    name,
+                    cpu,
+                    name: name.to_string(),
                     outcome: TrapOutcome::Unchecked(why),
                 });
                 // Loose case: the shared copy was already updated at the
@@ -1036,22 +1284,31 @@ impl GhostHooks for Oracle {
             }
             SpecVerdict::Impossible(reason) => {
                 self.push_trace(TrapRecord {
-                    cpu: ctx.cpu,
-                    name: name.clone(),
+                    cpu,
+                    name: name.to_string(),
                     outcome: TrapOutcome::Violated(1),
                 });
                 self.report(Violation::SpecMismatch {
-                    trap: name,
+                    trap: name.to_string(),
                     component: "spec-detected impossibility".into(),
+                    uniq: None,
                     diff: reason,
                 });
             }
         }
     }
 
-    fn lock_acquired(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {
+    fn lock_acquired_inner(
+        &self,
+        ctx: &HookCtx<'_>,
+        comp: Component,
+        view: &ComponentView,
+        check_ni: bool,
+    ) {
         let value = self.abstract_component(ctx, comp, view);
-        self.noninterference_check(comp, &value);
+        if check_ni {
+            self.noninterference_check(comp, &value);
+        }
         let key = value.key();
         // Safe to read outside the rec lock: we hold the component's lock,
         // so no foreign trap can stamp this component right now.
@@ -1074,7 +1331,7 @@ impl GhostHooks for Oracle {
         }
     }
 
-    fn lock_releasing(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {
+    fn lock_releasing_inner(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {
         let value = self.abstract_component(ctx, comp, view);
         let key = value.key();
         let version = {
@@ -1091,13 +1348,196 @@ impl GhostHooks for Oracle {
             }
         }
     }
+}
+
+impl GhostHooks for Oracle {
+    fn trap_enter(
+        &self,
+        ctx: &HookCtx<'_>,
+        esr: Esr,
+        fault_ipa: Option<u64>,
+        regs: &GprFile,
+        loaded: Option<(Handle, usize, VcpuView)>,
+    ) {
+        // The quarantine clock counts traps.
+        self.quarantine.tick();
+        self.guarded("trap_enter", || {
+            let versions = self.shared.lock().versions.clone();
+            let mut rec = self.cpus[ctx.cpu].lock();
+            rec.in_trap = true;
+            rec.pre = GhostState::blank(&self.globals);
+            rec.post = GhostState::blank(&self.globals);
+            rec.call = Some(GhostCallData::new(ctx.cpu, esr, fault_ipa, *regs));
+            rec.versions_at_entry = versions;
+            rec.last_release.clear();
+            rec.interleaved.clear();
+            rec.events_this_trap = 0;
+            rec.degraded = false;
+            let cpu_state = Self::ghost_cpu(regs, &loaded);
+            rec.pre.locals.insert(ctx.cpu, cpu_state);
+        });
+    }
+
+    fn trap_exit(
+        &self,
+        ctx: &HookCtx<'_>,
+        regs: &GprFile,
+        loaded: Option<(Handle, usize, VcpuView)>,
+    ) {
+        let mut rec = self.cpus[ctx.cpu].lock();
+        if !rec.in_trap {
+            return;
+        }
+        rec.in_trap = false;
+        // Phase 1: finish the recording. Contained so a panic leaves the
+        // per-CPU record consistent (the next trap_enter resets it anyway).
+        let prep = contain(|| {
+            let cpu_state = Self::ghost_cpu(regs, &loaded);
+            rec.post.locals.insert(ctx.cpu, cpu_state);
+            let mut call = rec.call.take()?;
+            call.regs_post = *regs;
+            let name = Self::trap_name(&call);
+            Some((call, name))
+        });
+        let (call, name) = match prep {
+            Ok(Some(v)) => v,
+            Ok(None) => {
+                // No call data: trap_enter never ran (or its delivery was
+                // dropped). A confused recording, not a hypervisor bug.
+                drop(rec);
+                self.report(Violation::OracleSelfCheck {
+                    context: "trap_exit".into(),
+                    detail: "no recorded call data (trap_enter not delivered?)".into(),
+                });
+                return;
+            }
+            Err(payload) => {
+                drop(rec);
+                self.stats.contained_panics.fetch_add(1, Ordering::Relaxed);
+                self.quarantine.record_failure("trap_exit");
+                self.report(Violation::OracleInternal {
+                    component: "trap_exit".into(),
+                    payload,
+                });
+                return;
+            }
+        };
+        // Phase 2: the check — unless this trap degraded under budget
+        // pressure, or this handler's spec step is quarantined.
+        if rec.degraded {
+            self.stats.degraded_traps.fetch_add(1, Ordering::Relaxed);
+            self.stats.traps_unchecked.fetch_add(1, Ordering::Relaxed);
+            self.push_trace(TrapRecord {
+                cpu: ctx.cpu,
+                name,
+                outcome: TrapOutcome::Unchecked("per-trap check budget exhausted"),
+            });
+            return;
+        }
+        let spec_key = format!("spec:{name}");
+        match self.quarantine.disposition(&spec_key) {
+            Disposition::Skip => {
+                self.stats.quarantined_skips.fetch_add(1, Ordering::Relaxed);
+                self.stats.traps_unchecked.fetch_add(1, Ordering::Relaxed);
+                self.push_trace(TrapRecord {
+                    cpu: ctx.cpu,
+                    name,
+                    outcome: TrapOutcome::Unchecked("spec step quarantined"),
+                });
+                return;
+            }
+            Disposition::Recover => {
+                self.stats
+                    .quarantine_recoveries
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Disposition::Process => {}
+        }
+        match contain(|| self.spec_and_check(ctx.cpu, &rec, &call, &name)) {
+            Ok(()) => self.quarantine.record_success(&spec_key),
+            Err(payload) => {
+                self.stats.contained_panics.fetch_add(1, Ordering::Relaxed);
+                self.quarantine.record_failure(&spec_key);
+                self.push_trace(TrapRecord {
+                    cpu: ctx.cpu,
+                    name,
+                    outcome: TrapOutcome::Unchecked("spec step panicked (contained)"),
+                });
+                self.report(Violation::OracleInternal {
+                    component: spec_key,
+                    payload,
+                });
+            }
+        }
+    }
+
+    fn lock_acquired(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {
+        let key = comp_name(comp);
+        let check_ni = match self.quarantine.disposition(&key) {
+            Disposition::Skip => {
+                self.note_quarantine_skip(ctx, comp);
+                return;
+            }
+            // Recovery from quarantine: re-seed the shared copy from a
+            // full abstraction pass. The component's state while benched
+            // is unknown, so the non-interference comparison is skipped
+            // exactly once.
+            Disposition::Recover => {
+                self.stats
+                    .quarantine_recoveries
+                    .fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            Disposition::Process => true,
+        };
+        if self.budget_exhausted(ctx.cpu) {
+            self.stats
+                .budget_degraded_events
+                .fetch_add(1, Ordering::Relaxed);
+            self.evict_shared(comp);
+            return;
+        }
+        self.guarded(&key, || {
+            self.lock_acquired_inner(ctx, comp, view, check_ni);
+        });
+    }
+
+    fn lock_releasing(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {
+        let key = comp_name(comp);
+        match self.quarantine.disposition(&key) {
+            Disposition::Skip => {
+                self.note_quarantine_skip(ctx, comp);
+                return;
+            }
+            // A release *is* a full abstraction pass recorded into the
+            // shared copy, so recovery needs no special casing here.
+            Disposition::Recover => {
+                self.stats
+                    .quarantine_recoveries
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Disposition::Process => {}
+        }
+        if self.budget_exhausted(ctx.cpu) {
+            self.stats
+                .budget_degraded_events
+                .fetch_add(1, Ordering::Relaxed);
+            self.evict_shared(comp);
+            return;
+        }
+        self.guarded(&key, || {
+            self.lock_releasing_inner(ctx, comp, view);
+        });
+    }
 
     fn read_once(&self, ctx: &HookCtx<'_>, tag: &'static str, value: u64) {
         self.stats.read_onces.fetch_add(1, Ordering::Relaxed);
-        let mut rec = self.cpus[ctx.cpu].lock();
-        if let Some(call) = rec.call.as_mut() {
-            call.read_onces.push((tag, value));
-        }
+        self.guarded("read_once", || {
+            let mut rec = self.cpus[ctx.cpu].lock();
+            if let Some(call) = rec.call.as_mut() {
+                call.read_onces.push((tag, value));
+            }
+        });
     }
 
     fn table_page_alloc(&self, _ctx: &HookCtx<'_>, comp: Component, page: PhysAddr) {
@@ -1339,6 +1779,88 @@ mod tests {
                 "{v}"
             );
         }
+    }
+
+    #[test]
+    fn contained_panics_report_and_then_quarantine() {
+        let o = Oracle::new(
+            &MachineConfig::default(),
+            OracleOpts::builder()
+                .quarantine_threshold(3)
+                .quarantine_traps(2)
+                .build(),
+        );
+        for _ in 0..3 {
+            o.guarded("host", || panic!("chaos made me do it"));
+        }
+        let vs = o.violations();
+        assert_eq!(vs.len(), 3);
+        assert!(vs.iter().all(|v| matches!(
+            v,
+            Violation::OracleInternal { component, payload }
+                if component == "host" && payload.contains("chaos")
+        )));
+        assert_eq!(o.stats.contained_panics.load(Ordering::Relaxed), 3);
+        assert_eq!(o.quarantine.disposition("host"), Disposition::Skip);
+        assert_eq!(o.quarantined(), 1);
+        // After its bench time the component recovers exactly once.
+        o.quarantine.tick();
+        o.quarantine.tick();
+        assert_eq!(o.quarantine.disposition("host"), Disposition::Recover);
+        assert_eq!(o.quarantine.disposition("host"), Disposition::Process);
+    }
+
+    #[test]
+    fn violation_log_is_bounded_and_drops_are_counted() {
+        let o = Oracle::new(
+            &MachineConfig::default(),
+            OracleOpts::builder().violation_cap(4).build(),
+        );
+        for i in 0..10 {
+            o.report(Violation::HypPanic {
+                reason: format!("p{i}"),
+            });
+        }
+        assert_eq!(o.violations().len(), 4);
+        assert_eq!(o.violation_count(), 4);
+        assert_eq!(o.stats.violations_dropped.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn reports_are_annotated_with_the_vm_incarnation() {
+        let o = oracle();
+        let h: Handle = 0x1000;
+        {
+            let mut shared = o.shared.lock();
+            shared.set(&ComponentValue::VmTable(vec![(h, 0)], vec![(h, 7)]));
+        }
+        o.report(Violation::SpecMismatch {
+            trap: "vcpu_run".into(),
+            component: format!("vm[{h}]"),
+            uniq: None,
+            diff: "d".into(),
+        });
+        let v = &o.violations()[0];
+        assert_eq!(v.vm_uniq(), Some(7));
+        let line = v.to_string();
+        assert!(
+            line.starts_with("violation kind=spec-mismatch trap=vcpu_run comp=vm[4096] uniq=7"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn trap_exit_without_call_data_is_a_self_check_not_a_panic() {
+        let o = oracle();
+        let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        // Force the inconsistent recording a dropped trap_enter leaves.
+        o.cpus[0].lock().in_trap = true;
+        o.trap_exit(&ctx, &GprFile::default(), None);
+        assert!(matches!(
+            &o.violations()[0],
+            Violation::OracleSelfCheck { context, .. } if context == "trap_exit"
+        ));
     }
 
     #[test]

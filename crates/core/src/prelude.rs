@@ -9,7 +9,8 @@
 pub use crate::abscache::CacheStats;
 pub use crate::check::Violation;
 pub use crate::oracle::{
-    Oracle, OracleBuilder, OracleOpts, OracleOptsBuilder, TrapOutcome, TrapRecord,
+    Oracle, OracleBuilder, OracleOpts, OracleOptsBuilder, ResilienceSnapshot, TrapOutcome,
+    TrapRecord,
 };
 pub use crate::spec::SpecVerdict;
 pub use crate::state::GhostState;

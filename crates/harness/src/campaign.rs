@@ -25,12 +25,13 @@ use std::time::{Duration, Instant};
 use pkvm_aarch64::addr::PhysAddr;
 use pkvm_aarch64::sync::Mutex;
 use pkvm_aarch64::walk::Access;
-use pkvm_ghost::oracle::OracleOpts;
+use pkvm_ghost::oracle::{OracleOpts, ResilienceSnapshot};
 use pkvm_ghost::Violation;
 use pkvm_hyp::faults::FaultSet;
 use pkvm_hyp::machine::MachineConfig;
 use pkvm_hyp::vm::{GuestOp, Handle};
 
+use crate::chaos::{ChaosCfg, ChaosDriver, ChaosInjected};
 use crate::proxy::Proxy;
 use crate::random::{RandomCfg, RandomTester, RunStats};
 
@@ -146,6 +147,8 @@ pub struct CampaignCfg {
     pub oracle_opts: OracleOpts,
     /// Injected faults, as raw [`FaultSet`] bits.
     pub fault_bits: u32,
+    /// Chaos injection against the oracle (see [`crate::chaos`]).
+    pub chaos: Option<ChaosCfg>,
 }
 
 impl Default for CampaignCfg {
@@ -162,6 +165,7 @@ impl Default for CampaignCfg {
             config: MachineConfig::default(),
             oracle_opts: OracleOpts::default(),
             fault_bits: 0,
+            chaos: None,
         }
     }
 }
@@ -244,6 +248,12 @@ impl CampaignCfgBuilder {
         self
     }
 
+    /// Turns on chaos injection for the campaign.
+    pub fn chaos(mut self, chaos: ChaosCfg) -> Self {
+        self.0.chaos = Some(chaos);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> CampaignCfg {
         self.0
@@ -264,6 +274,10 @@ pub struct CampaignTrace {
     pub oracle_opts: OracleOpts,
     /// The injected faults.
     pub fault_bits: u32,
+    /// The chaos config, if the campaign ran chaotic. Replay re-installs
+    /// the hook-plane chaos from the same seed; driver-plane bit flips
+    /// need nothing — they were recorded as ordinary `WriteMem` ops.
+    pub chaos: Option<ChaosCfg>,
     /// Per-worker derived seeds.
     pub seeds: Vec<u64>,
     /// The recorded schedule: concrete ops in global order.
@@ -298,6 +312,12 @@ pub struct CampaignReport {
     pub hyp_panic: Option<String>,
     /// Wall-clock duration of the campaign.
     pub elapsed: Duration,
+    /// The oracle's resilience counters after the campaign: contained
+    /// panics, quarantine activity, budget degradation, dropped
+    /// violations (all zero without an oracle).
+    pub resilience: ResilienceSnapshot,
+    /// What the chaos engine injected (`None` without chaos).
+    pub chaos_injected: Option<ChaosInjected>,
     /// The replay trace, when recording was enabled.
     pub trace: Option<CampaignTrace>,
 }
@@ -356,6 +376,32 @@ impl CampaignReport {
                 .map(|p| format!("; hypervisor panic: {p}"))
                 .unwrap_or_default(),
         );
+        if let Some(c) = &self.chaos_injected {
+            let _ = writeln!(
+                out,
+                "  chaos injected: {} (flips {}, torn reads {}, dropped {}, duped {}, delayed {}, alloc {})",
+                c.total(),
+                c.bit_flips,
+                c.torn_reads,
+                c.dropped_events,
+                c.duped_events,
+                c.delayed_events,
+                c.alloc_faults,
+            );
+        }
+        let r = &self.resilience;
+        if r.degraded() {
+            let _ = writeln!(
+                out,
+                "  oracle degraded safely: {} contained panics, {} quarantine skips, {} recoveries, {} budget-degraded events, {} degraded traps, {} violations dropped",
+                r.contained_panics,
+                r.quarantined_skips,
+                r.quarantine_recoveries,
+                r.budget_degraded_events,
+                r.degraded_traps,
+                r.violations_dropped,
+            );
+        }
         out
     }
 }
@@ -386,6 +432,7 @@ pub fn run(cfg: &CampaignCfg) -> CampaignReport {
         .with_oracle(cfg.with_oracle)
         .oracle_opts(cfg.oracle_opts)
         .faults(FaultSet::from_bits(cfg.fault_bits))
+        .chaos(cfg.chaos)
         .boot();
     let oracle = proxy.oracle.clone();
     let machine = proxy.machine.clone();
@@ -418,9 +465,19 @@ pub fn run(cfg: &CampaignCfg) -> CampaignReport {
                         .pin_cpu(pin)
                         .build();
                     let mut t = RandomTester::new(part, rcfg);
+                    // Driver-plane chaos (bit flips) interleaves with the
+                    // tester's own steps; hook/alloc chaos needs no
+                    // driving — it fires inside the proxy and hooks.
+                    let mut chaos_driver = cfg
+                        .chaos
+                        .filter(|c| c.p_bit_flip > 0.0)
+                        .map(|c| ChaosDriver::new(&c, w));
                     let mut steps = 0;
                     while steps < cfg.steps_per_worker && !stop.load(Ordering::Relaxed) {
                         t.step();
+                        if let Some(d) = chaos_driver.as_mut() {
+                            d.step(&t.proxy);
+                        }
                         steps += 1;
                         if steps % POLL_INTERVAL == 0 {
                             if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -470,6 +527,7 @@ pub fn run(cfg: &CampaignCfg) -> CampaignReport {
         config,
         oracle_opts: cfg.oracle_opts,
         fault_bits: cfg.fault_bits,
+        chaos: cfg.chaos,
         seeds,
         events: rec.snapshot(),
     });
@@ -479,6 +537,11 @@ pub fn run(cfg: &CampaignCfg) -> CampaignReport {
         violations,
         hyp_panic: machine.panicked(),
         elapsed: start.elapsed(),
+        resilience: oracle
+            .as_ref()
+            .map(|o| o.stats.resilience())
+            .unwrap_or_default(),
+        chaos_injected: proxy.chaos_injected(),
         trace,
     }
 }
@@ -525,6 +588,7 @@ fn replay_events(trace: &CampaignTrace, events: &[TraceEvent]) -> ReplayOutcome 
         .config(trace.config.clone())
         .oracle_opts(trace.oracle_opts)
         .faults(FaultSet::from_bits(trace.fault_bits))
+        .chaos(trace.chaos)
         .boot();
     let m = &proxy.machine;
     let mut steps = 0;

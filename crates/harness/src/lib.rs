@@ -9,6 +9,9 @@
 //!   prediction, reproducible per seed;
 //! - [`campaign`] — parallel multi-worker random-testing campaigns with
 //!   recorded schedules, deterministic replay and trace minimization;
+//! - [`chaos`] — the chaos fault-injection engine: seeded corruption of
+//!   the oracle's inputs (and the machine under it) with a
+//!   detection-matrix sweep proving the oracle fails safe;
 //! - [`coverage`] — implementation and specification coverage reports
 //!   over the custom coverage registry;
 //! - [`bugs`] — the bug catalog: triggers and detection verdicts for the
@@ -16,6 +19,7 @@
 
 pub mod bugs;
 pub mod campaign;
+pub mod chaos;
 pub mod coverage;
 pub mod model;
 pub mod proxy;
@@ -27,6 +31,11 @@ pub use bugs::{detect, sweep, BugReport, Detection};
 pub use campaign::{
     minimize, replay, CampaignCfg, CampaignReport, CampaignTrace, ReplayOutcome, TraceEvent,
     TraceOp, TraceRecorder, WorkerReport,
+};
+pub use chaos::{
+    classify, detection_matrix, mutation_sweep, render_mutation, ChaosCfg, ChaosDriver,
+    ChaosFamily, ChaosHooks, ChaosInjected, ChaosMatrix, MatrixCfg, MatrixRow, MutationCell,
+    RunVerdict,
 };
 pub use coverage::CoverageSummary;
 pub use model::{PageUse, TestModel};

@@ -23,6 +23,8 @@ use pkvm_hyp::machine::{HostAccessFault, Machine, MachineConfig};
 use pkvm_hyp::vm::{GuestOp, Handle};
 
 use crate::campaign::{TraceOp, TraceRecorder};
+use crate::chaos::{ChaosCfg, ChaosCounters, ChaosHooks, ChaosInjected};
+use crate::rng::Rng;
 
 /// Proxy construction options.
 ///
@@ -38,6 +40,9 @@ pub struct ProxyOpts {
     pub oracle_opts: OracleOpts,
     /// Faults to inject before boot.
     pub faults: FaultSet,
+    /// Chaos injection (hook-plane corruption and allocator chaos),
+    /// when testing the oracle's own resilience.
+    pub chaos: Option<ChaosCfg>,
 }
 
 impl Default for ProxyOpts {
@@ -47,6 +52,7 @@ impl Default for ProxyOpts {
             with_oracle: true,
             oracle_opts: OracleOpts::default(),
             faults: FaultSet::none(),
+            chaos: None,
         }
     }
 }
@@ -80,6 +86,13 @@ impl ProxyBuilder {
         self
     }
 
+    /// Installs chaos injection (decorating whatever hooks are booted —
+    /// the oracle's, or `NoHooks` when the oracle is off).
+    pub fn chaos(mut self, chaos: Option<ChaosCfg>) -> Self {
+        self.0.chaos = chaos;
+        self
+    }
+
     /// Boots the machine and wraps it.
     pub fn boot(self) -> Proxy {
         Proxy::boot(self.0)
@@ -91,6 +104,37 @@ impl ProxyBuilder {
 struct AllocRange {
     next: u64,
     end: u64,
+}
+
+/// Allocator misbehaviour state (the [`crate::chaos`] `AllocChaos`
+/// family): with probability `p`, an allocation returns a duplicate of a
+/// recently granted page instead of a fresh one — pages the caller still
+/// owns, so the hypervisor's ownership checks (not the harness) must
+/// cope. Per-handle, seeded, so each worker's misbehaviour stream is
+/// deterministic.
+struct AllocChaos {
+    p: f64,
+    rng: Rng,
+    recent: Vec<u64>,
+    counters: Arc<ChaosCounters>,
+}
+
+impl AllocChaos {
+    /// Perturbs (or passes through) one granted allocation.
+    fn perturb(&mut self, pfn: u64) -> u64 {
+        if !self.recent.is_empty() && self.rng.gen_bool(self.p) {
+            let i = self.rng.gen_range(0..self.recent.len());
+            self.counters
+                .alloc_faults
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return self.recent[i];
+        }
+        self.recent.push(pfn);
+        if self.recent.len() > 32 {
+            self.recent.remove(0);
+        }
+        pfn
+    }
 }
 
 /// A user-space-like handle on the hypervisor under test.
@@ -109,6 +153,12 @@ pub struct Proxy {
     alloc: Arc<Mutex<AllocRange>>,
     worker: usize,
     recorder: Option<Arc<TraceRecorder>>,
+    /// The chaos decorator, when chaos was configured at boot.
+    chaos: Option<Arc<ChaosHooks>>,
+    /// The chaos config, kept so [`Proxy::partition`] can reseed
+    /// per-worker allocator chaos.
+    chaos_cfg: Option<ChaosCfg>,
+    alloc_chaos: Option<Arc<Mutex<AllocChaos>>>,
 }
 
 impl Proxy {
@@ -124,14 +174,18 @@ impl Proxy {
             .with_oracle
             .then(|| Oracle::new(&opts.config, opts.oracle_opts));
         let faults = Arc::new(opts.faults);
-        let machine = match &oracle {
-            Some(o) => Machine::boot(opts.config.clone(), o.clone(), faults),
-            None => Machine::boot(
-                opts.config.clone(),
-                Arc::new(pkvm_hyp::hooks::NoHooks),
-                faults,
-            ),
+        let inner: Arc<dyn pkvm_hyp::hooks::GhostHooks> = match &oracle {
+            Some(o) => o.clone(),
+            None => Arc::new(pkvm_hyp::hooks::NoHooks),
         };
+        // Chaos decorates whatever hooks boot — the corruption sits
+        // between the hypervisor's instrumentation and the oracle.
+        let chaos = opts.chaos.map(|cfg| ChaosHooks::wrap(inner.clone(), &cfg));
+        let hooks: Arc<dyn pkvm_hyp::hooks::GhostHooks> = match &chaos {
+            Some(c) => c.clone(),
+            None => inner,
+        };
+        let machine = Machine::boot(opts.config.clone(), hooks, faults);
         // The allocator hands out pages from the middle of the last DRAM
         // region, clear of the carveout at its top.
         let (base, size) = *opts.config.dram.last().expect("config has DRAM");
@@ -139,12 +193,26 @@ impl Proxy {
         let start = (base + size / 2) >> 12;
         let end = (base + size - carveout) >> 12;
         assert!(start < end, "DRAM too small for the test allocator");
+        let alloc_chaos = opts.chaos.and_then(|cfg| {
+            let counters = chaos.as_ref()?.counters();
+            (cfg.p_alloc_chaos > 0.0).then(|| {
+                Arc::new(Mutex::new(AllocChaos {
+                    p: cfg.p_alloc_chaos,
+                    rng: Rng::seed_from_u64(cfg.seed ^ 0xa110_cca0),
+                    recent: Vec::new(),
+                    counters,
+                }))
+            })
+        });
         Proxy {
             machine,
             oracle,
             alloc: Arc::new(Mutex::new(AllocRange { next: start, end })),
             worker: 0,
             recorder: None,
+            chaos,
+            chaos_cfg: opts.chaos,
+            alloc_chaos,
         }
     }
 
@@ -175,12 +243,33 @@ impl Proxy {
             .map(|i| {
                 let lo = start + i * span;
                 let hi = if i + 1 == n as u64 { end } else { lo + span };
+                // Each worker gets its own seeded allocator-chaos stream
+                // so per-worker page streams stay deterministic under
+                // any thread interleaving (same property as the range
+                // split itself).
+                let alloc_chaos = self.chaos_cfg.as_ref().and_then(|cfg| {
+                    let counters = self.chaos.as_ref()?.counters();
+                    (cfg.p_alloc_chaos > 0.0).then(|| {
+                        Arc::new(Mutex::new(AllocChaos {
+                            p: cfg.p_alloc_chaos,
+                            rng: Rng::seed_from_u64(crate::campaign::worker_seed(
+                                cfg.seed ^ 0xa110_cca0,
+                                i as usize,
+                            )),
+                            recent: Vec::new(),
+                            counters,
+                        }))
+                    })
+                });
                 Proxy {
                     machine: self.machine.clone(),
                     oracle: self.oracle.clone(),
                     alloc: Arc::new(Mutex::new(AllocRange { next: lo, end: hi })),
                     worker: i as usize,
                     recorder: self.recorder.clone(),
+                    chaos: self.chaos.clone(),
+                    chaos_cfg: self.chaos_cfg,
+                    alloc_chaos,
                 }
             })
             .collect()
@@ -209,12 +298,21 @@ impl Proxy {
     /// exhaustion as a matter of course; it must degrade into `-ENOMEM`
     /// behaviour, not a panic.
     pub fn try_alloc_pages(&self, n: u64) -> Option<u64> {
-        let mut alloc = self.alloc.lock();
-        if alloc.next + n > alloc.end {
-            return None;
+        let pfn = {
+            let mut alloc = self.alloc.lock();
+            if alloc.next + n > alloc.end {
+                return None;
+            }
+            let pfn = alloc.next;
+            alloc.next += n;
+            pfn
+        };
+        // Allocator chaos: occasionally hand back a page the caller was
+        // already granted. The fresh range is still consumed, so
+        // exhaustion (and termination) behave exactly as without chaos.
+        if let Some(chaos) = &self.alloc_chaos {
+            return Some(chaos.lock().perturb(pfn));
         }
-        let pfn = alloc.next;
-        alloc.next += n;
         Some(pfn)
     }
 
@@ -373,6 +471,17 @@ impl Proxy {
     pub fn push_guest_op(&self, handle: Handle, idx: usize, op: GuestOp) -> Result<(), Errno> {
         self.record(TraceOp::PushGuestOp { handle, idx, op });
         self.machine.push_guest_op(handle, idx, op)
+    }
+
+    /// Everything chaos injected so far (`None` without chaos).
+    pub fn chaos_injected(&self) -> Option<ChaosInjected> {
+        self.chaos.as_ref().map(|c| c.injected())
+    }
+
+    /// The shared chaos counters, when chaos is installed (the driver
+    /// plane reports its bit flips through them).
+    pub fn chaos_counters(&self) -> Option<Arc<ChaosCounters>> {
+        self.chaos.as_ref().map(|c| c.counters())
     }
 
     /// Violations the oracle has recorded (empty without an oracle).

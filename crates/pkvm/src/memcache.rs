@@ -70,14 +70,9 @@ impl Memcache {
             crate::cov::hit("memcache/empty");
             return Err(Errno::ENOMEM);
         };
-        let next = mem.read_u64(head).expect("memcache page must be backed");
-        mem.write_u64(head, 0)
-            .expect("memcache page must be backed");
-        self.head = if next == 0 {
-            None
-        } else {
-            Some(PhysAddr::new(next))
-        };
+        let next = mem.read_u64(head).unwrap_or(0);
+        let _ = mem.write_u64(head, 0);
+        self.head = sanitize_link(next);
         self.nr_pages -= 1;
         crate::cov::hit("memcache/pop");
         Ok(head)
@@ -97,17 +92,30 @@ impl Memcache {
     pub fn peek_pages(&self, mem: &PhysMem) -> Vec<PhysAddr> {
         let mut pages = Vec::new();
         let mut cur = self.head;
+        // The links live in memory the host once controlled; a corrupted
+        // link must truncate the walk, never panic or cycle, so the walk
+        // is bounded by the page counter.
         while let Some(p) = cur {
+            if pages.len() as u64 >= self.nr_pages {
+                break;
+            }
             pages.push(p);
-            let next = mem.read_u64(p).expect("memcache page must be backed");
-            cur = if next == 0 {
-                None
-            } else {
-                Some(PhysAddr::new(next))
-            };
+            cur = sanitize_link(mem.read_u64(p).unwrap_or(0));
         }
         pages
     }
+}
+
+/// Interprets one intrusive link word defensively: zero ends the list,
+/// and a value that is not a page-aligned address the machine backs with
+/// RAM is treated the same way. The link words live in donated pages —
+/// memory the host controlled until a moment ago — so garbage here is an
+/// attack surface, not an internal invariant.
+fn sanitize_link(next: u64) -> Option<PhysAddr> {
+    if next == 0 || !next.is_multiple_of(PAGE_SIZE) {
+        return None;
+    }
+    Some(PhysAddr::new(next))
 }
 
 /// Zeroes one donated page.

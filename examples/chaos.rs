@@ -1,0 +1,130 @@
+//! The chaos fault-injection sweeps: does the oracle *fail safe*?
+//!
+//! Three modes:
+//!
+//! - `matrix [runs-per-family] [seed]` — the detection matrix: for every
+//!   chaos family, several campaigns on the clean hypervisor with only
+//!   that family corrupting the oracle's inputs, classified as detected /
+//!   degraded-but-safe / implementation-panic / silent. Exits nonzero if
+//!   the fail-safe invariant breaks (an oracle panic escaping
+//!   containment).
+//! - `campaign [seed] [steps]` — one all-families chaotic campaign,
+//!   followed by a double replay of the recorded trace to demonstrate
+//!   that chaotic runs replay deterministically from seed + schedule.
+//! - `mutation [seed] [steps]` — the mutation mini-sweep: known
+//!   hypervisor bugs injected *while* a chaos family corrupts the
+//!   oracle's inputs; reports whether detection survives the noise.
+//!
+//! Run with `cargo run --release --example chaos -- <mode> [args]`.
+
+use pkvm_harness::campaign::{replay, CampaignCfg};
+use pkvm_harness::chaos::{detection_matrix, mutation_sweep, ChaosCfg, ChaosFamily, MatrixCfg};
+use pkvm_hyp::faults::Fault;
+
+fn parse_u64(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mode = args.next().unwrap_or_else(|| "matrix".into());
+    match mode.as_str() {
+        "matrix" => {
+            let runs: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+            let seed = args.next().as_deref().and_then(parse_u64).unwrap_or(0xc405);
+            let matrix = detection_matrix(&MatrixCfg {
+                runs_per_family: runs,
+                base_seed: seed,
+                ..MatrixCfg::default()
+            });
+            print!("{}", matrix.render());
+            if !matrix.fail_safe() {
+                eprintln!("FAIL-SAFE INVARIANT BROKEN");
+                std::process::exit(1);
+            }
+        }
+        "campaign" => {
+            let seed = args.next().as_deref().and_then(parse_u64).unwrap_or(0xc2);
+            let steps = args.next().as_deref().and_then(parse_u64).unwrap_or(400);
+            // Every hook/alloc family at once (bit flips excluded: they
+            // corrupt the machine, and this mode demonstrates *oracle*
+            // survival plus deterministic replay).
+            let chaos = ChaosCfg::builder()
+                .seed(seed ^ 0xc4a0)
+                .torn_read_once(0.1)
+                .drop_lock_event(0.01)
+                .dup_lock_event(0.01)
+                .delay_hook(0.02)
+                .alloc_chaos(0.1)
+                .build();
+            let report = CampaignCfg::builder()
+                .workers(2)
+                .steps_per_worker(steps)
+                .base_seed(seed)
+                .stop_on_violation(false)
+                .chaos(chaos)
+                .run();
+            print!("{}", report.render());
+            let injected = report.chaos_injected.unwrap_or_default();
+            if injected.total() == 0 {
+                eprintln!("chaos never fired; the campaign tested nothing");
+                std::process::exit(1);
+            }
+            for w in &report.workers {
+                if let Some(p) = &w.panicked {
+                    eprintln!("worker {} panicked under hook chaos: {p}", w.worker);
+                    std::process::exit(1);
+                }
+            }
+            let trace = report.trace.expect("trace recorded");
+            let once = replay(&trace);
+            let twice = replay(&trace);
+            println!(
+                "replay x2: {} / {} violation(s) over {} events",
+                once.violations.len(),
+                twice.violations.len(),
+                trace.events.len()
+            );
+            if once.violations.len() != twice.violations.len() || once.hyp_panic != twice.hyp_panic
+            {
+                eprintln!("chaotic replay was not deterministic");
+                std::process::exit(1);
+            }
+            println!("chaotic campaign survived and replays deterministically");
+        }
+        "mutation" => {
+            let seed = args.next().as_deref().and_then(parse_u64).unwrap_or(0xc3);
+            let steps = args.next().as_deref().and_then(parse_u64).unwrap_or(400);
+            let faults = [
+                Fault::SynShareWrongState,
+                Fault::SynShareHypExec,
+                Fault::SynShareSkipsCheck,
+            ];
+            let families = [
+                ChaosFamily::TornReadOnce,
+                ChaosFamily::LockEvents,
+                ChaosFamily::AllocChaos,
+            ];
+            let cells = mutation_sweep(&faults, &families, seed, steps);
+            print!("{}", pkvm_harness::chaos::render_mutation(&cells));
+            let caught = cells.iter().filter(|c| c.detected).count();
+            if cells.iter().any(|c| c.impl_panic) {
+                eprintln!("a worker panicked during the mutation sweep");
+                std::process::exit(1);
+            }
+            // The noise families above corrupt recording, not the
+            // machine; a healthy oracle still catches every bug.
+            if caught < cells.len() {
+                eprintln!("detection did not survive chaos: {caught}/{}", cells.len());
+                std::process::exit(1);
+            }
+        }
+        other => {
+            eprintln!("unknown mode {other:?}; use matrix | campaign | mutation");
+            std::process::exit(2);
+        }
+    }
+}
