@@ -31,6 +31,23 @@ echo "== chaos campaign (fixed seed, all hook families) =="
 # containment layer) crashes or the chaotic replay diverges.
 cargo run --release --example chaos -- campaign 0xc2
 
+echo "== trace-file record/replay (fresh-process determinism) =="
+# Records a fixed-seed chaotic campaign to a .pkvmtrace file, replays it
+# from disk in a *separate* process, and asserts the canonical verdict
+# lines (violation counts, kinds, event sequence ids, panic, steps) are
+# byte-identical. Fails if persistence or cross-process replay drifts.
+TRACE_TMP="$(mktemp -t pkvmtrace.XXXXXX)"
+trap 'rm -f "$TRACE_TMP"' EXIT
+RECORDED_VERDICT="$(cargo run --release --example chaos -- record "$TRACE_TMP" 0xc2 400 | grep '^verdict:')"
+REPLAYED_VERDICT="$(cargo run --release --example chaos -- replay "$TRACE_TMP" | grep '^verdict:')"
+echo "  recorded: $RECORDED_VERDICT"
+echo "  replayed: $REPLAYED_VERDICT"
+if [ "$RECORDED_VERDICT" != "$REPLAYED_VERDICT" ]; then
+    echo "trace-file replay verdict differs from the recording process" >&2
+    exit 1
+fi
+cargo run --release --example trace_inspect -- "$TRACE_TMP" summary > /dev/null
+
 echo "== mutation mini-sweep (3 bugs x 3 chaos families) =="
 # Known bugs injected while chaos corrupts the oracle's inputs; exits
 # non-zero unless every bug is still detected with no worker panic.

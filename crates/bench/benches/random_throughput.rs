@@ -23,14 +23,14 @@ const STEPS: u64 = 1000;
 /// Total steps of every campaign row, split evenly across its workers.
 const CAMPAIGN_STEPS: u64 = 4000;
 
-fn campaign(workers: usize, with_oracle: bool, seed: u64) -> u64 {
+fn campaign(workers: usize, with_oracle: bool, record: bool, seed: u64) -> u64 {
     let report = run_campaign(
         &CampaignCfg::builder()
             .workers(workers)
             .steps_per_worker(CAMPAIGN_STEPS / workers as u64)
             .base_seed(seed)
             .with_oracle(with_oracle)
-            .record_trace(false)
+            .record_trace(record)
             .build(),
     );
     assert!(report.is_clean(), "{:?}", report.violations);
@@ -91,16 +91,25 @@ fn bench_campaign(c: &mut Criterion) {
         g.bench_function(format!("{workers}_workers_with_oracle"), |b| {
             b.iter(|| {
                 seed += 1;
-                black_box(campaign(workers, true, seed))
+                black_box(campaign(workers, true, false, seed))
             })
         });
         g.bench_function(format!("{workers}_workers_without_oracle"), |b| {
             b.iter(|| {
                 seed += 1;
-                black_box(campaign(workers, false, seed))
+                black_box(campaign(workers, false, false, seed))
             })
         });
     }
+    // Event-stream recording overhead: the same 4-worker oracle campaign
+    // with the full timeline retained. Compare against
+    // `4_workers_with_oracle` — recording must stay within ~10%.
+    g.bench_function("4_workers_with_oracle_recorded", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(campaign(4, true, true, seed))
+        })
+    });
     g.finish();
 }
 

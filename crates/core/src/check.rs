@@ -12,10 +12,17 @@ use crate::state::GhostState;
 
 /// One detected disagreement between implementation and specification (or
 /// a broken runtime invariant).
-#[derive(Clone, Debug)]
+///
+/// Every variant carries `seq`: the violation's position in the unified
+/// event stream (see [`crate::event`]), filled in when the report enters
+/// the stream, so reports can say "diverged at event #N" and a replay can
+/// be compared against the original timeline position by position.
+#[derive(Clone, Debug, PartialEq)]
 pub enum Violation {
     /// The recorded post-state differs from the spec-computed post-state.
     SpecMismatch {
+        /// Event-stream sequence id of this report.
+        seq: Option<u64>,
         /// Which trap was being checked.
         trap: String,
         /// Which component disagreed.
@@ -27,6 +34,8 @@ pub enum Violation {
     },
     /// A component the spec did not change differs between pre and post.
     UnexpectedChange {
+        /// Event-stream sequence id of this report.
+        seq: Option<u64>,
         /// Which trap was being checked.
         trap: String,
         /// Which component changed.
@@ -39,6 +48,8 @@ pub enum Violation {
     /// A lock-protected component changed while no one held its lock
     /// (§4.4 invariant 1).
     NonInterference {
+        /// Event-stream sequence id of this report.
+        seq: Option<u64>,
         /// Which component.
         component: String,
         /// The incarnation id of the VM involved, if the component is a VM.
@@ -49,6 +60,8 @@ pub enum Violation {
     /// A page was allocated into one component's page-table footprint
     /// while belonging to another's (§4.4 invariant 2).
     SeparationOverlap {
+        /// Event-stream sequence id of this report.
+        seq: Option<u64>,
         /// The component allocating.
         component: String,
         /// The offending page frame.
@@ -58,6 +71,8 @@ pub enum Violation {
     },
     /// The abstraction function found a malformed concrete state.
     AbstractionAnomaly {
+        /// Event-stream sequence id of this report.
+        seq: Option<u64>,
         /// Where it was found.
         context: String,
         /// What was found.
@@ -65,6 +80,8 @@ pub enum Violation {
     },
     /// The hypervisor panicked.
     HypPanic {
+        /// Event-stream sequence id of this report.
+        seq: Option<u64>,
         /// The panic reason.
         reason: String,
     },
@@ -73,6 +90,8 @@ pub enum Violation {
     /// run continues — one confused record must not poison a whole
     /// campaign — but the confusion itself is surfaced as a finding.
     OracleSelfCheck {
+        /// Event-stream sequence id of this report.
+        seq: Option<u64>,
         /// Where the oracle got confused.
         context: String,
         /// What it could not interpret.
@@ -81,6 +100,8 @@ pub enum Violation {
     /// Oracle self-check: under shadow validation the incremental
     /// abstraction diverged from the full walk.
     ShadowDivergence {
+        /// Event-stream sequence id of this report.
+        seq: Option<u64>,
         /// Which component's interpretation diverged.
         component: String,
         /// Rendered diff (full vs incremental).
@@ -91,6 +112,8 @@ pub enum Violation {
     /// this is the oracle reporting on itself so a campaign can keep
     /// running instead of aborting.
     OracleInternal {
+        /// Event-stream sequence id of this report.
+        seq: Option<u64>,
         /// The component (or oracle step) whose processing panicked.
         component: String,
         /// The stringified panic payload.
@@ -164,6 +187,41 @@ impl Violation {
         }
     }
 
+    /// The violation's event-stream sequence id, once reported.
+    pub fn event_seq(&self) -> Option<u64> {
+        match self {
+            Violation::SpecMismatch { seq, .. }
+            | Violation::UnexpectedChange { seq, .. }
+            | Violation::NonInterference { seq, .. }
+            | Violation::SeparationOverlap { seq, .. }
+            | Violation::AbstractionAnomaly { seq, .. }
+            | Violation::HypPanic { seq, .. }
+            | Violation::OracleSelfCheck { seq, .. }
+            | Violation::ShadowDivergence { seq, .. }
+            | Violation::OracleInternal { seq, .. } => *seq,
+        }
+    }
+
+    /// Stamps the event-stream sequence id, leaving an already-set id
+    /// alone (a replayed report keeps the seq of its own timeline).
+    pub fn set_event_seq(&mut self, s: u64) {
+        match self {
+            Violation::SpecMismatch { seq, .. }
+            | Violation::UnexpectedChange { seq, .. }
+            | Violation::NonInterference { seq, .. }
+            | Violation::SeparationOverlap { seq, .. }
+            | Violation::AbstractionAnomaly { seq, .. }
+            | Violation::HypPanic { seq, .. }
+            | Violation::OracleSelfCheck { seq, .. }
+            | Violation::ShadowDivergence { seq, .. }
+            | Violation::OracleInternal { seq, .. } => {
+                if seq.is_none() {
+                    *seq = Some(s);
+                }
+            }
+        }
+    }
+
     fn detail(&self) -> String {
         match self {
             Violation::SpecMismatch { diff, .. } => format!("spec mismatch:\n{diff}"),
@@ -177,7 +235,7 @@ impl Violation {
             Violation::AbstractionAnomaly { anomaly, .. } => {
                 format!("malformed concrete state: {anomaly:?}")
             }
-            Violation::HypPanic { reason } => format!("hypervisor panic: {reason}"),
+            Violation::HypPanic { reason, .. } => format!("hypervisor panic: {reason}"),
             Violation::OracleSelfCheck { detail, .. } => {
                 format!("oracle self-check failed: {detail}")
             }
@@ -193,19 +251,26 @@ impl Violation {
 
 /// Every violation renders through the same header so reports are
 /// greppable without per-variant knowledge: `violation kind=<kind>
-/// trap=<trap|-> comp=<component|-> uniq=<Vm::uniq|-> :: <detail>`.
+/// trap=<trap|-> comp=<component|-> uniq=<Vm::uniq|-> event=<seq|-> ::
+/// <detail>`. The `event=` field is the report's position in the unified
+/// event stream — "diverged at event #N" — so a replay can be lined up
+/// against the original timeline.
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let uniq = self
             .vm_uniq()
             .map_or_else(|| "-".to_string(), |u| u.to_string());
+        let event = self
+            .event_seq()
+            .map_or_else(|| "-".to_string(), |s| s.to_string());
         write!(
             f,
-            "violation kind={} trap={} comp={} uniq={} :: {}",
+            "violation kind={} trap={} comp={} uniq={} event={} :: {}",
             self.kind(),
             self.trap().unwrap_or("-"),
             self.component().unwrap_or("-"),
             uniq,
+            event,
             self.detail(),
         )
     }
@@ -352,6 +417,7 @@ pub fn check_trap(
                 let r = project(recorded, &comp);
                 if c != r {
                     out.violations.push(Violation::SpecMismatch {
+                        seq: None,
                         trap: trap.into(),
                         component: comp.clone(),
                         uniq: None,
@@ -372,6 +438,7 @@ pub fn check_trap(
                     let r = project(recorded, &comp);
                     if p != r {
                         out.violations.push(Violation::UnexpectedChange {
+                            seq: None,
                             trap: trap.into(),
                             component: comp.clone(),
                             uniq: None,
@@ -477,6 +544,7 @@ mod tests {
     #[test]
     fn display_is_uniform_and_greppable() {
         let v = Violation::SpecMismatch {
+            seq: None,
             trap: "host_share_hyp".into(),
             component: "host".into(),
             uniq: None,
@@ -484,29 +552,37 @@ mod tests {
         };
         assert!(
             v.to_string().starts_with(
-                "violation kind=spec-mismatch trap=host_share_hyp comp=host uniq=- ::"
+                "violation kind=spec-mismatch trap=host_share_hyp comp=host uniq=- event=- ::"
             ),
             "{v}"
         );
         let mut v = Violation::NonInterference {
+            seq: None,
             component: "vm[3]".into(),
             uniq: None,
             diff: "d".into(),
         };
         v.set_vm_uniq(42);
+        v.set_event_seq(1234);
         assert!(
-            v.to_string()
-                .starts_with("violation kind=non-interference trap=- comp=vm[3] uniq=42 ::"),
+            v.to_string().starts_with(
+                "violation kind=non-interference trap=- comp=vm[3] uniq=42 event=1234 ::"
+            ),
             "{v}"
         );
+        // A seq set by the original timeline survives a re-report.
+        v.set_event_seq(9999);
+        assert_eq!(v.event_seq(), Some(1234));
         let v = Violation::OracleInternal {
+            seq: None,
             component: "spec:vcpu_run".into(),
             payload: "boom".into(),
         };
         let s = v.to_string();
         assert!(
-            s.starts_with("violation kind=oracle-internal trap=- comp=spec:vcpu_run uniq=- ::")
-                && s.contains("boom"),
+            s.starts_with(
+                "violation kind=oracle-internal trap=- comp=spec:vcpu_run uniq=- event=- ::"
+            ) && s.contains("boom"),
             "{s}"
         );
     }

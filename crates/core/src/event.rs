@@ -1,0 +1,669 @@
+//! The unified event-stream layer: one typed, globally ordered timeline.
+//!
+//! Everything the harness and oracle used to record into private vectors —
+//! the campaign's driver-op schedule, the oracle's trap trace and violation
+//! log, chaos injections, lock events, `READ_ONCE` values — now flows
+//! through a single [`EventSink`] into one [`EventStream`]. Each event gets
+//! a global sequence number (assigned under one mutex, so sequence order
+//! *is* timeline order), a *lane* (the worker or CPU that produced it), an
+//! optional link to the sequence number of the trap it happened inside, and
+//! a nanosecond timestamp relative to stream creation.
+//!
+//! The stream doubles as the replay schedule (its driver-plane events are
+//! exactly what [`replay`](../../pkvm_harness/campaign/fn.replay.html)
+//! executes), as the bounded violation log and trap trace the oracle serves
+//! its accessors from, and — via [`TraceStats`] — as the profiling
+//! substrate producing per-trap latency and per-lane occupancy histograms.
+//!
+//! Retention policy: with `record_all` on, every emitted event is kept (the
+//! full replayable timeline). With it off, the sequence counter still
+//! advances identically — so replays produce the same violation sequence
+//! ids either way — but only the bounded side indexes are retained: the
+//! violation log (capped, drops signalled to the caller) and the last
+//! [`TRACE_CAP`] check outcomes. That preserves the memory behaviour of
+//! long sweeps that run with trace recording off.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use pkvm_aarch64::sync::Mutex;
+use pkvm_aarch64::walk::Access;
+use pkvm_hyp::hooks::Component;
+use pkvm_hyp::vm::{GuestOp, Handle};
+
+use crate::check::Violation;
+use crate::oracle::{TrapOutcome, TrapRecord};
+
+/// How many check-outcome records the bounded trap trace retains.
+pub const TRACE_CAP: usize = 256;
+
+/// Which chaos family injected a perturbation (the core-side mirror of the
+/// harness's chaos families, so chaos injections appear in the same
+/// timeline as the events they perturb).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChaosKind {
+    /// A live page-table bit flip (driver-injected; the matching
+    /// `WriteMem` event is the replayable half).
+    BitFlip,
+    /// A `READ_ONCE` value delivered torn or stale.
+    TornReadOnce,
+    /// A lock event dropped before delivery.
+    DroppedLock,
+    /// A lock event delivered twice.
+    DupedLock,
+    /// A hook delayed and delivered out of order.
+    DelayedHook,
+    /// The page allocator handed out an already-used page.
+    AllocChaos,
+}
+
+impl ChaosKind {
+    /// Stable lowercase tag for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosKind::BitFlip => "bit-flip",
+            ChaosKind::TornReadOnce => "torn-read-once",
+            ChaosKind::DroppedLock => "dropped-lock",
+            ChaosKind::DupedLock => "duped-lock",
+            ChaosKind::DelayedHook => "delayed-hook",
+            ChaosKind::AllocChaos => "alloc-chaos",
+        }
+    }
+}
+
+/// One timeline entry. Driver-plane variants (`Hvc`, `WriteMem`,
+/// `HostAccess`, `PushGuestOp`) are the replayable schedule; the rest are
+/// observations recorded by the oracle and the chaos engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A hypercall issued by a driver/worker.
+    Hvc {
+        /// Simulated CPU the call ran on.
+        cpu: usize,
+        /// Hypercall function id.
+        func: u64,
+        /// Call arguments.
+        args: Vec<u64>,
+    },
+    /// A raw physical-memory write (chaos bit flips inject through this).
+    WriteMem {
+        /// Physical address written.
+        pa: u64,
+        /// Value written.
+        value: u64,
+    },
+    /// A host-side stage-2 access.
+    HostAccess {
+        /// Simulated CPU the access ran on.
+        cpu: usize,
+        /// Accessed address.
+        addr: u64,
+        /// Access kind.
+        access: Access,
+    },
+    /// A guest operation queued onto a vCPU.
+    PushGuestOp {
+        /// VM handle.
+        handle: Handle,
+        /// vCPU index.
+        idx: usize,
+        /// The queued operation.
+        op: GuestOp,
+    },
+    /// The oracle observed a trap entering its handler.
+    TrapEnter {
+        /// CPU the trap ran on.
+        cpu: usize,
+    },
+    /// The handler returned; `name` is the resolved trap name.
+    TrapExit {
+        /// CPU the trap ran on.
+        cpu: usize,
+        /// Handler name (hypercall name, `host_abort`, `smc`, ...).
+        name: String,
+    },
+    /// A component lock was acquired (abstraction recorded into the
+    /// pre-state).
+    LockAcquired {
+        /// CPU the acquisition ran on.
+        cpu: usize,
+        /// The component.
+        comp: Component,
+    },
+    /// A component lock is about to be released (abstraction recorded
+    /// into the post-state).
+    LockReleasing {
+        /// CPU the release ran on.
+        cpu: usize,
+        /// The component.
+        comp: Component,
+    },
+    /// A `READ_ONCE` value recorded for the specification function.
+    ReadOnce {
+        /// CPU the read ran on.
+        cpu: usize,
+        /// The annotation tag.
+        tag: String,
+        /// The value read.
+        value: u64,
+    },
+    /// A page entered a component's page-table footprint.
+    TablePageAlloc {
+        /// The allocating component.
+        comp: Component,
+        /// The page frame.
+        pfn: u64,
+    },
+    /// A page left a component's page-table footprint.
+    TablePageFree {
+        /// The freeing component.
+        comp: Component,
+        /// The page frame.
+        pfn: u64,
+    },
+    /// A chaos family injected a perturbation here.
+    Chaos {
+        /// CPU (or worker lane) the injection hit.
+        cpu: usize,
+        /// Which family fired.
+        kind: ChaosKind,
+    },
+    /// One trap's check concluded.
+    Check {
+        /// CPU the checked trap ran on.
+        cpu: usize,
+        /// Handler name.
+        name: String,
+        /// How the check went.
+        outcome: TrapOutcome,
+    },
+    /// A violation was reported (also retained in the bounded log).
+    Violation(Violation),
+}
+
+impl Event {
+    /// Stable family tag for summaries.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Event::Hvc { .. } => "hvc",
+            Event::WriteMem { .. } => "write-mem",
+            Event::HostAccess { .. } => "host-access",
+            Event::PushGuestOp { .. } => "push-guest-op",
+            Event::TrapEnter { .. } => "trap-enter",
+            Event::TrapExit { .. } => "trap-exit",
+            Event::LockAcquired { .. } => "lock-acquired",
+            Event::LockReleasing { .. } => "lock-releasing",
+            Event::ReadOnce { .. } => "read-once",
+            Event::TablePageAlloc { .. } => "table-page-alloc",
+            Event::TablePageFree { .. } => "table-page-free",
+            Event::Chaos { .. } => "chaos",
+            Event::Check { .. } => "check",
+            Event::Violation(_) => "violation",
+        }
+    }
+
+    /// `true` for driver-plane events — the replayable schedule.
+    pub fn is_driver(&self) -> bool {
+        matches!(
+            self,
+            Event::Hvc { .. }
+                | Event::WriteMem { .. }
+                | Event::HostAccess { .. }
+                | Event::PushGuestOp { .. }
+        )
+    }
+}
+
+/// One stamped timeline entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// Global sequence number (timeline position).
+    pub seq: u64,
+    /// Producing lane: the campaign worker for driver events, the CPU for
+    /// oracle observations.
+    pub lane: u32,
+    /// Sequence number of the `TrapEnter` this event happened inside, if
+    /// the producer was executing a trap.
+    pub trap: Option<u64>,
+    /// Nanoseconds since the stream was created.
+    pub t_ns: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// The one recording interface: producers emit, the stream orders.
+pub trait EventSink: Send + Sync {
+    /// Appends one event, returning its global sequence number. `trap` is
+    /// the sequence number of the enclosing trap's `TrapEnter`, if known.
+    fn emit(&self, lane: u32, trap: Option<u64>, event: Event) -> u64;
+}
+
+#[derive(Default)]
+struct StreamInner {
+    next_seq: u64,
+    events: Vec<EventRecord>,
+    violations: Vec<Violation>,
+    checks: VecDeque<TrapRecord>,
+}
+
+/// The shared timeline; see the module docs for the retention policy.
+pub struct EventStream {
+    started: Instant,
+    record_all: bool,
+    violation_cap: usize,
+    nr_violations: AtomicU64,
+    inner: Mutex<StreamInner>,
+}
+
+/// An incremental read position into an [`EventStream`] (the drain/cursor
+/// replacement for the old clone-everything snapshot).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EventCursor(usize);
+
+impl EventStream {
+    /// A fresh stream. `record_all` keeps the full timeline (required for
+    /// replay); off, only the bounded violation log and trap trace are
+    /// retained. `violation_cap` bounds the retained violation log.
+    pub fn new(record_all: bool, violation_cap: usize) -> EventStream {
+        EventStream {
+            started: Instant::now(),
+            record_all,
+            violation_cap: violation_cap.max(1),
+            nr_violations: AtomicU64::new(0),
+            inner: Mutex::new(StreamInner::default()),
+        }
+    }
+
+    /// Whether the full timeline is being retained.
+    pub fn record_all(&self) -> bool {
+        self.record_all
+    }
+
+    fn append(&self, lane: u32, trap: Option<u64>, mut event: Event) -> (u64, bool) {
+        let mut g = self.inner.lock();
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        let t_ns = self.started.elapsed().as_nanos() as u64;
+        let mut retain = self.record_all;
+        let mut accepted = true;
+        match &mut event {
+            Event::Violation(v) => {
+                v.set_event_seq(seq);
+                if g.violations.len() < self.violation_cap {
+                    g.violations.push(v.clone());
+                    self.nr_violations
+                        .store(g.violations.len() as u64, Ordering::Relaxed);
+                } else {
+                    // Over cap: the sequence number is still assigned (so
+                    // replays stay aligned) but nothing is retained.
+                    retain = false;
+                    accepted = false;
+                }
+            }
+            Event::Check { cpu, name, outcome } => {
+                if g.checks.len() == TRACE_CAP {
+                    g.checks.pop_front();
+                }
+                g.checks.push_back(TrapRecord {
+                    cpu: *cpu,
+                    name: name.clone(),
+                    outcome: outcome.clone(),
+                });
+            }
+            _ => {}
+        }
+        if retain {
+            g.events.push(EventRecord {
+                seq,
+                lane,
+                trap,
+                t_ns,
+                event,
+            });
+        }
+        (seq, accepted)
+    }
+
+    /// Reports a violation into the timeline and the bounded log. Returns
+    /// `false` when the log was full and the report was dropped (the
+    /// caller counts drops — see `OracleStats::violations_dropped`).
+    pub fn violation(&self, lane: u32, trap: Option<u64>, v: Violation) -> bool {
+        self.append(lane, trap, Event::Violation(v)).1
+    }
+
+    /// Number of events retained in the timeline.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// `true` when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A cursor positioned at the start of the timeline.
+    pub fn cursor(&self) -> EventCursor {
+        EventCursor(0)
+    }
+
+    /// Returns the events appended since the cursor's last poll and
+    /// advances it — an incremental drain, so periodic inspection of a
+    /// long campaign never re-copies the whole timeline.
+    pub fn poll(&self, cursor: &mut EventCursor) -> Vec<EventRecord> {
+        let g = self.inner.lock();
+        let new = g.events[cursor.0.min(g.events.len())..].to_vec();
+        cursor.0 = g.events.len();
+        new
+    }
+
+    /// Takes the whole retained timeline out of the stream (no clone);
+    /// used once at campaign end to move the schedule into the trace.
+    pub fn take_events(&self) -> Vec<EventRecord> {
+        std::mem::take(&mut self.inner.lock().events)
+    }
+
+    /// All retained violations (annotated with their event sequence ids).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.inner.lock().violations.clone()
+    }
+
+    /// Number of retained violations; a single relaxed atomic load, cheap
+    /// enough for campaign workers to poll every few steps.
+    pub fn violation_count(&self) -> u64 {
+        self.nr_violations.load(Ordering::Relaxed)
+    }
+
+    /// Drops the retained violations (between test cases). The recorded
+    /// timeline, if any, is left untouched.
+    pub fn clear_violations(&self) {
+        self.inner.lock().violations.clear();
+        self.nr_violations.store(0, Ordering::Relaxed);
+    }
+
+    /// The most recent check outcomes (bounded at [`TRACE_CAP`]; newest
+    /// last).
+    pub fn trap_records(&self) -> Vec<TrapRecord> {
+        self.inner.lock().checks.iter().cloned().collect()
+    }
+}
+
+impl EventSink for EventStream {
+    fn emit(&self, lane: u32, trap: Option<u64>, event: Event) -> u64 {
+        self.append(lane, trap, event).0
+    }
+}
+
+/// Latency histogram for one trap name: log2(ns) buckets plus exact
+/// min/max/sum so summaries can report mean and range.
+#[derive(Clone, Debug)]
+pub struct TrapLatency {
+    /// Completed enter→exit pairs observed.
+    pub count: u64,
+    /// `buckets[i]` counts latencies with `floor(log2(ns)) == i`.
+    pub buckets: [u64; 64],
+    /// Sum of latencies (ns).
+    pub sum_ns: u64,
+    /// Fastest observed (ns).
+    pub min_ns: u64,
+    /// Slowest observed (ns).
+    pub max_ns: u64,
+}
+
+impl Default for TrapLatency {
+    fn default() -> Self {
+        TrapLatency {
+            count: 0,
+            buckets: [0; 64],
+            sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl TrapLatency {
+    fn observe(&mut self, ns: u64) {
+        self.count += 1;
+        self.buckets[63 - ns.max(1).leading_zeros() as usize] += 1;
+        self.sum_ns += ns;
+        self.min_ns = if self.count == 1 {
+            ns
+        } else {
+            self.min_ns.min(ns)
+        };
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Mean latency in ns (0 when nothing was observed).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Per-lane occupancy: how busy one worker/CPU lane was.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LaneOccupancy {
+    /// Events produced on this lane.
+    pub events: u64,
+    /// Traps completed on this lane.
+    pub traps: u64,
+    /// Total time spent inside traps (ns).
+    pub in_trap_ns: u64,
+}
+
+/// The streaming stats consumer: feed it records (live via
+/// [`EventStream::poll`] or from a loaded trace file) and it maintains
+/// per-family counts, per-trap latency histograms, and per-lane occupancy.
+#[derive(Default)]
+pub struct TraceStats {
+    /// Event counts per family tag.
+    pub families: BTreeMap<&'static str, u64>,
+    /// Latency histograms per trap name.
+    pub traps: BTreeMap<String, TrapLatency>,
+    /// Occupancy per lane.
+    pub lanes: BTreeMap<u32, LaneOccupancy>,
+    /// Chaos injections per kind.
+    pub chaos: BTreeMap<&'static str, u64>,
+    open_traps: HashMap<u32, u64>,
+}
+
+impl TraceStats {
+    /// An empty accumulator.
+    pub fn new() -> TraceStats {
+        TraceStats::default()
+    }
+
+    /// Folds one record into the histograms. Records must arrive in
+    /// sequence order (they do, from both `poll` and a trace file).
+    pub fn observe(&mut self, rec: &EventRecord) {
+        *self.families.entry(rec.event.family()).or_default() += 1;
+        self.lanes.entry(rec.lane).or_default().events += 1;
+        match &rec.event {
+            Event::TrapEnter { .. } => {
+                self.open_traps.insert(rec.lane, rec.t_ns);
+            }
+            Event::TrapExit { name, .. } => {
+                if let Some(entered) = self.open_traps.remove(&rec.lane) {
+                    let ns = rec.t_ns.saturating_sub(entered);
+                    self.traps.entry(name.clone()).or_default().observe(ns);
+                    let lane = self.lanes.entry(rec.lane).or_default();
+                    lane.traps += 1;
+                    lane.in_trap_ns += ns;
+                }
+            }
+            Event::Chaos { kind, .. } => {
+                *self.chaos.entry(kind.name()).or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Folds a whole slice of records.
+    pub fn observe_all(&mut self, recs: &[EventRecord]) {
+        for r in recs {
+            self.observe(r);
+        }
+    }
+
+    /// Renders the summary tables.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "event families:");
+        for (family, n) in &self.families {
+            let _ = writeln!(out, "  {family:<18} {n:>10}");
+        }
+        if !self.chaos.is_empty() {
+            let _ = writeln!(out, "chaos injections:");
+            for (kind, n) in &self.chaos {
+                let _ = writeln!(out, "  {kind:<18} {n:>10}");
+            }
+        }
+        if !self.traps.is_empty() {
+            let _ = writeln!(
+                out,
+                "per-trap latency:    {:>8} {:>10} {:>10} {:>10}",
+                "count", "mean ns", "min ns", "max ns"
+            );
+            for (name, h) in &self.traps {
+                let _ = writeln!(
+                    out,
+                    "  {name:<18} {:>8} {:>10} {:>10} {:>10}",
+                    h.count,
+                    h.mean_ns(),
+                    h.min_ns,
+                    h.max_ns
+                );
+            }
+        }
+        if !self.lanes.is_empty() {
+            let _ = writeln!(
+                out,
+                "lane occupancy:      {:>8} {:>10} {:>14}",
+                "events", "traps", "in-trap ns"
+            );
+            for (lane, o) in &self.lanes {
+                let _ = writeln!(
+                    out,
+                    "  lane {lane:<13} {:>8} {:>10} {:>14}",
+                    o.events, o.traps, o.in_trap_ns
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> EventStream {
+        EventStream::new(true, 8)
+    }
+
+    #[test]
+    fn sequence_numbers_are_global_and_match_timeline_order() {
+        let s = stream();
+        for cpu in 0..5usize {
+            s.emit(cpu as u32, None, Event::TrapEnter { cpu });
+        }
+        let events = s.take_events();
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.lane, i as u32);
+        }
+    }
+
+    #[test]
+    fn cursor_polls_incrementally_without_recopying() {
+        let s = stream();
+        let mut cur = s.cursor();
+        s.emit(0, None, Event::TrapEnter { cpu: 0 });
+        s.emit(0, None, Event::WriteMem { pa: 8, value: 9 });
+        assert_eq!(s.poll(&mut cur).len(), 2);
+        assert!(s.poll(&mut cur).is_empty());
+        s.emit(1, None, Event::TrapEnter { cpu: 1 });
+        let fresh = s.poll(&mut cur);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].seq, 2);
+    }
+
+    #[test]
+    fn violations_are_tagged_with_their_event_seq_and_capped() {
+        let s = EventStream::new(false, 2);
+        s.emit(0, None, Event::TrapEnter { cpu: 0 });
+        for i in 0..4 {
+            let retained = s.violation(
+                0,
+                Some(0),
+                Violation::HypPanic {
+                    seq: None,
+                    reason: format!("p{i}"),
+                },
+            );
+            assert_eq!(retained, i < 2, "cap is 2");
+        }
+        let vs = s.violations();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].event_seq(), Some(1));
+        assert_eq!(vs[1].event_seq(), Some(2));
+        assert_eq!(s.violation_count(), 2);
+        // Retention off: nothing but the indexes is kept, yet sequence
+        // numbers advanced for every emit.
+        assert!(s.is_empty());
+        assert_eq!(s.emit(0, None, Event::TrapEnter { cpu: 0 }), 5);
+    }
+
+    #[test]
+    fn check_events_feed_the_bounded_trap_trace() {
+        let s = EventStream::new(false, 8);
+        for i in 0..(TRACE_CAP + 10) {
+            s.emit(
+                0,
+                None,
+                Event::Check {
+                    cpu: 0,
+                    name: format!("t{i}"),
+                    outcome: TrapOutcome::Clean,
+                },
+            );
+        }
+        let t = s.trap_records();
+        assert_eq!(t.len(), TRACE_CAP);
+        assert_eq!(t.last().unwrap().name, format!("t{}", TRACE_CAP + 9));
+    }
+
+    #[test]
+    fn stats_consumer_pairs_traps_and_counts_families() {
+        let s = stream();
+        s.emit(0, None, Event::TrapEnter { cpu: 0 });
+        s.emit(
+            0,
+            Some(0),
+            Event::TrapExit {
+                cpu: 0,
+                name: "host_share_hyp".into(),
+            },
+        );
+        s.emit(1, None, Event::TrapEnter { cpu: 1 });
+        s.emit(
+            0,
+            None,
+            Event::Chaos {
+                cpu: 0,
+                kind: ChaosKind::TornReadOnce,
+            },
+        );
+        let mut stats = TraceStats::new();
+        stats.observe_all(&s.take_events());
+        assert_eq!(stats.families["trap-enter"], 2);
+        assert_eq!(stats.traps["host_share_hyp"].count, 1);
+        assert_eq!(stats.chaos["torn-read-once"], 1);
+        let rendered = stats.render();
+        assert!(rendered.contains("host_share_hyp"), "{rendered}");
+        assert!(rendered.contains("lane 0"), "{rendered}");
+    }
+}

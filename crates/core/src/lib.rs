@@ -47,6 +47,7 @@ pub mod calldata;
 pub mod check;
 pub mod containment;
 pub mod diff;
+pub mod event;
 pub mod maplet;
 pub mod mapping;
 pub mod oracle;
@@ -64,6 +65,9 @@ pub use calldata::GhostCallData;
 pub use check::{check_trap, normalize, CheckOutcome, Violation};
 pub use containment::{contain, Disposition, Quarantine};
 pub use diff::diff_states;
+pub use event::{
+    ChaosKind, Event, EventCursor, EventRecord, EventSink, EventStream, TraceStats, TRACE_CAP,
+};
 pub use maplet::{AbsAttrs, Maplet, MapletTarget};
 pub use mapping::Mapping;
 pub use oracle::{Oracle, OracleOpts, OracleStats, ResilienceSnapshot, TrapOutcome, TrapRecord};

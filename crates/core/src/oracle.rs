@@ -14,7 +14,7 @@
 //! nothing changed while the lock was free (non-interference), and the
 //! per-component page-table footprints (separation).
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -39,6 +39,7 @@ use crate::calldata::GhostCallData;
 use crate::check::{check_trap, normalize, Violation};
 use crate::containment::{contain, Disposition, Quarantine};
 use crate::diff::diff_states;
+use crate::event::{Event, EventSink, EventStream};
 use crate::maplet::{Maplet, MapletTarget};
 use crate::spec::{abs_hyp_attrs, compute_post, SpecVerdict};
 use crate::state::{
@@ -49,7 +50,7 @@ use crate::state::{
 ///
 /// Construct with [`OracleOpts::builder`] (or [`Default`]): the builder
 /// keeps call sites valid as switches are added.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct OracleOpts {
     /// Check that lock-protected state is unchanged between critical
@@ -188,11 +189,8 @@ pub enum TrapOutcome {
     /// Spec computed; this many violations were recorded.
     Violated(usize),
     /// The loose specification skipped the check.
-    Unchecked(&'static str),
+    Unchecked(String),
 }
-
-/// How many trap records the trace retains.
-const TRACE_CAP: usize = 256;
 
 /// Counters reported alongside violations (for the evaluation harness).
 #[derive(Debug, Default)]
@@ -451,6 +449,9 @@ struct CpuRecord {
     /// The budget ran out mid-trap: remaining events degrade to evictions
     /// and the trap's check is skipped.
     degraded: bool,
+    /// Event-stream sequence id of this trap's `TrapEnter`, so every
+    /// event and violation produced inside the trap links back to it.
+    trap_seq: Option<u64>,
 }
 
 /// The runtime test oracle; install as the machine's [`GhostHooks`].
@@ -463,9 +464,7 @@ pub struct Oracle {
     cpus: Vec<Mutex<CpuRecord>>,
     footprints: Mutex<HashMap<Component, BTreeSet<u64>>>,
     abscache: Mutex<AbsCache>,
-    violations: Mutex<Vec<Violation>>,
-    nr_violations: AtomicU64,
-    trace: Mutex<VecDeque<TrapRecord>>,
+    events: Arc<EventStream>,
     quarantine: Quarantine,
     /// Counters.
     pub stats: OracleStats,
@@ -478,6 +477,19 @@ impl Oracle {
     /// the booted machine: the oracle computes what a correct layout looks
     /// like, so layout bugs (real bug 5) surface at the boot check.
     pub fn new(config: &MachineConfig, opts: OracleOpts) -> Arc<Oracle> {
+        let events = Arc::new(EventStream::new(false, opts.violation_cap));
+        Oracle::with_stream(config, opts, events)
+    }
+
+    /// Like [`Oracle::new`], but recording into a caller-provided
+    /// [`EventStream`] — the harness shares one stream between the proxy
+    /// (driver events), the chaos engine (injections), and the oracle, so
+    /// a whole campaign lands on one timeline.
+    pub fn with_stream(
+        config: &MachineConfig,
+        opts: OracleOpts,
+        events: Arc<EventStream>,
+    ) -> Arc<Oracle> {
         let (last_base, last_size) = *config.dram.last().expect("config has DRAM");
         let ram_end = last_base + last_size;
         let pool_base_pfn = (ram_end - config.hyp_pool_pages * PAGE_SIZE) >> 12;
@@ -504,6 +516,7 @@ impl Oracle {
                         interleaved: HashSet::new(),
                         events_this_trap: 0,
                         degraded: false,
+                        trap_seq: None,
                     })
                 })
                 .collect(),
@@ -517,9 +530,7 @@ impl Oracle {
             }),
             footprints: Mutex::new(HashMap::new()),
             abscache: Mutex::new(AbsCache::new()),
-            violations: Mutex::new(Vec::new()),
-            nr_violations: AtomicU64::new(0),
-            trace: Mutex::new(VecDeque::new()),
+            events,
             quarantine: Quarantine::new(opts.quarantine_threshold, opts.quarantine_traps),
             stats: OracleStats::default(),
         })
@@ -531,6 +542,7 @@ impl Oracle {
         OracleBuilder {
             config,
             opts: OracleOpts::default(),
+            events: None,
         }
     }
 
@@ -540,16 +552,22 @@ impl Oracle {
         self.abscache.lock().stats
     }
 
-    /// All violations recorded so far.
+    /// The event stream this oracle records into.
+    pub fn events(&self) -> &Arc<EventStream> {
+        &self.events
+    }
+
+    /// All violations recorded so far (served from the event stream's
+    /// bounded log).
     pub fn violations(&self) -> Vec<Violation> {
-        self.violations.lock().clone()
+        self.events.violations()
     }
 
     /// Number of violations recorded so far, without cloning the reports.
     /// A single relaxed atomic load: cheap enough for worker threads of a
     /// random-testing campaign to poll every few steps.
     pub fn violation_count(&self) -> u64 {
-        self.nr_violations.load(Ordering::Relaxed)
+        self.events.violation_count()
     }
 
     /// Returns `true` if no violations have been recorded.
@@ -559,49 +577,60 @@ impl Oracle {
 
     /// Drops all recorded violations (between test cases).
     pub fn clear_violations(&self) {
-        let mut vs = self.violations.lock();
-        vs.clear();
-        self.nr_violations.store(0, Ordering::Relaxed);
+        self.events.clear_violations();
     }
 
-    /// The most recent checked traps (bounded; newest last).
+    /// The most recent checked traps (bounded; newest last; served from
+    /// the event stream's check ring).
     pub fn trace(&self) -> Vec<TrapRecord> {
-        self.trace.lock().iter().cloned().collect()
+        self.events.trap_records()
     }
 
-    fn push_trace(&self, rec: TrapRecord) {
-        let mut t = self.trace.lock();
-        if t.len() == TRACE_CAP {
-            t.pop_front();
-        }
-        t.push_back(rec);
+    fn push_trace(&self, trap: Option<u64>, rec: TrapRecord) {
+        self.events.emit(
+            rec.cpu as u32,
+            trap,
+            Event::Check {
+                cpu: rec.cpu,
+                name: rec.name,
+                outcome: rec.outcome,
+            },
+        );
     }
 
     fn report(&self, v: Violation) {
-        self.report_all(vec![v]);
+        self.report_all_at(0, None, vec![v]);
     }
 
-    fn report_all(&self, mut new: Vec<Violation>) {
+    fn report_at(&self, cpu: usize, trap: Option<u64>, v: Violation) {
+        self.report_all_at(cpu, trap, vec![v]);
+    }
+
+    fn report_all_at(&self, cpu: usize, trap: Option<u64>, mut new: Vec<Violation>) {
         self.annotate_vm_uniq(&mut new);
-        let cap = self.opts.violation_cap.max(1);
-        let mut vs = self.violations.lock();
         for v in new {
-            if vs.len() >= cap {
+            if !self.events.violation(cpu as u32, trap, v) {
                 self.stats
                     .violations_dropped
                     .fetch_add(1, Ordering::Relaxed);
-            } else {
-                vs.push(v);
             }
         }
-        self.nr_violations.store(vs.len() as u64, Ordering::Relaxed);
     }
 
-    fn report_anomalies(&self, context: &str, anomalies: Vec<Anomaly>) {
-        self.report_all(
+    fn report_anomalies(
+        &self,
+        cpu: usize,
+        trap: Option<u64>,
+        context: &str,
+        anomalies: Vec<Anomaly>,
+    ) {
+        self.report_all_at(
+            cpu,
+            trap,
             anomalies
                 .into_iter()
                 .map(|a| Violation::AbstractionAnomaly {
+                    seq: None,
                     context: context.into(),
                     anomaly: a,
                 })
@@ -643,10 +672,21 @@ impl Oracle {
                 self.stats.contained_panics.fetch_add(1, Ordering::Relaxed);
                 self.quarantine.record_failure(key);
                 self.report(Violation::OracleInternal {
+                    seq: None,
                     component: key.to_string(),
                     payload,
                 });
             }
+        }
+    }
+
+    /// Sequence id of the trap currently executing on `cpu`, if any.
+    fn current_trap(&self, cpu: usize) -> Option<u64> {
+        let rec = self.cpus[cpu].lock();
+        if rec.in_trap {
+            rec.trap_seq
+        } else {
+            None
         }
     }
 
@@ -734,6 +774,7 @@ impl Oracle {
     fn abstract_component(
         &self,
         ctx: &HookCtx<'_>,
+        trap: Option<u64>,
         comp: Component,
         view: &ComponentView,
     ) -> ComponentValue {
@@ -742,8 +783,14 @@ impl Oracle {
         let mut anomalies = Vec::new();
         let value = match view {
             ComponentView::Host { root } if cached => {
-                let interp =
-                    self.cached_interp(ctx, Stage::Stage2, *root, CacheKey::Host, &mut anomalies);
+                let interp = self.cached_interp(
+                    ctx,
+                    trap,
+                    Stage::Stage2,
+                    *root,
+                    CacheKey::Host,
+                    &mut anomalies,
+                );
                 ComponentValue::Host(abstract_host_from_interp(
                     interp,
                     &self.globals,
@@ -754,8 +801,14 @@ impl Oracle {
                 ComponentValue::Host(abstract_host(ctx.mem, *root, &self.globals, &mut anomalies))
             }
             ComponentView::Hyp { root } if cached => {
-                let pgt =
-                    self.cached_interp(ctx, Stage::Stage1, *root, CacheKey::Hyp, &mut anomalies);
+                let pgt = self.cached_interp(
+                    ctx,
+                    trap,
+                    Stage::Stage1,
+                    *root,
+                    CacheKey::Hyp,
+                    &mut anomalies,
+                );
                 ComponentValue::Pkvm(GhostPkvm { pgt })
             }
             ComponentView::Hyp { root } => {
@@ -779,6 +832,7 @@ impl Oracle {
             ComponentView::Vm(view) if cached => {
                 let pgt = self.cached_interp(
                     ctx,
+                    trap,
                     Stage::Stage2,
                     view.s2_root,
                     CacheKey::Vm(view.handle),
@@ -793,7 +847,7 @@ impl Oracle {
             ),
         };
         if !anomalies.is_empty() {
-            self.report_anomalies(&format!("{comp:?}"), anomalies);
+            self.report_anomalies(ctx.cpu, trap, &format!("{comp:?}"), anomalies);
         }
         value
     }
@@ -805,6 +859,7 @@ impl Oracle {
     fn cached_interp(
         &self,
         ctx: &HookCtx<'_>,
+        trap: Option<u64>,
         stage: Stage,
         root: PhysAddr,
         key: CacheKey,
@@ -824,10 +879,15 @@ impl Oracle {
         let before = anomalies.len();
         let full = interpret_pgtable(ctx.mem, stage, root, anomalies);
         if inc != full || inc_anomalies != anomalies[before..] {
-            self.report(Violation::ShadowDivergence {
-                component: format!("{key:?}"),
-                diff: pgtable_divergence(&full, &inc, &anomalies[before..], &inc_anomalies),
-            });
+            self.report_at(
+                ctx.cpu,
+                trap,
+                Violation::ShadowDivergence {
+                    seq: None,
+                    component: format!("{key:?}"),
+                    diff: pgtable_divergence(&full, &inc, &anomalies[before..], &inc_anomalies),
+                },
+            );
         }
         full
     }
@@ -857,7 +917,13 @@ impl Oracle {
         }
     }
 
-    fn noninterference_check(&self, comp: Component, value: &ComponentValue) {
+    fn noninterference_check(
+        &self,
+        cpu: usize,
+        trap: Option<u64>,
+        comp: Component,
+        value: &ComponentValue,
+    ) {
         if !self.opts.check_noninterference {
             return;
         }
@@ -924,11 +990,16 @@ impl Oracle {
                 ComponentValue::Vm(_, u, _) => Some(*u),
                 _ => None,
             };
-            self.report(Violation::NonInterference {
-                component: comp_name(comp),
-                uniq,
-                diff: diff_states(&prev_n, &now_n),
-            });
+            self.report_at(
+                cpu,
+                trap,
+                Violation::NonInterference {
+                    seq: None,
+                    component: comp_name(comp),
+                    uniq,
+                    diff: diff_states(&prev_n, &now_n),
+                },
+            );
         }
     }
 
@@ -1008,6 +1079,7 @@ impl Oracle {
         ] {
             if exp_has && !rec_has {
                 self.report(Violation::SpecMismatch {
+                    seq: None,
                     trap: "boot".into(),
                     component: name.into(),
                     uniq: None,
@@ -1022,6 +1094,7 @@ impl Oracle {
         rec_cmp.vm_table = None;
         if exp_cmp.host.is_some() && rec_cmp.host.is_some() && exp_cmp != rec_cmp {
             self.report(Violation::SpecMismatch {
+                seq: None,
                 trap: "boot".into(),
                 component: "initial state".into(),
                 uniq: None,
@@ -1057,6 +1130,7 @@ impl Oracle {
                 None => {
                     if comp.starts_with("vm[") {
                         self_check.push(Violation::OracleSelfCheck {
+                            seq: None,
                             context: format!("deferred seeding after {trap}"),
                             detail: format!("malformed component name {comp:?}"),
                         });
@@ -1098,7 +1172,7 @@ impl Oracle {
         }
         drop(shared);
         if !self_check.is_empty() {
-            self.report_all(self_check);
+            self.report_all_at(0, None, self_check);
         }
     }
 }
@@ -1107,12 +1181,19 @@ impl Oracle {
 pub struct OracleBuilder<'a> {
     config: &'a MachineConfig,
     opts: OracleOpts,
+    events: Option<Arc<EventStream>>,
 }
 
 impl OracleBuilder<'_> {
     /// Replaces the accumulated switches wholesale.
     pub fn opts(mut self, opts: OracleOpts) -> Self {
         self.opts = opts;
+        self
+    }
+
+    /// Records into a shared [`EventStream`] instead of a private one.
+    pub fn events(mut self, stream: Arc<EventStream>) -> Self {
+        self.events = Some(stream);
         self
     }
 
@@ -1169,7 +1250,10 @@ impl OracleBuilder<'_> {
 
     /// Builds the oracle.
     pub fn build(self) -> Arc<Oracle> {
-        Oracle::new(self.config, self.opts)
+        match self.events {
+            Some(stream) => Oracle::with_stream(self.config, self.opts, stream),
+            None => Oracle::new(self.config, self.opts),
+        }
     }
 }
 
@@ -1254,17 +1338,20 @@ impl Oracle {
                         !skip
                     });
                 }
-                self.push_trace(TrapRecord {
-                    cpu,
-                    name: name.to_string(),
-                    outcome: if outcome.violations.is_empty() {
-                        TrapOutcome::Clean
-                    } else {
-                        TrapOutcome::Violated(outcome.violations.len())
+                self.push_trace(
+                    rec.trap_seq,
+                    TrapRecord {
+                        cpu,
+                        name: name.to_string(),
+                        outcome: if outcome.violations.is_empty() {
+                            TrapOutcome::Clean
+                        } else {
+                            TrapOutcome::Violated(outcome.violations.len())
+                        },
                     },
-                });
+                );
                 if !outcome.violations.is_empty() {
-                    self.report_all(outcome.violations);
+                    self.report_all_at(cpu, rec.trap_seq, outcome.violations);
                 }
                 // Seed spec-defined but never-recorded components into the
                 // shared copy: the next acquisition validates them.
@@ -1274,26 +1361,37 @@ impl Oracle {
             }
             SpecVerdict::Unchecked(why) => {
                 self.stats.traps_unchecked.fetch_add(1, Ordering::Relaxed);
-                self.push_trace(TrapRecord {
-                    cpu,
-                    name: name.to_string(),
-                    outcome: TrapOutcome::Unchecked(why),
-                });
+                self.push_trace(
+                    rec.trap_seq,
+                    TrapRecord {
+                        cpu,
+                        name: name.to_string(),
+                        outcome: TrapOutcome::Unchecked(why.into()),
+                    },
+                );
                 // Loose case: the shared copy was already updated at the
                 // lock releases.
             }
             SpecVerdict::Impossible(reason) => {
-                self.push_trace(TrapRecord {
+                self.push_trace(
+                    rec.trap_seq,
+                    TrapRecord {
+                        cpu,
+                        name: name.to_string(),
+                        outcome: TrapOutcome::Violated(1),
+                    },
+                );
+                self.report_at(
                     cpu,
-                    name: name.to_string(),
-                    outcome: TrapOutcome::Violated(1),
-                });
-                self.report(Violation::SpecMismatch {
-                    trap: name.to_string(),
-                    component: "spec-detected impossibility".into(),
-                    uniq: None,
-                    diff: reason,
-                });
+                    rec.trap_seq,
+                    Violation::SpecMismatch {
+                        seq: None,
+                        trap: name.to_string(),
+                        component: "spec-detected impossibility".into(),
+                        uniq: None,
+                        diff: reason,
+                    },
+                );
             }
         }
     }
@@ -1301,13 +1399,14 @@ impl Oracle {
     fn lock_acquired_inner(
         &self,
         ctx: &HookCtx<'_>,
+        trap: Option<u64>,
         comp: Component,
         view: &ComponentView,
         check_ni: bool,
     ) {
-        let value = self.abstract_component(ctx, comp, view);
+        let value = self.abstract_component(ctx, trap, comp, view);
         if check_ni {
-            self.noninterference_check(comp, &value);
+            self.noninterference_check(ctx.cpu, trap, comp, &value);
         }
         let key = value.key();
         // Safe to read outside the rec lock: we hold the component's lock,
@@ -1331,8 +1430,14 @@ impl Oracle {
         }
     }
 
-    fn lock_releasing_inner(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {
-        let value = self.abstract_component(ctx, comp, view);
+    fn lock_releasing_inner(
+        &self,
+        ctx: &HookCtx<'_>,
+        trap: Option<u64>,
+        comp: Component,
+        view: &ComponentView,
+    ) {
+        let value = self.abstract_component(ctx, trap, comp, view);
         let key = value.key();
         let version = {
             let mut shared = self.shared.lock();
@@ -1362,6 +1467,9 @@ impl GhostHooks for Oracle {
         // The quarantine clock counts traps.
         self.quarantine.tick();
         self.guarded("trap_enter", || {
+            let seq = self
+                .events
+                .emit(ctx.cpu as u32, None, Event::TrapEnter { cpu: ctx.cpu });
             let versions = self.shared.lock().versions.clone();
             let mut rec = self.cpus[ctx.cpu].lock();
             rec.in_trap = true;
@@ -1373,6 +1481,7 @@ impl GhostHooks for Oracle {
             rec.interleaved.clear();
             rec.events_this_trap = 0;
             rec.degraded = false;
+            rec.trap_seq = Some(seq);
             let cpu_state = Self::ghost_cpu(regs, &loaded);
             rec.pre.locals.insert(ctx.cpu, cpu_state);
         });
@@ -1404,34 +1513,57 @@ impl GhostHooks for Oracle {
             Ok(None) => {
                 // No call data: trap_enter never ran (or its delivery was
                 // dropped). A confused recording, not a hypervisor bug.
+                let trap = rec.trap_seq;
                 drop(rec);
-                self.report(Violation::OracleSelfCheck {
-                    context: "trap_exit".into(),
-                    detail: "no recorded call data (trap_enter not delivered?)".into(),
-                });
+                self.report_at(
+                    ctx.cpu,
+                    trap,
+                    Violation::OracleSelfCheck {
+                        seq: None,
+                        context: "trap_exit".into(),
+                        detail: "no recorded call data (trap_enter not delivered?)".into(),
+                    },
+                );
                 return;
             }
             Err(payload) => {
+                let trap = rec.trap_seq;
                 drop(rec);
                 self.stats.contained_panics.fetch_add(1, Ordering::Relaxed);
                 self.quarantine.record_failure("trap_exit");
-                self.report(Violation::OracleInternal {
-                    component: "trap_exit".into(),
-                    payload,
-                });
+                self.report_at(
+                    ctx.cpu,
+                    trap,
+                    Violation::OracleInternal {
+                        seq: None,
+                        component: "trap_exit".into(),
+                        payload,
+                    },
+                );
                 return;
             }
         };
+        self.events.emit(
+            ctx.cpu as u32,
+            rec.trap_seq,
+            Event::TrapExit {
+                cpu: ctx.cpu,
+                name: name.clone(),
+            },
+        );
         // Phase 2: the check — unless this trap degraded under budget
         // pressure, or this handler's spec step is quarantined.
         if rec.degraded {
             self.stats.degraded_traps.fetch_add(1, Ordering::Relaxed);
             self.stats.traps_unchecked.fetch_add(1, Ordering::Relaxed);
-            self.push_trace(TrapRecord {
-                cpu: ctx.cpu,
-                name,
-                outcome: TrapOutcome::Unchecked("per-trap check budget exhausted"),
-            });
+            self.push_trace(
+                rec.trap_seq,
+                TrapRecord {
+                    cpu: ctx.cpu,
+                    name,
+                    outcome: TrapOutcome::Unchecked("per-trap check budget exhausted".into()),
+                },
+            );
             return;
         }
         let spec_key = format!("spec:{name}");
@@ -1439,11 +1571,14 @@ impl GhostHooks for Oracle {
             Disposition::Skip => {
                 self.stats.quarantined_skips.fetch_add(1, Ordering::Relaxed);
                 self.stats.traps_unchecked.fetch_add(1, Ordering::Relaxed);
-                self.push_trace(TrapRecord {
-                    cpu: ctx.cpu,
-                    name,
-                    outcome: TrapOutcome::Unchecked("spec step quarantined"),
-                });
+                self.push_trace(
+                    rec.trap_seq,
+                    TrapRecord {
+                        cpu: ctx.cpu,
+                        name,
+                        outcome: TrapOutcome::Unchecked("spec step quarantined".into()),
+                    },
+                );
                 return;
             }
             Disposition::Recover => {
@@ -1458,20 +1593,34 @@ impl GhostHooks for Oracle {
             Err(payload) => {
                 self.stats.contained_panics.fetch_add(1, Ordering::Relaxed);
                 self.quarantine.record_failure(&spec_key);
-                self.push_trace(TrapRecord {
-                    cpu: ctx.cpu,
-                    name,
-                    outcome: TrapOutcome::Unchecked("spec step panicked (contained)"),
-                });
-                self.report(Violation::OracleInternal {
-                    component: spec_key,
-                    payload,
-                });
+                self.push_trace(
+                    rec.trap_seq,
+                    TrapRecord {
+                        cpu: ctx.cpu,
+                        name,
+                        outcome: TrapOutcome::Unchecked("spec step panicked (contained)".into()),
+                    },
+                );
+                self.report_at(
+                    ctx.cpu,
+                    rec.trap_seq,
+                    Violation::OracleInternal {
+                        seq: None,
+                        component: spec_key,
+                        payload,
+                    },
+                );
             }
         }
     }
 
     fn lock_acquired(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {
+        let trap = self.current_trap(ctx.cpu);
+        self.events.emit(
+            ctx.cpu as u32,
+            trap,
+            Event::LockAcquired { cpu: ctx.cpu, comp },
+        );
         let key = comp_name(comp);
         let check_ni = match self.quarantine.disposition(&key) {
             Disposition::Skip => {
@@ -1498,11 +1647,17 @@ impl GhostHooks for Oracle {
             return;
         }
         self.guarded(&key, || {
-            self.lock_acquired_inner(ctx, comp, view, check_ni);
+            self.lock_acquired_inner(ctx, trap, comp, view, check_ni);
         });
     }
 
     fn lock_releasing(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {
+        let trap = self.current_trap(ctx.cpu);
+        self.events.emit(
+            ctx.cpu as u32,
+            trap,
+            Event::LockReleasing { cpu: ctx.cpu, comp },
+        );
         let key = comp_name(comp);
         match self.quarantine.disposition(&key) {
             Disposition::Skip => {
@@ -1526,7 +1681,7 @@ impl GhostHooks for Oracle {
             return;
         }
         self.guarded(&key, || {
-            self.lock_releasing_inner(ctx, comp, view);
+            self.lock_releasing_inner(ctx, trap, comp, view);
         });
     }
 
@@ -1534,13 +1689,32 @@ impl GhostHooks for Oracle {
         self.stats.read_onces.fetch_add(1, Ordering::Relaxed);
         self.guarded("read_once", || {
             let mut rec = self.cpus[ctx.cpu].lock();
+            let trap = if rec.in_trap { rec.trap_seq } else { None };
+            self.events.emit(
+                ctx.cpu as u32,
+                trap,
+                Event::ReadOnce {
+                    cpu: ctx.cpu,
+                    tag: tag.into(),
+                    value,
+                },
+            );
             if let Some(call) = rec.call.as_mut() {
                 call.read_onces.push((tag, value));
             }
         });
     }
 
-    fn table_page_alloc(&self, _ctx: &HookCtx<'_>, comp: Component, page: PhysAddr) {
+    fn table_page_alloc(&self, ctx: &HookCtx<'_>, comp: Component, page: PhysAddr) {
+        let trap = self.current_trap(ctx.cpu);
+        self.events.emit(
+            ctx.cpu as u32,
+            trap,
+            Event::TablePageAlloc {
+                comp,
+                pfn: page.pfn(),
+            },
+        );
         if !self.opts.check_separation {
             return;
         }
@@ -1548,19 +1722,29 @@ impl GhostHooks for Oracle {
         for (other, pages) in fp.iter() {
             if *other != comp && pages.contains(&page.pfn()) {
                 let v = Violation::SeparationOverlap {
+                    seq: None,
                     component: format!("{comp:?}"),
                     pfn: page.pfn(),
                     owner: format!("{other:?}"),
                 };
                 drop(fp);
-                self.report(v);
+                self.report_at(ctx.cpu, trap, v);
                 return;
             }
         }
         fp.entry(comp).or_default().insert(page.pfn());
     }
 
-    fn table_page_free(&self, _ctx: &HookCtx<'_>, comp: Component, page: PhysAddr) {
+    fn table_page_free(&self, ctx: &HookCtx<'_>, comp: Component, page: PhysAddr) {
+        let trap = self.current_trap(ctx.cpu);
+        self.events.emit(
+            ctx.cpu as u32,
+            trap,
+            Event::TablePageFree {
+                comp,
+                pfn: page.pfn(),
+            },
+        );
         if !self.opts.check_separation {
             return;
         }
@@ -1569,10 +1753,16 @@ impl GhostHooks for Oracle {
         }
     }
 
-    fn hyp_panic(&self, _ctx: &HookCtx<'_>, reason: &str) {
-        self.report(Violation::HypPanic {
-            reason: reason.into(),
-        });
+    fn hyp_panic(&self, ctx: &HookCtx<'_>, reason: &str) {
+        let trap = self.current_trap(ctx.cpu);
+        self.report_at(
+            ctx.cpu,
+            trap,
+            Violation::HypPanic {
+                seq: None,
+                reason: reason.into(),
+            },
+        );
     }
 
     fn wants_write_log(&self) -> bool {
@@ -1583,6 +1773,7 @@ impl GhostHooks for Oracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::TRACE_CAP;
 
     fn oracle() -> Arc<Oracle> {
         Oracle::new(&MachineConfig::default(), OracleOpts::default())
@@ -1685,12 +1876,16 @@ mod tests {
         // A different incarnation's view differing from the stored state
         // is not interference — the two states describe different VMs.
         o.noninterference_check(
+            0,
+            None,
             Component::Vm(h),
             &ComponentValue::Vm(h, 1, ghost_vm(h, &[0x44007])),
         );
         assert!(o.is_clean(), "{:?}", o.violations());
         // The same incarnation differing is the real §4.4 violation.
         o.noninterference_check(
+            0,
+            None,
             Component::Vm(h),
             &ComponentValue::Vm(h, 2, ghost_vm(h, &[0x44007])),
         );
@@ -1724,18 +1919,23 @@ mod tests {
         let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
         let ctx = HookCtx { mem: &mem, cpu: 0 };
         o.hyp_panic(&ctx, "BUG()");
-        assert!(matches!(&o.violations()[0], Violation::HypPanic { reason } if reason == "BUG()"));
+        assert!(
+            matches!(&o.violations()[0], Violation::HypPanic { reason, .. } if reason == "BUG()")
+        );
     }
 
     #[test]
     fn trace_is_bounded() {
         let o = oracle();
         for i in 0..(TRACE_CAP + 10) {
-            o.push_trace(TrapRecord {
-                cpu: 0,
-                name: format!("t{i}"),
-                outcome: TrapOutcome::Clean,
-            });
+            o.push_trace(
+                None,
+                TrapRecord {
+                    cpu: 0,
+                    name: format!("t{i}"),
+                    outcome: TrapOutcome::Clean,
+                },
+            );
         }
         let t = o.trace();
         assert_eq!(t.len(), TRACE_CAP);
@@ -1774,7 +1974,7 @@ mod tests {
         assert_eq!(vs.len(), 2, "{vs:?}");
         for v in &vs {
             assert!(
-                matches!(v, Violation::OracleSelfCheck { context, detail }
+                matches!(v, Violation::OracleSelfCheck { context, detail, .. }
                     if context.contains("init_vm") && detail.contains("malformed")),
                 "{v}"
             );
@@ -1797,7 +1997,7 @@ mod tests {
         assert_eq!(vs.len(), 3);
         assert!(vs.iter().all(|v| matches!(
             v,
-            Violation::OracleInternal { component, payload }
+            Violation::OracleInternal { component, payload, .. }
                 if component == "host" && payload.contains("chaos")
         )));
         assert_eq!(o.stats.contained_panics.load(Ordering::Relaxed), 3);
@@ -1818,6 +2018,7 @@ mod tests {
         );
         for i in 0..10 {
             o.report(Violation::HypPanic {
+                seq: None,
                 reason: format!("p{i}"),
             });
         }
@@ -1835,6 +2036,7 @@ mod tests {
             shared.set(&ComponentValue::VmTable(vec![(h, 0)], vec![(h, 7)]));
         }
         o.report(Violation::SpecMismatch {
+            seq: None,
             trap: "vcpu_run".into(),
             component: format!("vm[{h}]"),
             uniq: None,

@@ -9,115 +9,31 @@
 //! pinned to a distinct simulated CPU through cloned [`Proxy`] handles
 //! with partitioned page allocators.
 //!
-//! Every worker records the concrete driver actions it performs (the
+//! Every worker emits the concrete driver actions it performs (the
 //! hypercalls with their resolved arguments, parameter-page writes, host
-//! accesses and guest-op injections) into a shared [`TraceRecorder`]. The
-//! recorder's global order is an approximate linearisation of the
-//! campaign — each action is recorded immediately before it executes — so
-//! a violating campaign can be [`replay`]ed single-threaded from the
-//! recorded seeds and schedule alone, and [`minimize`]d to a short
-//! reproducer by greedy chunk removal.
+//! accesses and guest-op injections) into the machine's unified
+//! [`pkvm_ghost::event::EventStream`], interleaved with the oracle's
+//! own trap/lock/check events and any chaos injections. The
+//! stream's global sequence numbers are an approximate linearisation of
+//! the campaign — each action is emitted immediately before it executes —
+//! so a violating campaign can be [`replay`]ed single-threaded from the
+//! recorded seeds and schedule alone, [`minimize`]d to a short reproducer
+//! by greedy chunk removal, or persisted to a `.pkvmtrace` file (see
+//! [`crate::tracefile`]) and replayed in a fresh process.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pkvm_aarch64::addr::PhysAddr;
-use pkvm_aarch64::sync::Mutex;
-use pkvm_aarch64::walk::Access;
+use pkvm_ghost::event::{Event, EventRecord};
 use pkvm_ghost::oracle::{OracleOpts, ResilienceSnapshot};
 use pkvm_ghost::Violation;
 use pkvm_hyp::faults::FaultSet;
 use pkvm_hyp::machine::MachineConfig;
-use pkvm_hyp::vm::{GuestOp, Handle};
 
 use crate::chaos::{ChaosCfg, ChaosDriver, ChaosInjected};
 use crate::proxy::Proxy;
 use crate::random::{RandomCfg, RandomTester, RunStats};
-
-/// One concrete driver action, recorded with its already-resolved
-/// arguments so replay needs no RNG, no model and no allocator.
-#[derive(Clone, Debug, PartialEq)]
-pub enum TraceOp {
-    /// A hypercall on `cpu`.
-    Hvc {
-        /// Issuing CPU.
-        cpu: usize,
-        /// Function id.
-        func: u64,
-        /// Arguments as issued.
-        args: Vec<u64>,
-    },
-    /// A direct host memory write (parameter-page setup).
-    WriteMem {
-        /// Physical address written.
-        pa: u64,
-        /// Value written.
-        value: u64,
-    },
-    /// A host load/store through the host's stage 2.
-    HostAccess {
-        /// Issuing CPU.
-        cpu: usize,
-        /// Host IPA accessed.
-        addr: u64,
-        /// Access kind.
-        access: Access,
-    },
-    /// A guest action enqueued for a vCPU.
-    PushGuestOp {
-        /// Target VM.
-        handle: Handle,
-        /// Target vCPU index.
-        idx: usize,
-        /// The action.
-        op: GuestOp,
-    },
-}
-
-/// One trace entry: which worker did what.
-#[derive(Clone, Debug, PartialEq)]
-pub struct TraceEvent {
-    /// The worker that performed the action.
-    pub worker: usize,
-    /// The action.
-    pub op: TraceOp,
-}
-
-/// Collects the interleaved actions of all workers in global order.
-#[derive(Debug, Default)]
-pub struct TraceRecorder {
-    events: Mutex<Vec<TraceEvent>>,
-}
-
-impl TraceRecorder {
-    /// A fresh shared recorder.
-    pub fn new() -> Arc<TraceRecorder> {
-        Arc::new(TraceRecorder::default())
-    }
-
-    /// Appends one action (called by [`Proxy`] immediately before the
-    /// action executes, so the global order approximates the campaign's
-    /// real interleaving).
-    pub fn record(&self, worker: usize, op: TraceOp) {
-        self.events.lock().push(TraceEvent { worker, op });
-    }
-
-    /// Number of recorded events.
-    pub fn len(&self) -> usize {
-        self.events.lock().len()
-    }
-
-    /// Returns `true` when nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Snapshot of the events recorded so far.
-    pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.events.lock().clone()
-    }
-}
 
 /// Campaign configuration.
 ///
@@ -266,7 +182,7 @@ impl CampaignCfgBuilder {
 }
 
 /// Everything needed to re-run a campaign deterministically.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CampaignTrace {
     /// The machine shape the campaign booted (after the `nr_cpus` raise).
     pub config: MachineConfig,
@@ -280,8 +196,10 @@ pub struct CampaignTrace {
     pub chaos: Option<ChaosCfg>,
     /// Per-worker derived seeds.
     pub seeds: Vec<u64>,
-    /// The recorded schedule: concrete ops in global order.
-    pub events: Vec<TraceEvent>,
+    /// The recorded timeline in global sequence order: the concrete
+    /// driver ops replay executes, plus every oracle and chaos event for
+    /// inspection ([`Event::is_driver`] tells them apart).
+    pub events: Vec<EventRecord>,
 }
 
 /// One worker's slice of the campaign.
@@ -433,16 +351,11 @@ pub fn run(cfg: &CampaignCfg) -> CampaignReport {
         .oracle_opts(cfg.oracle_opts)
         .faults(FaultSet::from_bits(cfg.fault_bits))
         .chaos(cfg.chaos)
+        .record(cfg.record_trace)
         .boot();
     let oracle = proxy.oracle.clone();
     let machine = proxy.machine.clone();
-    let recorder = cfg.record_trace.then(TraceRecorder::new);
-    let mut parts = proxy.partition(cfg.workers);
-    if let Some(rec) = &recorder {
-        for p in parts.iter_mut() {
-            p.set_recorder(rec.clone());
-        }
-    }
+    let parts = proxy.partition(cfg.workers);
     let seeds: Vec<u64> = (0..cfg.workers)
         .map(|w| worker_seed(cfg.base_seed, w))
         .collect();
@@ -523,13 +436,13 @@ pub fn run(cfg: &CampaignCfg) -> CampaignReport {
         stats.merge(&w.stats);
     }
     let violations = oracle.as_ref().map(|o| o.violations()).unwrap_or_default();
-    let trace = recorder.map(|rec| CampaignTrace {
+    let trace = cfg.record_trace.then(|| CampaignTrace {
         config,
         oracle_opts: cfg.oracle_opts,
         fault_bits: cfg.fault_bits,
         chaos: cfg.chaos,
         seeds,
-        events: rec.snapshot(),
+        events: proxy.events().take_events(),
     });
     CampaignReport {
         workers,
@@ -577,13 +490,17 @@ impl ReplayOutcome {
 /// Replays a recorded campaign single-threaded: boots a fresh machine
 /// from the trace's configuration and faults (the oracle always
 /// installed — replay exists to reproduce violations), then executes the
-/// recorded events in their recorded global order. No RNG, model or
-/// allocator runs: every argument is already concrete in the trace.
+/// recorded *driver* events in their recorded global order; oracle and
+/// chaos events in the trace are context, not instructions — the replay
+/// oracle regenerates its own. No RNG, model or allocator runs: every
+/// argument is already concrete in the trace. Replay is deterministic,
+/// so two replays of the same trace — in this process or another —
+/// produce identical verdicts and violation sequence ids.
 pub fn replay(trace: &CampaignTrace) -> ReplayOutcome {
     replay_events(trace, &trace.events)
 }
 
-fn replay_events(trace: &CampaignTrace, events: &[TraceEvent]) -> ReplayOutcome {
+fn replay_events(trace: &CampaignTrace, events: &[EventRecord]) -> ReplayOutcome {
     let proxy = Proxy::builder()
         .config(trace.config.clone())
         .oracle_opts(trace.oracle_opts)
@@ -596,19 +513,20 @@ fn replay_events(trace: &CampaignTrace, events: &[TraceEvent]) -> ReplayOutcome 
         if m.panicked().is_some() {
             break;
         }
-        match &ev.op {
-            TraceOp::Hvc { cpu, func, args } => {
+        match &ev.event {
+            Event::Hvc { cpu, func, args } => {
                 let _ = m.hvc(*cpu, *func, args);
             }
-            TraceOp::WriteMem { pa, value } => {
+            Event::WriteMem { pa, value } => {
                 let _ = m.mem.write_u64(PhysAddr::new(*pa), *value);
             }
-            TraceOp::HostAccess { cpu, addr, access } => {
+            Event::HostAccess { cpu, addr, access } => {
                 let _ = m.host_access(*cpu, *addr, *access);
             }
-            TraceOp::PushGuestOp { handle, idx, op } => {
+            Event::PushGuestOp { handle, idx, op } => {
                 let _ = m.push_guest_op(*handle, *idx, *op);
             }
+            _ => continue,
         }
         steps += 1;
     }
@@ -627,17 +545,24 @@ fn replay_events(trace: &CampaignTrace, events: &[TraceEvent]) -> ReplayOutcome 
 /// unchanged.
 pub fn minimize(trace: &CampaignTrace, max_replays: usize) -> CampaignTrace {
     let mut budget = max_replays;
-    let mut spend = |events: &[TraceEvent]| -> Option<bool> {
+    let mut spend = |events: &[EventRecord]| -> Option<bool> {
         if budget == 0 {
             return None;
         }
         budget -= 1;
         Some(replay_events(trace, events).violated())
     };
-    if spend(&trace.events) != Some(true) {
+    // Only driver events replay; drop the oracle/chaos context up front
+    // so chunk removal spends its budget on actions that matter.
+    let mut events: Vec<EventRecord> = trace
+        .events
+        .iter()
+        .filter(|r| r.event.is_driver())
+        .cloned()
+        .collect();
+    if spend(&events) != Some(true) {
         return trace.clone();
     }
-    let mut events = trace.events.clone();
     let mut chunk = (events.len() / 2).max(1);
     'outer: loop {
         let mut i = 0;

@@ -41,6 +41,7 @@ use std::sync::Arc;
 use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
 use pkvm_aarch64::sync::Mutex;
 use pkvm_aarch64::{Esr, GprFile};
+use pkvm_ghost::event::{ChaosKind, Event, EventSink, EventStream};
 use pkvm_hyp::faults::{Fault, FaultSet};
 use pkvm_hyp::hooks::{Component, ComponentView, GhostHooks, HookCtx, VcpuView};
 use pkvm_hyp::vm::Handle;
@@ -324,11 +325,32 @@ pub struct ChaosHooks {
     cfg: ChaosCfg,
     state: Mutex<HookChaos>,
     counters: Arc<ChaosCounters>,
+    /// The unified event stream injections are announced on, when wired
+    /// through a [`Proxy`] (see [`ChaosHooks::wrap_recorded`]).
+    events: Option<Arc<EventStream>>,
 }
 
 impl ChaosHooks {
     /// Wraps `inner` with the hook-plane chaos of `cfg`.
     pub fn wrap(inner: Arc<dyn GhostHooks>, cfg: &ChaosCfg) -> Arc<ChaosHooks> {
+        Self::build(inner, cfg, None)
+    }
+
+    /// Like [`ChaosHooks::wrap`], but every injection is also emitted as
+    /// an [`Event::Chaos`] on the unified stream.
+    pub fn wrap_recorded(
+        inner: Arc<dyn GhostHooks>,
+        cfg: &ChaosCfg,
+        events: Arc<EventStream>,
+    ) -> Arc<ChaosHooks> {
+        Self::build(inner, cfg, Some(events))
+    }
+
+    fn build(
+        inner: Arc<dyn GhostHooks>,
+        cfg: &ChaosCfg,
+        events: Option<Arc<EventStream>>,
+    ) -> Arc<ChaosHooks> {
         Arc::new(ChaosHooks {
             inner,
             cfg: *cfg,
@@ -338,7 +360,15 @@ impl ChaosHooks {
                 delayed: VecDeque::new(),
             }),
             counters: Arc::new(ChaosCounters::default()),
+            events,
         })
+    }
+
+    /// Announces one injection on the unified stream, when wired.
+    fn note(&self, cpu: usize, kind: ChaosKind) {
+        if let Some(ev) = &self.events {
+            ev.emit(cpu as u32, None, Event::Chaos { cpu, kind });
+        }
     }
 
     /// The shared injection counters (also incremented by the driver
@@ -412,10 +442,12 @@ impl ChaosHooks {
         };
         if drop_it {
             self.counters.dropped_events.fetch_add(1, Ordering::Relaxed);
+            self.note(ctx.cpu, ChaosKind::DroppedLock);
             return;
         }
         if delay {
             self.counters.delayed_events.fetch_add(1, Ordering::Relaxed);
+            self.note(ctx.cpu, ChaosKind::DelayedHook);
             return;
         }
         if release {
@@ -425,6 +457,7 @@ impl ChaosHooks {
         }
         if dup_it {
             self.counters.duped_events.fetch_add(1, Ordering::Relaxed);
+            self.note(ctx.cpu, ChaosKind::DupedLock);
             if release {
                 self.inner.lock_releasing(ctx, comp, view);
             } else {
@@ -477,7 +510,7 @@ impl GhostHooks for ChaosHooks {
 
     fn read_once(&self, ctx: &HookCtx<'_>, tag: &'static str, value: u64) {
         self.flush(ctx);
-        let reported = {
+        let (reported, corrupt) = {
             let mut st = self.state.lock();
             let corrupt =
                 self.cfg.p_torn_read_once > 0.0 && st.rng.gen_bool(self.cfg.p_torn_read_once);
@@ -497,8 +530,11 @@ impl GhostHooks for ChaosHooks {
             if corrupt {
                 self.counters.torn_reads.fetch_add(1, Ordering::Relaxed);
             }
-            reported
+            (reported, corrupt)
         };
+        if corrupt {
+            self.note(ctx.cpu, ChaosKind::TornReadOnce);
+        }
         self.inner.read_once(ctx, tag, reported);
     }
 
@@ -581,6 +617,14 @@ impl ChaosDriver {
             }
             let bit = self.rng.gen_range(0..64u64);
             proxy.write_mem(pa, val ^ (1 << bit));
+            proxy.events().emit(
+                proxy.worker() as u32,
+                None,
+                Event::Chaos {
+                    cpu: proxy.worker(),
+                    kind: ChaosKind::BitFlip,
+                },
+            );
             self.flips += 1;
             if let Some(c) = proxy.chaos_counters() {
                 c.bit_flips.fetch_add(1, Ordering::Relaxed);
@@ -1017,9 +1061,9 @@ mod tests {
 
     #[test]
     fn driver_bit_flips_are_recorded_and_stay_in_ram() {
-        let mut p = Proxy::boot_default();
-        let rec = crate::campaign::TraceRecorder::new();
-        p.set_recorder(rec.clone());
+        let p = Proxy::builder().record(true).boot();
+        let mut cur = p.events().cursor();
+        p.events().poll(&mut cur); // skip boot-time events
         let cfg = ChaosCfg::builder().seed(9).bit_flip(1.0).build();
         let mut driver = ChaosDriver::new(&cfg, 0);
         for _ in 0..32 {
@@ -1032,13 +1076,32 @@ mod tests {
             "only {} flips in 32 steps",
             driver.flips()
         );
-        let events = rec.snapshot();
-        assert_eq!(events.len() as u64, driver.flips());
+        let recs = p.events().poll(&mut cur);
+        let writes: Vec<u64> = recs
+            .iter()
+            .filter_map(|r| match r.event {
+                Event::WriteMem { pa, .. } => Some(pa),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(writes.len() as u64, driver.flips());
+        // Every flip is also tagged on the stream, so trace consumers can
+        // tell an injected write from a driver's parameter-page setup.
+        let tagged = recs
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    Event::Chaos {
+                        kind: ChaosKind::BitFlip,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(tagged as u64, driver.flips());
         let (pool_pfn, pool_pages) = p.machine.state.hyp_range;
-        for ev in &events {
-            let crate::campaign::TraceOp::WriteMem { pa, .. } = ev.op else {
-                panic!("driver recorded a non-WriteMem op: {:?}", ev.op);
-            };
+        for pa in writes {
             let pfn = pa >> 12;
             assert!(
                 (pool_pfn..pool_pfn + pool_pages).contains(&pfn),

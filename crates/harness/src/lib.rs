@@ -9,6 +9,9 @@
 //!   prediction, reproducible per seed;
 //! - [`campaign`] — parallel multi-worker random-testing campaigns with
 //!   recorded schedules, deterministic replay and trace minimization;
+//! - [`tracefile`] — the `.pkvmtrace` on-disk codec: a recorded campaign
+//!   (config, chaos, seeds and the full event timeline) persists to a
+//!   compact self-describing binary file and replays in a fresh process;
 //! - [`chaos`] — the chaos fault-injection engine: seeded corruption of
 //!   the oracle's inputs (and the machine under it) with a
 //!   detection-matrix sweep proving the oracle fails safe;
@@ -26,11 +29,11 @@ pub mod proxy;
 pub mod random;
 pub mod rng;
 pub mod scenarios;
+pub mod tracefile;
 
 pub use bugs::{detect, sweep, BugReport, Detection};
 pub use campaign::{
-    minimize, replay, CampaignCfg, CampaignReport, CampaignTrace, ReplayOutcome, TraceEvent,
-    TraceOp, TraceRecorder, WorkerReport,
+    minimize, replay, CampaignCfg, CampaignReport, CampaignTrace, ReplayOutcome, WorkerReport,
 };
 pub use chaos::{
     classify, detection_matrix, mutation_sweep, render_mutation, ChaosCfg, ChaosDriver,
@@ -43,3 +46,4 @@ pub use proxy::{Proxy, ProxyOpts};
 pub use random::{RandomCfg, RandomTester, RunStats};
 pub use rng::Rng;
 pub use scenarios::{all as all_scenarios, run_all, Kind, Scenario, SuiteResult};
+pub use tracefile::{load_trace, save_trace, TraceFileError};

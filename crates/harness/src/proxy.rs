@@ -14,6 +14,7 @@ use std::sync::Arc;
 use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
 use pkvm_aarch64::sync::Mutex;
 use pkvm_aarch64::walk::Access;
+use pkvm_ghost::event::{ChaosKind, Event, EventSink, EventStream};
 use pkvm_ghost::oracle::{Oracle, OracleOpts};
 use pkvm_ghost::Violation;
 use pkvm_hyp::error::Errno;
@@ -22,7 +23,6 @@ use pkvm_hyp::hypercalls::*;
 use pkvm_hyp::machine::{HostAccessFault, Machine, MachineConfig};
 use pkvm_hyp::vm::{GuestOp, Handle};
 
-use crate::campaign::{TraceOp, TraceRecorder};
 use crate::chaos::{ChaosCfg, ChaosCounters, ChaosHooks, ChaosInjected};
 use crate::rng::Rng;
 
@@ -43,6 +43,9 @@ pub struct ProxyOpts {
     /// Chaos injection (hook-plane corruption and allocator chaos),
     /// when testing the oracle's own resilience.
     pub chaos: Option<ChaosCfg>,
+    /// Retain the full event timeline for replay/persistence (sequence
+    /// numbers are assigned either way, so violation ids are stable).
+    pub record: bool,
 }
 
 impl Default for ProxyOpts {
@@ -53,6 +56,7 @@ impl Default for ProxyOpts {
             oracle_opts: OracleOpts::default(),
             faults: FaultSet::none(),
             chaos: None,
+            record: false,
         }
     }
 }
@@ -93,6 +97,13 @@ impl ProxyBuilder {
         self
     }
 
+    /// Retain the full event timeline (default off: only the bounded
+    /// violation/check indexes are kept).
+    pub fn record(mut self, on: bool) -> Self {
+        self.0.record = on;
+        self
+    }
+
     /// Boots the machine and wraps it.
     pub fn boot(self) -> Proxy {
         Proxy::boot(self.0)
@@ -120,20 +131,21 @@ struct AllocChaos {
 }
 
 impl AllocChaos {
-    /// Perturbs (or passes through) one granted allocation.
-    fn perturb(&mut self, pfn: u64) -> u64 {
+    /// Perturbs (or passes through) one granted allocation; the flag
+    /// reports whether a duplicate was injected.
+    fn perturb(&mut self, pfn: u64) -> (u64, bool) {
         if !self.recent.is_empty() && self.rng.gen_bool(self.p) {
             let i = self.rng.gen_range(0..self.recent.len());
             self.counters
                 .alloc_faults
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return self.recent[i];
+            return (self.recent[i], true);
         }
         self.recent.push(pfn);
         if self.recent.len() > 32 {
             self.recent.remove(0);
         }
-        pfn
+        (pfn, false)
     }
 }
 
@@ -152,7 +164,9 @@ pub struct Proxy {
     pub oracle: Option<Arc<Oracle>>,
     alloc: Arc<Mutex<AllocRange>>,
     worker: usize,
-    recorder: Option<Arc<TraceRecorder>>,
+    /// The unified event stream every producer (driver ops, oracle
+    /// hooks, chaos injections) records into.
+    events: Arc<EventStream>,
     /// The chaos decorator, when chaos was configured at boot.
     chaos: Option<Arc<ChaosHooks>>,
     /// The chaos config, kept so [`Proxy::partition`] can reseed
@@ -170,9 +184,13 @@ impl Proxy {
 
     /// Boots a machine per `opts` and wraps it.
     pub fn boot(opts: ProxyOpts) -> Proxy {
+        let events = Arc::new(EventStream::new(
+            opts.record,
+            opts.oracle_opts.violation_cap,
+        ));
         let oracle = opts
             .with_oracle
-            .then(|| Oracle::new(&opts.config, opts.oracle_opts));
+            .then(|| Oracle::with_stream(&opts.config, opts.oracle_opts, events.clone()));
         let faults = Arc::new(opts.faults);
         let inner: Arc<dyn pkvm_hyp::hooks::GhostHooks> = match &oracle {
             Some(o) => o.clone(),
@@ -180,7 +198,9 @@ impl Proxy {
         };
         // Chaos decorates whatever hooks boot — the corruption sits
         // between the hypervisor's instrumentation and the oracle.
-        let chaos = opts.chaos.map(|cfg| ChaosHooks::wrap(inner.clone(), &cfg));
+        let chaos = opts
+            .chaos
+            .map(|cfg| ChaosHooks::wrap_recorded(inner.clone(), &cfg, events.clone()));
         let hooks: Arc<dyn pkvm_hyp::hooks::GhostHooks> = match &chaos {
             Some(c) => c.clone(),
             None => inner,
@@ -209,7 +229,7 @@ impl Proxy {
             oracle,
             alloc: Arc::new(Mutex::new(AllocRange { next: start, end })),
             worker: 0,
-            recorder: None,
+            events,
             chaos,
             chaos_cfg: opts.chaos,
             alloc_chaos,
@@ -266,7 +286,7 @@ impl Proxy {
                     oracle: self.oracle.clone(),
                     alloc: Arc::new(Mutex::new(AllocRange { next: lo, end: hi })),
                     worker: i as usize,
-                    recorder: self.recorder.clone(),
+                    events: self.events.clone(),
                     chaos: self.chaos.clone(),
                     chaos_cfg: self.chaos_cfg,
                     alloc_chaos,
@@ -280,17 +300,16 @@ impl Proxy {
         self.worker
     }
 
-    /// Installs a trace recorder: every hypercall, parameter-page write,
+    /// The unified event stream: every hypercall, parameter-page write,
     /// host access and guest-op injection made through this handle is
-    /// recorded (immediately before it executes) for deterministic replay.
-    pub fn set_recorder(&mut self, recorder: Arc<TraceRecorder>) {
-        self.recorder = Some(recorder);
+    /// emitted (immediately before it executes) for deterministic
+    /// replay, interleaved with the oracle's and chaos engine's events.
+    pub fn events(&self) -> &Arc<EventStream> {
+        &self.events
     }
 
-    fn record(&self, op: TraceOp) {
-        if let Some(rec) = &self.recorder {
-            rec.record(self.worker, op);
-        }
+    fn emit(&self, event: Event) {
+        self.events.emit(self.worker as u32, None, event);
     }
 
     /// Allocates `n` contiguous host pages, returning the first pfn, or
@@ -311,7 +330,14 @@ impl Proxy {
         // already granted. The fresh range is still consumed, so
         // exhaustion (and termination) behave exactly as without chaos.
         if let Some(chaos) = &self.alloc_chaos {
-            return Some(chaos.lock().perturb(pfn));
+            let (pfn, duped) = chaos.lock().perturb(pfn);
+            if duped {
+                self.emit(Event::Chaos {
+                    cpu: self.worker,
+                    kind: ChaosKind::AllocChaos,
+                });
+            }
+            return Some(pfn);
         }
         Some(pfn)
     }
@@ -334,7 +360,7 @@ impl Proxy {
 
     /// Raw hypercall with arbitrary function id and arguments.
     pub fn hvc(&self, cpu: usize, func: u64, args: &[u64]) -> u64 {
-        self.record(TraceOp::Hvc {
+        self.emit(Event::Hvc {
             cpu,
             func,
             args: args.to_vec(),
@@ -345,7 +371,7 @@ impl Proxy {
     /// Writes host memory directly (parameter-page setup), recorded for
     /// replay.
     pub fn write_mem(&self, pa: PhysAddr, value: u64) {
-        self.record(TraceOp::WriteMem {
+        self.emit(Event::WriteMem {
             pa: pa.bits(),
             value,
         });
@@ -363,7 +389,7 @@ impl Proxy {
         addr: u64,
         access: Access,
     ) -> Result<u64, HostAccessFault> {
-        self.record(TraceOp::HostAccess { cpu, addr, access });
+        self.emit(Event::HostAccess { cpu, addr, access });
         self.machine.host_access(cpu, addr, access)
     }
 
@@ -469,7 +495,7 @@ impl Proxy {
 
     /// Enqueues a guest action, recorded for replay.
     pub fn push_guest_op(&self, handle: Handle, idx: usize, op: GuestOp) -> Result<(), Errno> {
-        self.record(TraceOp::PushGuestOp { handle, idx, op });
+        self.emit(Event::PushGuestOp { handle, idx, op });
         self.machine.push_guest_op(handle, idx, op)
     }
 
@@ -579,18 +605,21 @@ mod tests {
 
     #[test]
     fn recorded_handles_capture_the_op_stream() {
-        use crate::campaign::{TraceOp, TraceRecorder};
-        let rec = TraceRecorder::new();
-        let mut p = Proxy::boot_default();
-        p.set_recorder(rec.clone());
+        let p = Proxy::builder().record(true).boot();
+        let mut cur = p.events().cursor();
+        p.events().poll(&mut cur); // skip boot-time events
         let pfn = p.alloc_page();
         p.share(0, pfn).unwrap();
-        let events = rec.snapshot();
-        assert_eq!(events.len(), 1);
+        let recs = p.events().poll(&mut cur);
+        let drivers: Vec<_> = recs.iter().filter(|r| r.event.is_driver()).collect();
+        assert_eq!(drivers.len(), 1);
+        assert_eq!(drivers[0].lane, 0);
         assert!(matches!(
-            &events[0].op,
-            TraceOp::Hvc { cpu: 0, func, args } if *func == HVC_HOST_SHARE_HYP && args == &[pfn]
+            &drivers[0].event,
+            Event::Hvc { cpu: 0, func, args } if *func == HVC_HOST_SHARE_HYP && args == &[pfn]
         ));
+        // Polling again returns only what arrived since — no recopying.
+        assert!(p.events().poll(&mut cur).is_empty());
     }
 
     #[test]

@@ -1,0 +1,875 @@
+//! The `.pkvmtrace` on-disk codec: persistent, replayable campaigns.
+//!
+//! A recorded campaign ([`CampaignTrace`]) — machine shape, oracle
+//! switches, injected faults, the chaos config with its seeds, and the
+//! full unified event timeline — encodes to a compact self-describing
+//! binary file and decodes back bit-identically in a *fresh process*.
+//! That turns a violating run into an exchangeable correctness witness:
+//! anyone holding the file can replay the exact schedule, inspect the
+//! timeline (`examples/trace_inspect.rs`), or minimize it, without the
+//! process (or machine) that produced it.
+//!
+//! Format: the 8-byte magic `PKVMTRCE`, a varint format version
+//! ([`FORMAT_VERSION`]), then the trace sections in a fixed order. All
+//! integers are LEB128 varints; floats are their IEEE bits in 8
+//! little-endian bytes; strings are varint length + UTF-8 bytes; event
+//! timestamps are delta-encoded against the previous record (they are
+//! nondecreasing in sequence order, so deltas stay small). No external
+//! dependencies, no unsafe code, and [`decode_trace`] never panics on
+//! malformed input — every failure is a [`TraceFileError`].
+
+use std::path::Path;
+
+use pkvm_aarch64::walk::Access;
+use pkvm_ghost::abstraction::Anomaly;
+use pkvm_ghost::event::{ChaosKind, Event, EventRecord};
+use pkvm_ghost::oracle::{OracleOpts, TrapOutcome};
+use pkvm_ghost::Violation;
+use pkvm_hyp::hooks::Component;
+use pkvm_hyp::machine::MachineConfig;
+use pkvm_hyp::vm::GuestOp;
+
+use crate::campaign::CampaignTrace;
+use crate::chaos::ChaosCfg;
+
+/// The file magic: the first 8 bytes of every `.pkvmtrace` file.
+pub const MAGIC: &[u8; 8] = b"PKVMTRCE";
+
+/// Current format version. Bump on any incompatible layout change;
+/// [`decode_trace`] refuses versions it does not know.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Why a trace file failed to load. Loading *never* panics: a truncated
+/// or bit-rotted file is an expected input, not a bug.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    BadVersion(u64),
+    /// The file ended in the middle of a field.
+    Truncated,
+    /// A field decoded to an impossible value (unknown enum tag, invalid
+    /// UTF-8, an integer out of range).
+    Malformed(&'static str),
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::BadMagic => write!(f, "not a .pkvmtrace file (bad magic)"),
+            TraceFileError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace format version {v} (want {FORMAT_VERSION})"
+                )
+            }
+            TraceFileError::Truncated => write!(f, "trace file truncated"),
+            TraceFileError::Malformed(what) => write!(f, "malformed trace file: {what}"),
+            TraceFileError::Io(e) => write!(f, "trace file i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------- encode
+
+struct Wr(Vec<u8>);
+
+impl Wr {
+    fn u64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.0.push(byte);
+                return;
+            }
+            self.0.push(byte | 0x80);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0.push(b);
+    }
+
+    fn boolean(&mut self, b: bool) {
+        self.0.push(b as u8);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.0.extend_from_slice(s.as_bytes());
+    }
+
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.byte(0),
+            Some(v) => {
+                self.byte(1);
+                self.u64(v);
+            }
+        }
+    }
+
+    fn component(&mut self, comp: Component) {
+        match comp {
+            Component::Hyp => self.byte(0),
+            Component::Host => self.byte(1),
+            Component::VmTable => self.byte(2),
+            Component::Vm(h) => {
+                self.byte(3);
+                self.u64(h as u64);
+            }
+        }
+    }
+
+    fn anomaly(&mut self, a: &Anomaly) {
+        match a {
+            Anomaly::ReservedDescriptor {
+                table,
+                index,
+                level,
+            } => {
+                self.byte(0);
+                self.u64(*table);
+                self.usize(*index);
+                self.u64(*level as u64);
+            }
+            Anomaly::IllegalPageState { ia } => {
+                self.byte(1);
+                self.u64(*ia);
+            }
+            Anomaly::HostNotIdentity { ia, oa } => {
+                self.byte(2);
+                self.u64(*ia);
+                self.u64(*oa);
+            }
+            Anomaly::HostOutsideMemory { ia } => {
+                self.byte(3);
+                self.u64(*ia);
+            }
+            Anomaly::HostBadDeviceAttrs { ia } => {
+                self.byte(4);
+                self.u64(*ia);
+            }
+            Anomaly::TableOutsideMemory { table } => {
+                self.byte(5);
+                self.u64(*table);
+            }
+        }
+    }
+
+    fn violation(&mut self, v: &Violation) {
+        match v {
+            Violation::SpecMismatch {
+                seq,
+                trap,
+                component,
+                uniq,
+                diff,
+            } => {
+                self.byte(0);
+                self.opt_u64(*seq);
+                self.str(trap);
+                self.str(component);
+                self.opt_u64(*uniq);
+                self.str(diff);
+            }
+            Violation::UnexpectedChange {
+                seq,
+                trap,
+                component,
+                uniq,
+                diff,
+            } => {
+                self.byte(1);
+                self.opt_u64(*seq);
+                self.str(trap);
+                self.str(component);
+                self.opt_u64(*uniq);
+                self.str(diff);
+            }
+            Violation::NonInterference {
+                seq,
+                component,
+                uniq,
+                diff,
+            } => {
+                self.byte(2);
+                self.opt_u64(*seq);
+                self.str(component);
+                self.opt_u64(*uniq);
+                self.str(diff);
+            }
+            Violation::SeparationOverlap {
+                seq,
+                component,
+                pfn,
+                owner,
+            } => {
+                self.byte(3);
+                self.opt_u64(*seq);
+                self.str(component);
+                self.u64(*pfn);
+                self.str(owner);
+            }
+            Violation::AbstractionAnomaly {
+                seq,
+                context,
+                anomaly,
+            } => {
+                self.byte(4);
+                self.opt_u64(*seq);
+                self.str(context);
+                self.anomaly(anomaly);
+            }
+            Violation::HypPanic { seq, reason } => {
+                self.byte(5);
+                self.opt_u64(*seq);
+                self.str(reason);
+            }
+            Violation::OracleSelfCheck {
+                seq,
+                context,
+                detail,
+            } => {
+                self.byte(6);
+                self.opt_u64(*seq);
+                self.str(context);
+                self.str(detail);
+            }
+            Violation::ShadowDivergence {
+                seq,
+                component,
+                diff,
+            } => {
+                self.byte(7);
+                self.opt_u64(*seq);
+                self.str(component);
+                self.str(diff);
+            }
+            Violation::OracleInternal {
+                seq,
+                component,
+                payload,
+            } => {
+                self.byte(8);
+                self.opt_u64(*seq);
+                self.str(component);
+                self.str(payload);
+            }
+        }
+    }
+
+    fn event(&mut self, ev: &Event) {
+        match ev {
+            Event::Hvc { cpu, func, args } => {
+                self.byte(0);
+                self.usize(*cpu);
+                self.u64(*func);
+                self.usize(args.len());
+                for a in args {
+                    self.u64(*a);
+                }
+            }
+            Event::WriteMem { pa, value } => {
+                self.byte(1);
+                self.u64(*pa);
+                self.u64(*value);
+            }
+            Event::HostAccess { cpu, addr, access } => {
+                self.byte(2);
+                self.usize(*cpu);
+                self.u64(*addr);
+                self.byte(match access {
+                    Access::Read => 0,
+                    Access::Write => 1,
+                    Access::Exec => 2,
+                });
+            }
+            Event::PushGuestOp { handle, idx, op } => {
+                self.byte(3);
+                self.u64(*handle as u64);
+                self.usize(*idx);
+                match op {
+                    GuestOp::Read(a) => {
+                        self.byte(0);
+                        self.u64(*a);
+                    }
+                    GuestOp::Write(a, v) => {
+                        self.byte(1);
+                        self.u64(*a);
+                        self.u64(*v);
+                    }
+                    GuestOp::HvcShareHost(a) => {
+                        self.byte(2);
+                        self.u64(*a);
+                    }
+                    GuestOp::HvcUnshareHost(a) => {
+                        self.byte(3);
+                        self.u64(*a);
+                    }
+                    GuestOp::Wfi => self.byte(4),
+                }
+            }
+            Event::TrapEnter { cpu } => {
+                self.byte(4);
+                self.usize(*cpu);
+            }
+            Event::TrapExit { cpu, name } => {
+                self.byte(5);
+                self.usize(*cpu);
+                self.str(name);
+            }
+            Event::LockAcquired { cpu, comp } => {
+                self.byte(6);
+                self.usize(*cpu);
+                self.component(*comp);
+            }
+            Event::LockReleasing { cpu, comp } => {
+                self.byte(7);
+                self.usize(*cpu);
+                self.component(*comp);
+            }
+            Event::ReadOnce { cpu, tag, value } => {
+                self.byte(8);
+                self.usize(*cpu);
+                self.str(tag);
+                self.u64(*value);
+            }
+            Event::TablePageAlloc { comp, pfn } => {
+                self.byte(9);
+                self.component(*comp);
+                self.u64(*pfn);
+            }
+            Event::TablePageFree { comp, pfn } => {
+                self.byte(10);
+                self.component(*comp);
+                self.u64(*pfn);
+            }
+            Event::Chaos { cpu, kind } => {
+                self.byte(11);
+                self.usize(*cpu);
+                self.byte(match kind {
+                    ChaosKind::BitFlip => 0,
+                    ChaosKind::TornReadOnce => 1,
+                    ChaosKind::DroppedLock => 2,
+                    ChaosKind::DupedLock => 3,
+                    ChaosKind::DelayedHook => 4,
+                    ChaosKind::AllocChaos => 5,
+                });
+            }
+            Event::Check { cpu, name, outcome } => {
+                self.byte(12);
+                self.usize(*cpu);
+                self.str(name);
+                match outcome {
+                    TrapOutcome::Clean => self.byte(0),
+                    TrapOutcome::Violated(n) => {
+                        self.byte(1);
+                        self.usize(*n);
+                    }
+                    TrapOutcome::Unchecked(why) => {
+                        self.byte(2);
+                        self.str(why);
+                    }
+                }
+            }
+            Event::Violation(v) => {
+                self.byte(13);
+                self.violation(v);
+            }
+        }
+    }
+}
+
+/// Encodes a trace into the `.pkvmtrace` byte format.
+pub fn encode_trace(trace: &CampaignTrace) -> Vec<u8> {
+    let mut w = Wr(Vec::new());
+    w.0.extend_from_slice(MAGIC);
+    w.u64(FORMAT_VERSION);
+    // Machine shape.
+    w.usize(trace.config.nr_cpus);
+    w.usize(trace.config.dram.len());
+    for (base, size) in &trace.config.dram {
+        w.u64(*base);
+        w.u64(*size);
+    }
+    w.usize(trace.config.mmio.len());
+    for (base, size) in &trace.config.mmio {
+        w.u64(*base);
+        w.u64(*size);
+    }
+    w.u64(trace.config.hyp_pool_pages);
+    // Oracle switches.
+    w.boolean(trace.oracle_opts.check_noninterference);
+    w.boolean(trace.oracle_opts.check_separation);
+    w.boolean(trace.oracle_opts.incremental_abstraction);
+    w.boolean(trace.oracle_opts.shadow_validation);
+    w.usize(trace.oracle_opts.violation_cap);
+    w.u64(trace.oracle_opts.trap_check_budget);
+    w.u64(trace.oracle_opts.quarantine_threshold as u64);
+    w.u64(trace.oracle_opts.quarantine_traps);
+    // Faults and chaos.
+    w.u64(trace.fault_bits as u64);
+    match &trace.chaos {
+        None => w.byte(0),
+        Some(c) => {
+            w.byte(1);
+            w.u64(c.seed);
+            w.f64(c.p_bit_flip);
+            w.f64(c.p_torn_read_once);
+            w.f64(c.p_drop_lock_event);
+            w.f64(c.p_dup_lock_event);
+            w.f64(c.p_delay_hook);
+            w.f64(c.p_alloc_chaos);
+        }
+    }
+    // Seeds.
+    w.usize(trace.seeds.len());
+    for s in &trace.seeds {
+        w.u64(*s);
+    }
+    // The timeline, timestamps delta-encoded.
+    w.usize(trace.events.len());
+    let mut prev_t = 0u64;
+    for rec in &trace.events {
+        w.u64(rec.seq);
+        w.u64(rec.lane as u64);
+        w.opt_u64(rec.trap);
+        w.u64(rec.t_ns.wrapping_sub(prev_t));
+        prev_t = rec.t_ns;
+        w.event(&rec.event);
+    }
+    w.0
+}
+
+// ---------------------------------------------------------------- decode
+
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type Res<T> = Result<T, TraceFileError>;
+
+impl<'a> Rd<'a> {
+    fn byte(&mut self) -> Res<u8> {
+        let b = *self.buf.get(self.pos).ok_or(TraceFileError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Res<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err(TraceFileError::Malformed("varint overflows u64"));
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn usize(&mut self) -> Res<usize> {
+        usize::try_from(self.u64()?).map_err(|_| TraceFileError::Malformed("usize out of range"))
+    }
+
+    fn u32(&mut self) -> Res<u32> {
+        u32::try_from(self.u64()?).map_err(|_| TraceFileError::Malformed("u32 out of range"))
+    }
+
+    fn boolean(&mut self) -> Res<bool> {
+        match self.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(TraceFileError::Malformed("bool out of range")),
+        }
+    }
+
+    fn f64(&mut self) -> Res<f64> {
+        if self.buf.len() - self.pos < 8 {
+            return Err(TraceFileError::Truncated);
+        }
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+
+    fn str(&mut self) -> Res<String> {
+        let len = self.usize()?;
+        if self.buf.len() - self.pos < len {
+            return Err(TraceFileError::Truncated);
+        }
+        let s = std::str::from_utf8(&self.buf[self.pos..self.pos + len])
+            .map_err(|_| TraceFileError::Malformed("string is not UTF-8"))?;
+        self.pos += len;
+        Ok(s.to_string())
+    }
+
+    fn opt_u64(&mut self) -> Res<Option<u64>> {
+        match self.byte()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(TraceFileError::Malformed("option tag out of range")),
+        }
+    }
+
+    fn component(&mut self) -> Res<Component> {
+        Ok(match self.byte()? {
+            0 => Component::Hyp,
+            1 => Component::Host,
+            2 => Component::VmTable,
+            3 => Component::Vm(self.u32()?),
+            _ => return Err(TraceFileError::Malformed("unknown component tag")),
+        })
+    }
+
+    fn anomaly(&mut self) -> Res<Anomaly> {
+        Ok(match self.byte()? {
+            0 => Anomaly::ReservedDescriptor {
+                table: self.u64()?,
+                index: self.usize()?,
+                level: u8::try_from(self.u64()?)
+                    .map_err(|_| TraceFileError::Malformed("level out of range"))?,
+            },
+            1 => Anomaly::IllegalPageState { ia: self.u64()? },
+            2 => Anomaly::HostNotIdentity {
+                ia: self.u64()?,
+                oa: self.u64()?,
+            },
+            3 => Anomaly::HostOutsideMemory { ia: self.u64()? },
+            4 => Anomaly::HostBadDeviceAttrs { ia: self.u64()? },
+            5 => Anomaly::TableOutsideMemory { table: self.u64()? },
+            _ => return Err(TraceFileError::Malformed("unknown anomaly tag")),
+        })
+    }
+
+    fn violation(&mut self) -> Res<Violation> {
+        Ok(match self.byte()? {
+            0 => Violation::SpecMismatch {
+                seq: self.opt_u64()?,
+                trap: self.str()?,
+                component: self.str()?,
+                uniq: self.opt_u64()?,
+                diff: self.str()?,
+            },
+            1 => Violation::UnexpectedChange {
+                seq: self.opt_u64()?,
+                trap: self.str()?,
+                component: self.str()?,
+                uniq: self.opt_u64()?,
+                diff: self.str()?,
+            },
+            2 => Violation::NonInterference {
+                seq: self.opt_u64()?,
+                component: self.str()?,
+                uniq: self.opt_u64()?,
+                diff: self.str()?,
+            },
+            3 => Violation::SeparationOverlap {
+                seq: self.opt_u64()?,
+                component: self.str()?,
+                pfn: self.u64()?,
+                owner: self.str()?,
+            },
+            4 => Violation::AbstractionAnomaly {
+                seq: self.opt_u64()?,
+                context: self.str()?,
+                anomaly: self.anomaly()?,
+            },
+            5 => Violation::HypPanic {
+                seq: self.opt_u64()?,
+                reason: self.str()?,
+            },
+            6 => Violation::OracleSelfCheck {
+                seq: self.opt_u64()?,
+                context: self.str()?,
+                detail: self.str()?,
+            },
+            7 => Violation::ShadowDivergence {
+                seq: self.opt_u64()?,
+                component: self.str()?,
+                diff: self.str()?,
+            },
+            8 => Violation::OracleInternal {
+                seq: self.opt_u64()?,
+                component: self.str()?,
+                payload: self.str()?,
+            },
+            _ => return Err(TraceFileError::Malformed("unknown violation tag")),
+        })
+    }
+
+    fn event(&mut self) -> Res<Event> {
+        Ok(match self.byte()? {
+            0 => {
+                let cpu = self.usize()?;
+                let func = self.u64()?;
+                let n = self.usize()?;
+                let mut args = Vec::new();
+                for _ in 0..n {
+                    args.push(self.u64()?);
+                }
+                Event::Hvc { cpu, func, args }
+            }
+            1 => Event::WriteMem {
+                pa: self.u64()?,
+                value: self.u64()?,
+            },
+            2 => Event::HostAccess {
+                cpu: self.usize()?,
+                addr: self.u64()?,
+                access: match self.byte()? {
+                    0 => Access::Read,
+                    1 => Access::Write,
+                    2 => Access::Exec,
+                    _ => return Err(TraceFileError::Malformed("unknown access tag")),
+                },
+            },
+            3 => Event::PushGuestOp {
+                handle: self.u32()?,
+                idx: self.usize()?,
+                op: match self.byte()? {
+                    0 => GuestOp::Read(self.u64()?),
+                    1 => GuestOp::Write(self.u64()?, self.u64()?),
+                    2 => GuestOp::HvcShareHost(self.u64()?),
+                    3 => GuestOp::HvcUnshareHost(self.u64()?),
+                    4 => GuestOp::Wfi,
+                    _ => return Err(TraceFileError::Malformed("unknown guest-op tag")),
+                },
+            },
+            4 => Event::TrapEnter { cpu: self.usize()? },
+            5 => Event::TrapExit {
+                cpu: self.usize()?,
+                name: self.str()?,
+            },
+            6 => Event::LockAcquired {
+                cpu: self.usize()?,
+                comp: self.component()?,
+            },
+            7 => Event::LockReleasing {
+                cpu: self.usize()?,
+                comp: self.component()?,
+            },
+            8 => Event::ReadOnce {
+                cpu: self.usize()?,
+                tag: self.str()?,
+                value: self.u64()?,
+            },
+            9 => Event::TablePageAlloc {
+                comp: self.component()?,
+                pfn: self.u64()?,
+            },
+            10 => Event::TablePageFree {
+                comp: self.component()?,
+                pfn: self.u64()?,
+            },
+            11 => Event::Chaos {
+                cpu: self.usize()?,
+                kind: match self.byte()? {
+                    0 => ChaosKind::BitFlip,
+                    1 => ChaosKind::TornReadOnce,
+                    2 => ChaosKind::DroppedLock,
+                    3 => ChaosKind::DupedLock,
+                    4 => ChaosKind::DelayedHook,
+                    5 => ChaosKind::AllocChaos,
+                    _ => return Err(TraceFileError::Malformed("unknown chaos-kind tag")),
+                },
+            },
+            12 => Event::Check {
+                cpu: self.usize()?,
+                name: self.str()?,
+                outcome: match self.byte()? {
+                    0 => TrapOutcome::Clean,
+                    1 => TrapOutcome::Violated(self.usize()?),
+                    2 => TrapOutcome::Unchecked(self.str()?),
+                    _ => return Err(TraceFileError::Malformed("unknown outcome tag")),
+                },
+            },
+            13 => Event::Violation(self.violation()?),
+            _ => return Err(TraceFileError::Malformed("unknown event tag")),
+        })
+    }
+}
+
+/// Decodes a `.pkvmtrace` byte buffer back into a [`CampaignTrace`].
+///
+/// # Errors
+///
+/// Any malformed, truncated or version-mismatched input returns a
+/// [`TraceFileError`]; this function never panics.
+pub fn decode_trace(bytes: &[u8]) -> Res<CampaignTrace> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(TraceFileError::BadMagic);
+    }
+    let mut r = Rd {
+        buf: bytes,
+        pos: MAGIC.len(),
+    };
+    let version = r.u64()?;
+    if version != FORMAT_VERSION {
+        return Err(TraceFileError::BadVersion(version));
+    }
+    let nr_cpus = r.usize()?;
+    let mut dram = Vec::new();
+    for _ in 0..r.usize()? {
+        dram.push((r.u64()?, r.u64()?));
+    }
+    let mut mmio = Vec::new();
+    for _ in 0..r.usize()? {
+        mmio.push((r.u64()?, r.u64()?));
+    }
+    let hyp_pool_pages = r.u64()?;
+    let config = MachineConfig {
+        nr_cpus,
+        dram,
+        mmio,
+        hyp_pool_pages,
+    };
+    let oracle_opts = OracleOpts::builder()
+        .check_noninterference(r.boolean()?)
+        .check_separation(r.boolean()?)
+        .incremental_abstraction(r.boolean()?)
+        .shadow_validation(r.boolean()?)
+        .violation_cap(r.usize()?)
+        .trap_check_budget(r.u64()?)
+        .quarantine_threshold(r.u32()?)
+        .quarantine_traps(r.u64()?)
+        .build();
+    let fault_bits = r.u32()?;
+    let chaos = match r.byte()? {
+        0 => None,
+        1 => Some(
+            ChaosCfg::builder()
+                .seed(r.u64()?)
+                .bit_flip(r.f64()?)
+                .torn_read_once(r.f64()?)
+                .drop_lock_event(r.f64()?)
+                .dup_lock_event(r.f64()?)
+                .delay_hook(r.f64()?)
+                .alloc_chaos(r.f64()?)
+                .build(),
+        ),
+        _ => return Err(TraceFileError::Malformed("chaos tag out of range")),
+    };
+    let mut seeds = Vec::new();
+    for _ in 0..r.usize()? {
+        seeds.push(r.u64()?);
+    }
+    let nr_events = r.usize()?;
+    let mut events = Vec::new();
+    let mut prev_t = 0u64;
+    for _ in 0..nr_events {
+        let seq = r.u64()?;
+        let lane = r.u32()?;
+        let trap = r.opt_u64()?;
+        let t_ns = prev_t.wrapping_add(r.u64()?);
+        prev_t = t_ns;
+        let event = r.event()?;
+        events.push(EventRecord {
+            seq,
+            lane,
+            trap,
+            t_ns,
+            event,
+        });
+    }
+    if r.pos != bytes.len() {
+        return Err(TraceFileError::Malformed("trailing bytes after trace"));
+    }
+    Ok(CampaignTrace {
+        config,
+        oracle_opts,
+        fault_bits,
+        chaos,
+        seeds,
+        events,
+    })
+}
+
+/// Writes `trace` to `path` in the `.pkvmtrace` format.
+///
+/// # Errors
+///
+/// Propagates the underlying file-system error.
+pub fn save_trace<P: AsRef<Path>>(path: P, trace: &CampaignTrace) -> Res<()> {
+    std::fs::write(path, encode_trace(trace))?;
+    Ok(())
+}
+
+/// Reads a `.pkvmtrace` file back into a [`CampaignTrace`].
+///
+/// # Errors
+///
+/// Returns a [`TraceFileError`] for I/O failures and for any malformed,
+/// truncated or version-mismatched content; never panics.
+pub fn load_trace<P: AsRef<Path>>(path: P) -> Res<CampaignTrace> {
+    decode_trace(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip_at_the_boundaries() {
+        let mut w = Wr(Vec::new());
+        let probes = [0, 1, 127, 128, 0x3fff, 0x4000, u64::MAX];
+        for v in probes {
+            w.u64(v);
+        }
+        let mut r = Rd { buf: &w.0, pos: 0 };
+        for v in probes {
+            assert_eq!(r.u64().unwrap(), v);
+        }
+        assert_eq!(r.pos, w.0.len());
+    }
+
+    #[test]
+    fn an_overlong_varint_is_malformed_not_a_panic() {
+        let buf = [0xff; 11];
+        let mut r = Rd { buf: &buf, pos: 0 };
+        assert!(matches!(r.u64(), Err(TraceFileError::Malformed(_))));
+    }
+
+    #[test]
+    fn empty_and_foreign_buffers_fail_cleanly() {
+        assert!(matches!(decode_trace(&[]), Err(TraceFileError::BadMagic)));
+        assert!(matches!(
+            decode_trace(b"ELF\x7f----------"),
+            Err(TraceFileError::BadMagic)
+        ));
+        // Right magic, hostile version.
+        let mut bytes = MAGIC.to_vec();
+        bytes.push(99);
+        assert!(matches!(
+            decode_trace(&bytes),
+            Err(TraceFileError::BadVersion(99))
+        ));
+    }
+}

@@ -34,7 +34,7 @@ use crate::state::{HypCtx, HypState};
 use crate::vm::{Handle, Vcpu, VmTable};
 
 /// Machine construction parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MachineConfig {
     /// Number of hardware threads.
     pub nr_cpus: usize,

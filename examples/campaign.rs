@@ -65,7 +65,7 @@ fn main() {
             trace.events.len()
         );
         for ev in minimized.events.iter().take(10) {
-            println!("    worker {}: {:?}", ev.worker, ev.op);
+            println!("    #{} lane {}: {:?}", ev.seq, ev.lane, ev.event);
         }
     } else {
         println!("  (the violation did not reproduce under the recorded linearisation)");

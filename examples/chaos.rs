@@ -14,11 +14,18 @@
 //! - `mutation [seed] [steps]` — the mutation mini-sweep: known
 //!   hypervisor bugs injected *while* a chaos family corrupts the
 //!   oracle's inputs; reports whether detection survives the noise.
+//! - `record <file> [seed] [steps]` — run one all-families chaotic
+//!   campaign, persist its trace to `<file>` (`.pkvmtrace` format),
+//!   replay it in-process and print the canonical verdict line.
+//! - `replay <file>` — load `<file>` in a *fresh* process, replay it,
+//!   and print the same canonical verdict line. A recorded campaign is
+//!   bit-identically replayable iff the two lines match.
 //!
 //! Run with `cargo run --release --example chaos -- <mode> [args]`.
 
-use pkvm_harness::campaign::{replay, CampaignCfg};
+use pkvm_harness::campaign::{replay, CampaignCfg, ReplayOutcome};
 use pkvm_harness::chaos::{detection_matrix, mutation_sweep, ChaosCfg, ChaosFamily, MatrixCfg};
+use pkvm_harness::tracefile::{load_trace, save_trace};
 use pkvm_hyp::faults::Fault;
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -26,6 +33,45 @@ fn parse_u64(s: &str) -> Option<u64> {
         Some(hex) => u64::from_str_radix(hex, 16).ok(),
         None => s.parse().ok(),
     }
+}
+
+/// The canonical verdict line: everything that must survive a trip
+/// through the trace file — violation count, kinds, the event sequence
+/// ids each violation diverged at, the hypervisor panic, and the number
+/// of driver events executed. `record` and `replay` both print it; the
+/// ci gate asserts the two lines are byte-identical.
+fn verdict_line(outcome: &ReplayOutcome) -> String {
+    let kinds: Vec<&'static str> = outcome.violations.iter().map(|v| v.kind()).collect();
+    let seqs: Vec<String> = outcome
+        .violations
+        .iter()
+        .map(|v| match v.event_seq() {
+            Some(s) => s.to_string(),
+            None => "-".to_string(),
+        })
+        .collect();
+    format!(
+        "verdict: violations={} kinds=[{}] seqs=[{}] panic={:?} steps={}",
+        outcome.violations.len(),
+        kinds.join(","),
+        seqs.join(","),
+        outcome.hyp_panic.as_deref().unwrap_or("none"),
+        outcome.steps,
+    )
+}
+
+/// The all-families hook/alloc chaos config the `campaign` and `record`
+/// modes share (bit flips excluded: they corrupt the machine, and these
+/// modes demonstrate *oracle* survival plus deterministic replay).
+fn all_families_chaos(seed: u64) -> ChaosCfg {
+    ChaosCfg::builder()
+        .seed(seed ^ 0xc4a0)
+        .torn_read_once(0.1)
+        .drop_lock_event(0.01)
+        .dup_lock_event(0.01)
+        .delay_hook(0.02)
+        .alloc_chaos(0.1)
+        .build()
 }
 
 fn main() {
@@ -49,17 +95,7 @@ fn main() {
         "campaign" => {
             let seed = args.next().as_deref().and_then(parse_u64).unwrap_or(0xc2);
             let steps = args.next().as_deref().and_then(parse_u64).unwrap_or(400);
-            // Every hook/alloc family at once (bit flips excluded: they
-            // corrupt the machine, and this mode demonstrates *oracle*
-            // survival plus deterministic replay).
-            let chaos = ChaosCfg::builder()
-                .seed(seed ^ 0xc4a0)
-                .torn_read_once(0.1)
-                .drop_lock_event(0.01)
-                .dup_lock_event(0.01)
-                .delay_hook(0.02)
-                .alloc_chaos(0.1)
-                .build();
+            let chaos = all_families_chaos(seed);
             let report = CampaignCfg::builder()
                 .workers(2)
                 .steps_per_worker(steps)
@@ -122,8 +158,45 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "record" => {
+            let Some(path) = args.next() else {
+                eprintln!("usage: chaos record <file.pkvmtrace> [seed] [steps]");
+                std::process::exit(2);
+            };
+            let seed = args.next().as_deref().and_then(parse_u64).unwrap_or(0xc2);
+            let steps = args.next().as_deref().and_then(parse_u64).unwrap_or(400);
+            let report = CampaignCfg::builder()
+                .workers(2)
+                .steps_per_worker(steps)
+                .base_seed(seed)
+                .stop_on_violation(false)
+                .chaos(all_families_chaos(seed))
+                .run();
+            let trace = report.trace.expect("trace recorded");
+            if let Err(e) = save_trace(&path, &trace) {
+                eprintln!("cannot save {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("recorded {} events to {path}", trace.events.len());
+            println!("{}", verdict_line(&replay(&trace)));
+        }
+        "replay" => {
+            let Some(path) = args.next() else {
+                eprintln!("usage: chaos replay <file.pkvmtrace>");
+                std::process::exit(2);
+            };
+            let trace = match load_trace(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot load {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!("loaded {} events from {path}", trace.events.len());
+            println!("{}", verdict_line(&replay(&trace)));
+        }
         other => {
-            eprintln!("unknown mode {other:?}; use matrix | campaign | mutation");
+            eprintln!("unknown mode {other:?}; use matrix | campaign | mutation | record | replay");
             std::process::exit(2);
         }
     }

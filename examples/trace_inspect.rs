@@ -1,0 +1,87 @@
+//! Inspect a recorded `.pkvmtrace` file without replaying it.
+//!
+//! A trace file is a correctness witness: the machine shape, the oracle
+//! switches, the chaos config and seeds, and the full unified timeline
+//! of one campaign. This tool decodes it and answers the first three
+//! questions about any violating run — what happened (`summary`), in
+//! what order (`dump`), and on which worker (`dump <lane>`).
+//!
+//! Usage:
+//!   cargo run --release --example trace_inspect -- <file> [summary]
+//!   cargo run --release --example trace_inspect -- <file> dump [lane]
+//!
+//! `summary` (the default) prints the campaign header plus the streaming
+//! stats tables: event counts per family, chaos injections per kind,
+//! per-trap latency histogram summaries, and per-lane occupancy. `dump`
+//! prints every record in global sequence order, optionally filtered to
+//! one lane (worker).
+
+use pkvm_ghost::event::{Event, TraceStats};
+use pkvm_harness::tracefile::load_trace;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_inspect <file.pkvmtrace> [summary | dump [lane]]");
+        std::process::exit(2);
+    };
+    let mode = args.next().unwrap_or_else(|| "summary".to_string());
+    let lane_filter: Option<u32> = args.next().and_then(|s| s.parse().ok());
+
+    let trace = match load_trace(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_inspect: cannot load {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("{path}:");
+    println!(
+        "  machine: {} cpus, {} dram region(s), {} mmio region(s), {} hyp pool pages",
+        trace.config.nr_cpus,
+        trace.config.dram.len(),
+        trace.config.mmio.len(),
+        trace.config.hyp_pool_pages,
+    );
+    println!("  fault bits: {:#x}", trace.fault_bits);
+    match &trace.chaos {
+        Some(c) => println!("  chaos: seed {:#x}", c.seed),
+        None => println!("  chaos: none"),
+    }
+    println!("  worker seeds: {:x?}", trace.seeds);
+    let violations = trace
+        .events
+        .iter()
+        .filter(|r| matches!(r.event, Event::Violation(_)))
+        .count();
+    println!(
+        "  events: {} ({} violation(s))",
+        trace.events.len(),
+        violations
+    );
+
+    match mode.as_str() {
+        "summary" => {
+            let mut stats = TraceStats::new();
+            stats.observe_all(&trace.events);
+            print!("{}", stats.render());
+        }
+        "dump" => {
+            for rec in &trace.events {
+                if lane_filter.is_some_and(|l| l != rec.lane) {
+                    continue;
+                }
+                let trap = rec.trap.map(|t| format!(" trap#{t}")).unwrap_or_default();
+                println!(
+                    "  #{:<6} lane {:<2}{} +{}ns {:?}",
+                    rec.seq, rec.lane, trap, rec.t_ns, rec.event
+                );
+            }
+        }
+        other => {
+            eprintln!("trace_inspect: unknown mode {other:?} (want summary or dump)");
+            std::process::exit(2);
+        }
+    }
+}
