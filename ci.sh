@@ -48,6 +48,23 @@ if [ "$RECORDED_VERDICT" != "$REPLAYED_VERDICT" ]; then
 fi
 cargo run --release --example trace_inspect -- "$TRACE_TMP" summary > /dev/null
 
+echo "== fuzz gate (fixed seed, coverage vs random + corpus round-trip) =="
+# A short fixed-seed coverage-guided fuzzing session. Fails unless (a) the
+# fuzzer's session coverage is at least the pure-random baseline's at an
+# equal driver-step budget, (b) zero panics escaped the oracle's
+# containment, and (c) the persisted corpus reloads and replays with
+# bit-identical verdicts in a *second process*.
+FUZZ_CORPUS="$(mktemp -d -t pkvmcorpus.XXXXXX)"
+trap 'rm -f "$TRACE_TMP"; rm -rf "$FUZZ_CORPUS"' EXIT
+GATE_VERDICT="$(cargo run --release --example fuzz -- gate "$FUZZ_CORPUS" 0xc5 4000 | grep '^corpus-verdict:')"
+VERIFY_VERDICT="$(cargo run --release --example fuzz -- verify "$FUZZ_CORPUS" | grep '^corpus-verdict:')"
+echo "  gate:     $GATE_VERDICT"
+echo "  verified: $VERIFY_VERDICT"
+if [ "$GATE_VERDICT" != "$VERIFY_VERDICT" ]; then
+    echo "fuzz corpus replay verdict differs across processes" >&2
+    exit 1
+fi
+
 echo "== mutation mini-sweep (3 bugs x 3 chaos families) =="
 # Known bugs injected while chaos corrupts the oracle's inputs; exits
 # non-zero unless every bug is still detected with no worker panic.

@@ -44,7 +44,7 @@ pub const TRACE_CAP: usize = 256;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ChaosKind {
     /// A live page-table bit flip (driver-injected; the matching
-    /// `WriteMem` event is the replayable half).
+    /// `CorruptMem` event is the replayable half).
     BitFlip,
     /// A `READ_ONCE` value delivered torn or stale.
     TornReadOnce,
@@ -73,8 +73,9 @@ impl ChaosKind {
 }
 
 /// One timeline entry. Driver-plane variants (`Hvc`, `WriteMem`,
-/// `HostAccess`, `PushGuestOp`) are the replayable schedule; the rest are
-/// observations recorded by the oracle and the chaos engine.
+/// `CorruptMem`, `HostAccess`, `PushGuestOp`) are the replayable
+/// schedule; the rest are observations recorded by the oracle and the
+/// chaos engine.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
     /// A hypercall issued by a driver/worker.
@@ -86,8 +87,21 @@ pub enum Event {
         /// Call arguments.
         args: Vec<u64>,
     },
-    /// A raw physical-memory write (chaos bit flips inject through this).
+    /// A host write to memory (parameter-page setup). Carries host
+    /// privilege only: execution goes through the host's stage 2, so a
+    /// write to a page the host no longer owns faults instead of
+    /// corrupting hypervisor state.
     WriteMem {
+        /// Physical address written.
+        pa: u64,
+        /// Value written.
+        value: u64,
+    },
+    /// A raw physical-memory write that bypasses all translation — the
+    /// chaos engine's fault-injection primitive (bit flips in live
+    /// hypervisor tables). Deliberately *not* subject to stage 2: it
+    /// models silent corruption, not a host action.
+    CorruptMem {
         /// Physical address written.
         pa: u64,
         /// Value written.
@@ -188,6 +202,7 @@ impl Event {
         match self {
             Event::Hvc { .. } => "hvc",
             Event::WriteMem { .. } => "write-mem",
+            Event::CorruptMem { .. } => "corrupt-mem",
             Event::HostAccess { .. } => "host-access",
             Event::PushGuestOp { .. } => "push-guest-op",
             Event::TrapEnter { .. } => "trap-enter",
@@ -209,6 +224,7 @@ impl Event {
             self,
             Event::Hvc { .. }
                 | Event::WriteMem { .. }
+                | Event::CorruptMem { .. }
                 | Event::HostAccess { .. }
                 | Event::PushGuestOp { .. }
         )
@@ -392,6 +408,129 @@ impl EventSink for EventStream {
     fn emit(&self, lane: u32, trap: Option<u64>, event: Event) -> u64 {
         self.append(lane, trap, event).0
     }
+}
+
+/// Incremental FNV-1a-style folder for [`novelty_signature`]: feeds the
+/// *shape* of a timeline — trap names, check outcomes, lock/table-page
+/// component kinds, violation kinds — into one 64-bit hash, deliberately
+/// excluding concrete values (page numbers, register contents, VM handles,
+/// timestamps). Two runs that walk the same control/ghost-state shape
+/// share a signature even when their concrete pages differ; a run that
+/// reaches a new post-trap shape gets a new one. The fuzzer uses this as
+/// its second feedback channel, alongside named coverage points.
+#[derive(Clone, Copy, Debug)]
+pub struct ShapeHasher(u64);
+
+impl Default for ShapeHasher {
+    fn default() -> Self {
+        // FNV-1a 64-bit offset basis.
+        ShapeHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl ShapeHasher {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> ShapeHasher {
+        ShapeHasher::default()
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn tag(&mut self, s: &str) {
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+        self.byte(0);
+    }
+
+    fn component(&mut self, comp: &Component) {
+        // Kind only: per-VM handles would make every VM incarnation a
+        // "new" shape and drown the signal in noise.
+        self.byte(match comp {
+            Component::Hyp => 1,
+            Component::Host => 2,
+            Component::VmTable => 3,
+            Component::Vm(_) => 4,
+        });
+    }
+
+    /// Folds one record's shape contribution (a no-op for events that
+    /// carry only concrete data, like raw memory writes).
+    pub fn observe(&mut self, rec: &EventRecord) {
+        match &rec.event {
+            Event::TrapExit { name, .. } => {
+                self.byte(1);
+                self.tag(name);
+            }
+            Event::Check { name, outcome, .. } => {
+                self.byte(2);
+                self.tag(name);
+                match outcome {
+                    TrapOutcome::Clean => self.byte(0),
+                    TrapOutcome::Violated(_) => self.byte(1),
+                    TrapOutcome::Unchecked(why) => {
+                        self.byte(2);
+                        self.tag(why);
+                    }
+                }
+            }
+            Event::LockAcquired { comp, .. } => {
+                self.byte(3);
+                self.component(comp);
+            }
+            Event::LockReleasing { comp, .. } => {
+                self.byte(4);
+                self.component(comp);
+            }
+            Event::TablePageAlloc { comp, .. } => {
+                self.byte(5);
+                self.component(comp);
+            }
+            Event::TablePageFree { comp, .. } => {
+                self.byte(6);
+                self.component(comp);
+            }
+            Event::Violation(v) => {
+                self.byte(7);
+                self.tag(v.kind());
+                if let Some(c) = v.component() {
+                    self.tag(c);
+                }
+            }
+            Event::Chaos { kind, .. } => {
+                self.byte(8);
+                self.tag(kind.name());
+            }
+            // Driver ops and raw read/trap-enter events are the *input*,
+            // not the observed behaviour; folding them in would make every
+            // mutation "novel" by construction.
+            Event::Hvc { .. }
+            | Event::WriteMem { .. }
+            | Event::CorruptMem { .. }
+            | Event::HostAccess { .. }
+            | Event::PushGuestOp { .. }
+            | Event::TrapEnter { .. }
+            | Event::ReadOnce { .. } => {}
+        }
+    }
+
+    /// The signature folded so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The ghost-state novelty signature of a recorded timeline: the hash of
+/// its post-trap component shapes (see [`ShapeHasher`]).
+pub fn novelty_signature(records: &[EventRecord]) -> u64 {
+    let mut h = ShapeHasher::new();
+    for r in records {
+        h.observe(r);
+    }
+    h.finish()
 }
 
 /// Latency histogram for one trap name: log2(ns) buckets plus exact
@@ -634,6 +773,115 @@ mod tests {
         let t = s.trap_records();
         assert_eq!(t.len(), TRACE_CAP);
         assert_eq!(t.last().unwrap().name, format!("t{}", TRACE_CAP + 9));
+    }
+
+    #[test]
+    fn novelty_signature_hashes_shape_not_values() {
+        let rec = |event| EventRecord {
+            seq: 0,
+            lane: 0,
+            trap: None,
+            t_ns: 0,
+            event,
+        };
+        let shape = |name: &str, pfn: u64, value: u64| {
+            novelty_signature(&[
+                rec(Event::Hvc {
+                    cpu: 0,
+                    func: value,
+                    args: vec![pfn],
+                }),
+                rec(Event::WriteMem { pa: pfn, value }),
+                rec(Event::LockAcquired {
+                    cpu: 0,
+                    comp: Component::Vm(value as Handle),
+                }),
+                rec(Event::TablePageAlloc {
+                    comp: Component::Host,
+                    pfn,
+                }),
+                rec(Event::TrapExit {
+                    cpu: 0,
+                    name: name.into(),
+                }),
+                rec(Event::Check {
+                    cpu: 0,
+                    name: name.into(),
+                    outcome: TrapOutcome::Clean,
+                }),
+            ])
+        };
+        // Concrete values (pfns, register contents, VM handles, driver
+        // inputs) do not participate: only the post-trap shape does.
+        assert_eq!(
+            shape("host_share_hyp", 10, 1),
+            shape("host_share_hyp", 99, 7)
+        );
+        // A different trap name is a different shape.
+        assert_ne!(
+            shape("host_share_hyp", 10, 1),
+            shape("host_unshare_hyp", 10, 1)
+        );
+        // A different check outcome is a different shape.
+        let clean = novelty_signature(&[rec(Event::Check {
+            cpu: 0,
+            name: "t".into(),
+            outcome: TrapOutcome::Clean,
+        })]);
+        let violated = novelty_signature(&[rec(Event::Check {
+            cpu: 0,
+            name: "t".into(),
+            outcome: TrapOutcome::Violated(1),
+        })]);
+        let unchecked = novelty_signature(&[rec(Event::Check {
+            cpu: 0,
+            name: "t".into(),
+            outcome: TrapOutcome::Unchecked("why".into()),
+        })]);
+        assert_ne!(clean, violated);
+        assert_ne!(clean, unchecked);
+        assert_ne!(violated, unchecked);
+        // A new lock-component kind is a different shape.
+        let host_lock = novelty_signature(&[rec(Event::LockAcquired {
+            cpu: 0,
+            comp: Component::Host,
+        })]);
+        let vm_lock = novelty_signature(&[rec(Event::LockAcquired {
+            cpu: 0,
+            comp: Component::Vm(3),
+        })]);
+        assert_ne!(host_lock, vm_lock);
+        // ... but two different VM handles are the same kind.
+        assert_eq!(
+            vm_lock,
+            novelty_signature(&[rec(Event::LockAcquired {
+                cpu: 0,
+                comp: Component::Vm(9),
+            })])
+        );
+        // Order matters (a shape is a sequence, not a set).
+        let ab = novelty_signature(&[
+            rec(Event::TrapEnter { cpu: 0 }),
+            rec(Event::TrapExit {
+                cpu: 0,
+                name: "a".into(),
+            }),
+            rec(Event::TrapExit {
+                cpu: 0,
+                name: "b".into(),
+            }),
+        ]);
+        let ba = novelty_signature(&[
+            rec(Event::TrapExit {
+                cpu: 0,
+                name: "b".into(),
+            }),
+            rec(Event::TrapExit {
+                cpu: 0,
+                name: "a".into(),
+            }),
+        ]);
+        assert_ne!(ab, ba);
     }
 
     #[test]

@@ -66,7 +66,8 @@ pub use check::{check_trap, normalize, CheckOutcome, Violation};
 pub use containment::{contain, Disposition, Quarantine};
 pub use diff::diff_states;
 pub use event::{
-    ChaosKind, Event, EventCursor, EventRecord, EventSink, EventStream, TraceStats, TRACE_CAP,
+    novelty_signature, ChaosKind, Event, EventCursor, EventRecord, EventSink, EventStream,
+    ShapeHasher, TraceStats, TRACE_CAP,
 };
 pub use maplet::{AbsAttrs, Maplet, MapletTarget};
 pub use mapping::Mapping;

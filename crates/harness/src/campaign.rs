@@ -500,7 +500,10 @@ pub fn replay(trace: &CampaignTrace) -> ReplayOutcome {
     replay_events(trace, &trace.events)
 }
 
-fn replay_events(trace: &CampaignTrace, events: &[EventRecord]) -> ReplayOutcome {
+/// Replays an explicit event slice under `trace`'s configuration (same
+/// semantics as [`replay`], which passes the trace's own events). The
+/// minimizer probes candidate subsequences through this.
+pub fn replay_events(trace: &CampaignTrace, events: &[EventRecord]) -> ReplayOutcome {
     let proxy = Proxy::builder()
         .config(trace.config.clone())
         .oracle_opts(trace.oracle_opts)
@@ -518,6 +521,11 @@ fn replay_events(trace: &CampaignTrace, events: &[EventRecord]) -> ReplayOutcome
                 let _ = m.hvc(*cpu, *func, args);
             }
             Event::WriteMem { pa, value } => {
+                // Host privilege: through the host's stage 2, like the
+                // recording side (Proxy::write_mem).
+                let _ = m.host_write(0, *pa, *value);
+            }
+            Event::CorruptMem { pa, value } => {
                 let _ = m.mem.write_u64(PhysAddr::new(*pa), *value);
             }
             Event::HostAccess { cpu, addr, access } => {
@@ -537,54 +545,10 @@ fn replay_events(trace: &CampaignTrace, events: &[EventRecord]) -> ReplayOutcome
     }
 }
 
-/// Greedily minimizes a violating trace: repeatedly tries to delete
-/// chunks of events (halving the chunk size down to 1) and keeps any
-/// deletion after which the replay still violates. Bounded by
-/// `max_replays` fresh-machine replays. Returns the (possibly unchanged)
-/// shortened trace; a trace that does not violate on replay is returned
-/// unchanged.
-pub fn minimize(trace: &CampaignTrace, max_replays: usize) -> CampaignTrace {
-    let mut budget = max_replays;
-    let mut spend = |events: &[EventRecord]| -> Option<bool> {
-        if budget == 0 {
-            return None;
-        }
-        budget -= 1;
-        Some(replay_events(trace, events).violated())
-    };
-    // Only driver events replay; drop the oracle/chaos context up front
-    // so chunk removal spends its budget on actions that matter.
-    let mut events: Vec<EventRecord> = trace
-        .events
-        .iter()
-        .filter(|r| r.event.is_driver())
-        .cloned()
-        .collect();
-    if spend(&events) != Some(true) {
-        return trace.clone();
-    }
-    let mut chunk = (events.len() / 2).max(1);
-    'outer: loop {
-        let mut i = 0;
-        while i < events.len() {
-            let mut candidate = events.clone();
-            candidate.drain(i..(i + chunk).min(candidate.len()));
-            match spend(&candidate) {
-                None => break 'outer,
-                Some(true) => events = candidate, // keep the deletion; retry at i
-                Some(false) => i += chunk,
-            }
-        }
-        if chunk == 1 {
-            break;
-        }
-        chunk /= 2;
-    }
-    CampaignTrace {
-        events,
-        ..trace.clone()
-    }
-}
+// The greedy minimizer moved to its own module so campaign post-mortems
+// and fuzzer crash triage share it; re-exported here because
+// `campaign::minimize` predates the split.
+pub use crate::minimize::minimize;
 
 #[cfg(test)]
 mod tests {

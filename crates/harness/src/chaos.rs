@@ -21,7 +21,7 @@
 //!   [`Proxy`]): bit flips in live page-table memory (the hypervisor's
 //!   own pool pages) and misbehaving host allocations (duplicate pages
 //!   handed out while still owned). These perturb the machine itself;
-//!   flips go through [`Proxy::write_mem`] so they land in the recorded
+//!   flips go through [`Proxy::corrupt_mem`] so they land in the recorded
 //!   trace and replay exactly.
 //!
 //! The [`detection_matrix`] sweep turns this into a mutation-score-style
@@ -561,8 +561,9 @@ impl GhostHooks for ChaosHooks {
 /// Driver-plane chaos: seeded per worker, stepped by the campaign loop
 /// between tester steps. Bit flips target the hypervisor's pool pages
 /// (the memory backing every stage 1/stage 2 translation table) and go
-/// through [`Proxy::write_mem`], so each flip is a recorded
-/// `WriteMem` trace op and replays bit-exactly.
+/// through [`Proxy::corrupt_mem`] — the raw, translation-bypassing
+/// corruption primitive — so each flip is a recorded `CorruptMem` trace
+/// op and replays bit-exactly.
 pub struct ChaosDriver {
     rng: Rng,
     p_bit_flip: f64,
@@ -616,7 +617,7 @@ impl ChaosDriver {
                 continue;
             }
             let bit = self.rng.gen_range(0..64u64);
-            proxy.write_mem(pa, val ^ (1 << bit));
+            proxy.corrupt_mem(pa, val ^ (1 << bit));
             proxy.events().emit(
                 proxy.worker() as u32,
                 None,
@@ -1080,7 +1081,7 @@ mod tests {
         let writes: Vec<u64> = recs
             .iter()
             .filter_map(|r| match r.event {
-                Event::WriteMem { pa, .. } => Some(pa),
+                Event::CorruptMem { pa, .. } => Some(pa),
                 _ => None,
             })
             .collect();

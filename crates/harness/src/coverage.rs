@@ -7,7 +7,9 @@
 //! the paper gives — coverage of the implementation and of the
 //! specification functions — after running a test campaign.
 
-use pkvm_hyp::cov::{self, Report};
+use pkvm_hyp::cov::{self, Report, Snapshot};
+
+pub use pkvm_hyp::cov::snapshot;
 
 /// Coverage points declared by the specification functions, kept in sync
 /// with `pkvm-ghost`'s `spec` module (the equivalent of the paper's "459
@@ -65,6 +67,17 @@ impl CoverageSummary {
         CoverageSummary {
             hyp: Report::over(hyp_points()),
             spec: Report::over(spec_points()),
+        }
+    }
+
+    /// The coverage accumulated *since* `before` (see
+    /// [`pkvm_hyp::cov::snapshot`]) — the delta primitive parallel
+    /// campaign and fuzz workers use instead of the racy global
+    /// [`reset`].
+    pub fn since(before: &Snapshot) -> CoverageSummary {
+        CoverageSummary {
+            hyp: Report::over(hyp_points()).diff(before),
+            spec: Report::over(spec_points()).diff(before),
         }
     }
 

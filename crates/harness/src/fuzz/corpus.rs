@@ -1,0 +1,207 @@
+//! The persistent seed corpus.
+//!
+//! A seed is an input (a driver-event sequence wrapped in a
+//! [`CampaignTrace`]) whose execution added coverage: a named
+//! implementation/spec coverage point nobody in the corpus had reached,
+//! or a novel ghost-state signature. Admitted seeds persist as
+//! `seed-NNNNNN.pkvmtrace` files in the corpus directory through the
+//! ordinary trace codec, so a corpus survives the process and reloads —
+//! and replays bit-identically — in the next session.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use crate::campaign::CampaignTrace;
+use crate::tracefile::{load_trace, save_trace, TraceFileError};
+
+/// One admitted input and the footprint that earned it admission.
+#[derive(Clone, Debug)]
+pub struct CorpusSeed {
+    /// Corpus-local id (also the persisted file number).
+    pub id: u64,
+    /// The input: driver events plus the execution configuration.
+    pub trace: CampaignTrace,
+    /// Coverage points the admitting execution reached (its delta, not
+    /// the process totals) — the scheduler weighs energy over these.
+    pub points: Vec<&'static str>,
+    /// Ghost-state novelty signature of the admitting execution.
+    pub sig: u64,
+    /// Where the seed persists, when a corpus directory is configured.
+    pub file: Option<PathBuf>,
+}
+
+/// The in-memory corpus with its on-disk mirror.
+#[derive(Debug)]
+pub struct Corpus {
+    /// Admitted seeds, in admission order.
+    pub seeds: Vec<CorpusSeed>,
+    seen_points: HashSet<&'static str>,
+    seen_sigs: HashSet<u64>,
+    dir: Option<PathBuf>,
+    next_id: u64,
+}
+
+impl Corpus {
+    /// An empty corpus; creates the directory when one is given.
+    pub fn new(dir: Option<PathBuf>) -> std::io::Result<Corpus> {
+        if let Some(d) = &dir {
+            std::fs::create_dir_all(d)?;
+        }
+        Ok(Corpus {
+            seeds: Vec::new(),
+            seen_points: HashSet::new(),
+            seen_sigs: HashSet::new(),
+            dir,
+            next_id: 0,
+        })
+    }
+
+    /// Offers an executed input for admission. Admits when it reached a
+    /// coverage point or novelty signature the corpus has not seen;
+    /// returns the new seed's id, or `None` when the input added
+    /// nothing. `existing` names the file a reloaded seed already lives
+    /// in, so re-admission on reload does not duplicate it on disk.
+    pub fn consider(
+        &mut self,
+        trace: CampaignTrace,
+        points: Vec<&'static str>,
+        sig: u64,
+        existing: Option<PathBuf>,
+    ) -> Result<Option<u64>, TraceFileError> {
+        let novel_point = points.iter().any(|p| !self.seen_points.contains(p));
+        let novel_sig = !self.seen_sigs.contains(&sig);
+        if !novel_point && !novel_sig {
+            return Ok(None);
+        }
+        self.seen_points.extend(points.iter().copied());
+        self.seen_sigs.insert(sig);
+        let id = self.next_id;
+        self.next_id += 1;
+        let file = match existing {
+            Some(f) => Some(f),
+            None => match &self.dir {
+                Some(d) => {
+                    let path = d.join(format!("seed-{id:06}.pkvmtrace"));
+                    save_trace(&path, &trace)?;
+                    Some(path)
+                }
+                None => None,
+            },
+        };
+        self.seeds.push(CorpusSeed {
+            id,
+            trace,
+            points,
+            sig,
+            file,
+        });
+        Ok(Some(id))
+    }
+
+    /// Number of distinct coverage points the corpus reaches.
+    pub fn points_covered(&self) -> usize {
+        self.seen_points.len()
+    }
+
+    /// Number of distinct novelty signatures the corpus reaches.
+    pub fn sigs_covered(&self) -> usize {
+        self.seen_sigs.len()
+    }
+}
+
+/// Loads every `seed-*.pkvmtrace` in `dir`, in filename order. Unreadable
+/// or malformed files are skipped, not fatal — a half-written seed from a
+/// killed session must not poison the next one.
+pub fn load_dir(dir: &Path) -> Vec<(PathBuf, CampaignTrace)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seed-") && n.ends_with(".pkvmtrace"))
+        })
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .filter_map(|p| load_trace(&p).ok().map(|t| (p, t)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkvm_ghost::event::{Event, EventRecord};
+    use pkvm_ghost::oracle::OracleOpts;
+    use pkvm_hyp::machine::MachineConfig;
+
+    fn trace(n_events: usize) -> CampaignTrace {
+        CampaignTrace {
+            config: MachineConfig::default(),
+            oracle_opts: OracleOpts::default(),
+            fault_bits: 0,
+            chaos: None,
+            seeds: Vec::new(),
+            events: (0..n_events)
+                .map(|i| EventRecord {
+                    seq: i as u64,
+                    lane: 0,
+                    trap: None,
+                    t_ns: 0,
+                    event: Event::Hvc {
+                        cpu: 0,
+                        func: 0xc600_0000,
+                        args: vec![i as u64],
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn admission_requires_novelty() {
+        let mut c = Corpus::new(None).unwrap();
+        assert_eq!(c.consider(trace(1), vec!["a"], 1, None).unwrap(), Some(0));
+        // Same points, same sig: rejected.
+        assert_eq!(c.consider(trace(2), vec!["a"], 1, None).unwrap(), None);
+        // New point admits.
+        assert_eq!(
+            c.consider(trace(3), vec!["a", "b"], 1, None).unwrap(),
+            Some(1)
+        );
+        // Known points but new signature admits.
+        assert_eq!(c.consider(trace(4), vec!["b"], 2, None).unwrap(), Some(2));
+        assert_eq!(c.seeds.len(), 3);
+        assert_eq!(c.points_covered(), 2);
+        assert_eq!(c.sigs_covered(), 2);
+    }
+
+    #[test]
+    fn seeds_persist_and_reload_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("pkvm-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Corpus::new(Some(dir.clone())).unwrap();
+        c.consider(trace(5), vec!["a"], 1, None).unwrap();
+        c.consider(trace(9), vec!["b"], 2, None).unwrap();
+        let loaded = load_dir(&dir);
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].1, trace(5));
+        assert_eq!(loaded[1].1, trace(9));
+        // A garbage file is skipped, never fatal.
+        std::fs::write(dir.join("seed-999999.pkvmtrace"), b"not a trace").unwrap();
+        assert_eq!(load_dir(&dir).len(), 2);
+        // Re-admitting a loaded seed with its existing path does not
+        // write a duplicate file.
+        let mut c2 = Corpus::new(Some(dir.clone())).unwrap();
+        for (path, t) in load_dir(&dir) {
+            c2.consider(t, vec!["x"], 3, Some(path)).unwrap();
+        }
+        let n_files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(n_files, 3, "reload duplicated seed files");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,136 @@
+//! The power schedule: which corpus seed to mutate next.
+//!
+//! Energy is rarity-weighted: a seed's energy is the sum of `1/frequency`
+//! over the coverage points its execution reached, plus `1/frequency` of
+//! its novelty signature — so seeds that reach points (or ghost-state
+//! shapes) few executions reach are mutated more often, and a point
+//! every input hits contributes almost nothing. Frequencies count *every*
+//! execution, not just corpus admissions, so energy decays naturally as
+//! the fuzzer re-visits the same territory.
+
+use std::collections::HashMap;
+
+use crate::rng::Rng;
+
+use super::corpus::CorpusSeed;
+
+/// Rarity bookkeeping shared by all fuzz workers (behind the fuzzer's
+/// mutex — the scheduler itself is plain data).
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    point_freq: HashMap<&'static str, u64>,
+    sig_freq: HashMap<u64, u64>,
+}
+
+impl Scheduler {
+    /// A fresh scheduler with no observations.
+    pub fn new() -> Scheduler {
+        Scheduler::default()
+    }
+
+    /// Folds one execution's footprint into the frequency tables.
+    pub fn observe(&mut self, points: &[&'static str], sig: u64) {
+        for p in points {
+            *self.point_freq.entry(p).or_insert(0) += 1;
+        }
+        *self.sig_freq.entry(sig).or_insert(0) += 1;
+    }
+
+    /// How often `point` has been reached across all executions.
+    pub fn point_frequency(&self, point: &str) -> u64 {
+        self.point_freq.get(point).copied().unwrap_or(0)
+    }
+
+    /// The rarity-weighted energy of a seed's footprint. Never zero, so
+    /// even a seed whose coverage has become common keeps a minimal
+    /// chance of selection.
+    pub fn energy(&self, points: &[&'static str], sig: u64) -> f64 {
+        let from_points: f64 = points
+            .iter()
+            .map(|p| 1.0 / self.point_frequency(p).max(1) as f64)
+            .sum();
+        let from_sig = 1.0 / self.sig_freq.get(&sig).copied().unwrap_or(1).max(1) as f64;
+        (from_points + from_sig).max(1e-6)
+    }
+
+    /// Picks a seed with probability proportional to its energy.
+    pub fn choose<'a>(&self, seeds: &'a [CorpusSeed], rng: &mut Rng) -> Option<&'a CorpusSeed> {
+        if seeds.is_empty() {
+            return None;
+        }
+        let energies: Vec<f64> = seeds
+            .iter()
+            .map(|s| self.energy(&s.points, s.sig))
+            .collect();
+        let total: f64 = energies.iter().sum();
+        let mut pick = rng.gen_f64() * total;
+        for (s, e) in seeds.iter().zip(&energies) {
+            pick -= e;
+            if pick < 0.0 {
+                return Some(s);
+            }
+        }
+        seeds.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignTrace;
+    use pkvm_ghost::oracle::OracleOpts;
+    use pkvm_hyp::machine::MachineConfig;
+
+    fn seed(id: u64, points: Vec<&'static str>, sig: u64) -> CorpusSeed {
+        CorpusSeed {
+            id,
+            trace: CampaignTrace {
+                config: MachineConfig::default(),
+                oracle_opts: OracleOpts::default(),
+                fault_bits: 0,
+                chaos: None,
+                seeds: Vec::new(),
+                events: Vec::new(),
+            },
+            points,
+            sig,
+            file: None,
+        }
+    }
+
+    #[test]
+    fn rare_coverage_earns_more_energy() {
+        let mut s = Scheduler::new();
+        // "common" seen 100 times, "rare" once.
+        for _ in 0..100 {
+            s.observe(&["common"], 1);
+        }
+        s.observe(&["rare"], 2);
+        assert!(s.energy(&["rare"], 2) > 10.0 * s.energy(&["common"], 1));
+    }
+
+    #[test]
+    fn choose_prefers_high_energy_seeds() {
+        let mut s = Scheduler::new();
+        for _ in 0..200 {
+            s.observe(&["common"], 1);
+        }
+        s.observe(&["rare"], 2);
+        let seeds = [seed(0, vec!["common"], 1), seed(1, vec!["rare"], 2)];
+        let mut rng = Rng::seed_from_u64(9);
+        let picks = (0..300)
+            .filter(|_| s.choose(&seeds, &mut rng).unwrap().id == 1)
+            .count();
+        assert!(picks > 200, "rare seed picked only {picks}/300 times");
+    }
+
+    #[test]
+    fn choose_handles_empty_and_unseen() {
+        let s = Scheduler::new();
+        let mut rng = Rng::seed_from_u64(1);
+        assert!(s.choose(&[], &mut rng).is_none());
+        // A seed whose points were never observed still has energy.
+        let seeds = [seed(0, vec![], 7)];
+        assert_eq!(s.choose(&seeds, &mut rng).unwrap().id, 0);
+    }
+}

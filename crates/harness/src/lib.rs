@@ -8,7 +8,13 @@
 //! - [`model`] / [`random`] — the model-guided random tester, with crash
 //!   prediction, reproducible per seed;
 //! - [`campaign`] — parallel multi-worker random-testing campaigns with
-//!   recorded schedules, deterministic replay and trace minimization;
+//!   recorded schedules and deterministic replay;
+//! - [`minimize`] — the budgeted greedy trace minimizer shared by
+//!   campaign post-mortems and fuzzer crash triage;
+//! - [`fuzz`] — the coverage-guided fuzzer: corpus of persisted seeds,
+//!   structure-aware mutation, rarity-weighted scheduling and violation
+//!   triage, fed back by per-input coverage deltas and a ghost-state
+//!   novelty signature;
 //! - [`tracefile`] — the `.pkvmtrace` on-disk codec: a recorded campaign
 //!   (config, chaos, seeds and the full event timeline) persists to a
 //!   compact self-describing binary file and replays in a fresh process;
@@ -24,6 +30,8 @@ pub mod bugs;
 pub mod campaign;
 pub mod chaos;
 pub mod coverage;
+pub mod fuzz;
+pub mod minimize;
 pub mod model;
 pub mod proxy;
 pub mod random;
@@ -33,7 +41,7 @@ pub mod tracefile;
 
 pub use bugs::{detect, sweep, BugReport, Detection};
 pub use campaign::{
-    minimize, replay, CampaignCfg, CampaignReport, CampaignTrace, ReplayOutcome, WorkerReport,
+    replay, replay_events, CampaignCfg, CampaignReport, CampaignTrace, ReplayOutcome, WorkerReport,
 };
 pub use chaos::{
     classify, detection_matrix, mutation_sweep, render_mutation, ChaosCfg, ChaosDriver,
@@ -41,6 +49,8 @@ pub use chaos::{
     RunVerdict,
 };
 pub use coverage::CoverageSummary;
+pub use fuzz::{FuzzCfg, FuzzReport, Fuzzer};
+pub use minimize::{minimize, minimize_with_stats, MinimizeOutcome};
 pub use model::{PageUse, TestModel};
 pub use proxy::{Proxy, ProxyOpts};
 pub use random::{RandomCfg, RandomTester, RunStats};

@@ -1,0 +1,148 @@
+//! Greedy trace minimization with a replay budget.
+//!
+//! Extracted from the campaign module so both campaign post-mortems and
+//! the fuzzer's crash triage share one minimizer: repeatedly try to
+//! delete chunks of driver events (halving the chunk size down to 1) and
+//! keep any deletion after which the replay still violates. Every probe
+//! boots a fresh machine, so the work is bounded by an explicit
+//! `max_replays` budget rather than by luck.
+
+use pkvm_ghost::EventRecord;
+
+use crate::campaign::{replay_events, CampaignTrace};
+
+/// What a [`minimize_with_stats`] run did, alongside the shortened trace.
+#[derive(Clone, Debug)]
+pub struct MinimizeOutcome {
+    /// The minimized trace (unchanged when the input never reproduced).
+    pub trace: CampaignTrace,
+    /// Fresh-machine replays actually spent.
+    pub replays_used: usize,
+    /// Driver events deleted from the input.
+    pub removed: usize,
+    /// Whether the *input* trace reproduced a violation at all; when
+    /// `false` there was nothing to minimize.
+    pub reproduced: bool,
+}
+
+/// Greedily minimizes a violating trace, bounded by `max_replays`
+/// fresh-machine replays. Returns the (possibly unchanged) shortened
+/// trace; a trace that does not violate on replay is returned unchanged.
+pub fn minimize(trace: &CampaignTrace, max_replays: usize) -> CampaignTrace {
+    minimize_with_stats(trace, max_replays).trace
+}
+
+/// [`minimize`], also reporting how much budget was spent and how many
+/// events fell away (the fuzzer's triage records these next to each
+/// deduplicated crash).
+pub fn minimize_with_stats(trace: &CampaignTrace, max_replays: usize) -> MinimizeOutcome {
+    let mut budget = max_replays;
+    let mut spend = |events: &[EventRecord]| -> Option<bool> {
+        if budget == 0 {
+            return None;
+        }
+        budget -= 1;
+        Some(replay_events(trace, events).violated())
+    };
+    // Only driver events replay; drop the oracle/chaos context up front
+    // so chunk removal spends its budget on actions that matter.
+    let mut events: Vec<EventRecord> = trace
+        .events
+        .iter()
+        .filter(|r| r.event.is_driver())
+        .cloned()
+        .collect();
+    let initial = events.len();
+    if spend(&events) != Some(true) {
+        return MinimizeOutcome {
+            trace: trace.clone(),
+            replays_used: max_replays - budget,
+            removed: 0,
+            reproduced: false,
+        };
+    }
+    let mut chunk = (events.len() / 2).max(1);
+    'outer: loop {
+        let mut i = 0;
+        while i < events.len() {
+            let mut candidate = events.clone();
+            candidate.drain(i..(i + chunk).min(candidate.len()));
+            match spend(&candidate) {
+                None => break 'outer,
+                Some(true) => events = candidate, // keep the deletion; retry at i
+                Some(false) => i += chunk,
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    let removed = initial - events.len();
+    MinimizeOutcome {
+        trace: CampaignTrace {
+            events,
+            ..trace.clone()
+        },
+        replays_used: max_replays - budget,
+        removed,
+        reproduced: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{replay, CampaignCfg};
+    use pkvm_hyp::faults::{Fault, FaultSet};
+
+    fn violating_trace() -> CampaignTrace {
+        let faults = FaultSet::none();
+        faults.inject(Fault::SynShareWrongState);
+        let report = CampaignCfg::builder()
+            .workers(1)
+            .steps_per_worker(200)
+            .base_seed(0xb0b)
+            .faults(&faults)
+            .run();
+        assert!(!report.is_clean(), "injected bug went unnoticed");
+        report.trace.expect("trace recorded")
+    }
+
+    #[test]
+    fn stats_report_spent_budget_and_shrinkage() {
+        let trace = violating_trace();
+        let driver = trace.events.iter().filter(|r| r.event.is_driver()).count();
+        let out = minimize_with_stats(&trace, 200);
+        assert!(out.reproduced);
+        assert!(out.replays_used > 0 && out.replays_used <= 200);
+        assert!(out.removed > 0, "nothing removed from {driver} events");
+        assert_eq!(out.trace.events.len(), driver - out.removed);
+        assert!(replay(&out.trace).violated());
+    }
+
+    #[test]
+    fn clean_trace_reports_not_reproduced() {
+        let report = CampaignCfg::builder()
+            .workers(1)
+            .steps_per_worker(50)
+            .base_seed(0xc1ea)
+            .run();
+        assert!(report.is_clean());
+        let trace = report.trace.expect("trace recorded");
+        let out = minimize_with_stats(&trace, 10);
+        assert!(!out.reproduced);
+        assert_eq!(out.removed, 0);
+        assert_eq!(out.replays_used, 1, "only the probe replay runs");
+        assert_eq!(out.trace.events.len(), trace.events.len());
+    }
+
+    #[test]
+    fn zero_budget_is_a_no_op() {
+        let trace = violating_trace();
+        let out = minimize_with_stats(&trace, 0);
+        assert!(!out.reproduced);
+        assert_eq!(out.replays_used, 0);
+        assert_eq!(out.trace.events.len(), trace.events.len());
+    }
+}

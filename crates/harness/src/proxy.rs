@@ -368,10 +368,27 @@ impl Proxy {
         self.machine.hvc(cpu, func, args)
     }
 
-    /// Writes host memory directly (parameter-page setup), recorded for
-    /// replay.
+    /// Writes host memory (parameter-page setup), recorded for replay.
+    ///
+    /// The write carries *host* privilege: it goes through the host's
+    /// stage 2 (on CPU 0), so writing a page the host no longer owns
+    /// faults into the hypervisor like hardware instead of silently
+    /// corrupting hypervisor state. Mutated or re-spliced traces
+    /// routinely move a once-legitimate write into a context where the
+    /// page has been donated away; this keeps such inputs physical.
     pub fn write_mem(&self, pa: PhysAddr, value: u64) {
         self.emit(Event::WriteMem {
+            pa: pa.bits(),
+            value,
+        });
+        let _ = self.machine.host_write(0, pa.bits(), value);
+    }
+
+    /// Writes physical memory raw, bypassing all translation — the chaos
+    /// engine's corruption primitive, recorded for bit-exact replay. Not
+    /// a host action: nothing the host driver models may use this.
+    pub fn corrupt_mem(&self, pa: PhysAddr, value: u64) {
+        self.emit(Event::CorruptMem {
             pa: pa.bits(),
             value,
         });

@@ -21,6 +21,31 @@ use pkvm_hyp::vm::GuestOp;
 use crate::model::{PageUse, TestModel};
 use crate::proxy::Proxy;
 
+/// The named operations the tester chooses between, in the order
+/// [`RandomCfg::op_weights`] indexes them. The names match the per-op keys
+/// in [`RunStats::per_op`].
+pub const OP_NAMES: [&str; 14] = [
+    "alloc",
+    "share",
+    "unshare",
+    "init_vm",
+    "init_vcpu",
+    "vcpu_load",
+    "vcpu_put",
+    "topup",
+    "map_guest",
+    "vcpu_run",
+    "vcpu_regs",
+    "teardown",
+    "reclaim",
+    "host_access",
+];
+
+/// The default call mix (same proportions the tester has always used).
+pub const DEFAULT_OP_WEIGHTS: [f64; OP_NAMES.len()] = [
+    20.0, 25.0, 15.0, 6.0, 8.0, 8.0, 5.0, 10.0, 12.0, 12.0, 4.0, 3.0, 6.0, 15.0,
+];
+
 /// Random tester configuration.
 #[derive(Clone, Debug)]
 pub struct RandomCfg {
@@ -35,6 +60,11 @@ pub struct RandomCfg {
     /// Pin every issued call to this CPU (campaign workers set it so each
     /// worker drives its own simulated hardware thread).
     pub pin_cpu: Option<usize>,
+    /// Relative weight of each operation in [`OP_NAMES`] order. The fuzzer
+    /// biases these to steer the call mix; the builder sanitises them the
+    /// way it sanitises `invalid_fraction` (see
+    /// [`RandomCfgBuilder::build`]).
+    pub op_weights: [f64; OP_NAMES.len()],
 }
 
 impl Default for RandomCfg {
@@ -45,6 +75,7 @@ impl Default for RandomCfg {
             max_vms: 4,
             max_pages: 512,
             pin_cpu: None,
+            op_weights: DEFAULT_OP_WEIGHTS,
         }
     }
 }
@@ -91,11 +122,33 @@ impl RandomCfgBuilder {
         self
     }
 
+    /// Replaces the whole call mix ([`OP_NAMES`] order).
+    pub fn op_weights(mut self, weights: [f64; OP_NAMES.len()]) -> Self {
+        self.0.op_weights = weights;
+        self
+    }
+
+    /// Overrides the weight of one operation by its [`OP_NAMES`] name.
+    /// Unknown names panic — a misspelt op is a bug at the call site, not
+    /// a value to sanitise.
+    pub fn op_weight(mut self, name: &str, weight: f64) -> Self {
+        let i = OP_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .unwrap_or_else(|| panic!("unknown op name {name:?}"));
+        self.0.op_weights[i] = weight;
+        self
+    }
+
     /// Finishes the builder. `invalid_fraction` is sanitised here: NaN
     /// falls back to the default, anything else is clamped into [0, 1] —
     /// `gen_bool` otherwise silently skews (NaN compares false against
     /// everything, so `NaN` would mean "never fuzz" while `1.7` would
-    /// mean "always fuzz" without saying so).
+    /// mean "always fuzz" without saying so). `op_weights` get the same
+    /// treatment: negatives clamp to zero, and a mix containing NaN or
+    /// summing to zero (or not summing at all — an infinity swallows every
+    /// other weight) falls back to uniform rather than silently skewing
+    /// the weighted pick.
     pub fn build(mut self) -> RandomCfg {
         let f = self.0.invalid_fraction;
         self.0.invalid_fraction = if f.is_nan() {
@@ -103,6 +156,15 @@ impl RandomCfgBuilder {
         } else {
             f.clamp(0.0, 1.0)
         };
+        let w = &mut self.0.op_weights;
+        let bad = w.iter().any(|x| x.is_nan());
+        for x in w.iter_mut() {
+            *x = x.max(0.0);
+        }
+        let total: f64 = w.iter().sum();
+        if bad || !total.is_finite() || total <= 0.0 {
+            *w = [1.0; OP_NAMES.len()];
+        }
         self.0
     }
 }
@@ -187,34 +249,42 @@ impl RandomTester {
             self.fuzz_step();
             return;
         }
-        // Weighted choice over plausible operations.
-        #[expect(clippy::type_complexity)]
-        let choices: &[(u32, fn(&mut Self))] = &[
-            (20, Self::op_alloc),
-            (25, Self::op_share),
-            (15, Self::op_unshare),
-            (6, Self::op_init_vm),
-            (8, Self::op_init_vcpu),
-            (8, Self::op_vcpu_load),
-            (5, Self::op_vcpu_put),
-            (10, Self::op_topup),
-            (12, Self::op_map_guest),
-            (12, Self::op_guest_step),
-            (4, Self::op_vcpu_regs),
-            (3, Self::op_teardown),
-            (6, Self::op_reclaim),
-            (15, Self::op_host_access),
+        // Weighted choice over plausible operations ([`OP_NAMES`] order,
+        // weights from the config so the fuzzer can bias the mix).
+        const OPS: [fn(&mut RandomTester); OP_NAMES.len()] = [
+            RandomTester::op_alloc,
+            RandomTester::op_share,
+            RandomTester::op_unshare,
+            RandomTester::op_init_vm,
+            RandomTester::op_init_vcpu,
+            RandomTester::op_vcpu_load,
+            RandomTester::op_vcpu_put,
+            RandomTester::op_topup,
+            RandomTester::op_map_guest,
+            RandomTester::op_guest_step,
+            RandomTester::op_vcpu_regs,
+            RandomTester::op_teardown,
+            RandomTester::op_reclaim,
+            RandomTester::op_host_access,
         ];
-        let total: u32 = choices.iter().map(|(w, _)| w).sum();
-        let mut pick = self.rng.gen_range(0..total);
-        for (w, f) in choices {
-            if pick < *w {
+        let total: f64 = self.cfg.op_weights.iter().sum();
+        let mut pick = self.rng.gen_f64() * total;
+        for (i, f) in OPS.iter().enumerate() {
+            pick -= self.cfg.op_weights[i];
+            if pick < 0.0 {
                 f(self);
                 return;
             }
-            pick -= w;
         }
-        unreachable!()
+        // Floating-point slack can leave `pick` at exactly 0 after the
+        // last subtraction; fall through to the last weighted op.
+        let last = self
+            .cfg
+            .op_weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .unwrap_or(OPS.len() - 1);
+        OPS[last](self);
     }
 
     fn rand_cpu(&mut self) -> usize {
@@ -647,10 +717,74 @@ mod tests {
     }
 
     #[test]
+    fn builder_sanitises_op_weights() {
+        // Negatives clamp to zero, the rest survive.
+        let mut w = DEFAULT_OP_WEIGHTS;
+        w[0] = -5.0;
+        let cfg = RandomCfg::builder().op_weights(w).build();
+        assert_eq!(cfg.op_weights[0], 0.0);
+        assert_eq!(cfg.op_weights[1], DEFAULT_OP_WEIGHTS[1]);
+        // NaN anywhere, a zero sum, or an infinity poisons the whole mix:
+        // uniform fallback.
+        let uniform = [1.0; OP_NAMES.len()];
+        let nan = RandomCfg::builder().op_weight("share", f64::NAN).build();
+        assert_eq!(nan.op_weights, uniform);
+        let zero = RandomCfg::builder()
+            .op_weights([0.0; OP_NAMES.len()])
+            .build();
+        assert_eq!(zero.op_weights, uniform);
+        let inf = RandomCfg::builder()
+            .op_weight("alloc", f64::INFINITY)
+            .build();
+        assert_eq!(inf.op_weights, uniform);
+        // All-negative sums to zero after clamping: uniform too.
+        let neg = RandomCfg::builder()
+            .op_weights([-1.0; OP_NAMES.len()])
+            .build();
+        assert_eq!(neg.op_weights, uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown op name")]
+    fn op_weight_rejects_unknown_names() {
+        let _ = RandomCfg::builder().op_weight("no_such_op", 1.0);
+    }
+
+    #[test]
+    fn op_weights_bias_the_call_mix() {
+        // Zero out everything but alloc+share: only those ops (plus the
+        // invalid fraction, disabled here) may run.
+        let mut w = [0.0; OP_NAMES.len()];
+        w[0] = 1.0; // alloc
+        w[1] = 3.0; // share
+        let proxy = Proxy::builder().boot();
+        let mut t = RandomTester::new(
+            proxy,
+            RandomCfg::builder()
+                .seed(5)
+                .invalid_fraction(0.0)
+                .op_weights(w)
+                .build(),
+        );
+        t.run(400);
+        assert!(t.stats.per_op.get("share").copied().unwrap_or(0) > 0);
+        for op in OP_NAMES {
+            if op != "alloc" && op != "share" {
+                assert_eq!(
+                    t.stats.per_op.get(op).copied().unwrap_or(0),
+                    0,
+                    "zero-weighted op {op} ran"
+                );
+            }
+        }
+        assert!(t.proxy.all_clear(), "{:?}", t.proxy.violations());
+    }
+
+    #[test]
     fn pinned_tester_only_issues_calls_on_its_cpu() {
         let proxy = Proxy::builder().boot();
         let machine = proxy.machine.clone();
-        let mut t = RandomTester::new(proxy, RandomCfg::builder().seed(11).pin_cpu(2).build());
+        let mut t = RandomTester::new(proxy, RandomCfg::builder().seed(12).pin_cpu(2).build());
         t.run(500);
         assert!(t.stats.calls > 100, "{:?}", t.stats);
         // Only CPU 2's register file should ever have been touched.

@@ -31,11 +31,15 @@ impl Rng {
         z ^ (z >> 31)
     }
 
+    /// Uniform sample from `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 mantissa bits of uniformity is ample for test-op weighting.
+        (self.gen_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
     /// `true` with probability `p` (clamped to [0, 1]).
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        // 53 mantissa bits of uniformity is ample for test-op weighting.
-        let u = (self.gen_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        u < p
+        self.gen_f64() < p
     }
 
     /// Uniform sample from an integer range; panics if the range is empty.

@@ -37,7 +37,10 @@ pub const MAGIC: &[u8; 8] = b"PKVMTRCE";
 
 /// Current format version. Bump on any incompatible layout change;
 /// [`decode_trace`] refuses versions it does not know.
-pub const FORMAT_VERSION: u64 = 1;
+///
+/// v2 added the `CorruptMem` event (tag 14) when host `WriteMem` became
+/// stage-2-checked and chaos corruption got its own raw primitive.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Why a trace file failed to load. Loading *never* panics: a truncated
 /// or bit-rotted file is an expected input, not a bug.
@@ -397,6 +400,11 @@ impl Wr {
                 self.byte(13);
                 self.violation(v);
             }
+            Event::CorruptMem { pa, value } => {
+                self.byte(14);
+                self.u64(*pa);
+                self.u64(*value);
+            }
         }
     }
 }
@@ -712,6 +720,10 @@ impl<'a> Rd<'a> {
                 },
             },
             13 => Event::Violation(self.violation()?),
+            14 => Event::CorruptMem {
+                pa: self.u64()?,
+                value: self.u64()?,
+            },
             _ => return Err(TraceFileError::Malformed("unknown event tag")),
         })
     }

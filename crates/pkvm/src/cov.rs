@@ -32,8 +32,35 @@ pub fn hits(point: &str) -> u64 {
 }
 
 /// Resets all counters (between test campaigns).
+///
+/// The registry is process-global, so a reset issued while other threads
+/// (parallel campaign or fuzz workers) are mid-run destroys *their*
+/// counters too. Code that needs a per-run delta should take a
+/// [`snapshot`] before the run and subtract it afterwards with
+/// [`Report::diff`] instead.
 pub fn reset() {
     *HITS.lock() = None;
+}
+
+/// A point-in-time copy of every counter, for race-free deltas.
+///
+/// Taking a snapshot never disturbs the registry: concurrent workers keep
+/// accumulating, and each worker's `snapshot → run → diff` window contains
+/// at least its own hits (plus any that raced in — an over-approximation,
+/// never a loss).
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot(HashMap<&'static str, u64>);
+
+/// Captures the current counters without modifying them.
+pub fn snapshot() -> Snapshot {
+    Snapshot(HITS.lock().clone().unwrap_or_default())
+}
+
+impl Snapshot {
+    /// The recorded hit count of `point` at snapshot time.
+    pub fn hits(&self, point: &str) -> u64 {
+        self.0.get(point).copied().unwrap_or(0)
+    }
 }
 
 /// A coverage report over a static list of declared points.
@@ -82,6 +109,20 @@ impl Report {
             .filter(|(_, n)| *n == 0)
             .map(|(p, _)| *p)
             .collect()
+    }
+
+    /// Builds a report of hits accumulated *since* `before` (counts are
+    /// per-point saturating differences against the snapshot). This is
+    /// the per-run delta primitive: unlike a global [`reset`], it cannot
+    /// destroy counters a concurrently running worker is accumulating.
+    pub fn diff(&self, before: &Snapshot) -> Report {
+        Report {
+            points: self
+                .points
+                .iter()
+                .map(|&(p, n)| (p, n.saturating_sub(before.hits(p))))
+                .collect(),
+        }
     }
 }
 
@@ -180,6 +221,26 @@ mod tests {
         assert_eq!(r.total(), 4);
         assert!((r.percent() - 25.0).abs() < 1e-9);
         assert_eq!(r.missed(), vec!["b", "c", "d"]);
+        reset();
+    }
+
+    #[test]
+    fn snapshot_diff_is_a_race_free_delta() {
+        let _g = TEST_LOCK.lock();
+        reset();
+        hit("a");
+        hit("a");
+        hit("b");
+        let before = snapshot();
+        assert_eq!(before.hits("a"), 2);
+        hit("a");
+        hit("c");
+        let delta = Report::over(&["a", "b", "c", "d"]).diff(&before);
+        assert_eq!(delta.points, vec![("a", 1), ("b", 0), ("c", 1), ("d", 0)]);
+        assert_eq!(delta.hit_count(), 2);
+        assert_eq!(delta.missed(), vec!["b", "d"]);
+        // The snapshot took nothing away from the live registry.
+        assert_eq!(hits("a"), 3);
         reset();
     }
 

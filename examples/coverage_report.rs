@@ -9,7 +9,10 @@ use pkvm_harness::random::{RandomCfg, RandomTester};
 use pkvm_harness::scenarios;
 
 fn main() {
-    coverage::reset();
+    // Delta against a snapshot rather than a global reset: a reset would
+    // race (and destroy) any other thread's counters in this process;
+    // the snapshot/diff pair measures just what runs below.
+    let base = coverage::snapshot();
 
     // Phase 1: the 41 handwritten tests.
     let result = scenarios::run_all(true);
@@ -18,7 +21,7 @@ fn main() {
         "{:?}",
         result.oracle_failures
     );
-    let after_suite = CoverageSummary::collect();
+    let after_suite = CoverageSummary::since(&base);
     println!(
         "after the handwritten suite ({} tests: {} error-free, {} error, {} concurrent):",
         result.total, result.ok_kind, result.err_kind, result.concurrent
@@ -30,7 +33,7 @@ fn main() {
     let mut tester = RandomTester::new(proxy, RandomCfg::default());
     tester.run(5000);
     assert!(tester.proxy.all_clear());
-    let after_random = CoverageSummary::collect();
+    let after_random = CoverageSummary::since(&base);
     println!("\nafter adding 5000 random-tester steps:");
     print!("{}", after_random.render());
 
