@@ -65,6 +65,14 @@ if [ "$GATE_VERDICT" != "$VERIFY_VERDICT" ]; then
     exit 1
 fi
 
+echo "== pipeline gate (E12: mode equivalence + pipelined throughput) =="
+# Runs the E3 workload at a fixed seed under CheckMode::Inline and
+# CheckMode::Pipelined: exits non-zero unless both modes produce identical
+# violation (kind, event seq) lists, checked-trap counts and canonical
+# event-stream signatures, and pipelined checked throughput stays within
+# 3x of unchecked.
+cargo run --release --example pipeline_gate -- 1000 0xe12
+
 echo "== mutation mini-sweep (3 bugs x 3 chaos families) =="
 # Known bugs injected while chaos corrupts the oracle's inputs; exits
 # non-zero unless every bug is still detected with no worker panic.

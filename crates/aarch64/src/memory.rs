@@ -409,6 +409,34 @@ impl PhysMem {
         Ok(Pte(self.read_u64(table.wrapping_add(8 * idx as u64))?))
     }
 
+    /// Reads all 512 descriptors of the table page whose base is `table`
+    /// in one access: one region check, one lock acquire, one page lookup
+    /// and one 4 KiB copy instead of 512 of each. An unbacked page reads
+    /// as all-zero descriptors, matching [`PhysMem::read_u64`]'s
+    /// zero-fill semantics. The page-table interpreter leans on this:
+    /// abstracting a table level touches every descriptor, and the
+    /// per-descriptor bookkeeping dominates the walk otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] for table bases outside every region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is not page aligned (table bases always are).
+    pub fn read_table(&self, table: PhysAddr) -> Result<Box<[Pte; 512]>, BusError> {
+        assert!(table.is_page_aligned(), "misaligned table base {table}");
+        self.note_access(table, false)?;
+        let mut out = Box::new([Pte(0); 512]);
+        let pages = self.pages.read();
+        if let Some(page) = pages.get(&table.pfn()) {
+            for (i, chunk) in page.chunks_exact(8).enumerate() {
+                out[i] = Pte(u64::from_le_bytes(chunk.try_into().unwrap()));
+            }
+        }
+        Ok(out)
+    }
+
     /// Writes the `idx`th descriptor of the table whose base is `table`.
     ///
     /// # Errors

@@ -137,21 +137,23 @@ fn interpret_table(
     out.table_pages.insert(table.pfn());
     meta.insert(table.pfn(), (level, va_partial));
     let nr_pages = level_pages(level);
+    // Read the whole table page at once: the walk touches every
+    // descriptor anyway, and a single bulk access avoids paying the
+    // region check and page lookup 512 times per table.
+    let ptes = match mem.read_table(table) {
+        Ok(p) => p,
+        Err(_) => {
+            anomalies.push(Anomaly::TableOutsideMemory {
+                table: table.bits(),
+            });
+            return;
+        }
+    };
     // Iterate over the current table entries.
-    for idx in 0..PTES_PER_TABLE as usize {
+    for (idx, &pte) in ptes.iter().enumerate() {
         // Compute the input address mapped by this entry.
         let va_offset_in_region = idx as u64 * nr_pages * PAGE_SIZE;
         let va_partial_new = va_partial | va_offset_in_region;
-        // Read the descriptor and case-split on its kind.
-        let pte = match mem.read_pte(table, idx) {
-            Ok(p) => p,
-            Err(_) => {
-                anomalies.push(Anomaly::TableOutsideMemory {
-                    table: table.bits(),
-                });
-                return;
-            }
-        };
         match pte.kind(level) {
             EntryKind::Invalid => {
                 // Invalid entries may carry a software owner annotation;

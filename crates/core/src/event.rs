@@ -15,9 +15,14 @@
 //! its accessors from, and — via [`TraceStats`] — as the profiling
 //! substrate producing per-trap latency and per-lane occupancy histograms.
 //!
+//! Sequence numbers come from two disjoint spaces: primary (mutator-emitted
+//! events, from 0 up) and derived (`Check`/`Violation` records produced by
+//! the checker, from [`DERIVED_SEQ_BASE`] up) — see the constant's docs for
+//! why this keeps the numbering identical across check modes.
+//!
 //! Retention policy: with `record_all` on, every emitted event is kept (the
-//! full replayable timeline). With it off, the sequence counter still
-//! advances identically — so replays produce the same violation sequence
+//! full replayable timeline). With it off, both sequence counters still
+//! advance identically — so replays produce the same violation sequence
 //! ids either way — but only the bounded side indexes are retained: the
 //! violation log (capped, drops signalled to the caller) and the last
 //! [`TRACE_CAP`] check outcomes. That preserves the memory behaviour of
@@ -37,6 +42,20 @@ use crate::oracle::{TrapOutcome, TrapRecord};
 
 /// How many check-outcome records the bounded trap trace retains.
 pub const TRACE_CAP: usize = 256;
+
+/// Base of the derived sequence-number space. *Primary* events — everything
+/// emitted by the mutator threads (driver ops, trap/lock/read-once/
+/// table-page observations, chaos) — draw from the counter starting at 0.
+/// *Derived* records — `Check` outcomes and `Violation` reports, produced
+/// by the checker — draw from a separate counter based here. Keeping the
+/// two spaces apart means the primary numbering is identical whether the
+/// checker runs inline (derived records interleave with the events that
+/// produced them) or pipelined behind the frontier (derived records land
+/// late): checks and violations never shift the numbering of the events
+/// they are about, so violation anchors compare equal across check modes.
+/// Both counters advance in checker processing order, which both modes
+/// produce identically.
+pub const DERIVED_SEQ_BASE: u64 = 1 << 48;
 
 /// Which chaos family injected a perturbation (the core-side mirror of the
 /// harness's chaos families, so chaos injections appear in the same
@@ -258,6 +277,7 @@ pub trait EventSink: Send + Sync {
 #[derive(Default)]
 struct StreamInner {
     next_seq: u64,
+    derived_next: u64,
     events: Vec<EventRecord>,
     violations: Vec<Violation>,
     checks: VecDeque<TrapRecord>,
@@ -298,8 +318,15 @@ impl EventStream {
 
     fn append(&self, lane: u32, trap: Option<u64>, mut event: Event) -> (u64, bool) {
         let mut g = self.inner.lock();
-        let seq = g.next_seq;
-        g.next_seq += 1;
+        let seq = if matches!(event, Event::Check { .. } | Event::Violation(_)) {
+            let s = DERIVED_SEQ_BASE + g.derived_next;
+            g.derived_next += 1;
+            s
+        } else {
+            let s = g.next_seq;
+            g.next_seq += 1;
+            s
+        };
         let t_ns = self.started.elapsed().as_nanos() as u64;
         let mut retain = self.record_all;
         let mut accepted = true;
@@ -366,11 +393,27 @@ impl EventStream {
     /// Returns the events appended since the cursor's last poll and
     /// advances it — an incremental drain, so periodic inspection of a
     /// long campaign never re-copies the whole timeline.
+    ///
+    /// Allocates a fresh vector per call; hot loops (the pipelined checker
+    /// drain, long-lived cursors) should use [`Self::poll_into`] and reuse
+    /// one buffer.
     pub fn poll(&self, cursor: &mut EventCursor) -> Vec<EventRecord> {
+        let mut out = Vec::new();
+        self.poll_into(cursor, &mut out);
+        out
+    }
+
+    /// Batch variant of [`Self::poll`]: clears `out` and fills it with the
+    /// events appended since the cursor's last poll, advancing the cursor.
+    /// Reusing one buffer across calls amortises the allocation to the
+    /// high-water mark of a single batch. Returns the number of records
+    /// drained.
+    pub fn poll_into(&self, cursor: &mut EventCursor, out: &mut Vec<EventRecord>) -> usize {
+        out.clear();
         let g = self.inner.lock();
-        let new = g.events[cursor.0.min(g.events.len())..].to_vec();
+        out.extend_from_slice(&g.events[cursor.0.min(g.events.len())..]);
         cursor.0 = g.events.len();
-        new
+        out.len()
     }
 
     /// Takes the whole retained timeline out of the stream (no clone);
@@ -525,9 +568,38 @@ impl ShapeHasher {
 
 /// The ghost-state novelty signature of a recorded timeline: the hash of
 /// its post-trap component shapes (see [`ShapeHasher`]).
+///
+/// Folds records in raw stream order, so it is sensitive to *where* the
+/// derived `Check`/`Violation` records land in the timeline. With the
+/// pipelined checker those land behind the execution frontier — at later
+/// (and run-dependent) positions than inline mode puts them — so cross-mode
+/// comparisons must use [`canonical_signature`] instead.
 pub fn novelty_signature(records: &[EventRecord]) -> u64 {
     let mut h = ShapeHasher::new();
     for r in records {
+        h.observe(r);
+    }
+    h.finish()
+}
+
+/// Mode-independent shape signature: [`novelty_signature`] over a
+/// canonicalised record order.
+///
+/// Hook events (trap/lock/table-page/chaos) are emitted on the mutator
+/// thread in both check modes and keep their stream positions. The derived
+/// records — `Check` outcomes and `Violation` reports — are appended by
+/// the checker, which in pipelined mode runs behind the frontier, so their
+/// raw *positions* in the retained timeline differ between modes (and
+/// between pipelined runs). Their sequence numbers do not: derived records
+/// draw from the separate [`DERIVED_SEQ_BASE`] space in checker-processing
+/// order, which both modes produce identically. Sorting by sequence number
+/// alone is therefore canonical — hook events in emission order first,
+/// derived records in check order after them.
+pub fn canonical_signature(records: &[EventRecord]) -> u64 {
+    let mut sorted: Vec<&EventRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| r.seq);
+    let mut h = ShapeHasher::new();
+    for r in sorted {
         h.observe(r);
     }
     h.finish()
@@ -747,13 +819,16 @@ mod tests {
         }
         let vs = s.violations();
         assert_eq!(vs.len(), 2);
-        assert_eq!(vs[0].event_seq(), Some(1));
-        assert_eq!(vs[1].event_seq(), Some(2));
+        // Violations with no diverged-at anchor are tagged from the
+        // derived sequence space; the primary numbering is untouched.
+        assert_eq!(vs[0].event_seq(), Some(DERIVED_SEQ_BASE));
+        assert_eq!(vs[1].event_seq(), Some(DERIVED_SEQ_BASE + 1));
         assert_eq!(s.violation_count(), 2);
         // Retention off: nothing but the indexes is kept, yet sequence
-        // numbers advanced for every emit.
+        // numbers advanced for every emit — and derived records never
+        // consumed a primary sequence number.
         assert!(s.is_empty());
-        assert_eq!(s.emit(0, None, Event::TrapEnter { cpu: 0 }), 5);
+        assert_eq!(s.emit(0, None, Event::TrapEnter { cpu: 0 }), 1);
     }
 
     #[test]
@@ -882,6 +957,132 @@ mod tests {
             }),
         ]);
         assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn poll_into_reuses_the_callers_buffer() {
+        let s = stream();
+        let mut cur = s.cursor();
+        let mut buf = Vec::new();
+        s.emit(0, None, Event::TrapEnter { cpu: 0 });
+        s.emit(0, None, Event::WriteMem { pa: 8, value: 9 });
+        assert_eq!(s.poll_into(&mut cur, &mut buf), 2);
+        assert_eq!(buf.len(), 2);
+        let cap = buf.capacity();
+        // An empty drain clears the buffer but keeps its storage.
+        assert_eq!(s.poll_into(&mut cur, &mut buf), 0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap);
+        s.emit(1, None, Event::TrapEnter { cpu: 1 });
+        assert_eq!(s.poll_into(&mut cur, &mut buf), 1);
+        assert_eq!(buf[0].seq, 2);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn canonical_signature_ignores_where_derived_records_land() {
+        let rec = |seq: u64, trap: Option<u64>, event| EventRecord {
+            seq,
+            lane: 0,
+            trap,
+            t_ns: 0,
+            event,
+        };
+        let violation = |at: u64| Violation::HypPanic {
+            seq: Some(at),
+            reason: "p".into(),
+        };
+        let check = |name: &str| Event::Check {
+            cpu: 0,
+            name: name.into(),
+            outcome: TrapOutcome::Violated(1),
+        };
+        const D: u64 = DERIVED_SEQ_BASE;
+        // Inline: the checker's Check/Violation records sit inside the
+        // trap that produced them.
+        let inline = [
+            rec(0, None, Event::TrapEnter { cpu: 0 }),
+            rec(
+                1,
+                Some(0),
+                Event::LockAcquired {
+                    cpu: 0,
+                    comp: Component::Host,
+                },
+            ),
+            rec(
+                2,
+                Some(0),
+                Event::TrapExit {
+                    cpu: 0,
+                    name: "a".into(),
+                },
+            ),
+            rec(D, Some(0), Event::Violation(violation(1))),
+            rec(D + 1, Some(0), check("a")),
+            rec(3, None, Event::TrapEnter { cpu: 1 }),
+            rec(
+                4,
+                Some(3),
+                Event::TrapExit {
+                    cpu: 1,
+                    name: "b".into(),
+                },
+            ),
+            rec(D + 2, Some(3), check("b")),
+        ];
+        // Pipelined: the checker runs behind the frontier, so the same
+        // derived records land later in the retained timeline, past other
+        // traps' events — with the same derived seqs, trap links, and
+        // diverged-at anchors.
+        let pipelined = [
+            rec(0, None, Event::TrapEnter { cpu: 0 }),
+            rec(
+                1,
+                Some(0),
+                Event::LockAcquired {
+                    cpu: 0,
+                    comp: Component::Host,
+                },
+            ),
+            rec(
+                2,
+                Some(0),
+                Event::TrapExit {
+                    cpu: 0,
+                    name: "a".into(),
+                },
+            ),
+            rec(3, None, Event::TrapEnter { cpu: 1 }),
+            rec(
+                4,
+                Some(3),
+                Event::TrapExit {
+                    cpu: 1,
+                    name: "b".into(),
+                },
+            ),
+            rec(D, Some(0), Event::Violation(violation(1))),
+            rec(D + 1, Some(0), check("a")),
+            rec(D + 2, Some(3), check("b")),
+        ];
+        assert_eq!(
+            canonical_signature(&inline),
+            canonical_signature(&pipelined)
+        );
+        // The raw signature is order-sensitive and would disagree.
+        assert_ne!(novelty_signature(&inline), novelty_signature(&pipelined));
+        // Canonicalisation still distinguishes genuinely different shapes.
+        let mut other = pipelined.clone();
+        other[4] = rec(
+            4,
+            Some(3),
+            Event::TrapExit {
+                cpu: 1,
+                name: "c".into(),
+            },
+        );
+        assert_ne!(canonical_signature(&inline), canonical_signature(&other));
     }
 
     #[test]

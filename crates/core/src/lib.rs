@@ -45,6 +45,7 @@ pub mod abscache;
 pub mod abstraction;
 pub mod calldata;
 pub mod check;
+pub mod checker;
 pub mod containment;
 pub mod diff;
 pub mod event;
@@ -63,11 +64,12 @@ pub use abstraction::{
 };
 pub use calldata::GhostCallData;
 pub use check::{check_trap, normalize, CheckOutcome, Violation};
+pub use checker::{CheckMode, Checker, StatsSnapshot, Verdict};
 pub use containment::{contain, Disposition, Quarantine};
 pub use diff::diff_states;
 pub use event::{
-    novelty_signature, ChaosKind, Event, EventCursor, EventRecord, EventSink, EventStream,
-    ShapeHasher, TraceStats, TRACE_CAP,
+    canonical_signature, novelty_signature, ChaosKind, Event, EventCursor, EventRecord, EventSink,
+    EventStream, ShapeHasher, TraceStats, DERIVED_SEQ_BASE, TRACE_CAP,
 };
 pub use maplet::{AbsAttrs, Maplet, MapletTarget};
 pub use mapping::Mapping;

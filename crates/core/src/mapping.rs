@@ -9,16 +9,47 @@
 //! equality (which, thanks to the canonical coalesced form, *is* semantic
 //! equality).
 
+use std::sync::{Arc, OnceLock};
+
 use pkvm_aarch64::addr::PAGE_SIZE;
 
 use crate::maplet::{Maplet, MapletTarget};
 
 /// A canonical (sorted, non-overlapping, maximally coalesced) finite range
 /// map. Structural equality coincides with extensional equality.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// The maplet storage is copy-on-write: `clone()` is an `Arc` bump, and
+/// mutation copies the underlying vector only while it is shared. Ghost
+/// snapshots (the shared copy, per-trap pre/post states, cache entries)
+/// therefore alias one storage until a mutator actually diverges, which is
+/// what lets the pipelined checker take per-trap snapshots without cloning
+/// mappings wholesale.
+#[derive(Clone, Debug)]
 pub struct Mapping {
-    maplets: Vec<Maplet>,
+    maplets: Arc<Vec<Maplet>>,
 }
+
+impl Default for Mapping {
+    fn default() -> Mapping {
+        // All empty mappings share one storage: blank ghost states are
+        // built in bulk (three per trap), so the empty map must not
+        // allocate.
+        static EMPTY: OnceLock<Arc<Vec<Maplet>>> = OnceLock::new();
+        Mapping {
+            maplets: EMPTY.get_or_init(|| Arc::new(Vec::new())).clone(),
+        }
+    }
+}
+
+impl PartialEq for Mapping {
+    fn eq(&self, other: &Mapping) -> bool {
+        // Undiverged snapshots still share storage; equality is then a
+        // pointer compare instead of a maplet-by-maplet walk.
+        Arc::ptr_eq(&self.maplets, &other.maplets) || self.maplets == other.maplets
+    }
+}
+
+impl Eq for Mapping {}
 
 impl Mapping {
     /// The empty mapping.
@@ -81,8 +112,15 @@ impl Mapping {
             return;
         }
         let end = ia + nr_pages * PAGE_SIZE;
+        // Fast path: nothing overlaps — leave the (possibly shared)
+        // storage untouched.
+        let first = self.maplets.partition_point(|m| m.end() <= ia);
+        match self.maplets.get(first) {
+            Some(m) if m.ia < end => {}
+            _ => return,
+        }
         let mut out = Vec::with_capacity(self.maplets.len() + 1);
-        for m in self.maplets.drain(..) {
+        for &m in self.maplets.iter() {
             if m.end() <= ia || m.ia >= end {
                 out.push(m);
                 continue;
@@ -97,7 +135,7 @@ impl Mapping {
                 out.push(r);
             }
         }
-        self.maplets = out;
+        self.maplets = Arc::new(out);
     }
 
     /// Inserts `maplet`, overwriting any overlapping range, and restores
@@ -108,7 +146,7 @@ impl Mapping {
         }
         self.remove(maplet.ia, maplet.nr_pages);
         let pos = self.maplets.partition_point(|m| m.ia < maplet.ia);
-        self.maplets.insert(pos, maplet);
+        Arc::make_mut(&mut self.maplets).insert(pos, maplet);
         self.coalesce_around(pos);
     }
 
@@ -154,14 +192,15 @@ impl Mapping {
         if maplet.nr_pages == 0 {
             return;
         }
-        if let Some(last) = self.maplets.last_mut() {
+        let maplets = Arc::make_mut(&mut self.maplets);
+        if let Some(last) = maplets.last_mut() {
             assert!(maplet.ia >= last.end(), "extend_coalesce out of order");
             if last.can_coalesce_with(&maplet) {
                 last.nr_pages += maplet.nr_pages;
                 return;
             }
         }
-        self.maplets.push(maplet);
+        maplets.push(maplet);
     }
 
     /// Replaces the range `[ia, ia + nr_pages)` wholesale with
@@ -201,40 +240,42 @@ impl Mapping {
         }
         let pos = self.maplets.partition_point(|m| m.ia < ia);
         let at = pos + rep.len();
-        self.maplets.splice(pos..pos, rep);
+        let maplets = Arc::make_mut(&mut self.maplets);
+        maplets.splice(pos..pos, rep);
         // Restore coalescing at the trailing seam first (indices shift),
         // then the leading one; the interior of the replacement is already
         // canonical.
-        if at > pos && at < self.maplets.len() {
-            let next = self.maplets[at];
-            if self.maplets[at - 1].can_coalesce_with(&next) {
-                self.maplets[at - 1].nr_pages += next.nr_pages;
-                self.maplets.remove(at);
+        if at > pos && at < maplets.len() {
+            let next = maplets[at];
+            if maplets[at - 1].can_coalesce_with(&next) {
+                maplets[at - 1].nr_pages += next.nr_pages;
+                maplets.remove(at);
             }
         }
         if at > pos && pos > 0 {
-            let cur = self.maplets[pos];
-            if self.maplets[pos - 1].can_coalesce_with(&cur) {
-                self.maplets[pos - 1].nr_pages += cur.nr_pages;
-                self.maplets.remove(pos);
+            let cur = maplets[pos];
+            if maplets[pos - 1].can_coalesce_with(&cur) {
+                maplets[pos - 1].nr_pages += cur.nr_pages;
+                maplets.remove(pos);
             }
         }
     }
 
     fn coalesce_around(&mut self, pos: usize) {
+        let maplets = Arc::make_mut(&mut self.maplets);
         // Try to merge with the successor first, then the predecessor.
-        if pos + 1 < self.maplets.len() {
-            let next = self.maplets[pos + 1];
-            if self.maplets[pos].can_coalesce_with(&next) {
-                self.maplets[pos].nr_pages += next.nr_pages;
-                self.maplets.remove(pos + 1);
+        if pos + 1 < maplets.len() {
+            let next = maplets[pos + 1];
+            if maplets[pos].can_coalesce_with(&next) {
+                maplets[pos].nr_pages += next.nr_pages;
+                maplets.remove(pos + 1);
             }
         }
         if pos > 0 {
-            let cur = self.maplets[pos];
-            if self.maplets[pos - 1].can_coalesce_with(&cur) {
-                self.maplets[pos - 1].nr_pages += cur.nr_pages;
-                self.maplets.remove(pos);
+            let cur = maplets[pos];
+            if maplets[pos - 1].can_coalesce_with(&cur) {
+                maplets[pos - 1].nr_pages += cur.nr_pages;
+                maplets.remove(pos);
             }
         }
     }
@@ -585,6 +626,34 @@ mod tests {
         m.splice(0x10_0000, 2, vec![mapped(0x10_0000, 2, 0xb000)]);
         m.check_canonical().unwrap();
         assert_eq!(m.nr_pages(), 4);
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutated() {
+        let mut a = Mapping::new();
+        a.insert(mapped(0x1000, 4, 0x8000));
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.maplets, &b.maplets));
+        assert_eq!(a, b);
+        // A no-op remove keeps the sharing; a real mutation diverges only
+        // the mutated copy.
+        a.remove(0x9000, 2);
+        assert!(Arc::ptr_eq(&a.maplets, &b.maplets));
+        a.insert(annotated(0x2000, 1, OwnerId::HYP));
+        assert!(!Arc::ptr_eq(&a.maplets, &b.maplets));
+        assert_ne!(a, b);
+        assert_eq!(b.nr_pages(), 4);
+        assert_eq!(b.len(), 1);
+        a.check_canonical().unwrap();
+        b.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn empty_mappings_do_not_allocate_distinct_storage() {
+        let a = Mapping::new();
+        let b = Mapping::default();
+        assert!(Arc::ptr_eq(&a.maplets, &b.maplets));
+        assert_eq!(a, b);
     }
 
     #[test]

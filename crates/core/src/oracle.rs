@@ -13,10 +13,21 @@
 //! the entire ghost state, against which every acquisition checks that
 //! nothing changed while the lock was free (non-interference), and the
 //! per-component page-table footprints (separation).
+//!
+//! Since the [`Checker`](crate::checker::Checker) redesign the hooks are
+//! split into a *front half* that runs on the hypervisor thread (event
+//! emission, lock-held abstraction, degradation gating) and a *back half*
+//! ([`Oracle::apply_msg`]) that maintains the shared copy and runs the
+//! checks. [`CheckMode`] selects whether the back half runs inline in the
+//! hook or on a pipelined checker thread.
+
+// The deprecated `Oracle::stats` field is still the storage the oracle
+// writes; external readers should migrate to `Verdict::stats()`.
+#![allow(deprecated)]
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
 use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
 use pkvm_aarch64::attrs::Stage;
@@ -37,6 +48,9 @@ use crate::abstraction::{
 };
 use crate::calldata::GhostCallData;
 use crate::check::{check_trap, normalize, Violation};
+use crate::checker::{
+    checker_loop, CheckMode, CheckMsg, Checker, Pipeline, StatsSnapshot, Verdict,
+};
 use crate::containment::{contain, Disposition, Quarantine};
 use crate::diff::diff_states;
 use crate::event::{Event, EventSink, EventStream};
@@ -81,6 +95,10 @@ pub struct OracleOpts {
     /// How many traps a quarantined component sits out before it is
     /// recovered by re-seeding from a full abstraction pass.
     pub quarantine_traps: u64,
+    /// Where the check core runs relative to the hypervisor: inline in
+    /// each hook, or pipelined onto a checker thread behind the
+    /// execution frontier. See [`CheckMode`].
+    pub check_mode: CheckMode,
 }
 
 impl Default for OracleOpts {
@@ -94,6 +112,7 @@ impl Default for OracleOpts {
             trap_check_budget: u64::MAX,
             quarantine_threshold: 3,
             quarantine_traps: 16,
+            check_mode: CheckMode::Inline,
         }
     }
 }
@@ -160,6 +179,12 @@ impl OracleOptsBuilder {
     /// Quarantine duration in traps (default 16).
     pub fn quarantine_traps(mut self, n: u64) -> Self {
         self.0.quarantine_traps = n;
+        self
+    }
+
+    /// Where the check core runs (default [`CheckMode::Inline`]).
+    pub fn check_mode(mut self, mode: CheckMode) -> Self {
+        self.0.check_mode = mode;
         self
     }
 
@@ -421,8 +446,31 @@ impl SharedGhost {
     }
 }
 
-struct CpuRecord {
+/// The mutator-side mirror of one CPU's trap progress: everything the
+/// *front half* of the hooks needs without waiting on the checker. The
+/// check-side twin is [`CpuRecord`], which only the back half touches —
+/// in pipelined mode the two live on different threads.
+struct FrontRecord {
     in_trap: bool,
+    /// Event-stream sequence id of the running trap's `TrapEnter`.
+    trap_seq: Option<u64>,
+    /// `(esr, x0-at-entry)` of the running trap, enough to name the trap
+    /// at exit without the back half's call data. `None` mirrors "no
+    /// recorded call data" (trap_enter was never delivered).
+    call_mirror: Option<(Esr, u64)>,
+    /// Lock events processed so far within this trap (the per-trap check
+    /// budget's spend counter).
+    events_this_trap: u64,
+    /// The budget ran out mid-trap: remaining events degrade to evictions
+    /// and the trap's check is skipped.
+    degraded: bool,
+}
+
+/// The check-side recording of one CPU's trap (the paper's thread-local
+/// pre/post states). Only the back half ([`Oracle::apply_msg`]) touches
+/// it; whether a trap is running is the front half's call
+/// ([`FrontRecord::in_trap`]), passed down in each message's `trap`.
+struct CpuRecord {
     pre: GhostState,
     post: GhostState,
     call: Option<GhostCallData>,
@@ -443,12 +491,6 @@ struct CpuRecord {
     /// is skipped (the ternary check's "unchecked" answer) instead of
     /// reporting a spurious mismatch.
     interleaved: HashSet<CompKey>,
-    /// Lock events processed so far within this trap (the per-trap check
-    /// budget's spend counter).
-    events_this_trap: u64,
-    /// The budget ran out mid-trap: remaining events degrade to evictions
-    /// and the trap's check is skipped.
-    degraded: bool,
     /// Event-stream sequence id of this trap's `TrapEnter`, so every
     /// event and violation produced inside the trap links back to it.
     trap_seq: Option<u64>,
@@ -462,11 +504,21 @@ pub struct Oracle {
     opts: OracleOpts,
     shared: Mutex<SharedGhost>,
     cpus: Vec<Mutex<CpuRecord>>,
+    fronts: Vec<Mutex<FrontRecord>>,
     footprints: Mutex<HashMap<Component, BTreeSet<u64>>>,
     abscache: Mutex<AbsCache>,
     events: Arc<EventStream>,
     quarantine: Quarantine,
+    /// `Some` in [`CheckMode::Pipelined`]: the sending half of the
+    /// checker's bounded channel.
+    pipeline: Option<Pipeline>,
     /// Counters.
+    #[deprecated(
+        since = "0.6.0",
+        note = "scraping the atomics races the pipelined checker; read \
+                `Verdict::stats()` (or `Oracle::stats_snapshot`) after a \
+                `wait()` instead"
+    )]
     pub stats: OracleStats,
 }
 
@@ -503,20 +555,40 @@ impl Oracle {
             mmio: config.mmio.clone(),
         };
         let shared = GhostState::blank(&globals);
-        Arc::new(Oracle {
+        let (pipeline, rx) = match opts.check_mode {
+            CheckMode::Inline => (None, None),
+            CheckMode::Pipelined { channel_cap, .. } => {
+                // Messages travel in batches (one per trap, or `flush`
+                // messages, whichever comes first); the channel is sized
+                // in batches so `channel_cap` keeps bounding the number
+                // of in-flight *messages* at batch granularity.
+                let flush = channel_cap.clamp(1, 64);
+                let (tx, rx) = mpsc::sync_channel(channel_cap.max(1).div_ceil(flush));
+                (Some(Pipeline::new(tx, flush)), Some(rx))
+            }
+        };
+        let oracle = Arc::new(Oracle {
             cpus: (0..config.nr_cpus)
                 .map(|_| {
                     Mutex::new(CpuRecord {
-                        in_trap: false,
                         pre: GhostState::blank(&globals),
                         post: GhostState::blank(&globals),
                         call: None,
                         versions_at_entry: HashMap::new(),
                         last_release: HashMap::new(),
                         interleaved: HashSet::new(),
+                        trap_seq: None,
+                    })
+                })
+                .collect(),
+            fronts: (0..config.nr_cpus)
+                .map(|_| {
+                    Mutex::new(FrontRecord {
+                        in_trap: false,
+                        trap_seq: None,
+                        call_mirror: None,
                         events_this_trap: 0,
                         degraded: false,
-                        trap_seq: None,
                     })
                 })
                 .collect(),
@@ -532,8 +604,20 @@ impl Oracle {
             abscache: Mutex::new(AbsCache::new()),
             events,
             quarantine: Quarantine::new(opts.quarantine_threshold, opts.quarantine_traps),
+            pipeline,
             stats: OracleStats::default(),
-        })
+        });
+        if let Some(rx) = rx {
+            // The thread holds only a weak reference: dropping the last
+            // external handle drops the sender, disconnects the channel,
+            // and the thread exits.
+            let weak = Arc::downgrade(&oracle);
+            std::thread::Builder::new()
+                .name("ghost-checker".into())
+                .spawn(move || checker_loop(weak, rx))
+                .expect("spawn checker thread");
+        }
+        oracle
     }
 
     /// Starts a builder for machines booted from `config`; configure the
@@ -543,6 +627,110 @@ impl Oracle {
             config,
             opts: OracleOpts::default(),
             events: None,
+        }
+    }
+
+    /// A [`Checker`] handle over this oracle (mode inspection, explicit
+    /// synchronisation).
+    pub fn checker(self: &Arc<Self>) -> Checker {
+        Checker::new(self.clone())
+    }
+
+    /// A [`Verdict`] handle over this oracle: `wait()` then read the
+    /// violations and stats, instead of scraping the atomics directly.
+    pub fn verdict(self: &Arc<Self>) -> Verdict {
+        Verdict::new(self.clone())
+    }
+
+    /// The configured [`CheckMode`].
+    pub fn check_mode(&self) -> CheckMode {
+        self.opts.check_mode
+    }
+
+    /// Blocks until every hook event emitted so far has been checked.
+    /// A no-op in [`CheckMode::Inline`].
+    pub fn barrier(&self) {
+        if let Some(p) = &self.pipeline {
+            p.barrier();
+        }
+    }
+
+    /// (sent, applied) checker-message counts; `(0, 0)` inline.
+    pub(crate) fn frontier(&self) -> (u64, u64) {
+        self.pipeline.as_ref().map_or((0, 0), |p| p.frontier())
+    }
+
+    /// A coherent plain-value snapshot of the counters. In pipelined mode
+    /// call [`Oracle::barrier`] (or go through [`Verdict`]) first, or the
+    /// snapshot can straddle the check frontier.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let s = &self.stats;
+        StatsSnapshot {
+            traps_checked: s.traps_checked.load(Ordering::Relaxed),
+            traps_unchecked: s.traps_unchecked.load(Ordering::Relaxed),
+            abstractions: s.abstractions.load(Ordering::Relaxed),
+            read_onces: s.read_onces.load(Ordering::Relaxed),
+            interleaved_skips: s.interleaved_skips.load(Ordering::Relaxed),
+            contained_panics: s.contained_panics.load(Ordering::Relaxed),
+            quarantined_skips: s.quarantined_skips.load(Ordering::Relaxed),
+            quarantine_recoveries: s.quarantine_recoveries.load(Ordering::Relaxed),
+            violations_dropped: s.violations_dropped.load(Ordering::Relaxed),
+            degraded_traps: s.degraded_traps.load(Ordering::Relaxed),
+            budget_degraded_events: s.budget_degraded_events.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hands one back-half message to the check core: applied on the
+    /// spot inline (preserving the classic synchronous semantics
+    /// bit-for-bit), queued to the checker thread pipelined.
+    fn dispatch(&self, msg: CheckMsg) {
+        match &self.pipeline {
+            None => self.apply_msg(msg),
+            Some(p) => p.send(msg),
+        }
+    }
+
+    /// The checker thread's per-message entry: applies with a containment
+    /// net (a panicking check becomes a quarantine strike plus an
+    /// [`Violation::OracleInternal`], never a dead checker thread) and
+    /// advances the applied counter. Inline mode never comes through
+    /// here — the hook's own containment wraps the synchronous apply,
+    /// exactly as the classic oracle contained it.
+    pub(crate) fn apply_counted(&self, msg: CheckMsg) {
+        if let CheckMsg::Barrier(gate) = msg {
+            if let Some(p) = &self.pipeline {
+                p.note_applied();
+            }
+            let (lock, cvar) = &*gate;
+            *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            cvar.notify_all();
+            return;
+        }
+        let key = match &msg {
+            CheckMsg::TrapEnter { .. } => "trap_enter".to_string(),
+            CheckMsg::TrapExit { .. } => "trap_exit".to_string(),
+            CheckMsg::LockAcquired { comp, .. } | CheckMsg::LockReleasing { comp, .. } => {
+                comp_name(*comp)
+            }
+            CheckMsg::ReadOnce { .. } => "read_once".to_string(),
+            _ => "checker".to_string(),
+        };
+        let res = contain(|| self.apply_msg(msg));
+        if let Some(p) = &self.pipeline {
+            p.note_applied();
+        }
+        if let Err(payload) = res {
+            self.stats.contained_panics.fetch_add(1, Ordering::Relaxed);
+            self.quarantine.record_failure(&key);
+            self.report_all_at(
+                0,
+                None,
+                vec![Violation::OracleInternal {
+                    seq: None,
+                    component: key,
+                    payload,
+                }],
+            );
         }
     }
 
@@ -575,8 +763,11 @@ impl Oracle {
         self.violation_count() == 0
     }
 
-    /// Drops all recorded violations (between test cases).
+    /// Drops all recorded violations (between test cases). Synchronises
+    /// with the checker first, so a pending report from the cleared era
+    /// cannot land after the clear.
     pub fn clear_violations(&self) {
+        self.barrier();
         self.events.clear_violations();
     }
 
@@ -617,27 +808,6 @@ impl Oracle {
         }
     }
 
-    fn report_anomalies(
-        &self,
-        cpu: usize,
-        trap: Option<u64>,
-        context: &str,
-        anomalies: Vec<Anomaly>,
-    ) {
-        self.report_all_at(
-            cpu,
-            trap,
-            anomalies
-                .into_iter()
-                .map(|a| Violation::AbstractionAnomaly {
-                    seq: None,
-                    context: context.into(),
-                    anomaly: a,
-                })
-                .collect(),
-        );
-    }
-
     /// Fills in the VM incarnation id on reports about a `vm[<handle>]`
     /// component, from the shared copy's incarnation table. (Reports that
     /// already know their incarnation keep it.)
@@ -662,29 +832,37 @@ impl Oracle {
         }
     }
 
-    /// Runs one oracle step with panics contained: a panic becomes a
-    /// [`Violation::OracleInternal`] and a strike against `key`'s
-    /// quarantine record, never an unwind into the hypervisor.
+    /// Runs one front-half oracle step with panics contained: a panic
+    /// becomes a [`Violation::OracleInternal`] and a strike against
+    /// `key`'s quarantine record, never an unwind into the hypervisor.
+    /// The report is routed through the pipeline ([`CheckMsg::Report`])
+    /// like every front-originated violation, so the derived sequence
+    /// numbering is identical in both check modes.
     fn guarded(&self, key: &str, f: impl FnOnce()) {
         match contain(f) {
             Ok(()) => self.quarantine.record_success(key),
             Err(payload) => {
                 self.stats.contained_panics.fetch_add(1, Ordering::Relaxed);
                 self.quarantine.record_failure(key);
-                self.report(Violation::OracleInternal {
-                    seq: None,
-                    component: key.to_string(),
-                    payload,
+                self.dispatch(CheckMsg::Report {
+                    cpu: 0,
+                    trap: None,
+                    violations: vec![Violation::OracleInternal {
+                        seq: None,
+                        component: key.to_string(),
+                        payload,
+                    }],
                 });
             }
         }
     }
 
-    /// Sequence id of the trap currently executing on `cpu`, if any.
+    /// Sequence id of the trap currently executing on `cpu`, if any
+    /// (front-half knowledge: the mutator is the one inside the trap).
     fn current_trap(&self, cpu: usize) -> Option<u64> {
-        let rec = self.cpus[cpu].lock();
-        if rec.in_trap {
-            rec.trap_seq
+        let front = self.fronts[cpu].lock();
+        if front.in_trap {
+            front.trap_seq
         } else {
             None
         }
@@ -712,13 +890,13 @@ impl Oracle {
     /// Accounts one lock event against the per-trap check budget. `true`
     /// means the budget is spent: the caller must degrade this event.
     fn budget_exhausted(&self, cpu: usize) -> bool {
-        let mut rec = self.cpus[cpu].lock();
-        if !rec.in_trap {
+        let mut front = self.fronts[cpu].lock();
+        if !front.in_trap {
             return false;
         }
-        rec.events_this_trap += 1;
-        if rec.events_this_trap > self.opts.trap_check_budget {
-            rec.degraded = true;
+        front.events_this_trap += 1;
+        if front.events_this_trap > self.opts.trap_check_budget {
+            front.degraded = true;
             true
         } else {
             false
@@ -726,15 +904,17 @@ impl Oracle {
     }
 
     /// Bookkeeping for a lock event skipped under quarantine: count it,
-    /// evict the component so nothing stale is compared, and mark it
-    /// interleaved so the running trap's check ignores it.
-    fn note_quarantine_skip(&self, ctx: &HookCtx<'_>, comp: Component) {
+    /// then have the back half evict the component so nothing stale is
+    /// compared, marking it interleaved so the running trap's check
+    /// ignores it.
+    fn note_quarantine_skip(&self, cpu: usize, trap: Option<u64>, comp: Component) {
         self.stats.quarantined_skips.fetch_add(1, Ordering::Relaxed);
-        self.evict_shared(comp);
-        let mut rec = self.cpus[ctx.cpu].lock();
-        if rec.in_trap {
-            rec.interleaved.insert(comp_key_of(comp));
-        }
+        self.dispatch(CheckMsg::Evict {
+            cpu,
+            trap,
+            comp,
+            quarantine: true,
+        });
     }
 
     /// Number of components (or spec steps) currently quarantined.
@@ -770,26 +950,29 @@ impl Oracle {
     }
 
     /// The component abstraction function: dispatches on the view the
-    /// lock helper provided.
+    /// lock helper provided. Runs on the mutator thread — the one oracle
+    /// step that *must* happen under the component's lock. Anomalies and
+    /// shadow divergences are returned (in occurrence order) rather than
+    /// reported, so the back half can report them in checker order.
     fn abstract_component(
         &self,
         ctx: &HookCtx<'_>,
-        trap: Option<u64>,
-        comp: Component,
         view: &ComponentView,
-    ) -> ComponentValue {
+        comp: Component,
+    ) -> (ComponentValue, Vec<Violation>) {
         self.stats.abstractions.fetch_add(1, Ordering::Relaxed);
         let cached = self.opts.uses_cache();
         let mut anomalies = Vec::new();
+        let mut reports = Vec::new();
         let value = match view {
             ComponentView::Host { root } if cached => {
                 let interp = self.cached_interp(
                     ctx,
-                    trap,
                     Stage::Stage2,
                     *root,
                     CacheKey::Host,
                     &mut anomalies,
+                    &mut reports,
                 );
                 ComponentValue::Host(abstract_host_from_interp(
                     interp,
@@ -803,11 +986,11 @@ impl Oracle {
             ComponentView::Hyp { root } if cached => {
                 let pgt = self.cached_interp(
                     ctx,
-                    trap,
                     Stage::Stage1,
                     *root,
                     CacheKey::Hyp,
                     &mut anomalies,
+                    &mut reports,
                 );
                 ComponentValue::Pkvm(GhostPkvm { pgt })
             }
@@ -832,11 +1015,11 @@ impl Oracle {
             ComponentView::Vm(view) if cached => {
                 let pgt = self.cached_interp(
                     ctx,
-                    trap,
                     Stage::Stage2,
                     view.s2_root,
                     CacheKey::Vm(view.handle),
                     &mut anomalies,
+                    &mut reports,
                 );
                 ComponentValue::Vm(view.handle, view.uniq, abstract_vm_with_pgt(view, pgt))
             }
@@ -846,24 +1029,32 @@ impl Oracle {
                 abstract_vm(ctx.mem, view, &mut anomalies),
             ),
         };
-        if !anomalies.is_empty() {
-            self.report_anomalies(ctx.cpu, trap, &format!("{comp:?}"), anomalies);
-        }
-        value
+        let context = format!("{comp:?}");
+        reports.extend(
+            anomalies
+                .into_iter()
+                .map(|a| Violation::AbstractionAnomaly {
+                    seq: None,
+                    context: context.clone(),
+                    anomaly: a,
+                }),
+        );
+        (value, reports)
     }
 
     /// Interprets `root` through the incremental cache. Under shadow
-    /// validation the full walk also runs; a divergence is reported as an
-    /// oracle self-check violation and the full result wins, so a cache
-    /// bug can never mask (or fabricate) a hypervisor bug.
+    /// validation the full walk also runs; a divergence is collected into
+    /// `reports` as an oracle self-check violation and the full result
+    /// wins, so a cache bug can never mask (or fabricate) a hypervisor
+    /// bug.
     fn cached_interp(
         &self,
         ctx: &HookCtx<'_>,
-        trap: Option<u64>,
         stage: Stage,
         root: PhysAddr,
         key: CacheKey,
         anomalies: &mut Vec<Anomaly>,
+        reports: &mut Vec<Violation>,
     ) -> AbstractPgtable {
         if !self.opts.shadow_validation {
             return self
@@ -879,15 +1070,11 @@ impl Oracle {
         let before = anomalies.len();
         let full = interpret_pgtable(ctx.mem, stage, root, anomalies);
         if inc != full || inc_anomalies != anomalies[before..] {
-            self.report_at(
-                ctx.cpu,
-                trap,
-                Violation::ShadowDivergence {
-                    seq: None,
-                    component: format!("{key:?}"),
-                    diff: pgtable_divergence(&full, &inc, &anomalies[before..], &inc_anomalies),
-                },
-            );
+            reports.push(Violation::ShadowDivergence {
+                seq: None,
+                component: format!("{key:?}"),
+                diff: pgtable_divergence(&full, &inc, &anomalies[before..], &inc_anomalies),
+            });
         }
         full
     }
@@ -1003,11 +1190,12 @@ impl Oracle {
         }
     }
 
-    fn trap_name(call: &GhostCallData) -> String {
-        match call.esr.ec() {
-            Some(pkvm_aarch64::esr::ExceptionClass::Hvc64) => {
-                hypercalls::name(call.regs_pre.get(0)).to_string()
-            }
+    /// Names a trap from its syndrome and `x0` at entry — exactly the
+    /// two values [`FrontRecord::call_mirror`] carries, so the front half
+    /// can name the trap without the back half's call data.
+    fn trap_name_of(esr: Esr, x0: u64) -> String {
+        match esr.ec() {
+            Some(pkvm_aarch64::esr::ExceptionClass::Hvc64) => hypercalls::name(x0).to_string(),
             Some(pkvm_aarch64::esr::ExceptionClass::Smc64) => "smc".into(),
             Some(_) => "host_abort".into(),
             None => "unknown".into(),
@@ -1070,6 +1258,9 @@ impl Oracle {
     /// Checks the recorded post-boot state against [`Oracle::spec_boot_state`].
     /// Call once after `Machine::boot`. Returns `true` when it matched.
     pub fn check_boot(&self) -> bool {
+        // Boot's lock events flow through the pipeline like any others;
+        // the shared copy is only complete behind the check frontier.
+        self.barrier();
         let expected = normalize(&self.spec_boot_state());
         let recorded = normalize(&self.shared.lock().state.clone());
         let mut ok = true;
@@ -1248,6 +1439,12 @@ impl OracleBuilder<'_> {
         self
     }
 
+    /// Where the check core runs (default [`CheckMode::Inline`]).
+    pub fn check_mode(mut self, mode: CheckMode) -> Self {
+        self.opts.check_mode = mode;
+        self
+    }
+
     /// Builds the oracle.
     pub fn build(self) -> Arc<Oracle> {
         match self.events {
@@ -1296,7 +1493,9 @@ fn pgtable_divergence(
     out
 }
 
-enum ComponentValue {
+/// One component's abstraction, as recorded at a lock event. Computed by
+/// the front half under the component's lock, consumed by the back half.
+pub(crate) enum ComponentValue {
     Host(GhostHost),
     Pkvm(GhostPkvm),
     /// Live (handle, slot) pairs, plus (handle, incarnation) pairs so the
@@ -1396,60 +1595,284 @@ impl Oracle {
         }
     }
 
-    fn lock_acquired_inner(
-        &self,
-        ctx: &HookCtx<'_>,
-        trap: Option<u64>,
-        comp: Component,
-        view: &ComponentView,
-        check_ni: bool,
-    ) {
-        let value = self.abstract_component(ctx, trap, comp, view);
-        if check_ni {
-            self.noninterference_check(ctx.cpu, trap, comp, &value);
-        }
-        let key = value.key();
-        // Safe to read outside the rec lock: we hold the component's lock,
-        // so no foreign trap can stamp this component right now.
-        let version = self.shared.lock().versions.get(&key).copied();
-        let mut rec = self.cpus[ctx.cpu].lock();
-        if rec.in_trap {
-            // A re-acquisition after one of our own releases: if the stamp
-            // moved in between, a foreign trap updated the component and
-            // the atomic per-trap check no longer applies to it.
-            if let Some(&last) = rec.last_release.get(&key) {
-                if version != Some(last) {
-                    rec.interleaved.insert(key);
+    /// The back half: applies one [`CheckMsg`] to the ghost copy and runs
+    /// the checks it triggers. In [`CheckMode::Inline`] this runs on the
+    /// hook's thread (inside the hook's own containment, exactly like the
+    /// classic synchronous oracle); pipelined it runs on the checker
+    /// thread via [`Oracle::apply_counted`].
+    pub(crate) fn apply_msg(&self, msg: CheckMsg) {
+        match msg {
+            CheckMsg::TrapEnter {
+                cpu,
+                seq,
+                call,
+                cpu_state,
+            } => self.apply_trap_enter(cpu, seq, call, cpu_state),
+            CheckMsg::TrapExit {
+                cpu,
+                trap,
+                name,
+                cpu_state,
+                regs_post,
+                degraded,
+            } => self.apply_trap_exit(cpu, trap, name, cpu_state, regs_post, degraded),
+            CheckMsg::LockAcquired {
+                cpu,
+                trap,
+                comp,
+                value,
+                reports,
+                check_ni,
+            } => {
+                if !reports.is_empty() {
+                    self.report_all_at(cpu, trap, reports);
+                }
+                if check_ni {
+                    self.noninterference_check(cpu, trap, comp, &value);
+                }
+                let key = value.key();
+                // Safe to read outside the rec lock: the mutator holds the
+                // component's lock across this message, so no foreign trap
+                // can stamp this component right now.
+                let version = self.shared.lock().versions.get(&key).copied();
+                let mut rec = self.cpus[cpu].lock();
+                if trap.is_some() {
+                    // A re-acquisition after one of our own releases: if
+                    // the stamp moved in between, a foreign trap updated
+                    // the component and the atomic per-trap check no
+                    // longer applies to it.
+                    if let Some(&last) = rec.last_release.get(&key) {
+                        if version != Some(last) {
+                            rec.interleaved.insert(key);
+                        }
+                    }
+                    // First acquisition within the trap defines the
+                    // pre-state.
+                    Self::set_component(&mut rec.pre, &value, true);
+                } else {
+                    drop(rec);
+                    self.shared.lock().set(&value);
                 }
             }
-            // First acquisition within the trap defines the pre-state.
-            Self::set_component(&mut rec.pre, &value, true);
-        } else {
-            drop(rec);
-            self.shared.lock().set(&value);
+            CheckMsg::LockReleasing {
+                cpu,
+                trap,
+                value,
+                reports,
+                ..
+            } => {
+                if !reports.is_empty() {
+                    self.report_all_at(cpu, trap, reports);
+                }
+                let key = value.key();
+                let version = {
+                    let mut shared = self.shared.lock();
+                    shared.set(&value);
+                    shared.versions.get(&key).copied()
+                };
+                let mut rec = self.cpus[cpu].lock();
+                if trap.is_some() {
+                    // Last release within the trap defines the post-state.
+                    Self::set_component(&mut rec.post, &value, false);
+                    if let Some(v) = version {
+                        rec.last_release.insert(key, v);
+                    }
+                }
+            }
+            CheckMsg::Evict {
+                cpu,
+                trap,
+                comp,
+                quarantine,
+            } => {
+                self.evict_shared(comp);
+                // Quarantine skips additionally blind the running trap's
+                // check to the component; budget evictions skip the whole
+                // trap's check anyway.
+                if quarantine && trap.is_some() {
+                    self.cpus[cpu].lock().interleaved.insert(comp_key_of(comp));
+                }
+            }
+            CheckMsg::ReadOnce { cpu, tag, value } => {
+                if let Some(call) = self.cpus[cpu].lock().call.as_mut() {
+                    call.read_onces.push((tag, value));
+                }
+            }
+            CheckMsg::TablePageAlloc {
+                cpu,
+                trap,
+                comp,
+                pfn,
+            } => {
+                if !self.opts.check_separation {
+                    return;
+                }
+                let mut fp = self.footprints.lock();
+                for (other, pages) in fp.iter() {
+                    if *other != comp && pages.contains(&pfn) {
+                        let v = Violation::SeparationOverlap {
+                            seq: None,
+                            component: format!("{comp:?}"),
+                            pfn,
+                            owner: format!("{other:?}"),
+                        };
+                        drop(fp);
+                        self.report_at(cpu, trap, v);
+                        return;
+                    }
+                }
+                fp.entry(comp).or_default().insert(pfn);
+            }
+            CheckMsg::TablePageFree { comp, pfn } => {
+                if !self.opts.check_separation {
+                    return;
+                }
+                if let Some(pages) = self.footprints.lock().get_mut(&comp) {
+                    pages.remove(&pfn);
+                }
+            }
+            CheckMsg::Report {
+                cpu,
+                trap,
+                violations,
+            } => self.report_all_at(cpu, trap, violations),
+            // Barriers are handled in `apply_counted` (outside the
+            // containment net, so the poster can never hang); inline mode
+            // never dispatches one.
+            CheckMsg::Barrier(_) => {}
         }
     }
 
-    fn lock_releasing_inner(
+    /// Back half of `trap_enter`: reset the per-CPU recording. The shared
+    /// versions snapshot happens here, at apply time — in pipelined mode
+    /// that is the correct point, because every shared-copy mutation also
+    /// happens at apply time, in message order.
+    fn apply_trap_enter(&self, cpu: usize, seq: u64, call: GhostCallData, cpu_state: GhostCpu) {
+        let versions = self.shared.lock().versions.clone();
+        let mut rec = self.cpus[cpu].lock();
+        rec.pre = GhostState::blank(&self.globals);
+        rec.post = GhostState::blank(&self.globals);
+        rec.call = Some(call);
+        rec.versions_at_entry = versions;
+        rec.last_release.clear();
+        rec.interleaved.clear();
+        rec.trap_seq = Some(seq);
+        rec.pre.locals.insert(cpu, cpu_state);
+    }
+
+    /// Back half of `trap_exit`: finish the recording, then run the
+    /// ternary check (with the same phased containment as the classic
+    /// oracle).
+    fn apply_trap_exit(
         &self,
-        ctx: &HookCtx<'_>,
+        cpu: usize,
         trap: Option<u64>,
-        comp: Component,
-        view: &ComponentView,
+        name: String,
+        cpu_state: GhostCpu,
+        regs_post: GprFile,
+        degraded: bool,
     ) {
-        let value = self.abstract_component(ctx, trap, comp, view);
-        let key = value.key();
-        let version = {
-            let mut shared = self.shared.lock();
-            shared.set(&value);
-            shared.versions.get(&key).copied()
+        let mut rec = self.cpus[cpu].lock();
+        // Phase 1: finish the recording. Contained so a panic leaves the
+        // per-CPU record consistent (the next trap_enter resets it anyway).
+        let prep = contain(|| {
+            rec.post.locals.insert(cpu, cpu_state);
+            let mut call = rec.call.take()?;
+            call.regs_post = regs_post;
+            Some(call)
+        });
+        let call = match prep {
+            Ok(Some(call)) => call,
+            Ok(None) => {
+                // No call data: trap_enter never ran (or its delivery was
+                // dropped). A confused recording, not a hypervisor bug.
+                drop(rec);
+                self.report_at(
+                    cpu,
+                    trap,
+                    Violation::OracleSelfCheck {
+                        seq: None,
+                        context: "trap_exit".into(),
+                        detail: "no recorded call data (trap_enter not delivered?)".into(),
+                    },
+                );
+                return;
+            }
+            Err(payload) => {
+                drop(rec);
+                self.stats.contained_panics.fetch_add(1, Ordering::Relaxed);
+                self.quarantine.record_failure("trap_exit");
+                self.report_at(
+                    cpu,
+                    trap,
+                    Violation::OracleInternal {
+                        seq: None,
+                        component: "trap_exit".into(),
+                        payload,
+                    },
+                );
+                return;
+            }
         };
-        let mut rec = self.cpus[ctx.cpu].lock();
-        if rec.in_trap {
-            // Last release within the trap defines the post-state.
-            Self::set_component(&mut rec.post, &value, false);
-            if let Some(v) = version {
-                rec.last_release.insert(key, v);
+        // Phase 2: the check — unless this trap degraded under budget
+        // pressure, or this handler's spec step is quarantined.
+        if degraded {
+            self.stats.degraded_traps.fetch_add(1, Ordering::Relaxed);
+            self.stats.traps_unchecked.fetch_add(1, Ordering::Relaxed);
+            self.push_trace(
+                trap,
+                TrapRecord {
+                    cpu,
+                    name,
+                    outcome: TrapOutcome::Unchecked("per-trap check budget exhausted".into()),
+                },
+            );
+            return;
+        }
+        let spec_key = format!("spec:{name}");
+        match self.quarantine.disposition(&spec_key) {
+            Disposition::Skip => {
+                self.stats.quarantined_skips.fetch_add(1, Ordering::Relaxed);
+                self.stats.traps_unchecked.fetch_add(1, Ordering::Relaxed);
+                self.push_trace(
+                    trap,
+                    TrapRecord {
+                        cpu,
+                        name,
+                        outcome: TrapOutcome::Unchecked("spec step quarantined".into()),
+                    },
+                );
+                return;
+            }
+            Disposition::Recover => {
+                self.stats
+                    .quarantine_recoveries
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Disposition::Process => {}
+        }
+        match contain(|| self.spec_and_check(cpu, &rec, &call, &name)) {
+            Ok(()) => self.quarantine.record_success(&spec_key),
+            Err(payload) => {
+                self.stats.contained_panics.fetch_add(1, Ordering::Relaxed);
+                self.quarantine.record_failure(&spec_key);
+                self.push_trace(
+                    trap,
+                    TrapRecord {
+                        cpu,
+                        name,
+                        outcome: TrapOutcome::Unchecked("spec step panicked (contained)".into()),
+                    },
+                );
+                self.report_at(
+                    cpu,
+                    trap,
+                    Violation::OracleInternal {
+                        seq: None,
+                        component: spec_key,
+                        payload,
+                    },
+                );
             }
         }
     }
@@ -1470,20 +1893,22 @@ impl GhostHooks for Oracle {
             let seq = self
                 .events
                 .emit(ctx.cpu as u32, None, Event::TrapEnter { cpu: ctx.cpu });
-            let versions = self.shared.lock().versions.clone();
-            let mut rec = self.cpus[ctx.cpu].lock();
-            rec.in_trap = true;
-            rec.pre = GhostState::blank(&self.globals);
-            rec.post = GhostState::blank(&self.globals);
-            rec.call = Some(GhostCallData::new(ctx.cpu, esr, fault_ipa, *regs));
-            rec.versions_at_entry = versions;
-            rec.last_release.clear();
-            rec.interleaved.clear();
-            rec.events_this_trap = 0;
-            rec.degraded = false;
-            rec.trap_seq = Some(seq);
+            {
+                let mut front = self.fronts[ctx.cpu].lock();
+                front.in_trap = true;
+                front.trap_seq = Some(seq);
+                front.call_mirror = Some((esr, regs.get(0)));
+                front.events_this_trap = 0;
+                front.degraded = false;
+            }
+            let call = GhostCallData::new(ctx.cpu, esr, fault_ipa, *regs);
             let cpu_state = Self::ghost_cpu(regs, &loaded);
-            rec.pre.locals.insert(ctx.cpu, cpu_state);
+            self.dispatch(CheckMsg::TrapEnter {
+                cpu: ctx.cpu,
+                seq,
+                call,
+                cpu_state,
+            });
         });
     }
 
@@ -1493,125 +1918,63 @@ impl GhostHooks for Oracle {
         regs: &GprFile,
         loaded: Option<(Handle, usize, VcpuView)>,
     ) {
-        let mut rec = self.cpus[ctx.cpu].lock();
-        if !rec.in_trap {
-            return;
-        }
-        rec.in_trap = false;
-        // Phase 1: finish the recording. Contained so a panic leaves the
-        // per-CPU record consistent (the next trap_enter resets it anyway).
-        let prep = contain(|| {
-            let cpu_state = Self::ghost_cpu(regs, &loaded);
-            rec.post.locals.insert(ctx.cpu, cpu_state);
-            let mut call = rec.call.take()?;
-            call.regs_post = *regs;
-            let name = Self::trap_name(&call);
-            Some((call, name))
-        });
-        let (call, name) = match prep {
-            Ok(Some(v)) => v,
-            Ok(None) => {
-                // No call data: trap_enter never ran (or its delivery was
-                // dropped). A confused recording, not a hypervisor bug.
-                let trap = rec.trap_seq;
-                drop(rec);
-                self.report_at(
-                    ctx.cpu,
-                    trap,
-                    Violation::OracleSelfCheck {
-                        seq: None,
-                        context: "trap_exit".into(),
-                        detail: "no recorded call data (trap_enter not delivered?)".into(),
-                    },
-                );
+        let (trap, mirror, degraded) = {
+            let mut front = self.fronts[ctx.cpu].lock();
+            if !front.in_trap {
                 return;
             }
+            front.in_trap = false;
+            (front.trap_seq, front.call_mirror.take(), front.degraded)
+        };
+        let prep = contain(|| Self::ghost_cpu(regs, &loaded));
+        let cpu_state = match prep {
+            Ok(state) => state,
             Err(payload) => {
-                let trap = rec.trap_seq;
-                drop(rec);
                 self.stats.contained_panics.fetch_add(1, Ordering::Relaxed);
                 self.quarantine.record_failure("trap_exit");
-                self.report_at(
-                    ctx.cpu,
+                self.dispatch(CheckMsg::Report {
+                    cpu: ctx.cpu,
                     trap,
-                    Violation::OracleInternal {
+                    violations: vec![Violation::OracleInternal {
                         seq: None,
                         component: "trap_exit".into(),
                         payload,
-                    },
-                );
+                    }],
+                });
                 return;
             }
         };
+        let Some((esr, x0)) = mirror else {
+            // No call data: trap_enter never ran (or its delivery was
+            // dropped). A confused recording, not a hypervisor bug.
+            self.dispatch(CheckMsg::Report {
+                cpu: ctx.cpu,
+                trap,
+                violations: vec![Violation::OracleSelfCheck {
+                    seq: None,
+                    context: "trap_exit".into(),
+                    detail: "no recorded call data (trap_enter not delivered?)".into(),
+                }],
+            });
+            return;
+        };
+        let name = Self::trap_name_of(esr, x0);
         self.events.emit(
             ctx.cpu as u32,
-            rec.trap_seq,
+            trap,
             Event::TrapExit {
                 cpu: ctx.cpu,
                 name: name.clone(),
             },
         );
-        // Phase 2: the check — unless this trap degraded under budget
-        // pressure, or this handler's spec step is quarantined.
-        if rec.degraded {
-            self.stats.degraded_traps.fetch_add(1, Ordering::Relaxed);
-            self.stats.traps_unchecked.fetch_add(1, Ordering::Relaxed);
-            self.push_trace(
-                rec.trap_seq,
-                TrapRecord {
-                    cpu: ctx.cpu,
-                    name,
-                    outcome: TrapOutcome::Unchecked("per-trap check budget exhausted".into()),
-                },
-            );
-            return;
-        }
-        let spec_key = format!("spec:{name}");
-        match self.quarantine.disposition(&spec_key) {
-            Disposition::Skip => {
-                self.stats.quarantined_skips.fetch_add(1, Ordering::Relaxed);
-                self.stats.traps_unchecked.fetch_add(1, Ordering::Relaxed);
-                self.push_trace(
-                    rec.trap_seq,
-                    TrapRecord {
-                        cpu: ctx.cpu,
-                        name,
-                        outcome: TrapOutcome::Unchecked("spec step quarantined".into()),
-                    },
-                );
-                return;
-            }
-            Disposition::Recover => {
-                self.stats
-                    .quarantine_recoveries
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-            Disposition::Process => {}
-        }
-        match contain(|| self.spec_and_check(ctx.cpu, &rec, &call, &name)) {
-            Ok(()) => self.quarantine.record_success(&spec_key),
-            Err(payload) => {
-                self.stats.contained_panics.fetch_add(1, Ordering::Relaxed);
-                self.quarantine.record_failure(&spec_key);
-                self.push_trace(
-                    rec.trap_seq,
-                    TrapRecord {
-                        cpu: ctx.cpu,
-                        name,
-                        outcome: TrapOutcome::Unchecked("spec step panicked (contained)".into()),
-                    },
-                );
-                self.report_at(
-                    ctx.cpu,
-                    rec.trap_seq,
-                    Violation::OracleInternal {
-                        seq: None,
-                        component: spec_key,
-                        payload,
-                    },
-                );
-            }
-        }
+        self.dispatch(CheckMsg::TrapExit {
+            cpu: ctx.cpu,
+            trap,
+            name,
+            cpu_state,
+            regs_post: *regs,
+            degraded,
+        });
     }
 
     fn lock_acquired(&self, ctx: &HookCtx<'_>, comp: Component, view: &ComponentView) {
@@ -1624,7 +1987,7 @@ impl GhostHooks for Oracle {
         let key = comp_name(comp);
         let check_ni = match self.quarantine.disposition(&key) {
             Disposition::Skip => {
-                self.note_quarantine_skip(ctx, comp);
+                self.note_quarantine_skip(ctx.cpu, trap, comp);
                 return;
             }
             // Recovery from quarantine: re-seed the shared copy from a
@@ -1643,11 +2006,24 @@ impl GhostHooks for Oracle {
             self.stats
                 .budget_degraded_events
                 .fetch_add(1, Ordering::Relaxed);
-            self.evict_shared(comp);
+            self.dispatch(CheckMsg::Evict {
+                cpu: ctx.cpu,
+                trap,
+                comp,
+                quarantine: false,
+            });
             return;
         }
         self.guarded(&key, || {
-            self.lock_acquired_inner(ctx, trap, comp, view, check_ni);
+            let (value, reports) = self.abstract_component(ctx, view, comp);
+            self.dispatch(CheckMsg::LockAcquired {
+                cpu: ctx.cpu,
+                trap,
+                comp,
+                value,
+                reports,
+                check_ni,
+            });
         });
     }
 
@@ -1661,7 +2037,7 @@ impl GhostHooks for Oracle {
         let key = comp_name(comp);
         match self.quarantine.disposition(&key) {
             Disposition::Skip => {
-                self.note_quarantine_skip(ctx, comp);
+                self.note_quarantine_skip(ctx.cpu, trap, comp);
                 return;
             }
             // A release *is* a full abstraction pass recorded into the
@@ -1677,19 +2053,30 @@ impl GhostHooks for Oracle {
             self.stats
                 .budget_degraded_events
                 .fetch_add(1, Ordering::Relaxed);
-            self.evict_shared(comp);
+            self.dispatch(CheckMsg::Evict {
+                cpu: ctx.cpu,
+                trap,
+                comp,
+                quarantine: false,
+            });
             return;
         }
         self.guarded(&key, || {
-            self.lock_releasing_inner(ctx, trap, comp, view);
+            let (value, reports) = self.abstract_component(ctx, view, comp);
+            self.dispatch(CheckMsg::LockReleasing {
+                cpu: ctx.cpu,
+                trap,
+                comp,
+                value,
+                reports,
+            });
         });
     }
 
     fn read_once(&self, ctx: &HookCtx<'_>, tag: &'static str, value: u64) {
         self.stats.read_onces.fetch_add(1, Ordering::Relaxed);
         self.guarded("read_once", || {
-            let mut rec = self.cpus[ctx.cpu].lock();
-            let trap = if rec.in_trap { rec.trap_seq } else { None };
+            let trap = self.current_trap(ctx.cpu);
             self.events.emit(
                 ctx.cpu as u32,
                 trap,
@@ -1699,9 +2086,11 @@ impl GhostHooks for Oracle {
                     value,
                 },
             );
-            if let Some(call) = rec.call.as_mut() {
-                call.read_onces.push((tag, value));
-            }
+            self.dispatch(CheckMsg::ReadOnce {
+                cpu: ctx.cpu,
+                tag,
+                value,
+            });
         });
     }
 
@@ -1715,24 +2104,12 @@ impl GhostHooks for Oracle {
                 pfn: page.pfn(),
             },
         );
-        if !self.opts.check_separation {
-            return;
-        }
-        let mut fp = self.footprints.lock();
-        for (other, pages) in fp.iter() {
-            if *other != comp && pages.contains(&page.pfn()) {
-                let v = Violation::SeparationOverlap {
-                    seq: None,
-                    component: format!("{comp:?}"),
-                    pfn: page.pfn(),
-                    owner: format!("{other:?}"),
-                };
-                drop(fp);
-                self.report_at(ctx.cpu, trap, v);
-                return;
-            }
-        }
-        fp.entry(comp).or_default().insert(page.pfn());
+        self.dispatch(CheckMsg::TablePageAlloc {
+            cpu: ctx.cpu,
+            trap,
+            comp,
+            pfn: page.pfn(),
+        });
     }
 
     fn table_page_free(&self, ctx: &HookCtx<'_>, comp: Component, page: PhysAddr) {
@@ -1745,24 +2122,22 @@ impl GhostHooks for Oracle {
                 pfn: page.pfn(),
             },
         );
-        if !self.opts.check_separation {
-            return;
-        }
-        if let Some(pages) = self.footprints.lock().get_mut(&comp) {
-            pages.remove(&page.pfn());
-        }
+        self.dispatch(CheckMsg::TablePageFree {
+            comp,
+            pfn: page.pfn(),
+        });
     }
 
     fn hyp_panic(&self, ctx: &HookCtx<'_>, reason: &str) {
         let trap = self.current_trap(ctx.cpu);
-        self.report_at(
-            ctx.cpu,
+        self.dispatch(CheckMsg::Report {
+            cpu: ctx.cpu,
             trap,
-            Violation::HypPanic {
+            violations: vec![Violation::HypPanic {
                 seq: None,
                 reason: reason.into(),
-            },
-        );
+            }],
+        });
     }
 
     fn wants_write_log(&self) -> bool {
@@ -1834,6 +2209,67 @@ mod tests {
             donated: donated.to_vec(),
             vcpus: Vec::new(),
         }
+    }
+
+    #[test]
+    fn stalled_checker_bounds_memory_and_drains_on_release() {
+        // Backpressure: a pipelined oracle whose checker cannot make
+        // progress must block the mutator at the channel cap instead of
+        // queueing messages without bound.
+        let cap = 8usize;
+        let o = Oracle::new(
+            &MachineConfig::default(),
+            OracleOpts::builder()
+                .check_mode(CheckMode::Pipelined {
+                    workers: 1,
+                    channel_cap: cap,
+                })
+                .build(),
+        );
+        // Stall the checker: the first message it applies (`trap_enter`)
+        // locks the shared copy, which the test holds.
+        let stall = o.shared.lock();
+        let driver = {
+            let o = Arc::clone(&o);
+            std::thread::spawn(move || {
+                let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+                let ctx = HookCtx { mem: &mem, cpu: 0 };
+                o.trap_enter(&ctx, Esr::hvc64(0), None, &GprFile::default(), None);
+                for i in 0..1000u64 {
+                    o.read_once(&ctx, "flood", i);
+                }
+            })
+        };
+        // The driver floods 1001 messages; backpressure must stop it at
+        // batch granularity — wait for the frontier to settle, then check
+        // it stopped within a few caps (channel + the batch in apply).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut last = u64::MAX;
+        loop {
+            let (sent, _) = o.frontier();
+            if sent == last || std::time::Instant::now() > deadline {
+                break;
+            }
+            last = sent;
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        let (sent, applied) = o.frontier();
+        assert_eq!(applied, 0, "checker ran while the shared copy was held");
+        assert!(
+            sent <= 3 * cap as u64,
+            "stalled checker let {sent} messages through (cap {cap})"
+        );
+        assert!(
+            !driver.is_finished(),
+            "driver finished its 1001 sends against a stalled checker"
+        );
+        // Release the checker: everything drains and the driver finishes.
+        drop(stall);
+        driver.join().expect("driver");
+        o.barrier();
+        let (sent, applied) = o.frontier();
+        assert_eq!(sent, applied, "barrier returned with messages in flight");
+        assert_eq!(sent, 1002, "1 trap_enter + 1000 read_onces + 1 barrier");
     }
 
     #[test]
@@ -2057,7 +2493,7 @@ mod tests {
         let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
         let ctx = HookCtx { mem: &mem, cpu: 0 };
         // Force the inconsistent recording a dropped trap_enter leaves.
-        o.cpus[0].lock().in_trap = true;
+        o.fronts[0].lock().in_trap = true;
         o.trap_exit(&ctx, &GprFile::default(), None);
         assert!(matches!(
             &o.violations()[0],

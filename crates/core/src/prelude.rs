@@ -8,6 +8,7 @@
 
 pub use crate::abscache::CacheStats;
 pub use crate::check::Violation;
+pub use crate::checker::{CheckMode, Checker, StatsSnapshot, Verdict};
 pub use crate::oracle::{
     Oracle, OracleBuilder, OracleOpts, OracleOptsBuilder, ResilienceSnapshot, TrapOutcome,
     TrapRecord,

@@ -79,13 +79,7 @@ fn share_unshare_cycle_is_clean() {
     assert_eq!(r.machine.hvc(0, HVC_HOST_UNSHARE_HYP, &[SHARE_PFN]), 0);
     assert_eq!(r.machine.hvc(0, HVC_HOST_SHARE_HYP, &[SHARE_PFN]), 0);
     assert_clean(&r);
-    assert_eq!(
-        r.oracle
-            .stats
-            .traps_checked
-            .load(std::sync::atomic::Ordering::Relaxed),
-        3
-    );
+    assert_eq!(r.oracle.verdict().wait().stats().traps_checked, 3);
 }
 
 #[test]

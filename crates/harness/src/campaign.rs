@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 use pkvm_aarch64::addr::PhysAddr;
 use pkvm_ghost::event::{Event, EventRecord};
 use pkvm_ghost::oracle::{OracleOpts, ResilienceSnapshot};
-use pkvm_ghost::Violation;
+use pkvm_ghost::{CheckMode, Violation};
 use pkvm_hyp::faults::FaultSet;
 use pkvm_hyp::machine::MachineConfig;
 
@@ -155,6 +155,16 @@ impl CampaignCfgBuilder {
     /// Sets the oracle's switches.
     pub fn oracle_opts(mut self, opts: OracleOpts) -> Self {
         self.0.oracle_opts = opts;
+        self
+    }
+
+    /// Sets the oracle's [`CheckMode`] (sugar over
+    /// [`oracle_opts`](Self::oracle_opts)). Pipelined campaigns check
+    /// behind the execution frontier; the run synchronises with the
+    /// checker before aggregating the report, so the verdict covers
+    /// every step the workers drove.
+    pub fn check_mode(mut self, mode: CheckMode) -> Self {
+        self.0.oracle_opts.check_mode = mode;
         self
     }
 
@@ -397,6 +407,10 @@ pub fn run(cfg: &CampaignCfg) -> CampaignReport {
                                 stop.store(true, Ordering::Relaxed);
                                 break;
                             }
+                            // In pipelined mode the count lags the
+                            // execution frontier, so stop-on-violation
+                            // fires a few steps late — the violation
+                            // itself (and its sequence id) is unaffected.
                             let dirty = oracle.as_ref().is_some_and(|o| o.violation_count() > 0)
                                 || t.proxy.machine.panicked().is_some();
                             if cfg.stop_on_violation && dirty {
@@ -435,7 +449,15 @@ pub fn run(cfg: &CampaignCfg) -> CampaignReport {
     for w in &workers {
         stats.merge(&w.stats);
     }
-    let violations = oracle.as_ref().map(|o| o.violations()).unwrap_or_default();
+    // The campaign's one mandatory sync point with the checker: wait for
+    // the frontier to drain (a no-op inline), then read everything —
+    // violations, resilience counters, the recorded timeline — through
+    // the settled [`pkvm_ghost::Verdict`] handle.
+    let verdict = oracle.as_ref().map(|o| o.verdict());
+    if let Some(v) = &verdict {
+        v.wait();
+    }
+    let violations = verdict.as_ref().map(|v| v.violations()).unwrap_or_default();
     let trace = cfg.record_trace.then(|| CampaignTrace {
         config,
         oracle_opts: cfg.oracle_opts,
@@ -450,10 +472,7 @@ pub fn run(cfg: &CampaignCfg) -> CampaignReport {
         violations,
         hyp_panic: machine.panicked(),
         elapsed: start.elapsed(),
-        resilience: oracle
-            .as_ref()
-            .map(|o| o.stats.resilience())
-            .unwrap_or_default(),
+        resilience: verdict.as_ref().map(|v| v.resilience()).unwrap_or_default(),
         chaos_injected: proxy.chaos_injected(),
         trace,
     }

@@ -11,7 +11,8 @@
 //!   (`pkvm_hyp::cov` + `pkvm_ghost::spec`), and
 //! - a ghost-state novelty signature: the hash of the post-trap
 //!   component shapes in the recorded event stream
-//!   ([`pkvm_ghost::event::novelty_signature`]).
+//!   ([`pkvm_ghost::event::canonical_signature`] — the mode-independent
+//!   ordering, so a corpus fuzzed inline and pipelined stays comparable).
 //!
 //! Inputs that add either kind of coverage enter the [`corpus`], each
 //! persisted as an ordinary `.pkvmtrace` file so the corpus survives the
@@ -37,9 +38,9 @@ use std::time::{Duration, Instant};
 
 use pkvm_aarch64::addr::PhysAddr;
 use pkvm_aarch64::sync::Mutex;
-use pkvm_ghost::event::{novelty_signature, Event, EventRecord};
+use pkvm_ghost::event::{canonical_signature, Event, EventRecord};
 use pkvm_ghost::oracle::OracleOpts;
-use pkvm_ghost::Violation;
+use pkvm_ghost::{CheckMode, Violation};
 use pkvm_hyp::cov;
 use pkvm_hyp::faults::FaultSet;
 use pkvm_hyp::machine::{Machine, MachineConfig};
@@ -205,6 +206,14 @@ impl FuzzCfgBuilder {
     /// Sets the oracle switches.
     pub fn oracle_opts(mut self, opts: OracleOpts) -> Self {
         self.0.oracle_opts = opts;
+        self
+    }
+
+    /// Sets the oracle's [`CheckMode`] for every execution (sugar over
+    /// [`oracle_opts`](Self::oracle_opts)). Feedback signals are read
+    /// after a checker sync, so coverage and novelty are mode-independent.
+    pub fn check_mode(mut self, mode: CheckMode) -> Self {
+        self.0.oracle_opts.check_mode = mode;
         self
     }
 
@@ -611,9 +620,15 @@ fn execute(cfg: &FuzzCfg, input: &[EventRecord], chaos: Option<ChaosCfg>) -> Exe
             .record(true)
             .boot();
         let steps = apply_driver(&proxy.machine, input);
+        // Sync with the checker (no-op inline) before taking the
+        // timeline: the derived Check/Violation records must all have
+        // landed for the signature and verdict to be complete.
+        if let Some(o) = &proxy.oracle {
+            o.barrier();
+        }
         let events = proxy.events().take_events();
         (
-            novelty_signature(&events),
+            canonical_signature(&events),
             proxy.violations(),
             proxy.machine.panicked(),
             steps,

@@ -16,7 +16,7 @@ use pkvm_aarch64::sync::Mutex;
 use pkvm_aarch64::walk::Access;
 use pkvm_ghost::event::{ChaosKind, Event, EventSink, EventStream};
 use pkvm_ghost::oracle::{Oracle, OracleOpts};
-use pkvm_ghost::Violation;
+use pkvm_ghost::{CheckMode, Verdict, Violation};
 use pkvm_hyp::error::Errno;
 use pkvm_hyp::faults::FaultSet;
 use pkvm_hyp::hypercalls::*;
@@ -81,6 +81,15 @@ impl ProxyBuilder {
     /// Sets the oracle's switches (implies the oracle stays installed).
     pub fn oracle_opts(mut self, opts: OracleOpts) -> Self {
         self.0.oracle_opts = opts;
+        self
+    }
+
+    /// Sets the oracle's [`CheckMode`] (sugar over
+    /// [`oracle_opts`](Self::oracle_opts)): `Inline` checks synchronously
+    /// inside each hook, `Pipelined` hands checking to an off-thread
+    /// checker behind the execution frontier.
+    pub fn check_mode(mut self, mode: CheckMode) -> Self {
+        self.0.oracle_opts.check_mode = mode;
         self
     }
 
@@ -527,16 +536,30 @@ impl Proxy {
         self.chaos.as_ref().map(|c| c.counters())
     }
 
+    /// A [`Verdict`] handle over the installed oracle (`None` without
+    /// one): `wait()` for the checker to drain, then read the violations
+    /// and stats through the handle.
+    pub fn verdict(&self) -> Option<Verdict> {
+        self.oracle.as_ref().map(|o| o.verdict())
+    }
+
     /// Violations the oracle has recorded (empty without an oracle).
+    ///
+    /// Synchronises with the checker first (a no-op inline), so the
+    /// answer covers everything driven through this handle so far even
+    /// in [`CheckMode::Pipelined`].
     pub fn violations(&self) -> Vec<Violation> {
         self.oracle
             .as_ref()
-            .map(|o| o.violations())
+            .map(|o| {
+                o.barrier();
+                o.violations()
+            })
             .unwrap_or_default()
     }
 
     /// Returns `true` when no violations are recorded and the hypervisor
-    /// has not panicked.
+    /// has not panicked. Synchronises like [`Proxy::violations`].
     pub fn all_clear(&self) -> bool {
         self.violations().is_empty() && self.machine.panicked().is_none()
     }
@@ -624,10 +647,13 @@ mod tests {
     fn recorded_handles_capture_the_op_stream() {
         let p = Proxy::builder().record(true).boot();
         let mut cur = p.events().cursor();
-        p.events().poll(&mut cur); // skip boot-time events
+        let mut recs = Vec::new();
+        p.events().poll_into(&mut cur, &mut recs); // skip boot-time events
         let pfn = p.alloc_page();
         p.share(0, pfn).unwrap();
-        let recs = p.events().poll(&mut cur);
+        // Drain into the same buffer — the long-lived-cursor pattern that
+        // avoids a fresh Vec per poll.
+        p.events().poll_into(&mut cur, &mut recs);
         let drivers: Vec<_> = recs.iter().filter(|r| r.event.is_driver()).collect();
         assert_eq!(drivers.len(), 1);
         assert_eq!(drivers[0].lane, 0);
@@ -635,8 +661,8 @@ mod tests {
             &drivers[0].event,
             Event::Hvc { cpu: 0, func, args } if *func == HVC_HOST_SHARE_HYP && args == &[pfn]
         ));
-        // Polling again returns only what arrived since — no recopying.
-        assert!(p.events().poll(&mut cur).is_empty());
+        // Polling again appends only what arrived since — no recopying.
+        assert_eq!(p.events().poll_into(&mut cur, &mut recs), 0);
     }
 
     #[test]

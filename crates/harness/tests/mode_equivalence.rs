@@ -1,0 +1,155 @@
+//! The mode-equivalence property suite: `CheckMode::Inline` and
+//! `CheckMode::Pipelined` are *the same oracle* — only the thread the
+//! back half runs on differs. Over a 32-seed sweep of clean, fault-heavy,
+//! chaotic and fuzz-session workloads, both modes must settle into
+//! identical verdicts: the same violations (kind and event seq), the same
+//! canonical event-stream signature, the same step counts and the same
+//! coverage summaries.
+//!
+//! The whole sweep is one `#[test]` on purpose: the coverage registry is
+//! process-global, and a lone test per binary keeps the per-run coverage
+//! deltas clean.
+//!
+//! Quarantine is disabled (threshold `u32::MAX`) for these runs: it is
+//! the one front-half decision fed by back-half state (contained-panic
+//! counts), so under a lagging checker it can legitimately gate a later
+//! trap than inline mode would — the documented accepted divergence.
+//! Everything else must be bit-identical.
+
+use pkvm_ghost::event::canonical_signature;
+use pkvm_ghost::oracle::OracleOpts;
+use pkvm_ghost::CheckMode;
+use pkvm_harness::campaign::CampaignCfg;
+use pkvm_harness::chaos::ChaosCfg;
+use pkvm_harness::coverage::{snapshot, CoverageSummary};
+use pkvm_harness::fuzz::{FuzzCfg, Fuzzer};
+
+/// Everything a checked run settles into once the checker drains.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    violations: Vec<(&'static str, Option<u64>)>,
+    hyp_panic: Option<String>,
+    signature: u64,
+    steps: u64,
+    hyp_cov: Vec<(&'static str, u64)>,
+    spec_cov: Vec<(&'static str, u64)>,
+}
+
+/// Oracle switches shared by every run: quarantine off (see module doc),
+/// everything else at defaults.
+fn opts(mode: CheckMode) -> OracleOpts {
+    OracleOpts::builder()
+        .quarantine_threshold(u32::MAX)
+        .check_mode(mode)
+        .build()
+}
+
+/// One single-worker campaign at `seed`, fingerprinted. The profile
+/// varies what the workload stresses: clean drives valid ops only,
+/// faulty drives a heavy invalid fraction, chaotic additionally injects
+/// hook-plane chaos (bit flips, torn reads, dropped/duplicated lock
+/// events) so real violations flow through the pipeline.
+fn campaign_fingerprint(seed: u64, profile: u64, mode: CheckMode) -> Fingerprint {
+    let before = snapshot();
+    let mut b = CampaignCfg::builder()
+        .workers(1)
+        .steps_per_worker(120)
+        .base_seed(seed)
+        .stop_on_violation(false)
+        .record_trace(true)
+        .oracle_opts(opts(mode));
+    b = match profile {
+        0 => b.invalid_fraction(0.0),
+        1 => b.invalid_fraction(0.6),
+        _ => b.chaos(
+            ChaosCfg::builder()
+                .seed(seed)
+                .bit_flip(0.02)
+                .torn_read_once(0.05)
+                .drop_lock_event(0.02)
+                .dup_lock_event(0.02)
+                .build(),
+        ),
+    };
+    let report = b.run();
+    let cov = CoverageSummary::since(&before);
+    let trace = report.trace.as_ref().expect("trace recorded");
+    Fingerprint {
+        violations: report
+            .violations
+            .iter()
+            .map(|v| (v.kind(), v.event_seq()))
+            .collect(),
+        hyp_panic: report.hyp_panic.clone(),
+        signature: canonical_signature(&trace.events),
+        steps: report.workers[0].steps,
+        hyp_cov: cov.hyp.points,
+        spec_cov: cov.spec.points,
+    }
+}
+
+/// One small in-memory fuzz session at `seed`, fingerprinted. Exercises
+/// the corpus/scheduler/triage loop on top of the checker: bootstrap
+/// inputs, coverage-guided admission and crash triage must all be blind
+/// to the check mode.
+fn fuzz_fingerprint(seed: u64, mode: CheckMode) -> Fingerprint {
+    let before = snapshot();
+    let cfg = FuzzCfg::builder()
+        .seed(seed)
+        .step_budget(200)
+        .workers(1)
+        .bootstrap_inputs(3)
+        .bootstrap_len(20)
+        .stop_on_violation(false)
+        .oracle_opts(opts(mode))
+        .build();
+    let report = Fuzzer::new(cfg).expect("in-memory fuzzer").run();
+    let cov = CoverageSummary::since(&before);
+    Fingerprint {
+        violations: report
+            .crashes
+            .iter()
+            .map(|c| (c.sig.kind, Some(c.count)))
+            .collect(),
+        hyp_panic: None,
+        signature: (report.execs << 32)
+            ^ (report.corpus_size as u64)
+            ^ ((report.points_covered as u64) << 16)
+            ^ report.escaped_panics,
+        steps: report.steps,
+        hyp_cov: cov.hyp.points,
+        spec_cov: cov.spec.points,
+    }
+}
+
+#[test]
+fn inline_and_pipelined_agree_across_32_seeds() {
+    let mut runs_with_violations = 0;
+    for seed in 0..32u64 {
+        let profile = seed % 4;
+        let (inline, piped) = if profile == 3 {
+            (
+                fuzz_fingerprint(seed, CheckMode::Inline),
+                fuzz_fingerprint(seed, CheckMode::pipelined()),
+            )
+        } else {
+            (
+                campaign_fingerprint(seed, profile, CheckMode::Inline),
+                campaign_fingerprint(seed, profile, CheckMode::pipelined()),
+            )
+        };
+        assert_eq!(
+            inline, piped,
+            "seed {seed} (profile {profile}): inline and pipelined verdicts diverge"
+        );
+        if !inline.violations.is_empty() {
+            runs_with_violations += 1;
+        }
+    }
+    // The agreement must not be vacuous: the chaotic profile exists to
+    // push real violations through both pipelines.
+    assert!(
+        runs_with_violations > 0,
+        "no seed produced a violation — the sweep never exercised the violation path"
+    );
+}

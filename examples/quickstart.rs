@@ -55,26 +55,24 @@ fn main() {
     println!("\nrecorded post ghost state diff from recorded pre:");
     print!("{}", diff_states(&pre, &post));
 
-    // And the oracle's verdict on the trap it checked.
-    let violations = oracle.violations();
+    // And the oracle's verdict on the trap it checked. `wait()` is the
+    // sync point with the checker (a no-op in the default inline mode).
+    let verdict = oracle.verdict();
+    verdict.wait();
+    let violations = verdict.violations();
     println!("\noracle verdict: {} violation(s)", violations.len());
     for v in &violations {
         println!("  {v}");
     }
-    assert!(violations.is_empty());
-    for t in oracle.trace() {
+    assert!(verdict.all_clear());
+    for t in verdict.trace() {
         println!("trace: cpu{} {} -> {:?}", t.cpu, t.name, t.outcome);
     }
+    let stats = verdict.stats();
     println!(
         "stats: {} trap(s) checked, {} abstraction(s) computed, ~{} KiB ghost state",
-        oracle
-            .stats
-            .traps_checked
-            .load(std::sync::atomic::Ordering::Relaxed),
-        oracle
-            .stats
-            .abstractions
-            .load(std::sync::atomic::Ordering::Relaxed),
+        stats.traps_checked,
+        stats.abstractions,
         oracle.approx_ghost_bytes() / 1024,
     );
 }

@@ -36,13 +36,14 @@ fn main() {
         println!("    {op:<12} {n}");
     }
 
-    let violations = tester.proxy.violations();
+    let verdict = tester.proxy.verdict().expect("oracle installed");
+    let violations = verdict.wait().violations();
     println!("\noracle verdict: {} violation(s)", violations.len());
     for v in violations.iter().take(5) {
         println!("  {v}");
     }
     assert!(
-        violations.is_empty(),
+        verdict.all_clear(),
         "random testing found spec/impl disagreement"
     );
     println!(

@@ -113,10 +113,12 @@ fn main() {
         p.reclaim(0, *pfn).expect("reclaim");
     }
 
-    let checked = oracle
-        .stats
-        .traps_checked
-        .load(std::sync::atomic::Ordering::Relaxed);
-    assert!(p.all_clear(), "violations: {:?}", p.violations());
+    let verdict = oracle.verdict();
+    let checked = verdict.wait().stats().traps_checked;
+    assert!(
+        verdict.all_clear(),
+        "violations: {:?}",
+        verdict.violations()
+    );
     println!("\nconsole session complete; oracle checked {checked} traps, all clean");
 }

@@ -83,10 +83,12 @@ fn main() {
     );
     println!("VM torn down; guest page wiped and reclaimed");
 
-    let checked = oracle
-        .stats
-        .traps_checked
-        .load(std::sync::atomic::Ordering::Relaxed);
-    assert!(p.all_clear(), "violations: {:?}", p.violations());
+    let verdict = oracle.verdict();
+    let checked = verdict.wait().stats().traps_checked;
+    assert!(
+        verdict.all_clear(),
+        "violations: {:?}",
+        verdict.violations()
+    );
     println!("\noracle checked {checked} traps: all clean");
 }
