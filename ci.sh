@@ -73,6 +73,13 @@ echo "== pipeline gate (E12: mode equivalence + pipelined throughput) =="
 # 3x of unchecked.
 cargo run --release --example pipeline_gate -- 1000 0xe12
 
+echo "== bbm gate (E13: break-before-make spec check, both modes) =="
+# The missing-TLBI bug must be detected by the break-before-make spec
+# check — not only behaviourally — with identical verdicts and violation
+# event seqs under CheckMode::Inline and CheckMode::Pipelined, and zero
+# break-before-make verdicts on clean and stale-TLB-chaos runs.
+cargo run --release --example bbm_gate -- 400 0xe13
+
 echo "== mutation mini-sweep (3 bugs x 3 chaos families) =="
 # Known bugs injected while chaos corrupts the oracle's inputs; exits
 # non-zero unless every bug is still detected with no worker panic.

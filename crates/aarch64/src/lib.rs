@@ -39,5 +39,5 @@ pub use desc::{EntryKind, Pte};
 pub use esr::{Esr, ExceptionClass};
 pub use memory::{BusError, MemRegion, PhysMem, RegionKind};
 pub use sysreg::{GprFile, SysRegs, Vttbr};
-pub use tlb::{Tlb, VMID_HOST, VMID_HYP};
+pub use tlb::{RemoteDelivery, TlbInvalidationPolicy, TlbSet, TlbiScope, VMID_HOST, VMID_HYP};
 pub use walk::{translate, translate_two_stage, walk, Access, Fault, Translation};

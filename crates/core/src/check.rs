@@ -107,6 +107,22 @@ pub enum Violation {
         /// Rendered diff (full vs incremental).
         diff: String,
     },
+    /// A break-before-make breach: a live mapping was removed or
+    /// tightened and the trap exited without the matching-scope broadcast
+    /// TLB invalidation (plus DSB). `seq` anchors on the offending
+    /// table-write event (the `PteDowngrade`), not on this report.
+    BreakBeforeMake {
+        /// Event-stream sequence id of the offending downgrade.
+        seq: Option<u64>,
+        /// The trap that exited with the downgrade still unflushed.
+        trap: String,
+        /// VMID of the downgraded translation regime.
+        vmid: u16,
+        /// First input address of the downgraded range.
+        ia: u64,
+        /// Pages downgraded (`u64::MAX` with `ia == 0` is VMID-wide).
+        nr: u64,
+    },
     /// An oracle-internal step (abstraction, spec, or check) panicked and
     /// the panic was contained. The system under test is *not* implicated:
     /// this is the oracle reporting on itself so a campaign can keep
@@ -133,6 +149,7 @@ impl Violation {
             Violation::HypPanic { .. } => "hyp-panic",
             Violation::OracleSelfCheck { .. } => "oracle-self-check",
             Violation::ShadowDivergence { .. } => "shadow-divergence",
+            Violation::BreakBeforeMake { .. } => "break-before-make",
             Violation::OracleInternal { .. } => "oracle-internal",
         }
     }
@@ -140,9 +157,9 @@ impl Violation {
     /// The trap being checked when the violation was found, if any.
     pub fn trap(&self) -> Option<&str> {
         match self {
-            Violation::SpecMismatch { trap, .. } | Violation::UnexpectedChange { trap, .. } => {
-                Some(trap)
-            }
+            Violation::SpecMismatch { trap, .. }
+            | Violation::UnexpectedChange { trap, .. }
+            | Violation::BreakBeforeMake { trap, .. } => Some(trap),
             _ => None,
         }
     }
@@ -158,7 +175,7 @@ impl Violation {
             | Violation::OracleInternal { component, .. } => Some(component),
             Violation::AbstractionAnomaly { context, .. }
             | Violation::OracleSelfCheck { context, .. } => Some(context),
-            Violation::HypPanic { .. } => None,
+            Violation::HypPanic { .. } | Violation::BreakBeforeMake { .. } => None,
         }
     }
 
@@ -198,6 +215,7 @@ impl Violation {
             | Violation::HypPanic { seq, .. }
             | Violation::OracleSelfCheck { seq, .. }
             | Violation::ShadowDivergence { seq, .. }
+            | Violation::BreakBeforeMake { seq, .. }
             | Violation::OracleInternal { seq, .. } => *seq,
         }
     }
@@ -214,6 +232,7 @@ impl Violation {
             | Violation::HypPanic { seq, .. }
             | Violation::OracleSelfCheck { seq, .. }
             | Violation::ShadowDivergence { seq, .. }
+            | Violation::BreakBeforeMake { seq, .. }
             | Violation::OracleInternal { seq, .. } => {
                 if seq.is_none() {
                     *seq = Some(s);
@@ -241,6 +260,16 @@ impl Violation {
             }
             Violation::ShadowDivergence { diff, .. } => {
                 format!("incremental abstraction diverged from full walk:\n{diff}")
+            }
+            Violation::BreakBeforeMake { vmid, ia, nr, .. } => {
+                if *ia == 0 && *nr == u64::MAX {
+                    format!("downgrade of vmid {vmid} (vmid-wide) exited without TLBI+DSB")
+                } else {
+                    format!(
+                        "downgrade of vmid {vmid} ia {ia:#x} ({nr} pages) exited without \
+                         covering broadcast TLBI+DSB"
+                    )
+                }
             }
             Violation::OracleInternal { payload, .. } => {
                 format!("contained oracle panic: {payload}")

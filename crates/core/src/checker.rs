@@ -164,6 +164,28 @@ pub(crate) enum CheckMsg {
     },
     /// Separation-footprint tracking.
     TablePageFree { comp: Component, pfn: u64 },
+    /// A live mapping was unmapped or tightened (the "break" of
+    /// break-before-make). `seq` is the downgrade event's stream seq —
+    /// the anchor a later [`Violation::BreakBeforeMake`] carries.
+    PteDowngrade {
+        cpu: usize,
+        seq: u64,
+        vmid: u16,
+        ia: u64,
+        nr: u64,
+    },
+    /// A TLB invalidation was issued; clears matching pending breaks
+    /// (broadcast only — a local TLBI cannot retire a break other CPUs
+    /// may still hold stale).
+    Tlbi {
+        cpu: usize,
+        vmid: u16,
+        ia: u64,
+        nr: u64,
+        broadcast: bool,
+    },
+    /// A barrier completing outstanding TLBIs on this CPU.
+    Dsb { cpu: usize },
     /// Violations produced on the mutator side (hypervisor panics,
     /// contained front-half panics). Routed through the pipeline so every
     /// report lands in checker order — the derived sequence numbering

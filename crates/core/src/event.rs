@@ -75,6 +75,9 @@ pub enum ChaosKind {
     DelayedHook,
     /// The page allocator handed out an already-used page.
     AllocChaos,
+    /// A remote TLB-invalidation delivery was delayed or dropped,
+    /// retaining a stale per-CPU translation.
+    StaleTlb,
 }
 
 impl ChaosKind {
@@ -87,6 +90,7 @@ impl ChaosKind {
             ChaosKind::DupedLock => "duped-lock",
             ChaosKind::DelayedHook => "delayed-hook",
             ChaosKind::AllocChaos => "alloc-chaos",
+            ChaosKind::StaleTlb => "stale-tlb",
         }
     }
 }
@@ -195,6 +199,39 @@ pub enum Event {
         /// The page frame.
         pfn: u64,
     },
+    /// The hypervisor removed or tightened a live mapping — the "break"
+    /// of break-before-make. The matching-scope broadcast [`Event::Tlbi`]
+    /// and an [`Event::Dsb`] must follow before the trap exits.
+    PteDowngrade {
+        /// CPU that performed the table write.
+        cpu: usize,
+        /// VMID of the affected translation regime.
+        vmid: u16,
+        /// First input address of the downgraded range.
+        ia: u64,
+        /// Pages downgraded (`u64::MAX` with `ia == 0` encodes VMID-wide).
+        nr: u64,
+    },
+    /// The hypervisor issued a TLB invalidation.
+    Tlbi {
+        /// VMID whose translations are dropped.
+        vmid: u16,
+        /// First input address covered (0 for VMID-wide scopes).
+        ia: u64,
+        /// Pages covered (`u64::MAX` with `ia == 0` encodes VMID-wide).
+        nr: u64,
+        /// Whether the `*is` broadcast form was used (reaching all CPUs)
+        /// rather than the local-only one.
+        broadcast: bool,
+        /// CPU that issued the invalidation.
+        cpu: usize,
+    },
+    /// The hypervisor issued the data synchronisation barrier completing
+    /// its preceding TLB invalidations.
+    Dsb {
+        /// CPU that issued the barrier.
+        cpu: usize,
+    },
     /// A chaos family injected a perturbation here.
     Chaos {
         /// CPU (or worker lane) the injection hit.
@@ -231,6 +268,9 @@ impl Event {
             Event::ReadOnce { .. } => "read-once",
             Event::TablePageAlloc { .. } => "table-page-alloc",
             Event::TablePageFree { .. } => "table-page-free",
+            Event::PteDowngrade { .. } => "pte-downgrade",
+            Event::Tlbi { .. } => "tlbi",
+            Event::Dsb { .. } => "dsb",
             Event::Chaos { .. } => "chaos",
             Event::Check { .. } => "check",
             Event::Violation(_) => "violation",
@@ -546,6 +586,20 @@ impl ShapeHasher {
             Event::Chaos { kind, .. } => {
                 self.byte(8);
                 self.tag(kind.name());
+            }
+            // TLB-maintenance shape: scope kind and broadcastness, not the
+            // concrete addresses (every page number would be "novel").
+            Event::Tlbi { broadcast, nr, .. } => {
+                self.byte(9);
+                self.byte(*broadcast as u8);
+                self.byte((*nr == u64::MAX) as u8);
+            }
+            Event::Dsb { .. } => {
+                self.byte(10);
+            }
+            Event::PteDowngrade { nr, .. } => {
+                self.byte(11);
+                self.byte((*nr == u64::MAX) as u8);
             }
             // Driver ops and raw read/trap-enter events are the *input*,
             // not the observed behaviour; folding them in would make every

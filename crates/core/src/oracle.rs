@@ -99,6 +99,12 @@ pub struct OracleOpts {
     /// each hook, or pipelined onto a checker thread behind the
     /// execution frontier. See [`CheckMode`].
     pub check_mode: CheckMode,
+    /// Check the break-before-make discipline: every unmap or
+    /// permission-tighten of a live mapping must be followed by the
+    /// matching-scope broadcast TLBI plus DSB before its trap exits,
+    /// else [`Violation::BreakBeforeMake`] anchored on the offending
+    /// table write.
+    pub check_break_before_make: bool,
 }
 
 impl Default for OracleOpts {
@@ -113,6 +119,7 @@ impl Default for OracleOpts {
             quarantine_threshold: 3,
             quarantine_traps: 16,
             check_mode: CheckMode::Inline,
+            check_break_before_make: true,
         }
     }
 }
@@ -185,6 +192,12 @@ impl OracleOptsBuilder {
     /// Where the check core runs (default [`CheckMode::Inline`]).
     pub fn check_mode(mut self, mode: CheckMode) -> Self {
         self.0.check_mode = mode;
+        self
+    }
+
+    /// Toggle the break-before-make discipline check (default on).
+    pub fn check_break_before_make(mut self, on: bool) -> Self {
+        self.0.check_break_before_make = on;
         self
     }
 
@@ -496,6 +509,76 @@ struct CpuRecord {
     trap_seq: Option<u64>,
 }
 
+/// One table write that removed or tightened a live mapping, awaiting
+/// its break-before-make flush sequence.
+struct PendingBreak {
+    /// Stream seq of the `PteDowngrade` event (the offending write).
+    seq: u64,
+    vmid: u16,
+    ia: u64,
+    nr: u64,
+    /// A covering broadcast TLBI has been seen; the next DSB retires it.
+    tlbi_done: bool,
+}
+
+/// The downgrade's span in byte addresses, overflow-safe (`nr` may be
+/// `u64::MAX` for a VMID-wide downgrade).
+fn bbm_span(ia: u64, nr: u64) -> (u128, u128) {
+    let start = ia as u128;
+    (start, start + nr as u128 * PAGE_SIZE as u128)
+}
+
+/// Back-half ledger for the break-before-make check, keyed by the CPU
+/// that performed the table write: break, TLBI, and DSB are steps of a
+/// single trap, and a trap runs on one CPU. Leftovers at trap exit are
+/// the violations.
+#[derive(Default)]
+struct BbmTracker {
+    pending: HashMap<usize, Vec<PendingBreak>>,
+}
+
+impl BbmTracker {
+    fn note_break(&mut self, cpu: usize, seq: u64, vmid: u16, ia: u64, nr: u64) {
+        self.pending.entry(cpu).or_default().push(PendingBreak {
+            seq,
+            vmid,
+            ia,
+            nr,
+            tlbi_done: false,
+        });
+    }
+
+    /// A broadcast TLBI on `cpu`: marks every pending break of the same
+    /// VMID whose span it covers. Non-broadcast TLBIs never come here —
+    /// they cannot retire a break other CPUs may still hold stale.
+    fn note_tlbi(&mut self, cpu: usize, vmid: u16, ia: u64, nr: u64) {
+        let Some(list) = self.pending.get_mut(&cpu) else {
+            return;
+        };
+        let (t_start, t_end) = bbm_span(ia, nr);
+        for b in list.iter_mut() {
+            let (b_start, b_end) = bbm_span(b.ia, b.nr);
+            if b.vmid == vmid && b_start >= t_start && b_end <= t_end {
+                b.tlbi_done = true;
+            }
+        }
+    }
+
+    /// A DSB on `cpu` completes the outstanding TLBIs: retires every
+    /// break they covered.
+    fn note_dsb(&mut self, cpu: usize) {
+        if let Some(list) = self.pending.get_mut(&cpu) {
+            list.retain(|b| !b.tlbi_done);
+        }
+    }
+
+    /// Takes everything still pending on `cpu` (the trap is exiting;
+    /// whatever is left breached the discipline).
+    fn drain(&mut self, cpu: usize) -> Vec<PendingBreak> {
+        self.pending.remove(&cpu).unwrap_or_default()
+    }
+}
+
 /// The runtime test oracle; install as the machine's [`GhostHooks`].
 pub struct Oracle {
     /// The initialisation-time constants, derived independently from the
@@ -512,6 +595,8 @@ pub struct Oracle {
     /// `Some` in [`CheckMode::Pipelined`]: the sending half of the
     /// checker's bounded channel.
     pipeline: Option<Pipeline>,
+    /// Break-before-make ledger (back-half state, like the shared copy).
+    bbm: Mutex<BbmTracker>,
     /// Counters.
     #[deprecated(
         since = "0.6.0",
@@ -605,6 +690,7 @@ impl Oracle {
             events,
             quarantine: Quarantine::new(opts.quarantine_threshold, opts.quarantine_traps),
             pipeline,
+            bbm: Mutex::new(BbmTracker::default()),
             stats: OracleStats::default(),
         });
         if let Some(rx) = rx {
@@ -1445,6 +1531,12 @@ impl OracleBuilder<'_> {
         self
     }
 
+    /// Toggle the break-before-make discipline check (default on).
+    pub fn check_break_before_make(mut self, on: bool) -> Self {
+        self.opts.check_break_before_make = on;
+        self
+    }
+
     /// Builds the oracle.
     pub fn build(self) -> Arc<Oracle> {
         match self.events {
@@ -1731,6 +1823,33 @@ impl Oracle {
                     pages.remove(&pfn);
                 }
             }
+            CheckMsg::PteDowngrade {
+                cpu,
+                seq,
+                vmid,
+                ia,
+                nr,
+            } => {
+                if self.opts.check_break_before_make {
+                    self.bbm.lock().note_break(cpu, seq, vmid, ia, nr);
+                }
+            }
+            CheckMsg::Tlbi {
+                cpu,
+                vmid,
+                ia,
+                nr,
+                broadcast,
+            } => {
+                if self.opts.check_break_before_make && broadcast {
+                    self.bbm.lock().note_tlbi(cpu, vmid, ia, nr);
+                }
+            }
+            CheckMsg::Dsb { cpu } => {
+                if self.opts.check_break_before_make {
+                    self.bbm.lock().note_dsb(cpu);
+                }
+            }
             CheckMsg::Report {
                 cpu,
                 trap,
@@ -1772,6 +1891,26 @@ impl Oracle {
         regs_post: GprFile,
         degraded: bool,
     ) {
+        // Break-before-make settles first, before any of the skip paths
+        // below: a degraded or quarantined spec check never excuses an
+        // unflushed downgrade, and the ledger must not leak into the
+        // next trap on this CPU.
+        if self.opts.check_break_before_make {
+            let leftovers = self.bbm.lock().drain(cpu);
+            if !leftovers.is_empty() {
+                let violations = leftovers
+                    .into_iter()
+                    .map(|b| Violation::BreakBeforeMake {
+                        seq: Some(b.seq),
+                        trap: name.clone(),
+                        vmid: b.vmid,
+                        ia: b.ia,
+                        nr: b.nr,
+                    })
+                    .collect();
+                self.report_all_at(cpu, trap, violations);
+            }
+        }
         let mut rec = self.cpus[cpu].lock();
         // Phase 1: finish the recording. Contained so a panic leaves the
         // per-CPU record consistent (the next trap_enter resets it anyway).
@@ -2125,6 +2264,62 @@ impl GhostHooks for Oracle {
         self.dispatch(CheckMsg::TablePageFree {
             comp,
             pfn: page.pfn(),
+        });
+    }
+
+    fn pte_downgrade(&self, ctx: &HookCtx<'_>, vmid: u16, ia: u64, nr_pages: u64) {
+        self.guarded("pte_downgrade", || {
+            let trap = self.current_trap(ctx.cpu);
+            let seq = self.events.emit(
+                ctx.cpu as u32,
+                trap,
+                Event::PteDowngrade {
+                    cpu: ctx.cpu,
+                    vmid,
+                    ia,
+                    nr: nr_pages,
+                },
+            );
+            self.dispatch(CheckMsg::PteDowngrade {
+                cpu: ctx.cpu,
+                seq,
+                vmid,
+                ia,
+                nr: nr_pages,
+            });
+        });
+    }
+
+    fn tlbi(&self, ctx: &HookCtx<'_>, vmid: u16, ia: u64, nr_pages: u64, broadcast: bool) {
+        self.guarded("tlbi", || {
+            let trap = self.current_trap(ctx.cpu);
+            self.events.emit(
+                ctx.cpu as u32,
+                trap,
+                Event::Tlbi {
+                    vmid,
+                    ia,
+                    nr: nr_pages,
+                    broadcast,
+                    cpu: ctx.cpu,
+                },
+            );
+            self.dispatch(CheckMsg::Tlbi {
+                cpu: ctx.cpu,
+                vmid,
+                ia,
+                nr: nr_pages,
+                broadcast,
+            });
+        });
+    }
+
+    fn dsb(&self, ctx: &HookCtx<'_>) {
+        self.guarded("dsb", || {
+            let trap = self.current_trap(ctx.cpu);
+            self.events
+                .emit(ctx.cpu as u32, trap, Event::Dsb { cpu: ctx.cpu });
+            self.dispatch(CheckMsg::Dsb { cpu: ctx.cpu });
         });
     }
 
@@ -2534,5 +2729,104 @@ mod tests {
         o.seed_deferred("share", &["host".to_string()], &computed, &versions);
         let shared = o.shared.lock();
         assert_eq!(shared.state.host.as_ref(), computed.host.as_ref());
+    }
+
+    #[test]
+    fn bbm_tracker_retires_only_covered_broadcast_flushes() {
+        let mut t = BbmTracker::default();
+        t.note_break(0, 10, 1, 0x8000, 2);
+        t.note_break(0, 11, 2, 0x8000, 2);
+        // Wrong VMID: retires nothing.
+        t.note_tlbi(0, 3, 0x8000, 2);
+        // Partial coverage (one of two pages): retires nothing.
+        t.note_tlbi(0, 1, 0x8000, 1);
+        t.note_dsb(0);
+        assert_eq!(t.pending[&0].len(), 2);
+        // Exact coverage, but a TLBI without its DSB retires nothing yet.
+        t.note_tlbi(0, 1, 0x8000, 2);
+        assert_eq!(t.pending[&0].len(), 2);
+        t.note_dsb(0);
+        assert_eq!(t.pending[&0].len(), 1);
+        assert_eq!(t.pending[&0][0].seq, 11);
+        // A VMID-wide TLBI (ia 0, nr MAX) covers anything of that VMID.
+        t.note_tlbi(0, 2, 0, u64::MAX);
+        t.note_dsb(0);
+        assert!(t.pending[&0].is_empty());
+        // Breaks are per-CPU: CPU 1's ledger is untouched throughout.
+        t.note_break(1, 12, 1, 0, 1);
+        t.note_tlbi(0, 1, 0, u64::MAX);
+        t.note_dsb(0);
+        assert_eq!(t.drain(1).len(), 1);
+    }
+
+    fn bbm_violations(o: &Oracle) -> Vec<Violation> {
+        o.violations()
+            .into_iter()
+            .filter(|v| v.kind() == "break-before-make")
+            .collect()
+    }
+
+    #[test]
+    fn unflushed_downgrade_is_reported_at_trap_exit_with_the_write_seq() {
+        let o = oracle();
+        let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        o.trap_enter(&ctx, Esr::hvc64(0), None, &GprFile::default(), None);
+        o.pte_downgrade(&ctx, 1, 0x8000, 2);
+        o.trap_exit(&ctx, &GprFile::default(), None);
+        let vs = bbm_violations(&o);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        match &vs[0] {
+            Violation::BreakBeforeMake {
+                seq,
+                trap,
+                vmid,
+                ia,
+                nr,
+            } => {
+                assert!(seq.is_some(), "anchored on the downgrade event");
+                assert!(!trap.is_empty());
+                assert_eq!((*vmid, *ia, *nr), (1, 0x8000, 2));
+            }
+            v => panic!("wrong variant: {v:?}"),
+        }
+        // The ledger was drained: the next trap starts clean.
+        o.trap_enter(&ctx, Esr::hvc64(0), None, &GprFile::default(), None);
+        o.trap_exit(&ctx, &GprFile::default(), None);
+        assert_eq!(bbm_violations(&o).len(), 1);
+    }
+
+    #[test]
+    fn the_full_flush_sequence_satisfies_the_check() {
+        let o = oracle();
+        let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        o.trap_enter(&ctx, Esr::hvc64(0), None, &GprFile::default(), None);
+        o.pte_downgrade(&ctx, 1, 0x8000, 2);
+        o.tlbi(&ctx, 1, 0x8000, 2, true);
+        o.dsb(&ctx);
+        o.trap_exit(&ctx, &GprFile::default(), None);
+        assert!(bbm_violations(&o).is_empty());
+        // A non-broadcast TLBI does not retire the break: other CPUs may
+        // still hold the stale translation.
+        o.trap_enter(&ctx, Esr::hvc64(0), None, &GprFile::default(), None);
+        o.pte_downgrade(&ctx, 1, 0x8000, 2);
+        o.tlbi(&ctx, 1, 0x8000, 2, false);
+        o.dsb(&ctx);
+        o.trap_exit(&ctx, &GprFile::default(), None);
+        assert_eq!(bbm_violations(&o).len(), 1);
+    }
+
+    #[test]
+    fn break_before_make_check_can_be_disabled() {
+        let o = Oracle::builder(&MachineConfig::default())
+            .check_break_before_make(false)
+            .build();
+        let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        o.trap_enter(&ctx, Esr::hvc64(0), None, &GprFile::default(), None);
+        o.pte_downgrade(&ctx, 1, 0x8000, 2);
+        o.trap_exit(&ctx, &GprFile::default(), None);
+        assert!(bbm_violations(&o).is_empty());
     }
 }

@@ -307,7 +307,7 @@ impl CampaignReport {
         if let Some(c) = &self.chaos_injected {
             let _ = writeln!(
                 out,
-                "  chaos injected: {} (flips {}, torn reads {}, dropped {}, duped {}, delayed {}, alloc {})",
+                "  chaos injected: {} (flips {}, torn reads {}, dropped {}, duped {}, delayed {}, alloc {}, stale tlb {})",
                 c.total(),
                 c.bit_flips,
                 c.torn_reads,
@@ -315,6 +315,7 @@ impl CampaignReport {
                 c.duped_events,
                 c.delayed_events,
                 c.alloc_faults,
+                c.stale_tlbs,
             );
         }
         let r = &self.resilience;

@@ -40,6 +40,7 @@ use std::sync::Arc;
 
 use pkvm_aarch64::addr::{PhysAddr, PAGE_SIZE};
 use pkvm_aarch64::sync::Mutex;
+use pkvm_aarch64::tlb::{RemoteDelivery, TlbInvalidationPolicy, TlbiScope};
 use pkvm_aarch64::{Esr, GprFile};
 use pkvm_ghost::event::{ChaosKind, Event, EventSink, EventStream};
 use pkvm_hyp::faults::{Fault, FaultSet};
@@ -66,16 +67,21 @@ pub enum ChaosFamily {
     AllocChaos,
     /// Lock hook events delivered late, after intervening hooks.
     DelayedHooks,
+    /// Broadcast TLB invalidations whose delivery to a remote CPU is
+    /// delayed or dropped, so that CPU keeps serving the retained
+    /// translation — cross-CPU staleness.
+    StaleTlb,
 }
 
 impl ChaosFamily {
     /// Every family, in sweep order.
-    pub const ALL: [ChaosFamily; 5] = [
+    pub const ALL: [ChaosFamily; 6] = [
         ChaosFamily::BitFlip,
         ChaosFamily::TornReadOnce,
         ChaosFamily::LockEvents,
         ChaosFamily::AllocChaos,
         ChaosFamily::DelayedHooks,
+        ChaosFamily::StaleTlb,
     ];
 
     /// Stable kebab-case name (report rows, CLI arguments).
@@ -86,6 +92,7 @@ impl ChaosFamily {
             ChaosFamily::LockEvents => "lock-events",
             ChaosFamily::AllocChaos => "alloc-chaos",
             ChaosFamily::DelayedHooks => "delayed-hooks",
+            ChaosFamily::StaleTlb => "stale-tlb",
         }
     }
 
@@ -122,6 +129,10 @@ pub struct ChaosCfg {
     /// Per successful host allocation: probability a duplicate of a
     /// recently granted page is returned instead of a fresh one.
     pub p_alloc_chaos: f64,
+    /// Per remote CPU per broadcast TLB invalidation: probability the
+    /// delivery is delayed (applies at a later settle) or dropped, so
+    /// the remote CPU keeps serving the retained entry.
+    pub p_stale_tlb: f64,
 }
 
 impl Default for ChaosCfg {
@@ -134,6 +145,7 @@ impl Default for ChaosCfg {
             p_dup_lock_event: 0.0,
             p_delay_hook: 0.0,
             p_alloc_chaos: 0.0,
+            p_stale_tlb: 0.0,
         }
     }
 }
@@ -157,6 +169,7 @@ impl ChaosCfg {
             }
             ChaosFamily::AllocChaos => cfg.p_alloc_chaos = 0.15,
             ChaosFamily::DelayedHooks => cfg.p_delay_hook = 0.05,
+            ChaosFamily::StaleTlb => cfg.p_stale_tlb = 0.25,
         }
         cfg
     }
@@ -171,6 +184,7 @@ impl ChaosCfg {
             && self.p_dup_lock_event == 0.0
             && self.p_delay_hook == 0.0
             && self.p_alloc_chaos == 0.0
+            && self.p_stale_tlb == 0.0
     }
 
     /// Returns the config with a different seed (same intensities).
@@ -227,6 +241,12 @@ impl ChaosCfgBuilder {
         self
     }
 
+    /// Sets the stale-TLB (suppressed remote invalidation) probability.
+    pub fn stale_tlb(mut self, p: f64) -> Self {
+        self.0.p_stale_tlb = p;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> ChaosCfg {
         self.0
@@ -250,6 +270,8 @@ pub struct ChaosCounters {
     pub delayed_events: AtomicU64,
     /// Chaotic (duplicate) host allocations.
     pub alloc_faults: AtomicU64,
+    /// Remote TLB-invalidation deliveries delayed or dropped.
+    pub stale_tlbs: AtomicU64,
 }
 
 impl ChaosCounters {
@@ -262,6 +284,7 @@ impl ChaosCounters {
             duped_events: self.duped_events.load(Ordering::Relaxed),
             delayed_events: self.delayed_events.load(Ordering::Relaxed),
             alloc_faults: self.alloc_faults.load(Ordering::Relaxed),
+            stale_tlbs: self.stale_tlbs.load(Ordering::Relaxed),
         }
     }
 }
@@ -281,6 +304,8 @@ pub struct ChaosInjected {
     pub delayed_events: u64,
     /// See [`ChaosCounters::alloc_faults`].
     pub alloc_faults: u64,
+    /// See [`ChaosCounters::stale_tlbs`].
+    pub stale_tlbs: u64,
 }
 
 impl ChaosInjected {
@@ -292,6 +317,7 @@ impl ChaosInjected {
             + self.duped_events
             + self.delayed_events
             + self.alloc_faults
+            + self.stale_tlbs
     }
 }
 
@@ -548,6 +574,27 @@ impl GhostHooks for ChaosHooks {
         self.inner.table_page_free(ctx, comp, page);
     }
 
+    // The break-before-make instrumentation (downgrade, TLBI, DSB)
+    // passes through untouched, like trap boundaries: corrupting it
+    // would blame the hypervisor for the harness's own noise. The
+    // stale-TLB family injects below the hooks, inside the TLB itself
+    // (see [`StaleTlbPolicy`]), so the spec check sees the true
+    // invalidation sequence while the hardware model misbehaves.
+    fn pte_downgrade(&self, ctx: &HookCtx<'_>, vmid: u16, ia: u64, nr_pages: u64) {
+        self.flush(ctx);
+        self.inner.pte_downgrade(ctx, vmid, ia, nr_pages);
+    }
+
+    fn tlbi(&self, ctx: &HookCtx<'_>, vmid: u16, ia: u64, nr_pages: u64, broadcast: bool) {
+        self.flush(ctx);
+        self.inner.tlbi(ctx, vmid, ia, nr_pages, broadcast);
+    }
+
+    fn dsb(&self, ctx: &HookCtx<'_>) {
+        self.flush(ctx);
+        self.inner.dsb(ctx);
+    }
+
     fn hyp_panic(&self, ctx: &HookCtx<'_>, reason: &str) {
         self.flush(ctx);
         self.inner.hyp_panic(ctx, reason);
@@ -555,6 +602,79 @@ impl GhostHooks for ChaosHooks {
 
     fn wants_write_log(&self) -> bool {
         self.inner.wants_write_log()
+    }
+}
+
+/// The TLB-plane chaos ([`ChaosFamily::StaleTlb`]): installed as the
+/// machine's [`TlbInvalidationPolicy`]. With probability `p_stale_tlb`
+/// a broadcast invalidation's delivery to one remote CPU is delayed
+/// (half the time — it lands at a later [`TlbSet::settle`], which the
+/// campaign's [`ChaosDriver`] ticks) or dropped outright, so that CPU
+/// keeps serving the retained translation.
+///
+/// Soundness: the TLB core never fabricates — a suppressed delivery
+/// retains an entry a real walk filled and marks it stale, and every
+/// stale serve is counted ([`TlbSet::stale_served`]) against a recorded
+/// suppression ([`TlbSet::suppressed_remote`]). The oracle's
+/// break-before-make check reads the hook stream, which this plane does
+/// not touch, so chaos staleness alone can never produce a
+/// `break-before-make` violation.
+///
+/// [`TlbSet::settle`]: pkvm_aarch64::tlb::TlbSet::settle
+/// [`TlbSet::stale_served`]: pkvm_aarch64::tlb::TlbSet::stale_served
+/// [`TlbSet::suppressed_remote`]: pkvm_aarch64::tlb::TlbSet::suppressed_remote
+pub struct StaleTlbPolicy {
+    rng: Mutex<Rng>,
+    p: f64,
+    counters: Arc<ChaosCounters>,
+    /// The unified event stream injections are announced on, when wired.
+    events: Option<Arc<EventStream>>,
+}
+
+impl StaleTlbPolicy {
+    /// A policy drawing from `cfg`'s seed; install with
+    /// [`TlbSet::set_policy`](pkvm_aarch64::tlb::TlbSet::set_policy).
+    pub fn new(
+        cfg: &ChaosCfg,
+        counters: Arc<ChaosCounters>,
+        events: Option<Arc<EventStream>>,
+    ) -> StaleTlbPolicy {
+        StaleTlbPolicy {
+            rng: Mutex::new(Rng::seed_from_u64(cfg.seed ^ 0x57a1_e71b)),
+            p: cfg.p_stale_tlb,
+            counters,
+            events,
+        }
+    }
+}
+
+impl TlbInvalidationPolicy for StaleTlbPolicy {
+    fn remote(&self, _issuer: usize, target: usize, _scope: &TlbiScope) -> RemoteDelivery {
+        let (suppress, delay) = {
+            let mut rng = self.rng.lock();
+            let suppress = self.p > 0.0 && rng.gen_bool(self.p);
+            let delay = suppress && rng.gen_bool(0.5);
+            (suppress, delay)
+        };
+        if !suppress {
+            return RemoteDelivery::Deliver;
+        }
+        self.counters.stale_tlbs.fetch_add(1, Ordering::Relaxed);
+        if let Some(ev) = &self.events {
+            ev.emit(
+                target as u32,
+                None,
+                Event::Chaos {
+                    cpu: target,
+                    kind: ChaosKind::StaleTlb,
+                },
+            );
+        }
+        if delay {
+            RemoteDelivery::Delay
+        } else {
+            RemoteDelivery::Drop
+        }
     }
 }
 
@@ -567,6 +687,10 @@ impl GhostHooks for ChaosHooks {
 pub struct ChaosDriver {
     rng: Rng,
     p_bit_flip: f64,
+    /// Non-zero when the stale-TLB family is active: each step also
+    /// settles one random CPU's delayed invalidations, so
+    /// [`RemoteDelivery::Delay`] means *late*, not *never*.
+    stale_tlb: bool,
     flips: u64,
 }
 
@@ -576,6 +700,7 @@ impl ChaosDriver {
         ChaosDriver {
             rng: Rng::seed_from_u64(worker_seed(cfg.seed ^ 0xb17f_11b5, worker)),
             p_bit_flip: cfg.p_bit_flip,
+            stale_tlb: cfg.p_stale_tlb > 0.0,
             flips: 0,
         }
     }
@@ -587,6 +712,16 @@ impl ChaosDriver {
     /// flips land in page-table memory that matters rather than in free
     /// pool pages. Returns `true` if a flip was injected.
     pub fn step(&mut self, proxy: &Proxy) -> bool {
+        if self.stale_tlb {
+            // Tick the delayed-invalidation clock: one random CPU's
+            // pending deliveries land, bounding the staleness window to
+            // a few tester steps instead of forever.
+            let m = &proxy.machine;
+            if self.rng.gen_bool(0.5) {
+                let cpu = self.rng.gen_range(0..m.tlb.nr_cpus() as u64) as usize;
+                m.tlb.settle(cpu);
+            }
+        }
         if self.p_bit_flip <= 0.0 || !self.rng.gen_bool(self.p_bit_flip) {
             return false;
         }
@@ -1109,6 +1244,70 @@ mod tests {
                 "flip at {pa:#x} landed outside the pool"
             );
         }
+    }
+
+    #[test]
+    fn stale_tlb_chaos_serves_only_entries_the_discipline_left_live() {
+        use pkvm_aarch64::walk::Access;
+
+        // Always suppress remote deliveries: CPU 1 warms a host entry,
+        // CPU 0 donates the page, and the broadcast invalidation never
+        // reaches CPU 1.
+        let cfg = ChaosCfg::builder().seed(0x57a1).stale_tlb(1.0).build();
+        let p = Proxy::builder().chaos(Some(cfg)).boot();
+        let h = p.init_vm(0, 1, true).unwrap();
+        p.init_vcpu(0, h, 0).unwrap();
+        p.vcpu_load(0, h, 0).unwrap();
+        let pfn = p.alloc_page();
+        p.host_access(1, pfn * PAGE_SIZE, Access::Read).unwrap();
+        p.topup_raw(0, pfn << 12, 1).unwrap();
+
+        let tlb = &p.machine.tlb;
+        assert!(tlb.suppressed_remote() > 0, "no delivery was suppressed");
+        // The policy's injection counter and the TLB's suppression
+        // counter account for the same decisions, one for one.
+        assert_eq!(
+            p.chaos_injected().unwrap().stale_tlbs,
+            tlb.suppressed_remote()
+        );
+        // The suppressed delivery — and only that — leaves CPU 1 serving
+        // the retained entry, counted as a stale serve.
+        assert_eq!(tlb.stale_served(), 0);
+        assert!(
+            p.host_access(1, pfn * PAGE_SIZE, Access::Read).is_ok(),
+            "suppressed invalidation must leave CPU 1's entry live"
+        );
+        assert!(tlb.stale_served() > 0);
+        // The issuing CPU delivered locally and faults correctly.
+        assert!(p.host_access(0, pfn * PAGE_SIZE, Access::Read).is_err());
+        // The chaos sits below the hook stream: the hypervisor's own
+        // invalidation sequence was complete, so the spec check must not
+        // blame it for the staleness the harness injected.
+        assert!(
+            p.violations()
+                .iter()
+                .all(|v| v.kind() != "break-before-make"),
+            "stale-tlb chaos fabricated a break-before-make verdict: {:?}",
+            p.violations()
+        );
+    }
+
+    #[test]
+    fn without_stale_chaos_no_delivery_is_suppressed() {
+        use pkvm_aarch64::walk::Access;
+
+        // The converse soundness direction: zero suppressions implies
+        // zero stale serves, with or (here) without a policy installed.
+        let p = Proxy::boot_default();
+        let h = p.init_vm(0, 1, true).unwrap();
+        p.init_vcpu(0, h, 0).unwrap();
+        p.vcpu_load(0, h, 0).unwrap();
+        let pfn = p.alloc_page();
+        p.host_access(1, pfn * PAGE_SIZE, Access::Read).unwrap();
+        p.topup_raw(0, pfn << 12, 1).unwrap();
+        assert_eq!(p.machine.tlb.suppressed_remote(), 0);
+        assert!(p.host_access(1, pfn * PAGE_SIZE, Access::Read).is_err());
+        assert_eq!(p.machine.tlb.stale_served(), 0);
     }
 
     #[test]

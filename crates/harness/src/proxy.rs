@@ -23,7 +23,7 @@ use pkvm_hyp::hypercalls::*;
 use pkvm_hyp::machine::{HostAccessFault, Machine, MachineConfig};
 use pkvm_hyp::vm::{GuestOp, Handle};
 
-use crate::chaos::{ChaosCfg, ChaosCounters, ChaosHooks, ChaosInjected};
+use crate::chaos::{ChaosCfg, ChaosCounters, ChaosHooks, ChaosInjected, StaleTlbPolicy};
 use crate::rng::Rng;
 
 /// Proxy construction options.
@@ -215,6 +215,18 @@ impl Proxy {
             None => inner,
         };
         let machine = Machine::boot(opts.config.clone(), hooks, faults);
+        // TLB-plane chaos: the stale-translation policy sits inside the
+        // machine's TLB, below the hook stream, suppressing broadcast
+        // invalidation deliveries to remote CPUs.
+        if let (Some(cfg), Some(c)) = (&opts.chaos, &chaos) {
+            if cfg.p_stale_tlb > 0.0 {
+                machine.tlb.set_policy(Some(Arc::new(StaleTlbPolicy::new(
+                    cfg,
+                    c.counters(),
+                    Some(events.clone()),
+                ))));
+            }
+        }
         // The allocator hands out pages from the middle of the last DRAM
         // region, clear of the carveout at its top.
         let (base, size) = *opts.config.dram.last().expect("config has DRAM");

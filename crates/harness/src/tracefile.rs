@@ -40,7 +40,12 @@ pub const MAGIC: &[u8; 8] = b"PKVMTRCE";
 ///
 /// v2 added the `CorruptMem` event (tag 14) when host `WriteMem` became
 /// stage-2-checked and chaos corruption got its own raw primitive.
-pub const FORMAT_VERSION: u64 = 2;
+///
+/// v3 added the TLB instrumentation (events `Tlbi`/`Dsb`/`PteDowngrade`,
+/// tags 15–17), the `BreakBeforeMake` violation (tag 9), the `StaleTlb`
+/// chaos kind (byte 6) with its `p_stale_tlb` intensity, and the
+/// `check_break_before_make` oracle switch.
+pub const FORMAT_VERSION: u64 = 3;
 
 /// Why a trace file failed to load. Loading *never* panics: a truncated
 /// or bit-rotted file is an expected input, not a bug.
@@ -279,6 +284,20 @@ impl Wr {
                 self.str(component);
                 self.str(payload);
             }
+            Violation::BreakBeforeMake {
+                seq,
+                trap,
+                vmid,
+                ia,
+                nr,
+            } => {
+                self.byte(9);
+                self.opt_u64(*seq);
+                self.str(trap);
+                self.u64(*vmid as u64);
+                self.u64(*ia);
+                self.u64(*nr);
+            }
         }
     }
 
@@ -378,6 +397,7 @@ impl Wr {
                     ChaosKind::DupedLock => 3,
                     ChaosKind::DelayedHook => 4,
                     ChaosKind::AllocChaos => 5,
+                    ChaosKind::StaleTlb => 6,
                 });
             }
             Event::Check { cpu, name, outcome } => {
@@ -404,6 +424,31 @@ impl Wr {
                 self.byte(14);
                 self.u64(*pa);
                 self.u64(*value);
+            }
+            Event::Tlbi {
+                vmid,
+                ia,
+                nr,
+                broadcast,
+                cpu,
+            } => {
+                self.byte(15);
+                self.u64(*vmid as u64);
+                self.u64(*ia);
+                self.u64(*nr);
+                self.boolean(*broadcast);
+                self.usize(*cpu);
+            }
+            Event::Dsb { cpu } => {
+                self.byte(16);
+                self.usize(*cpu);
+            }
+            Event::PteDowngrade { cpu, vmid, ia, nr } => {
+                self.byte(17);
+                self.usize(*cpu);
+                self.u64(*vmid as u64);
+                self.u64(*ia);
+                self.u64(*nr);
             }
         }
     }
@@ -436,6 +481,7 @@ pub fn encode_trace(trace: &CampaignTrace) -> Vec<u8> {
     w.u64(trace.oracle_opts.trap_check_budget);
     w.u64(trace.oracle_opts.quarantine_threshold as u64);
     w.u64(trace.oracle_opts.quarantine_traps);
+    w.boolean(trace.oracle_opts.check_break_before_make);
     // Faults and chaos.
     w.u64(trace.fault_bits as u64);
     match &trace.chaos {
@@ -449,6 +495,7 @@ pub fn encode_trace(trace: &CampaignTrace) -> Vec<u8> {
             w.f64(c.p_dup_lock_event);
             w.f64(c.p_delay_hook);
             w.f64(c.p_alloc_chaos);
+            w.f64(c.p_stale_tlb);
         }
     }
     // Seeds.
@@ -629,6 +676,14 @@ impl<'a> Rd<'a> {
                 component: self.str()?,
                 payload: self.str()?,
             },
+            9 => Violation::BreakBeforeMake {
+                seq: self.opt_u64()?,
+                trap: self.str()?,
+                vmid: u16::try_from(self.u64()?)
+                    .map_err(|_| TraceFileError::Malformed("vmid out of range"))?,
+                ia: self.u64()?,
+                nr: self.u64()?,
+            },
             _ => return Err(TraceFileError::Malformed("unknown violation tag")),
         })
     }
@@ -706,6 +761,7 @@ impl<'a> Rd<'a> {
                     3 => ChaosKind::DupedLock,
                     4 => ChaosKind::DelayedHook,
                     5 => ChaosKind::AllocChaos,
+                    6 => ChaosKind::StaleTlb,
                     _ => return Err(TraceFileError::Malformed("unknown chaos-kind tag")),
                 },
             },
@@ -723,6 +779,22 @@ impl<'a> Rd<'a> {
             14 => Event::CorruptMem {
                 pa: self.u64()?,
                 value: self.u64()?,
+            },
+            15 => Event::Tlbi {
+                vmid: u16::try_from(self.u64()?)
+                    .map_err(|_| TraceFileError::Malformed("vmid out of range"))?,
+                ia: self.u64()?,
+                nr: self.u64()?,
+                broadcast: self.boolean()?,
+                cpu: self.usize()?,
+            },
+            16 => Event::Dsb { cpu: self.usize()? },
+            17 => Event::PteDowngrade {
+                cpu: self.usize()?,
+                vmid: u16::try_from(self.u64()?)
+                    .map_err(|_| TraceFileError::Malformed("vmid out of range"))?,
+                ia: self.u64()?,
+                nr: self.u64()?,
             },
             _ => return Err(TraceFileError::Malformed("unknown event tag")),
         })
@@ -772,6 +844,7 @@ pub fn decode_trace(bytes: &[u8]) -> Res<CampaignTrace> {
         .trap_check_budget(r.u64()?)
         .quarantine_threshold(r.u32()?)
         .quarantine_traps(r.u64()?)
+        .check_break_before_make(r.boolean()?)
         .build();
     let fault_bits = r.u32()?;
     let chaos = match r.byte()? {
@@ -785,6 +858,7 @@ pub fn decode_trace(bytes: &[u8]) -> Res<CampaignTrace> {
                 .dup_lock_event(r.f64()?)
                 .delay_hook(r.f64()?)
                 .alloc_chaos(r.f64()?)
+                .stale_tlb(r.f64()?)
                 .build(),
         ),
         _ => return Err(TraceFileError::Malformed("chaos tag out of range")),

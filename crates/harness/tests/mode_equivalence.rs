@@ -23,6 +23,8 @@ use pkvm_harness::campaign::CampaignCfg;
 use pkvm_harness::chaos::ChaosCfg;
 use pkvm_harness::coverage::{snapshot, CoverageSummary};
 use pkvm_harness::fuzz::{FuzzCfg, Fuzzer};
+use pkvm_harness::proxy::Proxy;
+use pkvm_hyp::faults::{Fault, FaultSet};
 
 /// Everything a checked run settles into once the checker drains.
 #[derive(Debug, PartialEq)]
@@ -152,4 +154,37 @@ fn inline_and_pipelined_agree_across_32_seeds() {
         runs_with_violations > 0,
         "no seed produced a violation — the sweep never exercised the violation path"
     );
+
+    // The break-before-make spec check is pure back-half state, so the
+    // missing-TLBI bug must surface as the *same* violations — kind and
+    // anchoring event seq — whichever thread runs the back half. (Kept
+    // inside the lone test: see the module doc on the coverage registry.)
+    let inline = bbm_fingerprint(CheckMode::Inline);
+    let piped = bbm_fingerprint(CheckMode::pipelined());
+    assert_eq!(inline, piped, "break-before-make verdicts diverge by mode");
+    assert!(
+        inline
+            .iter()
+            .any(|(kind, seq)| *kind == "break-before-make" && seq.is_some()),
+        "missing-TLBI bug not spec-detected: {inline:?}"
+    );
+}
+
+/// Violations from a missing-TLBI run: a share/unshare pair whose
+/// downgrades exit the trap unflushed, spec-detected as
+/// `break-before-make` anchored at the downgrade's event seq.
+fn bbm_fingerprint(mode: CheckMode) -> Vec<(&'static str, Option<u64>)> {
+    let faults = FaultSet::none();
+    faults.inject(Fault::SynMissingTlbi);
+    let p = Proxy::builder()
+        .faults(faults)
+        .oracle_opts(opts(mode))
+        .boot();
+    let pfn = p.alloc_page();
+    p.share(0, pfn).unwrap();
+    p.unshare(0, pfn).unwrap();
+    p.violations()
+        .iter()
+        .map(|v| (v.kind(), v.event_seq()))
+        .collect()
 }

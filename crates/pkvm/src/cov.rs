@@ -188,6 +188,9 @@ pub const HYP_COV_POINTS: &[&str] = &[
     "memcache/empty",
     "vcpu_reg/get",
     "vcpu_reg/set",
+    "tlbi/range",
+    "tlbi/vmid",
+    "tlbi/suppressed",
 ];
 
 #[cfg(test)]

@@ -225,10 +225,22 @@ impl Machine {
             }
             table.remove(handle).expect("present above");
             self.state.vm_table_unlock(ctx, table);
-            // The guest's VMID is being retired: drop its cached
-            // translations (skipped under the missing-TLBI injection).
-            if !ctx.faults.is(Fault::SynMissingTlbi) {
-                ctx.tlb.invalidate_vmid(vm.vmid());
+            // The guest's VMID is being retired, so the VMID-wide scope is
+            // the precise one here (`tlbi vmalls12e1is`, not over-broad):
+            // every cached translation under it is about to dangle. The
+            // downgrade hook uses the VMID-wide encoding (ia 0, all pages);
+            // the invalidation and its tlbi/dsb hooks are skipped together
+            // under the missing-TLBI injection.
+            ctx.hooks
+                .pte_downgrade(&ctx.hook_ctx(), vm.vmid(), 0, u64::MAX);
+            if ctx.faults.is(Fault::SynMissingTlbi) {
+                cov::hit("tlbi/suppressed");
+            } else {
+                cov::hit("tlbi/vmid");
+                ctx.tlb.invalidate_vmid(ctx.cpu, vm.vmid(), true);
+                ctx.hooks
+                    .tlbi(&ctx.hook_ctx(), vm.vmid(), 0, u64::MAX, true);
+                ctx.hooks.dsb(&ctx.hook_ctx());
             }
 
             let mut inner = self.state.vm_lock(ctx, &vm);
@@ -464,11 +476,10 @@ impl Machine {
                 let vm = table.get(handle);
                 self.state.vm_table_unlock(ctx, table);
                 let vm = vm?;
-                // Guest "hardware" consults the TLB under the guest VMID.
-                let cached = self
-                    .tlb
-                    .lookup(vm.vmid(), gipa)
-                    .filter(|t| crate::machine::perms_allow(t, access));
+                // Guest "hardware" consults this CPU's TLB under the guest
+                // VMID; the permission filter lives inside `lookup` so a
+                // rejected entry counts as the miss it behaves as.
+                let cached = self.tlb.lookup(ctx.cpu, vm.vmid(), gipa, access);
                 let tr = match cached {
                     Some(hit) => Ok(pkvm_aarch64::walk::Translation {
                         oa: hit.oa.wrapping_add(gipa & (PAGE_SIZE - 1)),
@@ -479,7 +490,7 @@ impl Machine {
                         let tr = translate(ctx.mem, inner.pgt.stage, inner.pgt.root, gipa, access);
                         self.state.vm_unlock(ctx, &vm, inner);
                         if let Ok(t) = &tr {
-                            self.tlb.fill(vm.vmid(), gipa, *t);
+                            self.tlb.fill(ctx.cpu, vm.vmid(), gipa, *t);
                         }
                         tr
                     }

@@ -154,6 +154,22 @@ pub trait GhostHooks: Send + Sync {
     /// A translation-table page of `comp` was freed.
     fn table_page_free(&self, ctx: &HookCtx<'_>, comp: Component, page: PhysAddr) {}
 
+    /// The implementation removed or tightened a live mapping: `nr_pages`
+    /// starting at `ia` under `vmid` lost permissions or were unmapped.
+    /// This is the "break" of break-before-make — it must be followed by
+    /// a covering broadcast TLBI and a DSB before the trap exits.
+    fn pte_downgrade(&self, ctx: &HookCtx<'_>, vmid: u16, ia: u64, nr_pages: u64) {}
+
+    /// The implementation issued a TLB invalidation covering `nr_pages`
+    /// starting at `ia` under `vmid` (VMID-wide scopes are encoded as
+    /// `ia = 0, nr_pages = u64::MAX`). `broadcast` distinguishes the
+    /// `*is` inner-shareable form from the local-only one.
+    fn tlbi(&self, ctx: &HookCtx<'_>, vmid: u16, ia: u64, nr_pages: u64, broadcast: bool) {}
+
+    /// The implementation issued the data synchronisation barrier that
+    /// completes its preceding TLB invalidations.
+    fn dsb(&self, ctx: &HookCtx<'_>) {}
+
     /// The hypervisor panicked (internal invariant failure).
     fn hyp_panic(&self, ctx: &HookCtx<'_>, reason: &str) {}
 

@@ -18,7 +18,7 @@ use pkvm_aarch64::esr::Esr;
 use pkvm_aarch64::memory::{MemRegion, PhysMem};
 use pkvm_aarch64::sync::{Mutex, MutexGuard};
 use pkvm_aarch64::sysreg::{GprFile, SysRegs, Vttbr};
-use pkvm_aarch64::tlb::{Tlb, VMID_HOST};
+use pkvm_aarch64::tlb::{TlbSet, VMID_HOST};
 use pkvm_aarch64::walk::{translate, walk, Access};
 
 use crate::cov;
@@ -87,16 +87,6 @@ pub struct CpuState {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HostAccessFault;
 
-/// Permission check against a (possibly TLB-cached) translation, as the
-/// hardware would perform it.
-pub(crate) fn perms_allow(tr: &pkvm_aarch64::walk::Translation, access: Access) -> bool {
-    match access {
-        Access::Read => tr.attrs.perms.r,
-        Access::Write => tr.attrs.perms.w,
-        Access::Exec => tr.attrs.perms.x,
-    }
-}
-
 /// The simulated machine.
 pub struct Machine {
     /// Simulated physical memory.
@@ -112,9 +102,10 @@ pub struct Machine {
     /// The stage 1 root the "host kernel" claims for itself; used by the
     /// bug-4 fault path when the hardware did not capture the faulting IPA.
     pub host_s1_root: AtomicU64,
-    /// The simulated TLB: the machine fills it on translations; the
-    /// hypervisor must invalidate it when it removes mappings.
-    pub tlb: Tlb,
+    /// The simulated per-CPU TLBs: the machine fills the accessing CPU's
+    /// TLB on translations; the hypervisor must invalidate all of them
+    /// (broadcast) when it removes mappings.
+    pub tlb: TlbSet,
     panicked: Mutex<Option<String>>,
     config: MachineConfig,
 }
@@ -195,7 +186,7 @@ impl Machine {
             hooks,
             faults,
             host_s1_root: AtomicU64::new(0),
-            tlb: Tlb::new(),
+            tlb: TlbSet::new(config.nr_cpus),
             panicked: Mutex::new(None),
             config,
         });
@@ -365,19 +356,17 @@ impl Machine {
         ipa: u64,
         access: Access,
     ) -> Result<PhysAddr, HostAccessFault> {
-        // The hardware consults the TLB first; a (possibly stale!) hit
-        // bypasses the walk entirely. Keeping this cache coherent is the
-        // hypervisor's job.
-        if let Some(hit) = self.tlb.lookup(VMID_HOST, ipa) {
-            if perms_allow(&hit, access) {
-                return Ok(hit.oa.wrapping_add(ipa & (PAGE_SIZE - 1)));
-            }
+        // The hardware consults this CPU's TLB first; a (possibly stale!)
+        // hit bypasses the walk entirely. Keeping this cache coherent is
+        // the hypervisor's job.
+        if let Some(hit) = self.tlb.lookup(cpu, VMID_HOST, ipa, access) {
+            return Ok(hit.oa.wrapping_add(ipa & (PAGE_SIZE - 1)));
         }
         for attempt in 0..2 {
             let host_root = self.state.host_pgt.lock().root;
             match translate(&self.mem, Stage::Stage2, host_root, ipa, access) {
                 Ok(tr) => {
-                    self.tlb.fill(VMID_HOST, ipa, tr);
+                    self.tlb.fill(cpu, VMID_HOST, ipa, tr);
                     return Ok(tr.oa);
                 }
                 Err(fault) if attempt == 0 => {

@@ -98,12 +98,22 @@ pub fn host_owns_exclusively(mem: &PhysMem, host: &KvmPgtable, ipa: u64) -> bool
     )
 }
 
-/// Issues the architectural TLB invalidation for a page range — unless
-/// the missing-TLBI bug is injected, in which case stale translations
-/// survive (detected behaviourally by the harness, not by the oracle).
-fn tlbi_range(ctx: &HypCtx<'_>, vmid: u16, ia: u64, nr: u64) {
-    if !ctx.faults.is(Fault::SynMissingTlbi) {
-        ctx.tlb.invalidate_range(vmid, ia, nr);
+/// The break half of break-before-make: a live mapping was just removed
+/// or tightened, so the matching broadcast TLB invalidation (plus DSB)
+/// must follow. The table write itself always happened, so the downgrade
+/// hook always fires; the invalidation and its tlbi/dsb hooks are
+/// suppressed together under the missing-TLBI bug — which the oracle's
+/// break-before-make check then catches as a dangling downgrade, and the
+/// harness catches behaviourally through the stale entries left live.
+pub(crate) fn tlbi_range(ctx: &HypCtx<'_>, vmid: u16, ia: u64, nr: u64) {
+    ctx.hooks.pte_downgrade(&ctx.hook_ctx(), vmid, ia, nr);
+    if ctx.faults.is(Fault::SynMissingTlbi) {
+        cov::hit("tlbi/suppressed");
+    } else {
+        cov::hit("tlbi/range");
+        ctx.tlb.invalidate_range(ctx.cpu, vmid, ia, nr, true);
+        ctx.hooks.tlbi(&ctx.hook_ctx(), vmid, ia, nr, true);
+        ctx.hooks.dsb(&ctx.hook_ctx());
     }
 }
 
@@ -916,7 +926,7 @@ mod tests {
         pub mem: PhysMem,
         pub st: HypState,
         pub faults: FaultSet,
-        pub tlb: pkvm_aarch64::tlb::Tlb,
+        pub tlb: pkvm_aarch64::tlb::TlbSet,
     }
 
     impl Fx {
@@ -949,7 +959,7 @@ mod tests {
                 mem,
                 st,
                 faults: FaultSet::none(),
-                tlb: pkvm_aarch64::tlb::Tlb::new(),
+                tlb: pkvm_aarch64::tlb::TlbSet::new(1),
             }
         }
 

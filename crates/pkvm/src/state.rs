@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use pkvm_aarch64::memory::PhysMem;
 use pkvm_aarch64::sync::{Mutex, MutexGuard};
-use pkvm_aarch64::tlb::Tlb;
+use pkvm_aarch64::tlb::TlbSet;
 
 use crate::faults::FaultSet;
 use crate::hooks::{Component, ComponentView, GhostHooks, HookCtx, VcpuView, VmView};
@@ -29,8 +29,8 @@ use crate::vm::{VcpuSlot, Vm, VmInner, VmTable};
 pub struct HypCtx<'a> {
     /// Simulated physical memory.
     pub mem: &'a PhysMem,
-    /// The simulated TLB the hypervisor must keep coherent.
-    pub tlb: &'a Tlb,
+    /// The simulated per-CPU TLBs the hypervisor must keep coherent.
+    pub tlb: &'a TlbSet,
     /// Hardware thread index.
     pub cpu: usize,
     /// Ghost instrumentation (no-op when no oracle is installed).
@@ -241,7 +241,7 @@ mod tests {
         let mem = PhysMem::new(vec![MemRegion::ram(0x4000_0000, 0x800_0000)]);
         let st = state(&mem);
         let faults = FaultSet::none();
-        let tlb = Tlb::new();
+        let tlb = TlbSet::new(1);
         let ctx = HypCtx {
             mem: &mem,
             tlb: &tlb,

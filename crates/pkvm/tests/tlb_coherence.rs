@@ -1,17 +1,24 @@
 //! TLB coherence tests: the hypervisor must invalidate cached
 //! translations whenever it removes or downgrades mappings, or revoked
 //! access keeps working through stale entries — the bug class of the
-//! paper's companion work on TLB synchronisation.
+//! paper's companion work on TLB synchronisation. With per-CPU TLBs the
+//! tests also pin down the broadcast discipline (a fill on one CPU must
+//! die on *every* CPU) and the break-before-make event protocol the
+//! hooks expose (every downgrade followed by a covering TLBI + DSB).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use pkvm_aarch64::addr::PAGE_SIZE;
-use pkvm_aarch64::tlb::VMID_HOST;
+use pkvm_aarch64::sync::Mutex;
+use pkvm_aarch64::tlb::{RemoteDelivery, TlbInvalidationPolicy, TlbiScope, VMID_HOST, VMID_HYP};
 use pkvm_aarch64::walk::Access;
 use pkvm_hyp::error::Errno;
 use pkvm_hyp::faults::{Fault, FaultSet};
+use pkvm_hyp::hooks::{GhostHooks, HookCtx};
 use pkvm_hyp::hypercalls::*;
 use pkvm_hyp::machine::{Machine, MachineConfig};
 use pkvm_hyp::vm::GuestOp;
-use std::sync::Arc;
 
 fn boot_with(faults: FaultSet) -> Arc<Machine> {
     Machine::boot(
@@ -21,7 +28,131 @@ fn boot_with(faults: FaultSet) -> Arc<Machine> {
     )
 }
 
+/// Records the break-before-make hook protocol: downgrades, TLBIs, DSBs,
+/// in one interleaved list so ordering is checkable.
+#[derive(Default)]
+struct BbmRecorder {
+    log: Mutex<Vec<BbmStep>>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BbmStep {
+    Downgrade {
+        vmid: u16,
+        ia: u64,
+        nr: u64,
+    },
+    Tlbi {
+        vmid: u16,
+        ia: u64,
+        nr: u64,
+        broadcast: bool,
+    },
+    Dsb,
+}
+
+impl GhostHooks for BbmRecorder {
+    fn pte_downgrade(&self, _ctx: &HookCtx<'_>, vmid: u16, ia: u64, nr_pages: u64) {
+        self.log.lock().push(BbmStep::Downgrade {
+            vmid,
+            ia,
+            nr: nr_pages,
+        });
+    }
+
+    fn tlbi(&self, _ctx: &HookCtx<'_>, vmid: u16, ia: u64, nr_pages: u64, broadcast: bool) {
+        self.log.lock().push(BbmStep::Tlbi {
+            vmid,
+            ia,
+            nr: nr_pages,
+            broadcast,
+        });
+    }
+
+    fn dsb(&self, _ctx: &HookCtx<'_>) {
+        self.log.lock().push(BbmStep::Dsb);
+    }
+}
+
+impl BbmRecorder {
+    /// Indices of downgrades not followed by a covering broadcast TLBI
+    /// and a DSB before the end of the log.
+    fn dangling_downgrades(&self) -> Vec<usize> {
+        let log = self.log.lock();
+        let mut dangling = Vec::new();
+        for (i, step) in log.iter().enumerate() {
+            let &BbmStep::Downgrade { vmid, ia, nr } = step else {
+                continue;
+            };
+            let covered = log.iter().skip(i + 1).enumerate().any(|(j, later)| {
+                let &BbmStep::Tlbi {
+                    vmid: tv,
+                    ia: tia,
+                    nr: tnr,
+                    broadcast,
+                } = later
+                else {
+                    return false;
+                };
+                let cover_base = tia as u128;
+                let cover_end = cover_base + tnr as u128 * PAGE_SIZE as u128;
+                let base = ia as u128;
+                let end = base + nr as u128 * PAGE_SIZE as u128;
+                broadcast
+                    && tv == vmid
+                    && cover_base <= base
+                    && end <= cover_end
+                    // ... and a DSB completes it afterwards.
+                    && log
+                        .iter()
+                        .skip(i + 1 + j + 1)
+                        .any(|s| matches!(s, BbmStep::Dsb))
+            });
+            if !covered {
+                dangling.push(i);
+            }
+        }
+        dangling
+    }
+
+    fn tlbis(&self) -> Vec<(u16, u64, u64, bool)> {
+        self.log
+            .lock()
+            .iter()
+            .filter_map(|s| match *s {
+                BbmStep::Tlbi {
+                    vmid,
+                    ia,
+                    nr,
+                    broadcast,
+                } => Some((vmid, ia, nr, broadcast)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+fn boot_recorded(faults: FaultSet) -> (Arc<Machine>, Arc<BbmRecorder>) {
+    let rec = Arc::new(BbmRecorder::default());
+    let m = Machine::boot(MachineConfig::default(), rec.clone(), Arc::new(faults));
+    (m, rec)
+}
+
 const PFN: u64 = 0x40900;
+
+/// Boots a machine and brings up one VM with a loaded vCPU; returns the
+/// machine (or recorder-instrumented machine parts, via `boot`).
+fn setup_vm(m: &Machine) -> u64 {
+    let params = 0x40200u64;
+    let base = pkvm_aarch64::PhysAddr::from_pfn(params);
+    m.mem.write_u64(base, 1).unwrap(); // nr_vcpus
+    m.mem.write_u64(base.wrapping_add(8), 1).unwrap(); // protected
+    let h = m.hvc(0, HVC_INIT_VM, &[params, 0x40300, 2]);
+    assert!(Errno::from_ret(h).is_none());
+    assert_eq!(m.hvc(0, HVC_INIT_VCPU, &[h, 0, 0x40310]), 0);
+    assert_eq!(m.hvc(0, HVC_VCPU_LOAD, &[h, 0]), 0);
+    h
+}
 
 #[test]
 fn repeated_host_accesses_hit_the_tlb() {
@@ -37,23 +168,105 @@ fn repeated_host_accesses_hit_the_tlb() {
 }
 
 #[test]
+fn fills_are_cpu_local_so_each_cpu_walks_once() {
+    let m = boot_with(FaultSet::none());
+    m.host_access(0, PFN * PAGE_SIZE, Access::Read).unwrap();
+    let misses = m.tlb.misses();
+    // A different CPU has its own (empty) TLB: it must walk.
+    m.host_access(1, PFN * PAGE_SIZE, Access::Read).unwrap();
+    assert!(m.tlb.misses() > misses, "CPU 1 must miss and walk");
+    // But only once.
+    let misses = m.tlb.misses();
+    m.host_access(1, PFN * PAGE_SIZE, Access::Read).unwrap();
+    assert_eq!(m.tlb.misses(), misses);
+}
+
+#[test]
 fn donation_invalidates_the_host_tlb_entry() {
     let m = boot_with(FaultSet::none());
-    // Build a VM so the memcache top-up (a donation) is available.
-    let params = 0x40200u64;
-    m.mem
-        .write_u64(pkvm_aarch64::PhysAddr::from_pfn(params), 1)
-        .unwrap();
-    assert!(Errno::from_ret(m.hvc(0, HVC_INIT_VM, &[params, 0x40300, 2])).is_none());
-    assert_eq!(m.hvc(0, HVC_INIT_VCPU, &[0x1000, 0, 0x40310]), 0);
-    assert_eq!(m.hvc(0, HVC_VCPU_LOAD, &[0x1000, 0]), 0);
+    setup_vm(&m);
     // Host warms the TLB for the page, then donates it.
     m.host_access(0, PFN * PAGE_SIZE, Access::Read).unwrap();
-    assert!(m.tlb.lookup(VMID_HOST, PFN * PAGE_SIZE).is_some());
+    assert!(m
+        .tlb
+        .lookup(0, VMID_HOST, PFN * PAGE_SIZE, Access::Read)
+        .is_some());
     assert_eq!(m.hvc(0, HVC_TOPUP_MEMCACHE, &[PFN << 12, 1]), 0);
     // The stale entry is gone and the access now faults for real.
-    assert!(m.tlb.lookup(VMID_HOST, PFN * PAGE_SIZE).is_none());
+    assert!(m
+        .tlb
+        .lookup(0, VMID_HOST, PFN * PAGE_SIZE, Access::Read)
+        .is_none());
     assert!(m.host_access(0, PFN * PAGE_SIZE, Access::Read).is_err());
+}
+
+#[test]
+fn donation_broadcast_reaches_other_cpus() {
+    // CPU 1 warms its own TLB; CPU 0 donates the page. The broadcast
+    // invalidation must kill CPU 1's entry too, or CPU 1 keeps reading
+    // hypervisor-owned memory.
+    let m = boot_with(FaultSet::none());
+    setup_vm(&m);
+    m.host_access(1, PFN * PAGE_SIZE, Access::Read).unwrap();
+    assert!(m
+        .tlb
+        .lookup(1, VMID_HOST, PFN * PAGE_SIZE, Access::Read)
+        .is_some());
+    assert_eq!(m.hvc(0, HVC_TOPUP_MEMCACHE, &[PFN << 12, 1]), 0);
+    assert!(
+        m.tlb
+            .lookup(1, VMID_HOST, PFN * PAGE_SIZE, Access::Read)
+            .is_none(),
+        "broadcast TLBI must reach CPU 1"
+    );
+    assert!(m.host_access(1, PFN * PAGE_SIZE, Access::Read).is_err());
+}
+
+/// Drops every remote delivery — the deterministic core of the harness's
+/// stale-tlb chaos family.
+struct DropRemote {
+    dropped: AtomicUsize,
+}
+
+impl TlbInvalidationPolicy for DropRemote {
+    fn remote(&self, _issuer: usize, _target: usize, _scope: &TlbiScope) -> RemoteDelivery {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        RemoteDelivery::Drop
+    }
+}
+
+#[test]
+fn chaos_knob_keeps_remote_entries_stale_until_detected() {
+    // Same scenario as donation_broadcast_reaches_other_cpus, but with
+    // the remote-delivery knob dropping the broadcast: CPU 1's entry
+    // survives, keeps serving, and every stale serve is accounted for.
+    let m = boot_with(FaultSet::none());
+    setup_vm(&m);
+    m.host_access(1, PFN * PAGE_SIZE, Access::Read).unwrap();
+    let policy = Arc::new(DropRemote {
+        dropped: AtomicUsize::new(0),
+    });
+    m.tlb.set_policy(Some(policy.clone()));
+    assert_eq!(m.hvc(0, HVC_TOPUP_MEMCACHE, &[PFN << 12, 1]), 0);
+    assert!(policy.dropped.load(Ordering::Relaxed) > 0);
+    // The discipline was violated (delivery suppressed), so — and only
+    // so — CPU 1 still translates. The served entry is exactly the
+    // retained one, counted stale.
+    let stale_before = m.tlb.stale_served();
+    assert!(
+        m.host_access(1, PFN * PAGE_SIZE, Access::Read).is_ok(),
+        "dropped invalidation leaves CPU 1 serving the stale entry"
+    );
+    assert!(m.tlb.stale_served() > stale_before);
+    assert!(m.tlb.stale_keys(1).contains(&(VMID_HOST, PFN * PAGE_SIZE)));
+    // The issuing CPU delivered locally: it faults correctly.
+    assert!(m.host_access(0, PFN * PAGE_SIZE, Access::Read).is_err());
+    // Once a delivered invalidation covers the page, detection ends the
+    // staleness: the entry dies.
+    m.tlb.set_policy(None);
+    m.tlb.invalidate_page(0, VMID_HOST, PFN * PAGE_SIZE, true);
+    assert!(m.host_access(1, PFN * PAGE_SIZE, Access::Read).is_err());
+    assert!(m.tlb.stale_keys(1).is_empty());
 }
 
 #[test]
@@ -75,17 +288,7 @@ fn share_unshare_keeps_the_tlb_coherent() {
 #[test]
 fn guest_translations_are_cached_and_retired_at_teardown() {
     let m = boot_with(FaultSet::none());
-    let params = 0x40200u64;
-    m.mem
-        .write_u64(pkvm_aarch64::PhysAddr::from_pfn(params), 1)
-        .unwrap();
-    m.mem
-        .write_u64(pkvm_aarch64::PhysAddr::from_pfn(params).wrapping_add(8), 1)
-        .unwrap();
-    let h = m.hvc(0, HVC_INIT_VM, &[params, 0x40300, 2]);
-    assert!(Errno::from_ret(h).is_none());
-    assert_eq!(m.hvc(0, HVC_INIT_VCPU, &[h, 0, 0x40310]), 0);
-    assert_eq!(m.hvc(0, HVC_VCPU_LOAD, &[h, 0]), 0);
+    let h = setup_vm(&m);
     assert_eq!(m.hvc(0, HVC_TOPUP_MEMCACHE, &[0x40500 << 12, 8]), 0);
     assert_eq!(m.hvc(0, HVC_HOST_MAP_GUEST, &[0x40600, 0x10]), 0);
     // Two guest reads: the second hits the guest-VMID TLB entry.
@@ -97,32 +300,27 @@ fn guest_translations_are_cached_and_retired_at_teardown() {
         .unwrap();
     assert_eq!(m.hvc(0, HVC_VCPU_RUN, &[]), exit::CONTINUE);
     assert!(m.tlb.hits() > hits);
-    // Teardown retires the guest VMID.
+    // The entry is cached under the guest's VMID (slot 0 → VMID 1);
+    // teardown retires it.
+    assert!(m.tlb.lookup(0, 1, 0x10 * PAGE_SIZE, Access::Read).is_some());
     assert_eq!(m.hvc(0, HVC_VCPU_PUT, &[]), 0);
     assert_eq!(m.hvc(0, HVC_TEARDOWN_VM, &[h]), 0);
     assert!(
-        m.tlb.lookup(2, 0x10 * PAGE_SIZE).is_none(),
-        "guest vmid 2 retired"
+        m.tlb.lookup(0, 1, 0x10 * PAGE_SIZE, Access::Read).is_none(),
+        "guest vmid 1 retired"
     );
 }
 
 #[test]
 fn missing_tlbi_lets_the_host_read_donated_memory() {
-    // The injected bug: no invalidations. The isolation breach is purely
-    // architectural (page tables are correct!), so the ghost oracle —
-    // which checks the tables' extensional meaning — cannot see it; the
-    // behavioural check does.
+    // The injected bug: no invalidations. The isolation breach is
+    // architectural (page tables are correct!), so the oracle's
+    // extensional table check cannot see it; the behavioural check and
+    // the break-before-make event check both do.
     let faults = FaultSet::none();
     faults.inject(Fault::SynMissingTlbi);
     let m = boot_with(faults);
-    let params = 0x40200u64;
-    m.mem
-        .write_u64(pkvm_aarch64::PhysAddr::from_pfn(params), 1)
-        .unwrap();
-    let h = m.hvc(0, HVC_INIT_VM, &[params, 0x40300, 2]);
-    assert!(Errno::from_ret(h).is_none());
-    assert_eq!(m.hvc(0, HVC_INIT_VCPU, &[h, 0, 0x40310]), 0);
-    assert_eq!(m.hvc(0, HVC_VCPU_LOAD, &[h, 0]), 0);
+    setup_vm(&m);
     // Warm, donate, and... the revoked access still works.
     m.host_access(0, PFN * PAGE_SIZE, Access::Read).unwrap();
     assert_eq!(m.hvc(0, HVC_TOPUP_MEMCACHE, &[PFN << 12, 1]), 0);
@@ -132,4 +330,120 @@ fn missing_tlbi_lets_the_host_read_donated_memory() {
     );
     // With the fix, the same sequence faults (see
     // donation_invalidates_the_host_tlb_entry).
+}
+
+// ---------------------------------------------------------------------
+// Break-before-make pairs: for each mutation-site family, the clean run
+// leaves no downgrade dangling (negative), and the missing-TLBI fault
+// leaves at least one (positive) — the protocol the oracle's spec check
+// enforces from the event stream.
+// ---------------------------------------------------------------------
+
+fn bbm_pair(drive: impl Fn(&Machine)) {
+    let (m, rec) = boot_recorded(FaultSet::none());
+    drive(&m);
+    assert!(m.panicked().is_none());
+    assert_eq!(
+        rec.dangling_downgrades(),
+        Vec::<usize>::new(),
+        "clean run must close every downgrade with a covering TLBI + DSB"
+    );
+    assert!(
+        !rec.tlbis().is_empty(),
+        "the scenario must actually exercise a TLBI site"
+    );
+
+    let faults = FaultSet::none();
+    faults.inject(Fault::SynMissingTlbi);
+    let (m, rec) = boot_recorded(faults);
+    drive(&m);
+    assert!(m.panicked().is_none());
+    assert!(
+        !rec.dangling_downgrades().is_empty(),
+        "missing-TLBI run must leave a dangling downgrade"
+    );
+    assert!(rec.tlbis().is_empty(), "the fault suppresses every TLBI");
+}
+
+#[test]
+fn bbm_pair_host_share_unshare_hyp() {
+    bbm_pair(|m| {
+        assert_eq!(m.hvc(0, HVC_HOST_SHARE_HYP, &[PFN]), 0);
+        assert_eq!(m.hvc(0, HVC_HOST_UNSHARE_HYP, &[PFN]), 0);
+    });
+}
+
+#[test]
+fn bbm_pair_donation() {
+    bbm_pair(|m| {
+        setup_vm(m);
+        assert_eq!(m.hvc(0, HVC_TOPUP_MEMCACHE, &[PFN << 12, 1]), 0);
+    });
+}
+
+#[test]
+fn bbm_pair_guest_share_unshare_and_teardown() {
+    bbm_pair(|m| {
+        let h = setup_vm(m);
+        assert_eq!(m.hvc(0, HVC_TOPUP_MEMCACHE, &[0x40500 << 12, 8]), 0);
+        assert_eq!(m.hvc(0, HVC_HOST_MAP_GUEST, &[0x40600, 0x10]), 0);
+        m.push_guest_op(h as u32, 0, GuestOp::HvcShareHost(0x10 * PAGE_SIZE))
+            .unwrap();
+        assert_eq!(m.hvc(0, HVC_VCPU_RUN, &[]), exit::GUEST_HVC);
+        m.push_guest_op(h as u32, 0, GuestOp::HvcUnshareHost(0x10 * PAGE_SIZE))
+            .unwrap();
+        assert_eq!(m.hvc(0, HVC_VCPU_RUN, &[]), exit::GUEST_HVC);
+        assert_eq!(m.hvc(0, HVC_VCPU_PUT, &[]), 0);
+        assert_eq!(m.hvc(0, HVC_TEARDOWN_VM, &[h]), 0);
+    });
+}
+
+#[test]
+fn guest_unshare_invalidates_both_vmids_precisely() {
+    // mem_protect's guest_unshare_host must invalidate the *guest* page
+    // under the guest VMID and the *physical* page under the host VMID —
+    // both page-granular, both broadcast (satellite audit of the
+    // two-sided unshare at the guest/host boundary).
+    let (m, rec) = boot_recorded(FaultSet::none());
+    let h = setup_vm(&m);
+    assert_eq!(m.hvc(0, HVC_TOPUP_MEMCACHE, &[0x40500 << 12, 8]), 0);
+    assert_eq!(m.hvc(0, HVC_HOST_MAP_GUEST, &[0x40600, 0x10]), 0);
+    let gipa = 0x10 * PAGE_SIZE;
+    m.push_guest_op(h as u32, 0, GuestOp::HvcShareHost(gipa))
+        .unwrap();
+    assert_eq!(m.hvc(0, HVC_VCPU_RUN, &[]), exit::GUEST_HVC);
+    rec.log.lock().clear();
+    m.push_guest_op(h as u32, 0, GuestOp::HvcUnshareHost(gipa))
+        .unwrap();
+    assert_eq!(m.hvc(0, HVC_VCPU_RUN, &[]), exit::GUEST_HVC);
+    let tlbis = rec.tlbis();
+    let guest_vmid = 1u16; // first VM: slot 0 → VMID 1
+    assert!(
+        tlbis.contains(&(guest_vmid, gipa, 1, true)),
+        "guest-side page must be invalidated under the guest VMID: {tlbis:?}"
+    );
+    assert!(
+        tlbis.contains(&(VMID_HOST, 0x40600 * PAGE_SIZE, 1, true)),
+        "host-side page must be invalidated under the host VMID: {tlbis:?}"
+    );
+    assert_eq!(tlbis.len(), 2, "exactly the two scoped TLBIs: {tlbis:?}");
+    assert!(!tlbis.iter().any(|&(v, ..)| v == VMID_HYP));
+}
+
+#[test]
+fn teardown_uses_one_vmid_wide_tlbi() {
+    // VMID retirement is the one site where the VMID-wide scope is the
+    // precise one; assert it is emitted as such (and only once).
+    let (m, rec) = boot_recorded(FaultSet::none());
+    let h = setup_vm(&m);
+    assert_eq!(m.hvc(0, HVC_VCPU_PUT, &[]), 0);
+    rec.log.lock().clear();
+    assert_eq!(m.hvc(0, HVC_TEARDOWN_VM, &[h]), 0);
+    let wide: Vec<_> = rec
+        .tlbis()
+        .into_iter()
+        .filter(|&(_, ia, nr, _)| ia == 0 && nr == u64::MAX)
+        .collect();
+    assert_eq!(wide, vec![(1, 0, u64::MAX, true)]);
+    assert!(rec.dangling_downgrades().is_empty());
 }

@@ -108,6 +108,33 @@ fn fault_and_chaos_sweep_never_panics_the_oracle() {
     }
 }
 
+/// The stale-TLB chaos family perturbs the machine's TLB below the hook
+/// stream: broadcast invalidations are delayed or dropped on remote
+/// CPUs, but the hypervisor's own downgrade/TLBI/DSB sequence reaches
+/// the oracle intact. So whatever the staleness does to behaviour, the
+/// break-before-make spec check must never blame the hypervisor for it.
+#[test]
+fn stale_tlb_chaos_never_fabricates_break_before_make() {
+    for seed in 0..8u64 {
+        let report = CampaignCfg::builder()
+            .workers(2)
+            .steps_per_worker(150)
+            .base_seed(0x57a1_0000 + seed)
+            .stop_on_violation(false)
+            .record_trace(false)
+            .chaos(ChaosCfg::only(ChaosFamily::StaleTlb).reseeded(0x57a1 + seed))
+            .run();
+        assert!(
+            report
+                .violations
+                .iter()
+                .all(|v| v.kind() != "break-before-make"),
+            "seed {seed}: stale-tlb chaos fabricated a break-before-make verdict:\n{:?}",
+            report.violations
+        );
+    }
+}
+
 /// The acceptance criterion's replay clause: a violating *chaotic*
 /// campaign replays deterministically from its recorded seed and
 /// schedule alone — twice, with identical outcomes.

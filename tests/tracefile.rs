@@ -84,6 +84,67 @@ fn violating_trace_survives_disk_and_replays_to_the_same_verdict() {
     assert_eq!(original.steps, reloaded.steps);
 }
 
+/// Format v3 carries the TLB-plane records: `Tlbi`/`Dsb`/`PteDowngrade`
+/// events, the `StaleTlb` chaos tag with its `p_stale_tlb` knob, and the
+/// `BreakBeforeMake` violation. A stale-chaos campaign and a
+/// missing-TLBI campaign between them exercise every new tag; both must
+/// survive the codec field for field.
+#[test]
+fn v3_tlb_records_round_trip() {
+    use pkvm_repro::ghost::event::{ChaosKind, Event};
+
+    // Clean hypervisor under stale-TLB chaos: the full invalidation
+    // protocol is on the stream, plus the chaos injection tags.
+    let chaotic = CampaignCfg::builder()
+        .workers(2)
+        .steps_per_worker(150)
+        .base_seed(0x70ac_e400)
+        .stop_on_violation(false)
+        .chaos(ChaosCfg::builder().seed(0x57a1).stale_tlb(0.5).build())
+        .run()
+        .trace
+        .expect("trace recorded");
+    let has = |pred: &dyn Fn(&Event) -> bool| chaotic.events.iter().any(|r| pred(&r.event));
+    assert!(has(&|e| matches!(e, Event::Tlbi { .. })), "no Tlbi event");
+    assert!(has(&|e| matches!(e, Event::Dsb { .. })), "no Dsb event");
+    assert!(
+        has(&|e| matches!(e, Event::PteDowngrade { .. })),
+        "no PteDowngrade event"
+    );
+    assert_eq!(
+        chaotic.chaos.map(|c| c.p_stale_tlb),
+        Some(0.5),
+        "the stale knob travels in the config"
+    );
+    let decoded = decode_trace(&encode_trace(&chaotic)).expect("round trip decodes");
+    assert_eq!(decoded, chaotic);
+
+    // Missing-TLBI bug: the spec check's break-before-make verdict is a
+    // recorded violation and must round trip with its anchoring seq.
+    let faulted = record_campaign(0x70ac_e500, false, Some(Fault::SynMissingTlbi));
+    assert!(
+        faulted.events.iter().any(|r| matches!(
+            &r.event,
+            Event::Violation(v) if v.kind() == "break-before-make" && v.event_seq().is_some()
+        )),
+        "missing-TLBI campaign recorded no break-before-make violation"
+    );
+    let decoded = decode_trace(&encode_trace(&faulted)).expect("round trip decodes");
+    assert_eq!(decoded, faulted);
+
+    // The chaos stream itself tags each suppressed delivery.
+    assert!(
+        has(&|e| matches!(
+            e,
+            Event::Chaos {
+                kind: ChaosKind::StaleTlb,
+                ..
+            }
+        )),
+        "no StaleTlb chaos tag on the chaotic stream"
+    );
+}
+
 /// Robustness: every proper prefix of a valid file fails with a clean
 /// [`TraceFileError`] — never a panic, never a silently short trace.
 #[test]
