@@ -65,6 +65,23 @@ if [ "$GATE_VERDICT" != "$VERIFY_VERDICT" ]; then
     exit 1
 fi
 
+echo "== fleet gate (2 workers, forced kill + torn file, merged-corpus round-trip) =="
+# A short fixed-seed 2-worker fuzzing fleet with one forced worker kill
+# and one forced torn corpus file. Fails unless zero admitted seeds were
+# lost, the killed worker was respawned, the torn file was skip-counted,
+# the coordinator shut down cleanly, and the merged corpus replays with a
+# bit-identical verdict in a *second process*.
+FLEET_ROOT="$(mktemp -d -t pkvmfleet.XXXXXX)"
+trap 'rm -f "$TRACE_TMP"; rm -rf "$FUZZ_CORPUS" "$FLEET_ROOT"' EXIT
+FLEET_VERDICT="$(cargo run --release --example fleet -- gate "$FLEET_ROOT" 0xc6 | grep '^fleet-verdict:')"
+FLEET_VERIFY="$(cargo run --release --example fleet -- verify "$FLEET_ROOT" | grep '^fleet-verdict:')"
+echo "  gate:     $FLEET_VERDICT"
+echo "  verified: $FLEET_VERIFY"
+if [ "$FLEET_VERDICT" != "$FLEET_VERIFY" ]; then
+    echo "fleet merged-corpus replay verdict differs across processes" >&2
+    exit 1
+fi
+
 echo "== pipeline gate (E12: mode equivalence + pipelined throughput) =="
 # Runs the E3 workload at a fixed seed under CheckMode::Inline and
 # CheckMode::Pipelined: exits non-zero unless both modes produce identical

@@ -1,0 +1,218 @@
+//! The fleet's aggregated statistics snapshot.
+//!
+//! The coordinator folds worker heartbeats and its own supervision and
+//! merge counters into a [`FleetStats`] and atomically rewrites the
+//! `fleet-stats` file every poll round. Because the snapshot carries
+//! cumulative totals (and the per-worker heartbeats carry their own), a
+//! coordinator that crashes and restarts over the same root resumes
+//! from the snapshot instead of zero — fleet history survives the
+//! death of its bookkeeper like everything else in the protocol.
+
+use std::path::Path;
+
+use crate::fleet::protocol::{encode_kv, parse_kv};
+use crate::tracefile::atomic_write;
+
+/// One deduplicated crash family, fleet-wide.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashBucket {
+    /// The family's rendered signature.
+    pub name: String,
+    /// Reproducer files observed for this signature.
+    pub count: u64,
+    /// Fleet `execs` total when first observed.
+    pub first_execs: u64,
+}
+
+/// The periodically-serialized fleet snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetStats {
+    /// Coordinator poll rounds completed (across coordinator restarts).
+    pub rounds: u64,
+    /// Inputs executed, summed over worker heartbeats.
+    pub execs: u64,
+    /// Driver steps executed, summed over worker heartbeats.
+    pub steps: u64,
+    /// Seeds currently in the merged corpus.
+    pub merged_seeds: u64,
+    /// Corrupt or duplicate candidate files skipped during merges.
+    pub merge_skips: u64,
+    /// Peer seeds workers skipped as corrupt during pull-sync.
+    pub import_skips: u64,
+    /// Persistence failures absorbed fleet-wide.
+    pub persist_errors: u64,
+    /// Worker processes killed for wedging.
+    pub kills: u64,
+    /// Worker processes respawned.
+    pub respawns: u64,
+    /// Workers permanently quarantined.
+    pub quarantined: u64,
+    /// Panics that escaped containment, fleet-wide (expected zero).
+    pub escaped_panics: u64,
+    /// Wall-clock milliseconds the fleet has run (across restarts).
+    pub elapsed_ms: u64,
+    /// Deduplicated crash families, in discovery order.
+    pub crash_buckets: Vec<CrashBucket>,
+}
+
+impl FleetStats {
+    /// Serializes to `key=value` lines; crash families as
+    /// `bucket=<count>;<first_execs>;<name>` lines (the name last, so
+    /// its own `;`s survive).
+    pub fn encode(&self) -> String {
+        let mut out = encode_kv(&[
+            ("rounds", self.rounds.to_string()),
+            ("execs", self.execs.to_string()),
+            ("steps", self.steps.to_string()),
+            ("merged_seeds", self.merged_seeds.to_string()),
+            ("merge_skips", self.merge_skips.to_string()),
+            ("import_skips", self.import_skips.to_string()),
+            ("persist_errors", self.persist_errors.to_string()),
+            ("kills", self.kills.to_string()),
+            ("respawns", self.respawns.to_string()),
+            ("quarantined", self.quarantined.to_string()),
+            ("escaped_panics", self.escaped_panics.to_string()),
+            ("elapsed_ms", self.elapsed_ms.to_string()),
+        ]);
+        for b in &self.crash_buckets {
+            out.push_str(&format!(
+                "bucket={};{};{}\n",
+                b.count,
+                b.first_execs,
+                b.name.replace('\n', " ")
+            ));
+        }
+        out
+    }
+
+    /// Decodes a snapshot; a torn or malformed file is `None` (the
+    /// coordinator starts a fresh history rather than a wrong one).
+    pub fn decode(text: &str) -> Option<FleetStats> {
+        let m = parse_kv(text);
+        let get = |k: &str| m.get(k)?.parse::<u64>().ok();
+        let mut stats = FleetStats {
+            rounds: get("rounds")?,
+            execs: get("execs")?,
+            steps: get("steps")?,
+            merged_seeds: get("merged_seeds")?,
+            merge_skips: get("merge_skips")?,
+            import_skips: get("import_skips")?,
+            persist_errors: get("persist_errors")?,
+            kills: get("kills")?,
+            respawns: get("respawns")?,
+            quarantined: get("quarantined")?,
+            escaped_panics: get("escaped_panics")?,
+            elapsed_ms: get("elapsed_ms")?,
+            crash_buckets: Vec::new(),
+        };
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("bucket=") else {
+                continue;
+            };
+            let mut parts = rest.splitn(3, ';');
+            let count = parts.next()?.parse().ok()?;
+            let first_execs = parts.next()?.parse().ok()?;
+            let name = parts.next()?.to_string();
+            stats.crash_buckets.push(CrashBucket {
+                name,
+                count,
+                first_execs,
+            });
+        }
+        Some(stats)
+    }
+
+    /// Atomically replaces the snapshot file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        atomic_write(path, self.encode().as_bytes())
+    }
+
+    /// Loads a snapshot; missing or malformed files are `None`.
+    pub fn load(path: &Path) -> Option<FleetStats> {
+        FleetStats::decode(&std::fs::read_to_string(path).ok()?)
+    }
+
+    /// Fleet-wide execution rate.
+    pub fn execs_per_sec(&self) -> f64 {
+        if self.elapsed_ms == 0 {
+            0.0
+        } else {
+            self.execs as f64 * 1000.0 / self.elapsed_ms as f64
+        }
+    }
+
+    /// One-paragraph human summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet: {} rounds, {} execs ({:.0}/s), {} driver steps in {:.1}s",
+            self.rounds,
+            self.execs,
+            self.execs_per_sec(),
+            self.steps,
+            self.elapsed_ms as f64 / 1000.0,
+        );
+        let _ = writeln!(
+            out,
+            "  merged corpus {} seeds ({} merge skips, {} import skips, {} persist errors)",
+            self.merged_seeds, self.merge_skips, self.import_skips, self.persist_errors,
+        );
+        let _ = writeln!(
+            out,
+            "  supervision: {} kills, {} respawns, {} quarantined; {} escaped panics",
+            self.kills, self.respawns, self.quarantined, self.escaped_panics,
+        );
+        let _ = writeln!(out, "  crash families: {}", self.crash_buckets.len());
+        for b in &self.crash_buckets {
+            let _ = writeln!(
+                out,
+                "    {} — {} reproducers, first at exec {}",
+                b.name, b.count, b.first_execs
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_round_trip_including_buckets() {
+        let s = FleetStats {
+            rounds: 12,
+            execs: 3456,
+            steps: 99_999,
+            merged_seeds: 40,
+            merge_skips: 3,
+            import_skips: 2,
+            persist_errors: 1,
+            kills: 2,
+            respawns: 5,
+            quarantined: 1,
+            escaped_panics: 0,
+            elapsed_ms: 8_000,
+            crash_buckets: vec![
+                CrashBucket {
+                    name: "spec-mismatch @ vmemmap [spec/host_share_hyp/check]".into(),
+                    count: 4,
+                    first_execs: 120,
+                },
+                CrashBucket {
+                    name: "hyp-panic; with; semicolons".into(),
+                    count: 1,
+                    first_execs: 900,
+                },
+            ],
+        };
+        assert_eq!(FleetStats::decode(&s.encode()), Some(s.clone()));
+        assert!((s.execs_per_sec() - 432.0).abs() < 1e-9);
+        let r = s.render();
+        assert!(r.contains("quarantined") && r.contains("hyp-panic"), "{r}");
+        // Torn snapshots decode to None, never to zeroed history.
+        assert_eq!(FleetStats::decode("rounds=12\nexecs=3"), None);
+    }
+}

@@ -1,0 +1,346 @@
+//! Worker supervision as a pure state machine.
+//!
+//! The supervisor owns no clock, no processes and no files: every
+//! method takes `now_ms` explicitly and returns the [`Action`]s the
+//! coordinator must carry out. That makes the whole policy — wedge
+//! detection, exponential backoff with jitter, restart budgets,
+//! quarantine — deterministically testable under a mocked clock, while
+//! the coordinator stays a thin loop that feeds in heartbeats and exit
+//! notifications and executes the returned actions.
+//!
+//! Policy summary:
+//!
+//! - **Progress**, not liveness, is the health signal: a worker is
+//!   healthy while its heartbeat `rounds` counter keeps changing. The
+//!   deadline runs on the *coordinator's* clock, so a worker whose own
+//!   clock is frozen (or whose process is stopped) is still wedged.
+//! - A wedged worker is **killed**, then treated like any other exit.
+//! - Every exit schedules a **respawn** after an exponential backoff
+//!   `min(cap, base·2^(k−1))` plus seeded jitter in `[0, base)`, where
+//!   `k` counts restarts since the last observed progress.
+//! - Progress **resets** the restart counter, so only a worker that
+//!   keeps dying *without ever progressing* — a deterministic crasher —
+//!   exhausts its budget and is **quarantined**. Quarantine is terminal:
+//!   the coordinator redistributes the worker's shards and fuzzing
+//!   continues with one fewer process.
+
+use crate::rng::Rng;
+
+/// Supervision policy knobs.
+#[derive(Clone, Debug)]
+pub struct SupervisionCfg {
+    /// No heartbeat progress for this long (coordinator clock) ⇒ wedged.
+    pub wedge_deadline_ms: u64,
+    /// Base backoff delay; also the jitter range.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling before jitter.
+    pub backoff_cap_ms: u64,
+    /// Restarts-without-progress allowed before quarantine.
+    pub restart_budget: u32,
+    /// Seed for the jitter stream (deterministic per fleet seed).
+    pub jitter_seed: u64,
+}
+
+impl Default for SupervisionCfg {
+    fn default() -> Self {
+        SupervisionCfg {
+            wedge_deadline_ms: 15_000,
+            backoff_base_ms: 200,
+            backoff_cap_ms: 5_000,
+            restart_budget: 3,
+            jitter_seed: 0x005f_1ee7,
+        }
+    }
+}
+
+/// Where one worker stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerStatus {
+    /// Alive and (as far as the deadline knows) making progress.
+    Running,
+    /// Declared wedged and killed; waiting for the exit notification.
+    Stopping,
+    /// Exited; waiting out the backoff before the next respawn.
+    Backoff,
+    /// Permanently retired: exhausted the restart budget without
+    /// progress. Terminal.
+    Quarantined,
+}
+
+/// What the coordinator must do, as decided by the supervisor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Kill this worker's process (it is wedged).
+    Kill(usize),
+    /// Spawn a fresh process for this worker.
+    Respawn(usize),
+    /// Retire this worker and redistribute its shards.
+    Quarantine(usize),
+}
+
+#[derive(Clone, Debug)]
+struct WorkerState {
+    status: WorkerStatus,
+    /// Last heartbeat `rounds` value seen (progress detector).
+    last_rounds: Option<u64>,
+    /// Coordinator-clock time of the last observed progress (or spawn).
+    last_progress_ms: u64,
+    /// Consecutive restarts without any progress in between.
+    restarts_since_progress: u32,
+    /// When the pending respawn fires (valid in `Backoff`).
+    backoff_until_ms: u64,
+}
+
+/// The fleet's supervision state machine. See the module docs for the
+/// policy; see [`Action`] for the coordinator's side of the contract.
+#[derive(Debug)]
+pub struct Supervisor {
+    cfg: SupervisionCfg,
+    workers: Vec<WorkerState>,
+    jitter: Rng,
+}
+
+impl Supervisor {
+    /// A supervisor for `workers` workers, all considered freshly
+    /// spawned and healthy at `now_ms`.
+    pub fn new(workers: usize, cfg: SupervisionCfg, now_ms: u64) -> Supervisor {
+        let jitter = Rng::seed_from_u64(cfg.jitter_seed);
+        Supervisor {
+            cfg,
+            workers: (0..workers)
+                .map(|_| WorkerState {
+                    status: WorkerStatus::Running,
+                    last_rounds: None,
+                    last_progress_ms: now_ms,
+                    restarts_since_progress: 0,
+                    backoff_until_ms: 0,
+                })
+                .collect(),
+            jitter,
+        }
+    }
+
+    /// The worker's current status.
+    pub fn status(&self, w: usize) -> WorkerStatus {
+        self.workers[w].status
+    }
+
+    /// When worker `w`'s pending respawn fires (meaningful in
+    /// [`WorkerStatus::Backoff`]).
+    pub fn backoff_until(&self, w: usize) -> u64 {
+        self.workers[w].backoff_until_ms
+    }
+
+    /// How many restarts worker `w` has burned without progress.
+    pub fn restarts_since_progress(&self, w: usize) -> u32 {
+        self.workers[w].restarts_since_progress
+    }
+
+    /// Workers not quarantined.
+    pub fn active(&self) -> Vec<usize> {
+        (0..self.workers.len())
+            .filter(|&w| self.workers[w].status != WorkerStatus::Quarantined)
+            .collect()
+    }
+
+    /// Feeds one observed heartbeat. Progress (a changed `rounds`
+    /// counter) refreshes the deadline and — crucially — resets the
+    /// restart budget: a worker that progresses between crashes is
+    /// unlucky, not deterministic.
+    pub fn heartbeat(&mut self, w: usize, rounds: u64, now_ms: u64) {
+        let st = &mut self.workers[w];
+        if st.status == WorkerStatus::Quarantined {
+            return;
+        }
+        if st.last_rounds != Some(rounds) {
+            st.last_rounds = Some(rounds);
+            st.last_progress_ms = now_ms;
+            st.restarts_since_progress = 0;
+        }
+    }
+
+    /// Notifies the supervisor that worker `w`'s process exited (on its
+    /// own, or after a [`Action::Kill`]). Returns the follow-up action:
+    /// quarantine when the restart budget is exhausted, otherwise a
+    /// backoff is scheduled (the respawn itself comes later from
+    /// [`Supervisor::tick`]).
+    pub fn process_exited(&mut self, w: usize, now_ms: u64) -> Option<Action> {
+        let (base, cap, budget) = (
+            self.cfg.backoff_base_ms.max(1),
+            self.cfg.backoff_cap_ms,
+            self.cfg.restart_budget,
+        );
+        let jitter = self.jitter.gen_range(0..base);
+        let st = &mut self.workers[w];
+        if st.status == WorkerStatus::Quarantined {
+            return None;
+        }
+        st.restarts_since_progress += 1;
+        if st.restarts_since_progress > budget {
+            st.status = WorkerStatus::Quarantined;
+            return Some(Action::Quarantine(w));
+        }
+        let k = st.restarts_since_progress;
+        let exp = base.saturating_mul(1u64.checked_shl(k - 1).unwrap_or(u64::MAX));
+        st.backoff_until_ms = now_ms + exp.min(cap) + jitter;
+        st.status = WorkerStatus::Backoff;
+        None
+    }
+
+    /// Advances the clock: declares wedged workers (returning `Kill`s)
+    /// and fires due respawns. A respawned worker's deadline restarts
+    /// from `now_ms`.
+    pub fn tick(&mut self, now_ms: u64) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let deadline = self.cfg.wedge_deadline_ms;
+        for (w, st) in self.workers.iter_mut().enumerate() {
+            match st.status {
+                WorkerStatus::Running => {
+                    if now_ms.saturating_sub(st.last_progress_ms) >= deadline {
+                        st.status = WorkerStatus::Stopping;
+                        actions.push(Action::Kill(w));
+                    }
+                }
+                WorkerStatus::Backoff => {
+                    if now_ms >= st.backoff_until_ms {
+                        st.status = WorkerStatus::Running;
+                        st.last_progress_ms = now_ms;
+                        st.last_rounds = None;
+                        actions.push(Action::Respawn(w));
+                    }
+                }
+                WorkerStatus::Stopping | WorkerStatus::Quarantined => {}
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SupervisionCfg {
+        SupervisionCfg {
+            wedge_deadline_ms: 1_000,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 1_000,
+            restart_budget: 2,
+            jitter_seed: 42,
+        }
+    }
+
+    #[test]
+    fn progress_keeps_a_worker_running_forever() {
+        let mut s = Supervisor::new(1, cfg(), 0);
+        for t in 1..50u64 {
+            s.heartbeat(0, t, t * 900);
+            assert!(
+                s.tick(t * 900).is_empty(),
+                "wedged at t={t} despite progress"
+            );
+        }
+        assert_eq!(s.status(0), WorkerStatus::Running);
+    }
+
+    #[test]
+    fn a_stalled_rounds_counter_is_wedged_even_with_fresh_heartbeats() {
+        let mut s = Supervisor::new(1, cfg(), 0);
+        // Heartbeats keep arriving but `rounds` never changes — e.g. a
+        // frozen worker whose last heartbeat file is simply still there.
+        s.heartbeat(0, 5, 100);
+        s.heartbeat(0, 5, 600);
+        s.heartbeat(0, 5, 1_050);
+        assert_eq!(s.tick(1_099), vec![]);
+        assert_eq!(s.tick(1_100), vec![Action::Kill(0)]);
+        assert_eq!(s.status(0), WorkerStatus::Stopping);
+        // The kill is issued once, not every tick.
+        assert_eq!(s.tick(2_000), vec![]);
+    }
+
+    #[test]
+    fn backoff_is_exponential_jittered_and_deterministic() {
+        let delays = |seed: u64| {
+            let mut c = cfg();
+            c.jitter_seed = seed;
+            c.restart_budget = 10;
+            let mut s = Supervisor::new(1, c, 0);
+            let mut out = Vec::new();
+            let mut now = 0;
+            for _ in 0..3 {
+                assert_eq!(s.process_exited(0, now), None);
+                let until = s.backoff_until(0);
+                out.push(until - now);
+                assert_eq!(s.tick(until - 1), vec![]);
+                assert_eq!(s.tick(until), vec![Action::Respawn(0)]);
+                now = until;
+            }
+            out
+        };
+        let a = delays(1);
+        // Exponential base: delay k lies in [base·2^(k−1), base·2^(k−1)+base).
+        assert!((100..200).contains(&a[0]), "{a:?}");
+        assert!((200..300).contains(&a[1]), "{a:?}");
+        assert!((400..500).contains(&a[2]), "{a:?}");
+        // Deterministic per seed, different across seeds (jitter).
+        assert_eq!(a, delays(1));
+        assert_ne!(delays(1), delays(2));
+    }
+
+    #[test]
+    fn backoff_caps_at_the_ceiling() {
+        let mut c = cfg();
+        c.restart_budget = 40;
+        let mut s = Supervisor::new(1, c, 0);
+        let mut now = 0;
+        for _ in 0..12 {
+            s.process_exited(0, now);
+            let until = s.backoff_until(0);
+            assert!(until - now < 1_000 + 100, "cap exceeded: {}", until - now);
+            s.tick(until);
+            now = until;
+        }
+    }
+
+    #[test]
+    fn only_a_deterministic_crasher_is_quarantined() {
+        // Crash, progress, crash, progress … never quarantines: progress
+        // resets the budget.
+        let mut s = Supervisor::new(1, cfg(), 0);
+        let mut now = 0;
+        for round in 0..10u64 {
+            assert_eq!(s.process_exited(0, now), None, "round {round}");
+            let until = s.backoff_until(0);
+            s.tick(until);
+            now = until + 10;
+            s.heartbeat(0, round + 1, now);
+            assert_eq!(s.restarts_since_progress(0), 0);
+        }
+        // Crashing with no progress in between exhausts the budget
+        // (budget 2 ⇒ third exit quarantines).
+        let mut s = Supervisor::new(2, cfg(), 0);
+        let mut now = 0;
+        for k in 1..=2u32 {
+            assert_eq!(s.process_exited(1, now), None);
+            assert_eq!(s.restarts_since_progress(1), k);
+            let until = s.backoff_until(1);
+            s.tick(until);
+            now = until;
+        }
+        assert_eq!(s.process_exited(1, now), Some(Action::Quarantine(1)));
+        assert_eq!(s.status(1), WorkerStatus::Quarantined);
+        assert_eq!(s.active(), vec![0]);
+        // Terminal: nothing revives it (worker 0, untouched and silent,
+        // may legitimately wedge in the same tick — ignore its actions).
+        s.heartbeat(1, 99, now + 1);
+        assert_eq!(s.process_exited(1, now + 2), None);
+        let touching_1 = s.tick(now + 100_000).into_iter().any(|a| {
+            matches!(
+                a,
+                Action::Kill(1) | Action::Respawn(1) | Action::Quarantine(1)
+            )
+        });
+        assert!(!touching_1);
+        assert_eq!(s.status(1), WorkerStatus::Quarantined);
+    }
+}

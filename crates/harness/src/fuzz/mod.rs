@@ -52,7 +52,7 @@ use crate::proxy::Proxy;
 use crate::random::{RandomCfg, RandomTester};
 use crate::rng::Rng;
 
-pub use corpus::{Corpus, CorpusSeed};
+pub use corpus::{replay_digest, scan_dir, Corpus, CorpusError, CorpusSeed, DirScan};
 pub use mutate::MutationKind;
 pub use schedule::Scheduler;
 pub use triage::{CrashEntry, CrashSig, Triage};
@@ -331,7 +331,6 @@ struct Shared {
     execs: u64,
     steps: u64,
     escaped_panics: u64,
-    persist_errors: u64,
 }
 
 /// The coverage-guided fuzzer.
@@ -342,11 +341,14 @@ pub struct Fuzzer {
 
 impl Fuzzer {
     /// Builds a fuzzer, creating the corpus and crashes directories when
-    /// configured.
-    pub fn new(cfg: FuzzCfg) -> std::io::Result<Fuzzer> {
-        let corpus = Corpus::new(cfg.corpus_dir.clone())?;
-        let triage = Triage::new(cfg.crashes_dir.clone(), cfg.minimize_budget)?;
-        Ok(Fuzzer {
+    /// configured. Never fails: an uncreatable directory degrades the
+    /// corresponding store to in-memory only, counted in the report's
+    /// `persist_errors` — a full disk shrinks persistence, not the
+    /// session.
+    pub fn new(cfg: FuzzCfg) -> Fuzzer {
+        let corpus = Corpus::new(cfg.corpus_dir.clone());
+        let triage = Triage::new(cfg.crashes_dir.clone(), cfg.minimize_budget);
+        Fuzzer {
             cfg,
             shared: Mutex::new(Shared {
                 corpus,
@@ -355,9 +357,8 @@ impl Fuzzer {
                 execs: 0,
                 steps: 0,
                 escaped_panics: 0,
-                persist_errors: 0,
             }),
-        })
+        }
     }
 
     /// Runs the session: reloads any persisted corpus, bootstraps if the
@@ -384,7 +385,7 @@ impl Fuzzer {
             points_covered: sh.corpus.points_covered(),
             crashes: sh.triage.entries.clone(),
             escaped_panics: sh.escaped_panics,
-            persist_errors: sh.persist_errors,
+            persist_errors: sh.corpus.persist_errors + sh.triage.persist_errors,
             coverage: CoverageSummary::since(&base),
             elapsed: start.elapsed(),
         }
@@ -497,28 +498,17 @@ impl Fuzzer {
             return;
         }
         sh.sched.observe(&out.points, out.sig);
-        if sh
-            .corpus
-            .consider(trace.clone(), out.points, out.sig, existing)
-            .is_err()
-        {
-            sh.persist_errors += 1;
-        }
+        sh.corpus
+            .consider(trace.clone(), out.points, out.sig, existing);
         if !out.violations.is_empty() || out.hyp_panic.is_some() {
             let steps_now = sh.steps;
-            if sh
-                .triage
-                .record(
-                    trace,
-                    &out.violations,
-                    out.hyp_panic.as_deref(),
-                    &out.summary.spec,
-                    steps_now,
-                )
-                .is_err()
-            {
-                sh.persist_errors += 1;
-            }
+            sh.triage.record(
+                trace,
+                &out.violations,
+                out.hyp_panic.as_deref(),
+                &out.summary.spec,
+                steps_now,
+            );
         }
     }
 
@@ -605,6 +595,26 @@ fn generate_input(cfg: &FuzzCfg, seed: u64, steps: u64) -> Vec<EventRecord> {
     )
 }
 
+/// Executes a recorded input under `cfg` on a fresh machine and returns
+/// the coverage footprint — (points hit, novelty signature) — its
+/// execution measured, or `None` when the execution escaped containment.
+/// The fleet coordinator re-measures merged seeds through this before
+/// distilling a corpus down to a frontier-preserving subset.
+pub fn footprint(cfg: &FuzzCfg, trace: &CampaignTrace) -> Option<(Vec<&'static str>, u64)> {
+    let input: Vec<EventRecord> = trace
+        .events
+        .iter()
+        .filter(|r| r.event.is_driver())
+        .cloned()
+        .collect();
+    let out = execute(cfg, &input, trace.chaos);
+    if out.escaped_panic {
+        None
+    } else {
+        Some((out.points, out.sig))
+    }
+}
+
 /// Executes one input on a fresh machine under the oracle and measures
 /// both feedback signals. The whole execution runs under `catch_unwind`:
 /// the oracle contains its own panics by design, so an escaped panic is
@@ -680,8 +690,7 @@ mod tests {
                 .bootstrap_inputs(3)
                 .bootstrap_len(40)
                 .build(),
-        )
-        .unwrap();
+        );
         let r = f.run();
         assert!(r.is_clean(), "{}", r.render());
         assert!(r.steps >= 600, "budget not spent: {}", r.render());
@@ -704,8 +713,7 @@ mod tests {
                     .bootstrap_inputs(2)
                     .bootstrap_len(30)
                     .build(),
-            )
-            .unwrap();
+            );
             let r = f.run();
             (r.execs, r.steps, r.corpus_size, r.points_covered)
         };
@@ -724,8 +732,7 @@ mod tests {
                 .faults(&faults)
                 .stop_on_violation(true)
                 .build(),
-        )
-        .unwrap();
+        );
         let r = f.run();
         assert!(
             !r.crashes.is_empty(),
@@ -748,8 +755,7 @@ mod tests {
                 .step_budget(800)
                 .workers(3)
                 .build(),
-        )
-        .unwrap();
+        );
         let r = f.run();
         assert!(r.is_clean(), "{}", r.render());
         assert!(r.corpus_size >= 1);
@@ -768,8 +774,7 @@ mod tests {
                 .step_budget(500)
                 .chaos(chaos, 0.5)
                 .build(),
-        )
-        .unwrap();
+        );
         let r = f.run();
         // Chaos may surface (deliberate) violations; the invariant is
         // containment, not cleanliness.

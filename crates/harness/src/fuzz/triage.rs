@@ -15,8 +15,9 @@ use pkvm_ghost::Violation;
 use pkvm_hyp::cov::Report;
 
 use crate::campaign::CampaignTrace;
+use crate::fuzz::corpus::CorpusError;
 use crate::minimize::minimize_with_stats;
-use crate::tracefile::{save_trace, TraceFileError};
+use crate::tracefile::save_trace;
 
 /// The deduplication key of a violating execution.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -68,25 +69,44 @@ pub struct CrashEntry {
 pub struct Triage {
     /// Crash families, in discovery order.
     pub entries: Vec<CrashEntry>,
+    /// Reproducer persistence failures absorbed so far (the family stays
+    /// triaged in memory; only its on-disk reproducer is missing).
+    pub persist_errors: u64,
     index: HashMap<CrashSig, usize>,
     dir: Option<PathBuf>,
     minimize_budget: usize,
+    last_error: Option<CorpusError>,
 }
 
 impl Triage {
     /// An empty table; creates the crashes directory when one is given.
     /// `minimize_budget` caps fresh-machine replays spent minimizing each
-    /// new crash family.
-    pub fn new(dir: Option<PathBuf>, minimize_budget: usize) -> std::io::Result<Triage> {
-        if let Some(d) = &dir {
-            std::fs::create_dir_all(d)?;
-        }
-        Ok(Triage {
+    /// new crash family. Never fails: an uncreatable directory degrades
+    /// the table to in-memory only, recorded as a persistence error.
+    pub fn new(dir: Option<PathBuf>, minimize_budget: usize) -> Triage {
+        let mut persist_errors = 0;
+        let mut last_error = None;
+        let dir = dir.and_then(|d| match std::fs::create_dir_all(&d) {
+            Ok(()) => Some(d),
+            Err(e) => {
+                persist_errors += 1;
+                last_error = Some(CorpusError::Io { path: d, err: e });
+                None
+            }
+        });
+        Triage {
             entries: Vec::new(),
+            persist_errors,
             index: HashMap::new(),
             dir,
             minimize_budget,
-        })
+            last_error,
+        }
+    }
+
+    /// The most recent persistence failure, if any.
+    pub fn last_error(&self) -> Option<&CorpusError> {
+        self.last_error.as_ref()
     }
 
     /// Computes the signature of one violation given the execution's
@@ -112,7 +132,9 @@ impl Triage {
 
     /// Folds one violating execution into the table. Returns how many
     /// *new* crash families it opened (minimizing and persisting each);
-    /// known signatures only bump their counters.
+    /// known signatures only bump their counters. A reproducer that
+    /// fails to persist stays triaged in memory, counted in
+    /// [`Triage::persist_errors`].
     pub fn record(
         &mut self,
         trace: &CampaignTrace,
@@ -120,7 +142,7 @@ impl Triage {
         hyp_panic: Option<&str>,
         spec_delta: &Report,
         steps_to_find: u64,
-    ) -> Result<usize, TraceFileError> {
+    ) -> usize {
         let mut sigs: Vec<CrashSig> = violations
             .iter()
             .map(|v| Self::signature(v, spec_delta))
@@ -154,14 +176,17 @@ impl Triage {
                 .get_or_insert_with(|| minimize_with_stats(trace, self.minimize_budget).trace)
                 .clone();
             let i = self.entries.len();
-            let file = match &self.dir {
-                Some(d) => {
-                    let path = d.join(format!("crash-{i:03}-{}.pkvmtrace", sig.kind));
-                    save_trace(&path, &min)?;
-                    Some(path)
+            let file = self.dir.as_ref().and_then(|d| {
+                let path = d.join(format!("crash-{i:03}-{}.pkvmtrace", sig.kind));
+                match save_trace(&path, &min) {
+                    Ok(()) => Some(path),
+                    Err(err) => {
+                        self.persist_errors += 1;
+                        self.last_error = Some(CorpusError::Trace { path, err });
+                        None
+                    }
                 }
-                None => None,
-            };
+            });
             self.index.insert(sig.clone(), i);
             self.entries.push(CrashEntry {
                 sig,
@@ -174,7 +199,7 @@ impl Triage {
             });
             opened += 1;
         }
-        Ok(opened)
+        opened
     }
 }
 
@@ -201,12 +226,12 @@ mod tests {
     fn duplicate_signatures_fold_into_one_family() {
         let (trace, violations) = violating_trace();
         let delta = Report { points: vec![] };
-        let mut t = Triage::new(None, 40).unwrap();
-        let opened = t.record(&trace, &violations, None, &delta, 100).unwrap();
+        let mut t = Triage::new(None, 40);
+        let opened = t.record(&trace, &violations, None, &delta, 100);
         assert!(opened >= 1);
         let families = t.entries.len();
         // The same execution again: zero new families, counters bump.
-        let opened2 = t.record(&trace, &violations, None, &delta, 200).unwrap();
+        let opened2 = t.record(&trace, &violations, None, &delta, 200);
         assert_eq!(opened2, 0);
         assert_eq!(t.entries.len(), families);
         assert!(t.entries[0].count >= 2);

@@ -15,6 +15,11 @@
 //!   structure-aware mutation, rarity-weighted scheduling and violation
 //!   triage, fed back by per-input coverage deltas and a ghost-state
 //!   novelty signature;
+//! - [`fleet`] — the crash-tolerant fuzzing fleet: a coordinator
+//!   supervising N fuzzing worker *processes* over a shared-directory
+//!   `.pkvmtrace` protocol (heartbeats, exponential-backoff respawn,
+//!   quarantine, pull-based corpus merge) where every component
+//!   tolerates the failure of every other;
 //! - [`tracefile`] — the `.pkvmtrace` on-disk codec: a recorded campaign
 //!   (config, chaos, seeds and the full event timeline) persists to a
 //!   compact self-describing binary file and replays in a fresh process;
@@ -30,6 +35,7 @@ pub mod bugs;
 pub mod campaign;
 pub mod chaos;
 pub mod coverage;
+pub mod fleet;
 pub mod fuzz;
 pub mod minimize;
 pub mod model;
@@ -49,11 +55,14 @@ pub use chaos::{
     RunVerdict,
 };
 pub use coverage::CoverageSummary;
-pub use fuzz::{FuzzCfg, FuzzReport, Fuzzer};
+pub use fleet::{FleetCfg, FleetChaos, FleetReport, FleetStats, Supervisor};
+pub use fuzz::{CorpusError, FuzzCfg, FuzzReport, Fuzzer};
 pub use minimize::{minimize, minimize_with_stats, MinimizeOutcome};
 pub use model::{PageUse, TestModel};
 pub use proxy::{Proxy, ProxyOpts};
 pub use random::{RandomCfg, RandomTester, RunStats};
 pub use rng::Rng;
 pub use scenarios::{all as all_scenarios, run_all, Kind, Scenario, SuiteResult};
-pub use tracefile::{load_trace, save_trace, TraceFileError};
+pub use tracefile::{
+    atomic_write, load_trace, save_trace, set_fsync_before_rename, TraceFileError,
+};

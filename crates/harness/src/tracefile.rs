@@ -18,7 +18,10 @@
 //! dependencies, no unsafe code, and [`decode_trace`] never panics on
 //! malformed input — every failure is a [`TraceFileError`].
 
-use std::path::Path;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 
 use pkvm_aarch64::walk::Access;
 use pkvm_ghost::abstraction::Anomaly;
@@ -898,13 +901,63 @@ pub fn decode_trace(bytes: &[u8]) -> Res<CampaignTrace> {
     })
 }
 
-/// Writes `trace` to `path` in the `.pkvmtrace` format.
+/// Process-wide switch: when set, [`atomic_write`] (and through it
+/// [`save_trace`]) fsyncs the temp file before renaming it into place,
+/// so a completed rename implies the bytes are durable, not merely in
+/// the page cache. Off by default — the fleet's correctness only needs
+/// rename atomicity (no torn files), not durability; long soaks on real
+/// hosts that must survive power loss turn it on. Also enabled by the
+/// `PKVMTRACE_FSYNC` environment variable (any value but `0`).
+static FSYNC_BEFORE_RENAME: AtomicBool = AtomicBool::new(false);
+
+/// Turns the fsync-before-rename knob on or off for this process.
+pub fn set_fsync_before_rename(on: bool) {
+    FSYNC_BEFORE_RENAME.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`atomic_write`] fsyncs before renaming (the process-wide
+/// knob, or the `PKVMTRACE_FSYNC` environment variable).
+pub fn fsync_before_rename() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    FSYNC_BEFORE_RENAME.load(Ordering::Relaxed)
+        || *ENV.get_or_init(|| std::env::var_os("PKVMTRACE_FSYNC").is_some_and(|v| v != *"0"))
+}
+
+/// Writes `bytes` to `path` atomically: the bytes land in a same-
+/// directory temp file (named with this process's pid, so concurrent
+/// writers in a shared directory never collide) which is then renamed
+/// over `path`. A reader — or a `kill -9` of the writer — can therefore
+/// never observe a torn file: either the old content (or no file) or
+/// the complete new content, nothing in between. The temp file is
+/// removed on failure.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(format!(".{}.tmp", std::process::id()));
+    let tmp = PathBuf::from(tmp_name);
+    let res = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        if fsync_before_rename() {
+            f.sync_all()?;
+        }
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if res.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    res
+}
+
+/// Writes `trace` to `path` in the `.pkvmtrace` format, atomically
+/// (temp file + rename, see [`atomic_write`]): a crash mid-save never
+/// leaves a torn trace for the next session to skip.
 ///
 /// # Errors
 ///
 /// Propagates the underlying file-system error.
 pub fn save_trace<P: AsRef<Path>>(path: P, trace: &CampaignTrace) -> Res<()> {
-    std::fs::write(path, encode_trace(trace))?;
+    atomic_write(path.as_ref(), &encode_trace(trace))?;
     Ok(())
 }
 
@@ -941,6 +994,25 @@ mod tests {
         let buf = [0xff; 11];
         let mut r = Rd { buf: &buf, pos: 0 };
         assert!(matches!(r.u64(), Err(TraceFileError::Malformed(_))));
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_and_fails_cleanly() {
+        let dir = std::env::temp_dir().join(format!("pkvm-aw-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.pkvmtrace");
+        atomic_write(&path, b"hello").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        // Overwrite is atomic too, and no temp file survives either way.
+        atomic_write(&path, b"world").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"world");
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        // A failing write (missing parent) leaves nothing behind.
+        let bad = dir.join("no-such-dir").join("y.pkvmtrace");
+        assert!(atomic_write(&bad, b"z").is_err());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Fleet failure-mode tests: every scenario here is a way the fleet is
+//! supposed to *break* — a worker killed mid-write, a wedged process, a
+//! deterministic crasher, a corrupt peer seed — and the assertion is
+//! always the same: the rest of the fleet neither dies nor loses
+//! admitted coverage. The worker and merge machinery is driven
+//! in-process (the coordinator/worker split is a directory protocol, so
+//! the processes are interchangeable with function calls); full
+//! multi-process supervision is exercised by the `fleet gate` in ci.sh.
+
+use std::path::{Path, PathBuf};
+
+use pkvm_harness::fleet::{
+    inject_torn_seed, redistribute_shards, Action, Assignment, FleetDirs, FleetStats, Heartbeat,
+    MergeState, SupervisionCfg, Supervisor, Worker, WorkerCfg,
+};
+use pkvm_harness::fuzz;
+
+/// A fresh fleet root under the system temp dir, with config and
+/// per-worker assignments in place.
+fn fresh_fleet(tag: &str, workers: usize, seed: u64) -> (PathBuf, FleetDirs) {
+    let root = std::env::temp_dir().join(format!("pkvm-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let dirs = FleetDirs::new(&root);
+    dirs.create_all(workers).expect("fleet tree");
+    WorkerCfg {
+        seed,
+        round_steps: 200,
+        bootstrap_inputs: 2,
+        bootstrap_len: 40,
+        ..WorkerCfg::default()
+    }
+    .write(&dirs.config_file())
+    .expect("fleet config");
+    for w in 0..workers {
+        Assignment {
+            shards: vec![w as u64],
+        }
+        .write(&dirs.assign_file(w))
+        .expect("assignment");
+    }
+    (root, dirs)
+}
+
+fn seed_files(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|e| e.filter_map(|e| e.ok()).count())
+        .unwrap_or(0)
+}
+
+/// A worker killed between `write` and `rename` leaves a torn seed file
+/// (simulated by the chaos injector, which writes exactly that shape).
+/// The merge must skip-and-count it, merge everything decodable, and
+/// produce a merged corpus whose replay digest is bit-identical no
+/// matter which merge incarnation built it.
+#[test]
+fn kill_during_sync_merges_bit_identically() {
+    let (root, dirs) = fresh_fleet("torn-merge", 2, 0x51ee1);
+
+    // Worker 0 fuzzes two rounds and then "dies mid-write".
+    let mut w0 = Worker::attach(&root, 0).expect("attach");
+    w0.round();
+    w0.round();
+    let admitted = seed_files(&dirs.corpus_dir(0));
+    assert!(admitted > 0, "rounds admitted nothing");
+    inject_torn_seed(&dirs.corpus_dir(0), "seed-000099.pkvmtrace").unwrap();
+
+    // First coordinator incarnation merges; the torn file is a counted
+    // skip, never an error.
+    let mut m1 = MergeState::new(&dirs.merged_dir());
+    let added = m1.merge_once(&dirs, &[0, 1]);
+    assert_eq!(added, admitted as u64, "decodable seeds all merged");
+    assert_eq!(m1.merge_skips, 1, "torn seed skip-counted once");
+    let (n1, d1) = fuzz::replay_digest(&dirs.merged_dir());
+    assert_eq!(n1 as u64, added);
+
+    // A second, fresh merge incarnation (the restarted-coordinator
+    // case) re-merges nothing and replays the identical digest.
+    let mut m2 = MergeState::new(&dirs.merged_dir());
+    assert_eq!(m2.merge_once(&dirs, &[0, 1]), 0, "content-hash dedup");
+    assert_eq!(fuzz::replay_digest(&dirs.merged_dir()), (n1, d1));
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Pull-sync must validate before copying: a corrupt file in the merged
+/// corpus (a bad peer seed) is skipped and counted by the importer, and
+/// everything decodable still arrives.
+#[test]
+fn corrupt_peer_seed_is_skipped_not_fatal() {
+    let (root, dirs) = fresh_fleet("bad-peer", 2, 0xbad5eed);
+
+    let mut w0 = Worker::attach(&root, 0).expect("attach");
+    w0.round();
+    let mut merge = MergeState::new(&dirs.merged_dir());
+    let merged = merge.merge_once(&dirs, &[0]);
+    assert!(merged > 0);
+    inject_torn_seed(&dirs.merged_dir(), "seed-999999.pkvmtrace").unwrap();
+
+    let mut w1 = Worker::attach(&root, 1).expect("attach");
+    w1.pull_sync();
+    assert_eq!(w1.heartbeat().import_skips, 1, "bad peer seed counted");
+    let imported = std::fs::read_dir(dirs.corpus_dir(1))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("seed-m"))
+        })
+        .count();
+    assert_eq!(imported as u64, merged, "good peer seeds all imported");
+    // Re-syncing neither re-imports nor re-counts.
+    w1.pull_sync();
+    assert_eq!(w1.heartbeat().import_skips, 1);
+
+    // The worker still fuzzes a full round on top of the imports.
+    w1.round();
+    assert!(w1.heartbeat().execs > 0);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Worker restart continuity: a respawned worker restores its
+/// predecessor's cumulative heartbeat, so fleet totals never move
+/// backwards across a crash.
+#[test]
+fn heartbeat_counters_survive_worker_restarts() {
+    let (root, dirs) = fresh_fleet("restart", 1, 0x4eb007);
+
+    let mut w = Worker::attach(&root, 0).expect("attach");
+    w.round();
+    let (rounds1, execs1) = (w.heartbeat().rounds, w.heartbeat().execs);
+    assert!(rounds1 == 1 && execs1 > 0);
+    drop(w); // the process dies
+
+    let mut w = Worker::attach(&root, 0).expect("re-attach");
+    assert_eq!(w.heartbeat().rounds, rounds1, "counters restored");
+    w.round();
+    assert_eq!(w.heartbeat().rounds, rounds1 + 1);
+    assert!(w.heartbeat().execs > execs1, "totals only grow");
+    let on_disk = Heartbeat::read(&dirs.heartbeat_file(0)).expect("heartbeat file");
+    assert_eq!(&on_disk, w.heartbeat());
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The full supervision path for a deterministic crasher, on a mocked
+/// clock: exits with no progress burn the restart budget through
+/// deterministic jittered backoffs, the worker is quarantined, and its
+/// shards land on the survivor's assignment.
+#[test]
+fn deterministic_crasher_quarantines_and_its_shards_move() {
+    let (root, dirs) = fresh_fleet("quarantine", 2, 0x0dd);
+    let cfg = SupervisionCfg {
+        wedge_deadline_ms: 5_000,
+        backoff_base_ms: 100,
+        backoff_cap_ms: 1_000,
+        restart_budget: 2,
+        jitter_seed: 7,
+    };
+
+    // Two identical supervisors fed the same schedule take identical
+    // trajectories (the backoff jitter is seeded, not wall-clock).
+    let run = || {
+        let mut sup = Supervisor::new(2, cfg.clone(), 0);
+        let mut now = 0;
+        let mut trail = Vec::new();
+        loop {
+            match sup.process_exited(0, now) {
+                Some(a) => {
+                    trail.push((now, a));
+                    break;
+                }
+                None => trail.push((now, Action::Respawn(0))),
+            }
+            let until = sup.backoff_until(0);
+            assert!(sup.tick(until - 1).is_empty(), "respawned early");
+            assert_eq!(sup.tick(until), vec![Action::Respawn(0)]);
+            now = until;
+            // Worker 1 keeps heartbeating: it must never be dragged
+            // into worker 0's punishment.
+            sup.heartbeat(1, now, now);
+        }
+        (trail, sup.active())
+    };
+    let (trail, active) = run();
+    assert_eq!(run().0, trail, "supervision is deterministic");
+    assert_eq!(trail.last().unwrap().1, Action::Quarantine(0));
+    assert_eq!(trail.len() as u32, cfg.restart_budget + 1);
+    assert_eq!(active, vec![1]);
+
+    // The coordinator's follow-up: worker 0's shards move to worker 1.
+    let before = Assignment::read(&dirs.assign_file(0)).unwrap().shards;
+    assert_eq!(before, vec![0]);
+    redistribute_shards(&dirs, 0, &[1]);
+    assert!(Assignment::read(&dirs.assign_file(0))
+        .unwrap()
+        .shards
+        .is_empty());
+    let survivor = Assignment::read(&dirs.assign_file(1)).unwrap().shards;
+    assert!(
+        survivor.contains(&0) && survivor.contains(&1),
+        "{survivor:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A wedged worker — heartbeats present but the rounds counter frozen —
+/// is detected on the coordinator's clock, killed exactly once, and the
+/// respawn restarts the deadline.
+#[test]
+fn wedged_worker_is_killed_on_the_coordinator_clock() {
+    let cfg = SupervisionCfg {
+        wedge_deadline_ms: 1_000,
+        backoff_base_ms: 100,
+        backoff_cap_ms: 500,
+        restart_budget: 3,
+        jitter_seed: 1,
+    };
+    let mut sup = Supervisor::new(1, cfg, 0);
+    // The worker's own clock is frozen: its heartbeat file never
+    // changes. Re-reads feed the same rounds value forever.
+    for t in [100u64, 500, 900] {
+        sup.heartbeat(0, 4, t);
+    }
+    assert!(sup.tick(999).is_empty());
+    assert_eq!(sup.tick(1_100), vec![Action::Kill(0)]);
+    // The kill is not repeated while the exit is pending.
+    assert!(sup.tick(5_000).is_empty());
+    // After the exit, backoff then respawn — and a fresh deadline.
+    assert_eq!(sup.process_exited(0, 5_000), None);
+    let until = sup.backoff_until(0);
+    assert_eq!(sup.tick(until), vec![Action::Respawn(0)]);
+    assert!(sup.tick(until + 999).is_empty(), "deadline restarted");
+    assert_eq!(sup.tick(until + 1_000), vec![Action::Kill(0)]);
+}
+
+/// The stats snapshot round-trips through its file and tolerates
+/// truncation: a torn snapshot reads as absent, never as zeroed
+/// history.
+#[test]
+fn stats_snapshot_is_resumable_and_tear_tolerant() {
+    let (root, dirs) = fresh_fleet("stats", 1, 0x57a7);
+    let stats = FleetStats {
+        rounds: 9,
+        execs: 1234,
+        steps: 56_789,
+        merged_seeds: 7,
+        kills: 1,
+        respawns: 2,
+        elapsed_ms: 4_000,
+        ..FleetStats::default()
+    };
+    stats.save(&dirs.stats_file()).unwrap();
+    assert_eq!(FleetStats::load(&dirs.stats_file()), Some(stats.clone()));
+
+    // Truncate mid-line (a torn non-atomic write): load yields None.
+    let text = std::fs::read_to_string(dirs.stats_file()).unwrap();
+    std::fs::write(dirs.stats_file(), &text.as_bytes()[..text.len() / 2]).unwrap();
+    assert_eq!(FleetStats::load(&dirs.stats_file()), None);
+
+    let _ = std::fs::remove_dir_all(&root);
+}

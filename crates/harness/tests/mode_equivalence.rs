@@ -105,7 +105,7 @@ fn fuzz_fingerprint(seed: u64, mode: CheckMode) -> Fingerprint {
         .stop_on_violation(false)
         .oracle_opts(opts(mode))
         .build();
-    let report = Fuzzer::new(cfg).expect("in-memory fuzzer").run();
+    let report = Fuzzer::new(cfg).run();
     let cov = CoverageSummary::since(&before);
     Fingerprint {
         violations: report

@@ -19,7 +19,6 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pkvm_harness::campaign::replay_events;
 use pkvm_harness::coverage::CoverageSummary;
 use pkvm_harness::fuzz::{corpus, FuzzCfg, Fuzzer};
 use pkvm_harness::proxy::Proxy;
@@ -71,13 +70,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if let Some(dir) = args.get(4) {
         cfg = cfg.crashes_dir(dir);
     }
-    let mut fuzzer = match Fuzzer::new(cfg.build()) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("fuzz: cannot set up directories: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let mut fuzzer = Fuzzer::new(cfg.build());
     let report = fuzzer.run();
     print!("{}", report.render());
     if report.is_clean() {
@@ -137,19 +130,13 @@ fn cmd_gate(args: &[String]) -> ExitCode {
         "baseline: {base_points} points in {base_steps} driver steps, {base_violations} violations"
     );
 
-    let mut fuzzer = match Fuzzer::new(
+    let mut fuzzer = Fuzzer::new(
         FuzzCfg::builder()
             .seed(seed)
             .step_budget(budget)
             .corpus_dir(&dir)
             .build(),
-    ) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("fuzz gate: cannot set up corpus dir: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    );
     let report = fuzzer.run();
     let fuzz_points = points_hit(&report.coverage);
     println!(
@@ -216,26 +203,11 @@ fn cmd_verify(args: &[String]) -> ExitCode {
 /// Replays every persisted corpus seed (in filename order) and folds the
 /// verdicts into one digest line. Any process replaying the same corpus
 /// must print the identical line — the cross-process round-trip check.
+/// The digest itself is [`corpus::replay_digest`], shared with the fleet
+/// coordinator's shutdown audit.
 fn corpus_verdict(dir: &std::path::Path) -> String {
-    let mut digest = 0xcbf2_9ce4_8422_2325u64;
-    let mut fold = |s: &str| {
-        for b in s.bytes() {
-            digest ^= b as u64;
-            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    let seeds = corpus::load_dir(dir);
-    for (path, trace) in &seeds {
-        let out = replay_events(trace, &trace.events);
-        fold(&format!(
-            "{}:{}:{}:{}\n",
-            path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
-            out.steps,
-            out.violations.len(),
-            out.hyp_panic.as_deref().unwrap_or("-"),
-        ));
-    }
-    format!("corpus-verdict: {} seeds {digest:016x}", seeds.len())
+    let (seeds, digest) = corpus::replay_digest(dir);
+    format!("corpus-verdict: {seeds} seeds {digest:016x}")
 }
 
 /// The bug families experiment E11 measures, with the real pKVM bugs
@@ -298,8 +270,7 @@ fn fuzz_detect(fault: Fault, seed: u64, budget: u64) -> Option<u64> {
             .faults(&faults)
             .stop_on_violation(true)
             .build(),
-    )
-    .expect("no directories configured");
+    );
     let report = fuzzer.run();
     report.crashes.first().map(|c| c.steps_to_find)
 }
