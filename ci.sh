@@ -47,6 +47,41 @@ if [ "$RECORDED_VERDICT" != "$REPLAYED_VERDICT" ]; then
     exit 1
 fi
 cargo run --release --example trace_inspect -- "$TRACE_TMP" summary > /dev/null
+cargo run --release --example trace_inspect -- "$TRACE_TMP" stats > /dev/null
+
+echo "== compaction gate (observation-only drop preserves the verdict) =="
+# Rewrites the recorded trace without its observation-only families and
+# replays the compacted file: the canonical verdict line must be
+# byte-identical to the original recording's.
+COMPACT_TMP="$(mktemp -t pkvmcompact.XXXXXX)"
+trap 'rm -f "$TRACE_TMP" "$COMPACT_TMP"' EXIT
+cargo run --release --example trace_inspect -- "$TRACE_TMP" compact "$COMPACT_TMP" \
+    read-once lock-acquired lock-releasing trap-enter trap-exit chaos check
+COMPACT_VERDICT="$(cargo run --release --example chaos -- replay "$COMPACT_TMP" | grep '^verdict:')"
+echo "  original:  $RECORDED_VERDICT"
+echo "  compacted: $COMPACT_VERDICT"
+if [ "$RECORDED_VERDICT" != "$COMPACT_VERDICT" ]; then
+    echo "compacted trace replays to a different verdict" >&2
+    exit 1
+fi
+
+echo "== differential gate (fault-catalog replay matrix, fresh-process determinism) =="
+# Records one clean fixed-seed schedule, replays it against the clean
+# hypervisor and every cataloged fault, and enforces: clean row
+# violation-free, at least 11/16 faults diverging, and a bit-identical
+# canonical matrix line when the matrix is recomputed in a *second*
+# process.
+DIFF_TMP="$(mktemp -t pkvmdiff.XXXXXX)"
+trap 'rm -f "$TRACE_TMP" "$COMPACT_TMP" "$DIFF_TMP"' EXIT
+cargo run --release --example differential -- record "$DIFF_TMP" 0x42 2500
+DIFF_GATE="$(cargo run --release --example differential -- gate "$DIFF_TMP" 11 | grep '^diff-matrix:')"
+DIFF_AGAIN="$(cargo run --release --example differential -- matrix "$DIFF_TMP" | grep '^diff-matrix:')"
+echo "  gate:     $DIFF_GATE"
+echo "  recheck:  $DIFF_AGAIN"
+if [ "$DIFF_GATE" != "$DIFF_AGAIN" ]; then
+    echo "differential matrix line differs across processes" >&2
+    exit 1
+fi
 
 echo "== fuzz gate (fixed seed, coverage vs random + corpus round-trip) =="
 # A short fixed-seed coverage-guided fuzzing session. Fails unless (a) the
@@ -55,7 +90,7 @@ echo "== fuzz gate (fixed seed, coverage vs random + corpus round-trip) =="
 # containment, and (c) the persisted corpus reloads and replays with
 # bit-identical verdicts in a *second process*.
 FUZZ_CORPUS="$(mktemp -d -t pkvmcorpus.XXXXXX)"
-trap 'rm -f "$TRACE_TMP"; rm -rf "$FUZZ_CORPUS"' EXIT
+trap 'rm -f "$TRACE_TMP" "$COMPACT_TMP" "$DIFF_TMP"; rm -rf "$FUZZ_CORPUS"' EXIT
 GATE_VERDICT="$(cargo run --release --example fuzz -- gate "$FUZZ_CORPUS" 0xc5 4000 | grep '^corpus-verdict:')"
 VERIFY_VERDICT="$(cargo run --release --example fuzz -- verify "$FUZZ_CORPUS" | grep '^corpus-verdict:')"
 echo "  gate:     $GATE_VERDICT"
@@ -72,7 +107,7 @@ echo "== fleet gate (2 workers, forced kill + torn file, merged-corpus round-tri
 # the coordinator shut down cleanly, and the merged corpus replays with a
 # bit-identical verdict in a *second process*.
 FLEET_ROOT="$(mktemp -d -t pkvmfleet.XXXXXX)"
-trap 'rm -f "$TRACE_TMP"; rm -rf "$FUZZ_CORPUS" "$FLEET_ROOT"' EXIT
+trap 'rm -f "$TRACE_TMP" "$COMPACT_TMP" "$DIFF_TMP"; rm -rf "$FUZZ_CORPUS" "$FLEET_ROOT"' EXIT
 FLEET_VERDICT="$(cargo run --release --example fleet -- gate "$FLEET_ROOT" 0xc6 | grep '^fleet-verdict:')"
 FLEET_VERIFY="$(cargo run --release --example fleet -- verify "$FLEET_ROOT" | grep '^fleet-verdict:')"
 echo "  gate:     $FLEET_VERDICT"

@@ -253,6 +253,29 @@ pub enum Event {
 }
 
 impl Event {
+    /// Every [`family`](Self::family) tag, for validating family names
+    /// given on a command line or in a compaction request.
+    pub const FAMILIES: [&'static str; 18] = [
+        "hvc",
+        "write-mem",
+        "corrupt-mem",
+        "host-access",
+        "push-guest-op",
+        "trap-enter",
+        "trap-exit",
+        "lock-acquired",
+        "lock-releasing",
+        "read-once",
+        "table-page-alloc",
+        "table-page-free",
+        "pte-downgrade",
+        "tlbi",
+        "dsb",
+        "chaos",
+        "check",
+        "violation",
+    ];
+
     /// Stable family tag for summaries.
     pub fn family(&self) -> &'static str {
         match self {
@@ -704,6 +727,33 @@ impl TrapLatency {
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
+
+    /// The `p`-th percentile latency in ns (`p` in `0..=100`), read off
+    /// the log2 histogram: the upper bound of the bucket holding the
+    /// rank, clamped into the exact observed `[min_ns, max_ns]` range —
+    /// so the tail percentiles are bucket-resolution approximations but
+    /// `percentile_ns(100) == max_ns` exactly. 0 when nothing was
+    /// observed.
+    pub fn percentile_ns(&self, p: u8) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // ceil(count * p / 100), at least rank 1.
+        let rank = (self.count as u128 * p as u128).div_ceil(100).max(1) as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
 }
 
 /// Per-lane occupancy: how busy one worker/CPU lane was.
@@ -730,7 +780,18 @@ pub struct TraceStats {
     pub lanes: BTreeMap<u32, LaneOccupancy>,
     /// Chaos injections per kind.
     pub chaos: BTreeMap<&'static str, u64>,
+    /// For each checked handler name, the 1-based event index at which
+    /// its first `Check` record appeared — spec coverage as a function
+    /// of trace position.
+    pub spec_first_seen: BTreeMap<String, u64>,
+    /// The coverage-over-time curve: `(events seen, distinct checked
+    /// handlers so far)`, sampled on a doubling grid (256, 512, 1024,
+    /// …) so the curve stays O(log n) for arbitrarily long traces.
+    pub coverage_curve: Vec<(u64, usize)>,
+    /// Records folded in so far.
+    pub events_seen: u64,
     open_traps: HashMap<u32, u64>,
+    next_sample: u64,
 }
 
 impl TraceStats {
@@ -742,6 +803,7 @@ impl TraceStats {
     /// Folds one record into the histograms. Records must arrive in
     /// sequence order (they do, from both `poll` and a trace file).
     pub fn observe(&mut self, rec: &EventRecord) {
+        self.events_seen += 1;
         *self.families.entry(rec.event.family()).or_default() += 1;
         self.lanes.entry(rec.lane).or_default().events += 1;
         match &rec.event {
@@ -760,7 +822,21 @@ impl TraceStats {
             Event::Chaos { kind, .. } => {
                 *self.chaos.entry(kind.name()).or_default() += 1;
             }
+            Event::Check { name, .. } => {
+                let at = self.events_seen;
+                self.spec_first_seen.entry(name.clone()).or_insert(at);
+            }
             _ => {}
+        }
+        // Lazy grid init: `Default` zeroes the field, the first record
+        // arms it.
+        if self.next_sample == 0 {
+            self.next_sample = 256;
+        }
+        if self.events_seen >= self.next_sample {
+            self.coverage_curve
+                .push((self.events_seen, self.spec_first_seen.len()));
+            self.next_sample = self.next_sample.saturating_mul(2);
         }
     }
 
@@ -816,6 +892,53 @@ impl TraceStats {
                 );
             }
         }
+        out
+    }
+
+    /// Renders the per-handler latency percentile table (p50/p90/p99
+    /// from the log2 histogram, exact min/max).
+    pub fn render_percentiles(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if self.traps.is_empty() {
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "latency percentiles: {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "count", "p50 ns", "p90 ns", "p99 ns", "min ns", "max ns"
+        );
+        for (name, h) in &self.traps {
+            let _ = writeln!(
+                out,
+                "  {name:<18} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                h.count,
+                h.percentile_ns(50),
+                h.percentile_ns(90),
+                h.percentile_ns(99),
+                h.min_ns,
+                h.max_ns
+            );
+        }
+        out
+    }
+
+    /// Renders the spec-coverage-over-time curve: how many distinct
+    /// handlers had been checked after 256, 512, 1024, … events, plus
+    /// the end point.
+    pub fn render_coverage(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "spec coverage over time:");
+        for (at, n) in &self.coverage_curve {
+            let _ = writeln!(out, "  after {at:>10} events: {n:>3} checked handler(s)");
+        }
+        let _ = writeln!(
+            out,
+            "  end   {:>10} events: {:>3} checked handler(s)",
+            self.events_seen,
+            self.spec_first_seen.len()
+        );
         out
     }
 }

@@ -34,6 +34,7 @@ use pkvm_hyp::machine::MachineConfig;
 use crate::chaos::{ChaosCfg, ChaosDriver, ChaosInjected};
 use crate::proxy::Proxy;
 use crate::random::{RandomCfg, RandomTester, RunStats};
+use crate::tracefile::{TraceFileError, TraceHeader};
 
 /// Campaign configuration.
 ///
@@ -524,19 +525,58 @@ pub fn replay(trace: &CampaignTrace) -> ReplayOutcome {
 /// semantics as [`replay`], which passes the trace's own events). The
 /// minimizer probes candidate subsequences through this.
 pub fn replay_events(trace: &CampaignTrace, events: &[EventRecord]) -> ReplayOutcome {
-    let proxy = Proxy::builder()
-        .config(trace.config.clone())
-        .oracle_opts(trace.oracle_opts)
-        .faults(FaultSet::from_bits(trace.fault_bits))
-        .chaos(trace.chaos)
-        .boot();
-    let m = &proxy.machine;
-    let mut steps = 0;
+    let mut rm = ReplayMachine::boot(&TraceHeader::of(trace));
     for ev in events {
+        rm.step(&ev.event);
+    }
+    rm.outcome()
+}
+
+/// A booted replay target: feeds recorded events to a fresh machine one
+/// at a time, so the schedule can come from anywhere — a materialized
+/// slice ([`replay_events`]), a streaming
+/// [`TraceReader`](crate::tracefile::TraceReader) ([`replay_stream`]),
+/// or the differential matrix replaying one schedule against many fault
+/// variants ([`crate::differential`]).
+pub struct ReplayMachine {
+    proxy: Proxy,
+    steps: usize,
+}
+
+impl ReplayMachine {
+    /// Boots a fresh machine from the trace header: its config, oracle
+    /// switches (the oracle always installed — replay exists to
+    /// reproduce violations), recorded faults and chaos.
+    pub fn boot(header: &TraceHeader) -> ReplayMachine {
+        ReplayMachine::boot_with_faults(header, header.fault_bits)
+    }
+
+    /// As [`boot`](Self::boot), but with `fault_bits` overriding the
+    /// header's recorded faults — differential replay runs one clean
+    /// schedule against many deliberately-wrong hypervisors.
+    pub fn boot_with_faults(header: &TraceHeader, fault_bits: u32) -> ReplayMachine {
+        let proxy = Proxy::builder()
+            .config(header.config.clone())
+            .oracle_opts(header.oracle_opts)
+            .faults(FaultSet::from_bits(fault_bits))
+            .chaos(header.chaos)
+            .boot();
+        ReplayMachine { proxy, steps: 0 }
+    }
+
+    /// Executes one recorded event. Only *driver* events run — oracle
+    /// and chaos events in a trace are context, not instructions; the
+    /// replay oracle regenerates its own. After a hypervisor panic
+    /// nothing further executes (the machine is dead; feeding it more of
+    /// the schedule would only mask the panic site). Returns `true` when
+    /// the event actually executed. No RNG, model or allocator runs:
+    /// every argument is already concrete in the event.
+    pub fn step(&mut self, ev: &Event) -> bool {
+        let m = &self.proxy.machine;
         if m.panicked().is_some() {
-            break;
+            return false;
         }
-        match &ev.event {
+        match ev {
             Event::Hvc { cpu, func, args } => {
                 let _ = m.hvc(*cpu, *func, args);
             }
@@ -554,15 +594,50 @@ pub fn replay_events(trace: &CampaignTrace, events: &[EventRecord]) -> ReplayOut
             Event::PushGuestOp { handle, idx, op } => {
                 let _ = m.push_guest_op(*handle, *idx, *op);
             }
-            _ => continue,
+            _ => return false,
         }
-        steps += 1;
+        self.steps += 1;
+        true
     }
-    ReplayOutcome {
-        violations: proxy.violations(),
-        hyp_panic: m.panicked(),
-        steps,
+
+    /// Driver events executed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
     }
+
+    /// Settles the replay oracle and collects the outcome. Replay is
+    /// deterministic, so two replays of the same schedule — in this
+    /// process or another — produce identical outcomes.
+    pub fn outcome(self) -> ReplayOutcome {
+        ReplayOutcome {
+            violations: self.proxy.violations(),
+            hyp_panic: self.proxy.machine.panicked(),
+            steps: self.steps,
+        }
+    }
+}
+
+/// Replays a *streamed* schedule under `header`'s configuration in O(1)
+/// memory: the events arrive as fallible decode results (a
+/// [`TraceReader`](crate::tracefile::TraceReader), typically) and are
+/// executed as they decode. Execution stops at a hypervisor panic, like
+/// every replay — but the stream is still drained to its end, so a
+/// truncated or bit-rotted tail fails the whole replay even when the
+/// panic comes first: a streamed replay accepts exactly the trace files
+/// [`load_trace`](crate::tracefile::load_trace) accepts.
+///
+/// # Errors
+///
+/// The stream's first decode error, if it has one.
+pub fn replay_stream<I>(header: &TraceHeader, events: I) -> Result<ReplayOutcome, TraceFileError>
+where
+    I: IntoIterator<Item = Result<EventRecord, TraceFileError>>,
+{
+    let mut rm = ReplayMachine::boot(header);
+    for rec in events {
+        rm.step(&rec?.event);
+    }
+    Ok(rm.outcome())
 }
 
 // The greedy minimizer moved to its own module so campaign post-mortems

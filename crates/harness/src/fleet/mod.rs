@@ -51,10 +51,13 @@ use pkvm_hyp::faults::FaultSet;
 
 use crate::fuzz::{self, footprint, Corpus, FuzzCfg, Fuzzer};
 use crate::rng::Rng;
-use crate::tracefile::{atomic_write, decode_trace, set_fsync_before_rename};
+use crate::tracefile::{atomic_write, set_fsync_before_rename, validate_bytes};
 
-pub use protocol::{content_hash, inject_torn_seed, Assignment, FleetDirs, Heartbeat, WorkerCfg};
-pub use stats::{CrashBucket, FleetStats};
+pub use protocol::{
+    content_hash, crash_family, inject_torn_seed, Assignment, Detection, FleetDirs, Heartbeat,
+    WorkerCfg,
+};
+pub use stats::{CrashBucket, FleetDetection, FleetStats};
 pub use supervisor::{Action, SupervisionCfg, Supervisor, WorkerStatus};
 
 /// Probabilistic fault injection against the fleet itself, evaluated
@@ -384,7 +387,7 @@ impl Worker {
             }
             let ok = std::fs::read(entry.path())
                 .ok()
-                .filter(|bytes| decode_trace(bytes).is_ok())
+                .filter(|bytes| validate_bytes(bytes).is_ok())
                 .and_then(|bytes| atomic_write(&local, &bytes).ok())
                 .is_some();
             if !ok && self.import_skipped.insert(name.to_string()) {
@@ -429,7 +432,33 @@ impl Worker {
         self.hb.persist_errors += r.persist_errors;
         self.hb.escaped_panics += r.escaped_panics;
         self.hb.crash_families = count_files(&self.dirs.crashes_dir(self.id), "crash-");
+        self.record_detections();
         let _ = self.hb.write(&self.dirs.heartbeat_file(self.id));
+    }
+
+    /// Scans this worker's crashes directory for families whose first
+    /// reproducer appeared this round and stamps them with the worker's
+    /// cumulative execs/steps. Known families are left alone — a
+    /// first-detection witness never moves once written, so it survives
+    /// worker respawns along with the rest of the heartbeat.
+    fn record_detections(&mut self) {
+        let Ok(entries) = std::fs::read_dir(self.dirs.crashes_dir(self.id)) else {
+            return;
+        };
+        for entry in entries.filter_map(|e| e.ok()) {
+            let name = entry.file_name();
+            let Some(family) = name.to_str().and_then(crash_family) else {
+                continue;
+            };
+            if self.hb.detections.iter().any(|d| d.family == family) {
+                continue;
+            }
+            self.hb.detections.push(Detection {
+                family: family.to_string(),
+                execs: self.hb.execs,
+                steps: self.hb.steps,
+            });
+        }
     }
 
     /// `true` while the fleet's stop flag is absent.
@@ -539,7 +568,7 @@ impl MergeState {
                 if !self.known.insert(hash) {
                     continue;
                 }
-                if decode_trace(&bytes).is_err() {
+                if validate_bytes(&bytes).is_err() {
                     // Torn or corrupt — remembered by hash, reported
                     // once, never merged and never fatal.
                     self.merge_skips += 1;
@@ -600,13 +629,7 @@ fn crash_buckets(
         if let Ok(entries) = std::fs::read_dir(dirs.crashes_dir(w)) {
             for entry in entries.filter_map(|e| e.ok()) {
                 let name = entry.file_name();
-                let Some(kind) = name
-                    .to_str()
-                    .and_then(|n| n.strip_prefix("crash-"))
-                    .and_then(|n| n.strip_suffix(".pkvmtrace"))
-                    .and_then(|n| n.split_once('-'))
-                    .map(|(_, kind)| kind.to_string())
-                else {
+                let Some(kind) = name.to_str().and_then(crash_family).map(str::to_string) else {
                     continue;
                 };
                 *counts.entry(kind).or_insert(0) += 1;
@@ -695,6 +718,7 @@ fn aggregate(cfg: &FleetCfg, dirs: &FleetDirs, stats: &mut FleetStats) {
             import_skips += hb.import_skips;
             persist_errors += hb.persist_errors;
             escaped += hb.escaped_panics;
+            stats.observe_detections(&hb.detections, stats.elapsed_ms);
         }
     }
     stats.execs = execs;

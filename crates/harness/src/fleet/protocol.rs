@@ -141,6 +141,29 @@ fn kv_u64(map: &HashMap<String, String>, key: &str) -> Option<u64> {
 
 // ------------------------------------------------------------ heartbeat
 
+/// One crash family's first detection, as witnessed by a single worker:
+/// the worker's cumulative `execs` and `steps` counters at the round the
+/// family's first reproducer appeared. Workers never see wall clocks —
+/// the coordinator stamps fleet time when it merges these.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Detection {
+    /// The crash family (the `<kind>` from `crash-NNN-<kind>.pkvmtrace`).
+    pub family: String,
+    /// Worker-cumulative inputs executed when first observed.
+    pub execs: u64,
+    /// Worker-cumulative driver steps when first observed.
+    pub steps: u64,
+}
+
+/// Extracts the crash family from a reproducer file name of the form
+/// `crash-NNN-<kind>.pkvmtrace`; anything else is `None`.
+pub fn crash_family(name: &str) -> Option<&str> {
+    name.strip_prefix("crash-")
+        .and_then(|n| n.strip_suffix(".pkvmtrace"))
+        .and_then(|n| n.split_once('-'))
+        .map(|(_, kind)| kind)
+}
+
 /// A worker's progress snapshot: cumulative counters, atomically
 /// replaced after every round. The coordinator detects progress by the
 /// `rounds` counter changing — never by the worker's own clock, so a
@@ -170,12 +193,18 @@ pub struct Heartbeat {
     pub crash_families: u64,
     /// Panics that escaped an execution's containment.
     pub escaped_panics: u64,
+    /// First detection per crash family, in discovery order. Cumulative
+    /// like the counters: a respawned worker reloads these with the rest
+    /// of its heartbeat, so time-to-first-detection survives restarts.
+    pub detections: Vec<Detection>,
 }
 
 impl Heartbeat {
-    /// Serializes to `key=value` lines.
+    /// Serializes to `key=value` lines; detections as
+    /// `detect=<execs>;<steps>;<family>` lines (the family last, so its
+    /// own `;`s survive).
     pub fn encode(&self) -> String {
-        encode_kv(&[
+        let mut out = encode_kv(&[
             ("rounds", self.rounds.to_string()),
             ("execs", self.execs.to_string()),
             ("steps", self.steps.to_string()),
@@ -185,14 +214,24 @@ impl Heartbeat {
             ("persist_errors", self.persist_errors.to_string()),
             ("crash_families", self.crash_families.to_string()),
             ("escaped_panics", self.escaped_panics.to_string()),
-        ])
+        ]);
+        for d in &self.detections {
+            out.push_str(&format!(
+                "detect={};{};{}\n",
+                d.execs,
+                d.steps,
+                d.family.replace('\n', " ")
+            ));
+        }
+        out
     }
 
-    /// Decodes from `key=value` lines; any missing field fails the whole
-    /// decode (a torn heartbeat must not report zeros as progress).
+    /// Decodes from `key=value` lines; any missing field — or a torn
+    /// `detect=` line — fails the whole decode (a torn heartbeat must
+    /// not report zeros as progress).
     pub fn decode(text: &str) -> Option<Heartbeat> {
         let m = parse_kv(text);
-        Some(Heartbeat {
+        let mut hb = Heartbeat {
             rounds: kv_u64(&m, "rounds")?,
             execs: kv_u64(&m, "execs")?,
             steps: kv_u64(&m, "steps")?,
@@ -202,7 +241,23 @@ impl Heartbeat {
             persist_errors: kv_u64(&m, "persist_errors")?,
             crash_families: kv_u64(&m, "crash_families")?,
             escaped_panics: kv_u64(&m, "escaped_panics")?,
-        })
+            detections: Vec::new(),
+        };
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("detect=") else {
+                continue;
+            };
+            let mut parts = rest.splitn(3, ';');
+            let execs = parts.next()?.parse().ok()?;
+            let steps = parts.next()?.parse().ok()?;
+            let family = parts.next()?.to_string();
+            hb.detections.push(Detection {
+                family,
+                execs,
+                steps,
+            });
+        }
+        Some(hb)
     }
 
     /// Atomically replaces the heartbeat file.
@@ -392,11 +447,33 @@ mod tests {
             persist_errors: 1,
             crash_families: 3,
             escaped_panics: 0,
+            detections: vec![
+                Detection {
+                    family: "spec-mismatch".into(),
+                    execs: 44,
+                    steps: 1_200,
+                },
+                Detection {
+                    family: "hyp-panic; with; semicolons".into(),
+                    execs: 101,
+                    steps: 3_000,
+                },
+            ],
         };
         assert_eq!(Heartbeat::decode(&hb.encode()), Some(hb.clone()));
         // A torn heartbeat (missing fields) decodes to None, not zeros.
         assert_eq!(Heartbeat::decode("rounds=7\nexecs=1\n"), None);
         assert_eq!(Heartbeat::decode("garbage"), None);
+        // A torn detect line poisons the whole decode too.
+        let torn = format!("{}detect=9;\n", hb.encode());
+        assert_eq!(Heartbeat::decode(&torn), None);
+
+        assert_eq!(
+            crash_family("crash-007-hyp-panic @ teardown.pkvmtrace"),
+            Some("hyp-panic @ teardown")
+        );
+        assert_eq!(crash_family("seed-000001.pkvmtrace"), None);
+        assert_eq!(crash_family("crash-007.pkvmtrace"), None);
 
         let a = Assignment {
             shards: vec![0, 3, 9],

@@ -10,7 +10,7 @@
 
 use std::path::Path;
 
-use crate::fleet::protocol::{encode_kv, parse_kv};
+use crate::fleet::protocol::{encode_kv, parse_kv, Detection};
 use crate::tracefile::atomic_write;
 
 /// One deduplicated crash family, fleet-wide.
@@ -22,6 +22,23 @@ pub struct CrashBucket {
     pub count: u64,
     /// Fleet `execs` total when first observed.
     pub first_execs: u64,
+}
+
+/// Fleet-wide time-to-first-detection for one crash family: the
+/// *earliest* worker-side witness across the fleet (fewest worker
+/// execs), stamped with the fleet clock when the coordinator first
+/// merged it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetDetection {
+    /// The crash family.
+    pub family: String,
+    /// Fewest worker-cumulative execs any worker needed to find it.
+    pub first_execs: u64,
+    /// The same worker's cumulative driver steps at that point.
+    pub first_steps: u64,
+    /// Fleet wall-clock milliseconds when the coordinator first merged
+    /// this family (monotone across coordinator restarts).
+    pub first_ms: u64,
 }
 
 /// The periodically-serialized fleet snapshot.
@@ -53,6 +70,8 @@ pub struct FleetStats {
     pub elapsed_ms: u64,
     /// Deduplicated crash families, in discovery order.
     pub crash_buckets: Vec<CrashBucket>,
+    /// Per-family time-to-first-detection, sorted by family name.
+    pub detections: Vec<FleetDetection>,
 }
 
 impl FleetStats {
@@ -82,6 +101,15 @@ impl FleetStats {
                 b.name.replace('\n', " ")
             ));
         }
+        for d in &self.detections {
+            out.push_str(&format!(
+                "detect={};{};{};{}\n",
+                d.first_execs,
+                d.first_steps,
+                d.first_ms,
+                d.family.replace('\n', " ")
+            ));
+        }
         out
     }
 
@@ -104,22 +132,60 @@ impl FleetStats {
             escaped_panics: get("escaped_panics")?,
             elapsed_ms: get("elapsed_ms")?,
             crash_buckets: Vec::new(),
+            detections: Vec::new(),
         };
         for line in text.lines() {
-            let Some(rest) = line.strip_prefix("bucket=") else {
-                continue;
-            };
-            let mut parts = rest.splitn(3, ';');
-            let count = parts.next()?.parse().ok()?;
-            let first_execs = parts.next()?.parse().ok()?;
-            let name = parts.next()?.to_string();
-            stats.crash_buckets.push(CrashBucket {
-                name,
-                count,
-                first_execs,
-            });
+            if let Some(rest) = line.strip_prefix("bucket=") {
+                let mut parts = rest.splitn(3, ';');
+                let count = parts.next()?.parse().ok()?;
+                let first_execs = parts.next()?.parse().ok()?;
+                let name = parts.next()?.to_string();
+                stats.crash_buckets.push(CrashBucket {
+                    name,
+                    count,
+                    first_execs,
+                });
+            } else if let Some(rest) = line.strip_prefix("detect=") {
+                let mut parts = rest.splitn(4, ';');
+                let first_execs = parts.next()?.parse().ok()?;
+                let first_steps = parts.next()?.parse().ok()?;
+                let first_ms = parts.next()?.parse().ok()?;
+                let family = parts.next()?.to_string();
+                stats.detections.push(FleetDetection {
+                    family,
+                    first_execs,
+                    first_steps,
+                    first_ms,
+                });
+            }
         }
         Some(stats)
+    }
+
+    /// Merges one worker's first-detection witnesses into the fleet
+    /// view: an unseen family is stamped with the fleet clock `now_ms`;
+    /// a known family keeps its original stamp but adopts a cheaper
+    /// witness (fewer worker execs) if one appears. The list stays
+    /// sorted by family so snapshots are deterministic regardless of
+    /// heartbeat arrival order.
+    pub fn observe_detections(&mut self, seen: &[Detection], now_ms: u64) {
+        for d in seen {
+            match self.detections.iter_mut().find(|f| f.family == d.family) {
+                Some(f) => {
+                    if d.execs < f.first_execs {
+                        f.first_execs = d.execs;
+                        f.first_steps = d.steps;
+                    }
+                }
+                None => self.detections.push(FleetDetection {
+                    family: d.family.clone(),
+                    first_execs: d.execs,
+                    first_steps: d.steps,
+                    first_ms: now_ms,
+                }),
+            }
+        }
+        self.detections.sort_by(|a, b| a.family.cmp(&b.family));
     }
 
     /// Atomically replaces the snapshot file.
@@ -172,6 +238,19 @@ impl FleetStats {
                 b.name, b.count, b.first_execs
             );
         }
+        if !self.detections.is_empty() {
+            let _ = writeln!(out, "  time to first detection:");
+            for d in &self.detections {
+                let _ = writeln!(
+                    out,
+                    "    {} — {} worker execs ({} steps), {:.1}s of fleet time",
+                    d.family,
+                    d.first_execs,
+                    d.first_steps,
+                    d.first_ms as f64 / 1000.0,
+                );
+            }
+        }
         out
     }
 }
@@ -207,12 +286,77 @@ mod tests {
                     first_execs: 900,
                 },
             ],
+            detections: vec![FleetDetection {
+                family: "spec-mismatch @ vmemmap".into(),
+                first_execs: 120,
+                first_steps: 4_400,
+                first_ms: 2_500,
+            }],
         };
         assert_eq!(FleetStats::decode(&s.encode()), Some(s.clone()));
         assert!((s.execs_per_sec() - 432.0).abs() < 1e-9);
         let r = s.render();
         assert!(r.contains("quarantined") && r.contains("hyp-panic"), "{r}");
+        assert!(r.contains("time to first detection"), "{r}");
         // Torn snapshots decode to None, never to zeroed history.
         assert_eq!(FleetStats::decode("rounds=12\nexecs=3"), None);
+    }
+
+    #[test]
+    fn detections_merge_keeps_earliest_witness_and_first_stamp() {
+        let mut s = FleetStats::default();
+        s.observe_detections(
+            &[Detection {
+                family: "b-family".into(),
+                execs: 500,
+                steps: 9_000,
+            }],
+            1_000,
+        );
+        // A second worker found the same family cheaper, plus a new one;
+        // the fleet stamp of the known family must NOT move forward.
+        s.observe_detections(
+            &[
+                Detection {
+                    family: "b-family".into(),
+                    execs: 120,
+                    steps: 2_000,
+                },
+                Detection {
+                    family: "a-family".into(),
+                    execs: 900,
+                    steps: 30_000,
+                },
+            ],
+            7_000,
+        );
+        assert_eq!(
+            s.detections,
+            vec![
+                FleetDetection {
+                    family: "a-family".into(),
+                    first_execs: 900,
+                    first_steps: 30_000,
+                    first_ms: 7_000,
+                },
+                FleetDetection {
+                    family: "b-family".into(),
+                    first_execs: 120,
+                    first_steps: 2_000,
+                    first_ms: 1_000,
+                },
+            ]
+        );
+        // A later, more expensive witness changes nothing.
+        let before = s.detections.clone();
+        s.observe_detections(
+            &[Detection {
+                family: "b-family".into(),
+                execs: 999,
+                steps: 1,
+            }],
+            9_000,
+        );
+        assert_eq!(s.detections, before);
     }
 }

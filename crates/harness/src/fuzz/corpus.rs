@@ -17,8 +17,8 @@
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
-use crate::campaign::{replay_events, CampaignTrace};
-use crate::tracefile::{load_trace, save_trace, TraceFileError};
+use crate::campaign::{replay_stream, CampaignTrace};
+use crate::tracefile::{save_trace, TraceFileError, TraceReader};
 
 /// Why a corpus I/O operation failed. Corpus errors are conditions to
 /// count and report — a fuzzing worker never dies on one.
@@ -257,13 +257,11 @@ pub struct DirScan {
     pub skipped: Vec<CorpusError>,
 }
 
-/// Scans every `seed-*.pkvmtrace` in `dir`, in filename order,
-/// partitioning decodable seeds from corrupt ones. A missing or
-/// unreadable directory yields an empty scan.
-pub fn scan_dir(dir: &Path) -> DirScan {
-    let mut scan = DirScan::default();
+/// The `seed-*.pkvmtrace` files in `dir`, in filename order. A missing
+/// or unreadable directory yields an empty list.
+fn seed_paths(dir: &Path) -> Vec<PathBuf> {
     let Ok(entries) = std::fs::read_dir(dir) else {
-        return scan;
+        return Vec::new();
     };
     let mut paths: Vec<PathBuf> = entries
         .filter_map(|e| e.ok())
@@ -275,8 +273,18 @@ pub fn scan_dir(dir: &Path) -> DirScan {
         })
         .collect();
     paths.sort();
-    for p in paths {
-        match load_trace(&p) {
+    paths
+}
+
+/// Scans every `seed-*.pkvmtrace` in `dir`, in filename order,
+/// partitioning decodable seeds from corrupt ones (each streamed
+/// through a [`TraceReader`], then materialized — the corpus mutates
+/// seeds in memory, so it needs the events). A missing or unreadable
+/// directory yields an empty scan.
+pub fn scan_dir(dir: &Path) -> DirScan {
+    let mut scan = DirScan::default();
+    for p in seed_paths(dir) {
+        match TraceReader::open(&p).and_then(TraceReader::into_trace) {
             Ok(t) => scan.loaded.push((p, t)),
             Err(err) => scan.skipped.push(CorpusError::Trace { path: p, err }),
         }
@@ -293,8 +301,12 @@ pub fn load_dir(dir: &Path) -> Vec<(PathBuf, CampaignTrace)> {
 
 /// Replays every persisted seed in `dir` (in filename order) and folds
 /// the per-seed verdicts — file name, steps executed, violation count,
-/// panic — into one FNV digest. Any process replaying the same corpus
-/// computes the identical `(seed count, digest)` pair: the cross-process
+/// panic — into one FNV digest. Each seed streams straight from its
+/// [`TraceReader`] into [`replay_stream`], so the digest runs in O(1)
+/// memory per seed; a seed that fails to decode anywhere (header or
+/// tail) is skipped entirely, exactly the files the old materializing
+/// load skipped. Any process replaying the same corpus computes the
+/// identical `(seed count, digest)` pair: the cross-process
 /// bit-identical-replay check used by both the fuzz and fleet gates.
 pub fn replay_digest(dir: &Path) -> (usize, u64) {
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
@@ -304,9 +316,16 @@ pub fn replay_digest(dir: &Path) -> (usize, u64) {
             digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
         }
     };
-    let seeds = load_dir(dir);
-    for (path, trace) in &seeds {
-        let out = replay_events(trace, &trace.events);
+    let mut count = 0usize;
+    for path in seed_paths(dir) {
+        let Ok(reader) = TraceReader::open(&path) else {
+            continue;
+        };
+        let header = reader.header().clone();
+        let Ok(out) = replay_stream(&header, reader) else {
+            continue;
+        };
+        count += 1;
         fold(&format!(
             "{}:{}:{}:{}\n",
             path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
@@ -315,7 +334,7 @@ pub fn replay_digest(dir: &Path) -> (usize, u64) {
             out.hyp_panic.as_deref().unwrap_or("-"),
         ));
     }
-    (seeds.len(), digest)
+    (count, digest)
 }
 
 #[cfg(test)]

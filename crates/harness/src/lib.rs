@@ -20,9 +20,15 @@
 //!   `.pkvmtrace` protocol (heartbeats, exponential-backoff respawn,
 //!   quarantine, pull-based corpus merge) where every component
 //!   tolerates the failure of every other;
-//! - [`tracefile`] — the `.pkvmtrace` on-disk codec: a recorded campaign
-//!   (config, chaos, seeds and the full event timeline) persists to a
-//!   compact self-describing binary file and replays in a fresh process;
+//! - [`tracefile`] — the `.pkvmtrace` on-disk codec, streamed: a
+//!   recorded campaign (config, chaos, seeds and the full event
+//!   timeline) persists through an incremental [`TraceWriter`] and
+//!   decodes one event at a time through a [`TraceReader`], so replay,
+//!   analytics and compaction all run in O(1) memory;
+//! - [`differential`] — N-version differential replay: one recorded
+//!   schedule re-executed against the clean hypervisor and every
+//!   injectable fault variant, folded into a detection matrix of
+//!   first-divergence event seqs;
 //! - [`chaos`] — the chaos fault-injection engine: seeded corruption of
 //!   the oracle's inputs (and the machine under it) with a
 //!   detection-matrix sweep proving the oracle fails safe;
@@ -35,6 +41,7 @@ pub mod bugs;
 pub mod campaign;
 pub mod chaos;
 pub mod coverage;
+pub mod differential;
 pub mod fleet;
 pub mod fuzz;
 pub mod minimize;
@@ -47,7 +54,8 @@ pub mod tracefile;
 
 pub use bugs::{detect, sweep, BugReport, Detection};
 pub use campaign::{
-    replay, replay_events, CampaignCfg, CampaignReport, CampaignTrace, ReplayOutcome, WorkerReport,
+    replay, replay_events, replay_stream, CampaignCfg, CampaignReport, CampaignTrace,
+    ReplayMachine, ReplayOutcome, WorkerReport,
 };
 pub use chaos::{
     classify, detection_matrix, mutation_sweep, render_mutation, ChaosCfg, ChaosDriver,
@@ -55,6 +63,7 @@ pub use chaos::{
     RunVerdict,
 };
 pub use coverage::CoverageSummary;
+pub use differential::{differential_matrix, DiffMatrix, DiffRow};
 pub use fleet::{FleetCfg, FleetChaos, FleetReport, FleetStats, Supervisor};
 pub use fuzz::{CorpusError, FuzzCfg, FuzzReport, Fuzzer};
 pub use minimize::{minimize, minimize_with_stats, MinimizeOutcome};
@@ -64,5 +73,6 @@ pub use random::{RandomCfg, RandomTester, RunStats};
 pub use rng::Rng;
 pub use scenarios::{all as all_scenarios, run_all, Kind, Scenario, SuiteResult};
 pub use tracefile::{
-    atomic_write, load_trace, save_trace, set_fsync_before_rename, TraceFileError,
+    atomic_write, compact_trace, load_trace, save_trace, set_fsync_before_rename, validate_bytes,
+    CompactError, CompactStats, TraceFileError, TraceHeader, TraceReader, TraceWriter,
 };

@@ -1,4 +1,5 @@
-//! The `.pkvmtrace` on-disk codec: persistent, replayable campaigns.
+//! The `.pkvmtrace` on-disk codec: persistent, replayable campaigns,
+//! streamed.
 //!
 //! A recorded campaign ([`CampaignTrace`]) — machine shape, oracle
 //! switches, injected faults, the chaos config with its seeds, and the
@@ -9,16 +10,28 @@
 //! timeline (`examples/trace_inspect.rs`), or minimize it, without the
 //! process (or machine) that produced it.
 //!
+//! Since format v4 the trace is a *stream*, not a blob. [`TraceWriter`]
+//! appends records as they happen — it never needs the event count up
+//! front — and finalizes atomically (temp file + rename, the
+//! [`atomic_write`] discipline), so a crash mid-write never leaves a
+//! torn file. [`TraceReader`] is the dual: a fallible iterator that
+//! decodes one [`EventRecord`] at a time in O(1) memory with the
+//! [`TraceHeader`] (machine config, oracle switches, chaos, seeds)
+//! available up front. [`load_trace`]/[`decode_trace`] survive as thin
+//! compatibility shims that drain the reader into a [`CampaignTrace`].
+//!
 //! Format: the 8-byte magic `PKVMTRCE`, a varint format version
-//! ([`FORMAT_VERSION`]), then the trace sections in a fixed order. All
-//! integers are LEB128 varints; floats are their IEEE bits in 8
-//! little-endian bytes; strings are varint length + UTF-8 bytes; event
+//! ([`FORMAT_VERSION`]), the header sections in a fixed order, then the
+//! event stream — each record prefixed by a marker byte `1`, the stream
+//! closed by a terminator byte `0` which must be the last byte of the
+//! file. All integers are LEB128 varints; floats are their IEEE bits in
+//! 8 little-endian bytes; strings are varint length + UTF-8 bytes; event
 //! timestamps are delta-encoded against the previous record (they are
 //! nondecreasing in sequence order, so deltas stay small). No external
-//! dependencies, no unsafe code, and [`decode_trace`] never panics on
-//! malformed input — every failure is a [`TraceFileError`].
+//! dependencies, no unsafe code, and decoding never panics on malformed
+//! input — every failure is a [`TraceFileError`].
 
-use std::io::Write as _;
+use std::io::{BufRead as _, Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -39,7 +52,7 @@ use crate::chaos::ChaosCfg;
 pub const MAGIC: &[u8; 8] = b"PKVMTRCE";
 
 /// Current format version. Bump on any incompatible layout change;
-/// [`decode_trace`] refuses versions it does not know.
+/// decoding refuses versions it does not know.
 ///
 /// v2 added the `CorruptMem` event (tag 14) when host `WriteMem` became
 /// stage-2-checked and chaos corruption got its own raw primitive.
@@ -48,7 +61,12 @@ pub const MAGIC: &[u8; 8] = b"PKVMTRCE";
 /// tags 15–17), the `BreakBeforeMake` violation (tag 9), the `StaleTlb`
 /// chaos kind (byte 6) with its `p_stale_tlb` intensity, and the
 /// `check_break_before_make` oracle switch.
-pub const FORMAT_VERSION: u64 = 3;
+///
+/// v4 replaced the up-front event count with a sentinel-terminated
+/// stream (marker byte `1` before each record, terminator byte `0`
+/// after the last), so [`TraceWriter`] can append incrementally without
+/// knowing the count and [`TraceReader`] can decode in O(1) memory.
+pub const FORMAT_VERSION: u64 = 4;
 
 /// Why a trace file failed to load. Loading *never* panics: a truncated
 /// or bit-rotted file is an expected input, not a bug.
@@ -89,6 +107,48 @@ impl std::error::Error for TraceFileError {}
 impl From<std::io::Error> for TraceFileError {
     fn from(e: std::io::Error) -> Self {
         TraceFileError::Io(e)
+    }
+}
+
+/// The replayable context of a trace: everything before the event
+/// stream. A [`TraceReader`] decodes it up front, so replay can boot the
+/// machine before a single event has been read.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceHeader {
+    /// The machine shape the campaign booted.
+    pub config: MachineConfig,
+    /// The oracle switches.
+    pub oracle_opts: OracleOpts,
+    /// The injected faults, as raw `FaultSet` bits.
+    pub fault_bits: u32,
+    /// The chaos config, if the campaign ran chaotic.
+    pub chaos: Option<ChaosCfg>,
+    /// Per-worker derived seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl TraceHeader {
+    /// The header of an in-memory trace.
+    pub fn of(trace: &CampaignTrace) -> TraceHeader {
+        TraceHeader {
+            config: trace.config.clone(),
+            oracle_opts: trace.oracle_opts,
+            fault_bits: trace.fault_bits,
+            chaos: trace.chaos,
+            seeds: trace.seeds.clone(),
+        }
+    }
+
+    /// Rejoins the header with a materialized event timeline.
+    pub fn into_trace(self, events: Vec<EventRecord>) -> CampaignTrace {
+        CampaignTrace {
+            config: self.config,
+            oracle_opts: self.oracle_opts,
+            fault_bits: self.fault_bits,
+            chaos: self.chaos,
+            seeds: self.seeds,
+            events,
+        }
     }
 }
 
@@ -457,37 +517,38 @@ impl Wr {
     }
 }
 
-/// Encodes a trace into the `.pkvmtrace` byte format.
-pub fn encode_trace(trace: &CampaignTrace) -> Vec<u8> {
-    let mut w = Wr(Vec::new());
-    w.0.extend_from_slice(MAGIC);
-    w.u64(FORMAT_VERSION);
+/// The record stream's markers: `RECORD` before each event record,
+/// `TERMINATOR` (which must be the file's last byte) after the final one.
+const RECORD: u8 = 1;
+const TERMINATOR: u8 = 0;
+
+fn write_header(w: &mut Wr, header: &TraceHeader) {
     // Machine shape.
-    w.usize(trace.config.nr_cpus);
-    w.usize(trace.config.dram.len());
-    for (base, size) in &trace.config.dram {
+    w.usize(header.config.nr_cpus);
+    w.usize(header.config.dram.len());
+    for (base, size) in &header.config.dram {
         w.u64(*base);
         w.u64(*size);
     }
-    w.usize(trace.config.mmio.len());
-    for (base, size) in &trace.config.mmio {
+    w.usize(header.config.mmio.len());
+    for (base, size) in &header.config.mmio {
         w.u64(*base);
         w.u64(*size);
     }
-    w.u64(trace.config.hyp_pool_pages);
+    w.u64(header.config.hyp_pool_pages);
     // Oracle switches.
-    w.boolean(trace.oracle_opts.check_noninterference);
-    w.boolean(trace.oracle_opts.check_separation);
-    w.boolean(trace.oracle_opts.incremental_abstraction);
-    w.boolean(trace.oracle_opts.shadow_validation);
-    w.usize(trace.oracle_opts.violation_cap);
-    w.u64(trace.oracle_opts.trap_check_budget);
-    w.u64(trace.oracle_opts.quarantine_threshold as u64);
-    w.u64(trace.oracle_opts.quarantine_traps);
-    w.boolean(trace.oracle_opts.check_break_before_make);
+    w.boolean(header.oracle_opts.check_noninterference);
+    w.boolean(header.oracle_opts.check_separation);
+    w.boolean(header.oracle_opts.incremental_abstraction);
+    w.boolean(header.oracle_opts.shadow_validation);
+    w.usize(header.oracle_opts.violation_cap);
+    w.u64(header.oracle_opts.trap_check_budget);
+    w.u64(header.oracle_opts.quarantine_threshold as u64);
+    w.u64(header.oracle_opts.quarantine_traps);
+    w.boolean(header.oracle_opts.check_break_before_make);
     // Faults and chaos.
-    w.u64(trace.fault_bits as u64);
-    match &trace.chaos {
+    w.u64(header.fault_bits as u64);
+    match &header.chaos {
         None => w.byte(0),
         Some(c) => {
             w.byte(1);
@@ -502,38 +563,92 @@ pub fn encode_trace(trace: &CampaignTrace) -> Vec<u8> {
         }
     }
     // Seeds.
-    w.usize(trace.seeds.len());
-    for s in &trace.seeds {
+    w.usize(header.seeds.len());
+    for s in &header.seeds {
         w.u64(*s);
     }
-    // The timeline, timestamps delta-encoded.
-    w.usize(trace.events.len());
+}
+
+fn write_record(w: &mut Wr, rec: &EventRecord, prev_t: u64) {
+    w.byte(RECORD);
+    w.u64(rec.seq);
+    w.u64(rec.lane as u64);
+    w.opt_u64(rec.trap);
+    w.u64(rec.t_ns.wrapping_sub(prev_t));
+    w.event(&rec.event);
+}
+
+/// Encodes a trace into the `.pkvmtrace` byte format.
+pub fn encode_trace(trace: &CampaignTrace) -> Vec<u8> {
+    let mut w = Wr(Vec::new());
+    w.0.extend_from_slice(MAGIC);
+    w.u64(FORMAT_VERSION);
+    write_header(&mut w, &TraceHeader::of(trace));
     let mut prev_t = 0u64;
     for rec in &trace.events {
-        w.u64(rec.seq);
-        w.u64(rec.lane as u64);
-        w.opt_u64(rec.trap);
-        w.u64(rec.t_ns.wrapping_sub(prev_t));
+        write_record(&mut w, rec, prev_t);
         prev_t = rec.t_ns;
-        w.event(&rec.event);
     }
+    w.byte(TERMINATOR);
     w.0
 }
 
 // ---------------------------------------------------------------- decode
 
-struct Rd<'a> {
-    buf: &'a [u8],
-    pos: usize,
+/// Where decoded bytes come from: a borrowed in-memory buffer, or a
+/// buffered file. Both yield the same byte sequence, so one decoder
+/// serves [`TraceReader::from_bytes`] and [`TraceReader::open`] alike.
+enum Src<'a> {
+    Slice { buf: &'a [u8], pos: usize },
+    File(std::io::BufReader<std::fs::File>),
 }
+
+struct Rd<'a>(Src<'a>);
 
 type Res<T> = Result<T, TraceFileError>;
 
 impl<'a> Rd<'a> {
+    fn from_slice(buf: &'a [u8]) -> Rd<'a> {
+        Rd(Src::Slice { buf, pos: 0 })
+    }
+
+    fn from_file(f: std::fs::File) -> Rd<'static> {
+        Rd(Src::File(std::io::BufReader::new(f)))
+    }
+
+    fn read_exact(&mut self, out: &mut [u8]) -> Res<()> {
+        match &mut self.0 {
+            Src::Slice { buf, pos } => {
+                let end = pos.checked_add(out.len()).filter(|&e| e <= buf.len());
+                let end = end.ok_or(TraceFileError::Truncated)?;
+                out.copy_from_slice(&buf[*pos..end]);
+                *pos = end;
+                Ok(())
+            }
+            Src::File(f) => f.read_exact(out).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    TraceFileError::Truncated
+                } else {
+                    TraceFileError::Io(e)
+                }
+            }),
+        }
+    }
+
+    /// `true` when no byte remains. Only meaningful at a record
+    /// boundary — the terminator check uses it to insist the terminator
+    /// is the file's last byte.
+    fn at_eof(&mut self) -> Res<bool> {
+        match &mut self.0 {
+            Src::Slice { buf, pos } => Ok(*pos == buf.len()),
+            Src::File(f) => Ok(f.fill_buf()?.is_empty()),
+        }
+    }
+
     fn byte(&mut self) -> Res<u8> {
-        let b = *self.buf.get(self.pos).ok_or(TraceFileError::Truncated)?;
-        self.pos += 1;
-        Ok(b)
+        let mut b = [0u8; 1];
+        self.read_exact(&mut b)?;
+        Ok(b[0])
     }
 
     fn u64(&mut self) -> Res<u64> {
@@ -569,24 +684,25 @@ impl<'a> Rd<'a> {
     }
 
     fn f64(&mut self) -> Res<f64> {
-        if self.buf.len() - self.pos < 8 {
-            return Err(TraceFileError::Truncated);
-        }
         let mut bytes = [0u8; 8];
-        bytes.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
-        self.pos += 8;
+        self.read_exact(&mut bytes)?;
         Ok(f64::from_bits(u64::from_le_bytes(bytes)))
     }
 
     fn str(&mut self) -> Res<String> {
         let len = self.usize()?;
-        if self.buf.len() - self.pos < len {
-            return Err(TraceFileError::Truncated);
+        // Read in bounded chunks so a corrupted length field hits
+        // `Truncated` before it can commit a huge allocation.
+        let mut bytes = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let mut remaining = len;
+        while remaining > 0 {
+            let n = remaining.min(chunk.len());
+            self.read_exact(&mut chunk[..n])?;
+            bytes.extend_from_slice(&chunk[..n]);
+            remaining -= n;
         }
-        let s = std::str::from_utf8(&self.buf[self.pos..self.pos + len])
-            .map_err(|_| TraceFileError::Malformed("string is not UTF-8"))?;
-        self.pos += len;
-        Ok(s.to_string())
+        String::from_utf8(bytes).map_err(|_| TraceFileError::Malformed("string is not UTF-8"))
     }
 
     fn opt_u64(&mut self) -> Res<Option<u64>> {
@@ -802,112 +918,431 @@ impl<'a> Rd<'a> {
             _ => return Err(TraceFileError::Malformed("unknown event tag")),
         })
     }
+
+    fn header(&mut self) -> Res<TraceHeader> {
+        let mut magic = [0u8; MAGIC.len()];
+        match self.read_exact(&mut magic) {
+            Ok(()) if &magic == MAGIC => {}
+            Ok(()) | Err(TraceFileError::Truncated) => return Err(TraceFileError::BadMagic),
+            Err(e) => return Err(e),
+        }
+        let version = self.u64()?;
+        if version != FORMAT_VERSION {
+            return Err(TraceFileError::BadVersion(version));
+        }
+        let nr_cpus = self.usize()?;
+        let mut dram = Vec::new();
+        for _ in 0..self.usize()? {
+            dram.push((self.u64()?, self.u64()?));
+        }
+        let mut mmio = Vec::new();
+        for _ in 0..self.usize()? {
+            mmio.push((self.u64()?, self.u64()?));
+        }
+        let hyp_pool_pages = self.u64()?;
+        let config = MachineConfig {
+            nr_cpus,
+            dram,
+            mmio,
+            hyp_pool_pages,
+        };
+        let oracle_opts = OracleOpts::builder()
+            .check_noninterference(self.boolean()?)
+            .check_separation(self.boolean()?)
+            .incremental_abstraction(self.boolean()?)
+            .shadow_validation(self.boolean()?)
+            .violation_cap(self.usize()?)
+            .trap_check_budget(self.u64()?)
+            .quarantine_threshold(self.u32()?)
+            .quarantine_traps(self.u64()?)
+            .check_break_before_make(self.boolean()?)
+            .build();
+        let fault_bits = self.u32()?;
+        let chaos = match self.byte()? {
+            0 => None,
+            1 => Some(
+                ChaosCfg::builder()
+                    .seed(self.u64()?)
+                    .bit_flip(self.f64()?)
+                    .torn_read_once(self.f64()?)
+                    .drop_lock_event(self.f64()?)
+                    .dup_lock_event(self.f64()?)
+                    .delay_hook(self.f64()?)
+                    .alloc_chaos(self.f64()?)
+                    .stale_tlb(self.f64()?)
+                    .build(),
+            ),
+            _ => return Err(TraceFileError::Malformed("chaos tag out of range")),
+        };
+        let mut seeds = Vec::new();
+        for _ in 0..self.usize()? {
+            seeds.push(self.u64()?);
+        }
+        Ok(TraceHeader {
+            config,
+            oracle_opts,
+            fault_bits,
+            chaos,
+            seeds,
+        })
+    }
 }
 
-/// Decodes a `.pkvmtrace` byte buffer back into a [`CampaignTrace`].
+/// A streaming `.pkvmtrace` decoder: the [`TraceHeader`] up front, then
+/// a fallible iterator of [`EventRecord`]s, one decoded at a time in
+/// O(1) memory (no `Vec<Event>` materialization). The iterator is
+/// *fused on error*: the first `Err` is the last item — a corrupted file
+/// never yields garbage events past the corruption point.
+pub struct TraceReader<'a> {
+    rd: Rd<'a>,
+    header: TraceHeader,
+    prev_t: u64,
+    events_read: u64,
+    done: bool,
+}
+
+impl TraceReader<'static> {
+    /// Opens a trace file and decodes its header; events stream lazily
+    /// through the iterator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceFileError`] for I/O failures and for a
+    /// malformed, truncated or version-mismatched header; never panics.
+    pub fn open<P: AsRef<Path>>(path: P) -> Res<TraceReader<'static>> {
+        TraceReader::from_rd(Rd::from_file(std::fs::File::open(path)?))
+    }
+}
+
+impl<'a> TraceReader<'a> {
+    /// Starts a streaming decode over an in-memory buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceReader::open`], minus the I/O.
+    pub fn from_bytes(bytes: &'a [u8]) -> Res<TraceReader<'a>> {
+        TraceReader::from_rd(Rd::from_slice(bytes))
+    }
+
+    fn from_rd(mut rd: Rd<'a>) -> Res<TraceReader<'a>> {
+        let header = rd.header()?;
+        Ok(TraceReader {
+            rd,
+            header,
+            prev_t: 0,
+            events_read: 0,
+            done: false,
+        })
+    }
+
+    /// The trace's replayable context, decoded before any event.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Records successfully yielded so far.
+    pub fn events_read(&self) -> u64 {
+        self.events_read
+    }
+
+    /// Drains the stream into a materialized [`CampaignTrace`] —
+    /// the compatibility path [`load_trace`]/[`decode_trace`] ride on.
+    ///
+    /// # Errors
+    ///
+    /// The first decode error, if the stream has one.
+    pub fn into_trace(mut self) -> Res<CampaignTrace> {
+        let mut events = Vec::new();
+        for rec in &mut self {
+            events.push(rec?);
+        }
+        Ok(self.header.into_trace(events))
+    }
+
+    fn next_record(&mut self) -> Res<Option<EventRecord>> {
+        match self.rd.byte()? {
+            TERMINATOR => {
+                if !self.rd.at_eof()? {
+                    return Err(TraceFileError::Malformed("trailing bytes after trace"));
+                }
+                Ok(None)
+            }
+            RECORD => {
+                let seq = self.rd.u64()?;
+                let lane = self.rd.u32()?;
+                let trap = self.rd.opt_u64()?;
+                let t_ns = self.prev_t.wrapping_add(self.rd.u64()?);
+                self.prev_t = t_ns;
+                let event = self.rd.event()?;
+                Ok(Some(EventRecord {
+                    seq,
+                    lane,
+                    trap,
+                    t_ns,
+                    event,
+                }))
+            }
+            _ => Err(TraceFileError::Malformed("unknown record marker")),
+        }
+    }
+}
+
+impl Iterator for TraceReader<'_> {
+    type Item = Res<EventRecord>;
+
+    fn next(&mut self) -> Option<Res<EventRecord>> {
+        if self.done {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(rec)) => {
+                self.events_read += 1;
+                Some(Ok(rec))
+            }
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// An incremental `.pkvmtrace` encoder: create with the header, append
+/// records as the campaign produces them, [`finish`](Self::finish) to
+/// seal the stream. The bytes accumulate in a same-directory temp file
+/// (pid-suffixed, so concurrent writers never collide — the
+/// [`atomic_write`] discipline) which only the final rename makes
+/// visible: a crash mid-write, or dropping an unfinished writer, leaves
+/// no torn trace behind, only (on a hard kill) a temp file the fleet
+/// already knows to ignore.
+pub struct TraceWriter {
+    path: PathBuf,
+    tmp: PathBuf,
+    file: Option<std::io::BufWriter<std::fs::File>>,
+    prev_t: u64,
+    events: u64,
+}
+
+impl TraceWriter {
+    /// Creates the temp file and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-system error.
+    pub fn create<P: AsRef<Path>>(path: P, header: &TraceHeader) -> Res<TraceWriter> {
+        let path = path.as_ref().to_path_buf();
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(format!(".{}.wtmp", std::process::id()));
+        let tmp = PathBuf::from(tmp_name);
+        let mut w = Wr(Vec::new());
+        w.0.extend_from_slice(MAGIC);
+        w.u64(FORMAT_VERSION);
+        write_header(&mut w, header);
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        if let Err(e) = file.write_all(&w.0) {
+            drop(file);
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(TraceWriter {
+            path,
+            tmp,
+            file: Some(file),
+            prev_t: 0,
+            events: 0,
+        })
+    }
+
+    /// Appends one record to the stream. Records must arrive in timeline
+    /// order (timestamps are delta-encoded against the previous append).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-system error; the writer stays
+    /// usable (dropping it still cleans up the temp file).
+    pub fn append(&mut self, rec: &EventRecord) -> Res<()> {
+        let mut w = Wr(Vec::new());
+        write_record(&mut w, rec, self.prev_t);
+        let file = self.file.as_mut().expect("writer already finished");
+        file.write_all(&w.0)?;
+        self.prev_t = rec.t_ns;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Records appended so far.
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Seals the stream (terminator byte), flushes — fsyncs when the
+    /// [`fsync_before_rename`] knob is on — and renames the temp file
+    /// into place. Only now does the trace become visible at its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-system error; the temp file is
+    /// removed on failure.
+    pub fn finish(mut self) -> Res<()> {
+        let mut file = self.file.take().expect("writer already finished");
+        let res = (|| -> Res<()> {
+            file.write_all(&[TERMINATOR])?;
+            file.flush()?;
+            if fsync_before_rename() {
+                file.get_ref().sync_all()?;
+            }
+            drop(file);
+            std::fs::rename(&self.tmp, &self.path)?;
+            Ok(())
+        })();
+        if res.is_err() {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+        res
+    }
+}
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        // An abandoned (never-finished) writer removes its temp file; the
+        // destination path is untouched either way.
+        if let Some(file) = self.file.take() {
+            drop(file);
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Streams an in-memory `.pkvmtrace` buffer end to end without
+/// materializing the timeline, returning the event count. The fleet's
+/// pull/merge paths use this to vet candidate files — same acceptance
+/// set as [`decode_trace`], O(1) memory.
 ///
 /// # Errors
 ///
-/// Any malformed, truncated or version-mismatched input returns a
-/// [`TraceFileError`]; this function never panics.
-pub fn decode_trace(bytes: &[u8]) -> Res<CampaignTrace> {
-    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
-        return Err(TraceFileError::BadMagic);
+/// The first decode error, if the buffer has one.
+pub fn validate_bytes(bytes: &[u8]) -> Res<u64> {
+    let mut r = TraceReader::from_bytes(bytes)?;
+    for rec in &mut r {
+        rec?;
     }
-    let mut r = Rd {
-        buf: bytes,
-        pos: MAGIC.len(),
-    };
-    let version = r.u64()?;
-    if version != FORMAT_VERSION {
-        return Err(TraceFileError::BadVersion(version));
-    }
-    let nr_cpus = r.usize()?;
-    let mut dram = Vec::new();
-    for _ in 0..r.usize()? {
-        dram.push((r.u64()?, r.u64()?));
-    }
-    let mut mmio = Vec::new();
-    for _ in 0..r.usize()? {
-        mmio.push((r.u64()?, r.u64()?));
-    }
-    let hyp_pool_pages = r.u64()?;
-    let config = MachineConfig {
-        nr_cpus,
-        dram,
-        mmio,
-        hyp_pool_pages,
-    };
-    let oracle_opts = OracleOpts::builder()
-        .check_noninterference(r.boolean()?)
-        .check_separation(r.boolean()?)
-        .incremental_abstraction(r.boolean()?)
-        .shadow_validation(r.boolean()?)
-        .violation_cap(r.usize()?)
-        .trap_check_budget(r.u64()?)
-        .quarantine_threshold(r.u32()?)
-        .quarantine_traps(r.u64()?)
-        .check_break_before_make(r.boolean()?)
-        .build();
-    let fault_bits = r.u32()?;
-    let chaos = match r.byte()? {
-        0 => None,
-        1 => Some(
-            ChaosCfg::builder()
-                .seed(r.u64()?)
-                .bit_flip(r.f64()?)
-                .torn_read_once(r.f64()?)
-                .drop_lock_event(r.f64()?)
-                .dup_lock_event(r.f64()?)
-                .delay_hook(r.f64()?)
-                .alloc_chaos(r.f64()?)
-                .stale_tlb(r.f64()?)
-                .build(),
-        ),
-        _ => return Err(TraceFileError::Malformed("chaos tag out of range")),
-    };
-    let mut seeds = Vec::new();
-    for _ in 0..r.usize()? {
-        seeds.push(r.u64()?);
-    }
-    let nr_events = r.usize()?;
-    let mut events = Vec::new();
-    let mut prev_t = 0u64;
-    for _ in 0..nr_events {
-        let seq = r.u64()?;
-        let lane = r.u32()?;
-        let trap = r.opt_u64()?;
-        let t_ns = prev_t.wrapping_add(r.u64()?);
-        prev_t = t_ns;
-        let event = r.event()?;
-        events.push(EventRecord {
-            seq,
-            lane,
-            trap,
-            t_ns,
-            event,
-        });
-    }
-    if r.pos != bytes.len() {
-        return Err(TraceFileError::Malformed("trailing bytes after trace"));
-    }
-    Ok(CampaignTrace {
-        config,
-        oracle_opts,
-        fault_bits,
-        chaos,
-        seeds,
-        events,
-    })
+    Ok(r.events_read())
 }
 
+// ---------------------------------------------------------------- compact
+
+/// Why a compaction request was refused or failed.
+#[derive(Debug)]
+pub enum CompactError {
+    /// The family is part of the replayable schedule (or the violation
+    /// anchors); dropping it would change replay verdicts.
+    ReplayCritical(&'static str),
+    /// The family name matches no known event family.
+    UnknownFamily(String),
+    /// Reading the source or writing the destination failed.
+    Trace(TraceFileError),
+}
+
+impl std::fmt::Display for CompactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompactError::ReplayCritical(fam) => {
+                write!(f, "cannot drop replay-critical event family `{fam}`")
+            }
+            CompactError::UnknownFamily(fam) => write!(f, "unknown event family `{fam}`"),
+            CompactError::Trace(e) => write!(f, "compaction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompactError {}
+
+impl From<TraceFileError> for CompactError {
+    fn from(e: TraceFileError) -> Self {
+        CompactError::Trace(e)
+    }
+}
+
+/// What a compaction pass did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompactStats {
+    /// Records copied to the destination.
+    pub kept: u64,
+    /// Records dropped.
+    pub dropped: u64,
+}
+
+/// Families [`compact_trace`] refuses to drop: the driver plane (the
+/// replayable schedule itself) plus the `violation` anchors that make a
+/// trace a correctness witness.
+pub const REPLAY_CRITICAL_FAMILIES: &[&str] = &[
+    "hvc",
+    "write-mem",
+    "corrupt-mem",
+    "host-access",
+    "push-guest-op",
+    "violation",
+];
+
+/// Rewrites `src` to `dst`, dropping every record whose
+/// [`Event::family`] is in `drop_families` — a single reader→writer
+/// streaming pass in O(1) memory, so a long soak's multi-gigabyte trace
+/// compacts without loading. Kept records keep their sequence numbers
+/// and timestamps untouched, so violation anchors (`event_seq`) still
+/// resolve and replay of the surviving driver schedule is unchanged.
+/// Requests to drop a replay-critical family (the driver plane, or
+/// `violation`) or an unknown family name are refused up front with a
+/// typed error, before anything is written.
+///
+/// # Errors
+///
+/// [`CompactError::ReplayCritical`] / [`CompactError::UnknownFamily`]
+/// for refused requests; [`CompactError::Trace`] when the source is
+/// malformed or I/O fails (no destination file appears in that case).
+pub fn compact_trace<P: AsRef<Path>, Q: AsRef<Path>>(
+    src: P,
+    dst: Q,
+    drop_families: &[&str],
+) -> Result<CompactStats, CompactError> {
+    for fam in drop_families {
+        if let Some(critical) = REPLAY_CRITICAL_FAMILIES.iter().find(|c| *c == fam) {
+            return Err(CompactError::ReplayCritical(critical));
+        }
+        if !Event::FAMILIES.contains(fam) {
+            return Err(CompactError::UnknownFamily((*fam).to_string()));
+        }
+    }
+    let reader = TraceReader::open(src)?;
+    let header = reader.header().clone();
+    let mut writer = TraceWriter::create(dst, &header)?;
+    let mut stats = CompactStats::default();
+    for rec in reader {
+        let rec = rec?;
+        if drop_families.contains(&rec.event.family()) {
+            stats.dropped += 1;
+        } else {
+            writer.append(&rec)?;
+            stats.kept += 1;
+        }
+    }
+    writer.finish()?;
+    Ok(stats)
+}
+
+// ------------------------------------------------------------ file plumbing
+
 /// Process-wide switch: when set, [`atomic_write`] (and through it
-/// [`save_trace`]) fsyncs the temp file before renaming it into place,
-/// so a completed rename implies the bytes are durable, not merely in
-/// the page cache. Off by default — the fleet's correctness only needs
-/// rename atomicity (no torn files), not durability; long soaks on real
-/// hosts that must survive power loss turn it on. Also enabled by the
-/// `PKVMTRACE_FSYNC` environment variable (any value but `0`).
+/// [`save_trace`] and [`TraceWriter::finish`]) fsyncs the temp file
+/// before renaming it into place, so a completed rename implies the
+/// bytes are durable, not merely in the page cache. Off by default — the
+/// fleet's correctness only needs rename atomicity (no torn files), not
+/// durability; long soaks on real hosts that must survive power loss
+/// turn it on. Also enabled by the `PKVMTRACE_FSYNC` environment
+/// variable (any value but `0`).
 static FSYNC_BEFORE_RENAME: AtomicBool = AtomicBool::new(false);
 
 /// Turns the fsync-before-rename knob on or off for this process.
@@ -949,26 +1384,43 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     res
 }
 
-/// Writes `trace` to `path` in the `.pkvmtrace` format, atomically
-/// (temp file + rename, see [`atomic_write`]): a crash mid-save never
-/// leaves a torn trace for the next session to skip.
+/// Writes `trace` to `path` in the `.pkvmtrace` format through a
+/// [`TraceWriter`] (temp file + rename, so a crash mid-save never
+/// leaves a torn trace). Byte-identical to [`encode_trace`] — the two
+/// paths share the encoding helpers.
 ///
 /// # Errors
 ///
 /// Propagates the underlying file-system error.
 pub fn save_trace<P: AsRef<Path>>(path: P, trace: &CampaignTrace) -> Res<()> {
-    atomic_write(path.as_ref(), &encode_trace(trace))?;
-    Ok(())
+    let mut w = TraceWriter::create(path, &TraceHeader::of(trace))?;
+    for rec in &trace.events {
+        w.append(rec)?;
+    }
+    w.finish()
 }
 
-/// Reads a `.pkvmtrace` file back into a [`CampaignTrace`].
+/// Reads a `.pkvmtrace` file back into a materialized [`CampaignTrace`].
+/// Compatibility shim over [`TraceReader::open`]; streaming consumers
+/// iterate the reader instead.
 ///
 /// # Errors
 ///
 /// Returns a [`TraceFileError`] for I/O failures and for any malformed,
 /// truncated or version-mismatched content; never panics.
 pub fn load_trace<P: AsRef<Path>>(path: P) -> Res<CampaignTrace> {
-    decode_trace(&std::fs::read(path)?)
+    TraceReader::open(path)?.into_trace()
+}
+
+/// Decodes a `.pkvmtrace` byte buffer back into a [`CampaignTrace`].
+/// Compatibility shim over [`TraceReader::from_bytes`].
+///
+/// # Errors
+///
+/// Any malformed, truncated or version-mismatched input returns a
+/// [`TraceFileError`]; this function never panics.
+pub fn decode_trace(bytes: &[u8]) -> Res<CampaignTrace> {
+    TraceReader::from_bytes(bytes)?.into_trace()
 }
 
 #[cfg(test)]
@@ -982,17 +1434,17 @@ mod tests {
         for v in probes {
             w.u64(v);
         }
-        let mut r = Rd { buf: &w.0, pos: 0 };
+        let mut r = Rd::from_slice(&w.0);
         for v in probes {
             assert_eq!(r.u64().unwrap(), v);
         }
-        assert_eq!(r.pos, w.0.len());
+        assert!(r.at_eof().unwrap());
     }
 
     #[test]
     fn an_overlong_varint_is_malformed_not_a_panic() {
         let buf = [0xff; 11];
-        let mut r = Rd { buf: &buf, pos: 0 };
+        let mut r = Rd::from_slice(&buf);
         assert!(matches!(r.u64(), Err(TraceFileError::Malformed(_))));
     }
 
@@ -1029,5 +1481,17 @@ mod tests {
             decode_trace(&bytes),
             Err(TraceFileError::BadVersion(99))
         ));
+    }
+
+    #[test]
+    fn a_corrupt_string_length_cannot_commit_a_huge_allocation() {
+        // A length field claiming ~2^60 bytes must fail with Truncated
+        // (the chunked read hits end-of-buffer) without first reserving
+        // anything near that much memory.
+        let mut w = Wr(Vec::new());
+        w.u64(1u64 << 60);
+        w.0.extend_from_slice(b"short");
+        let mut r = Rd::from_slice(&w.0);
+        assert!(matches!(r.str(), Err(TraceFileError::Truncated)));
     }
 }

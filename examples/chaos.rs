@@ -23,9 +23,9 @@
 //!
 //! Run with `cargo run --release --example chaos -- <mode> [args]`.
 
-use pkvm_harness::campaign::{replay, CampaignCfg, ReplayOutcome};
+use pkvm_harness::campaign::{replay, replay_stream, CampaignCfg, ReplayOutcome};
 use pkvm_harness::chaos::{detection_matrix, mutation_sweep, ChaosCfg, ChaosFamily, MatrixCfg};
-use pkvm_harness::tracefile::{load_trace, save_trace};
+use pkvm_harness::tracefile::{save_trace, TraceReader};
 use pkvm_hyp::faults::Fault;
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -185,15 +185,36 @@ fn main() {
                 eprintln!("usage: chaos replay <file.pkvmtrace>");
                 std::process::exit(2);
             };
-            let trace = match load_trace(&path) {
-                Ok(t) => t,
+            // Stream the trace straight from disk into the replay: the
+            // header boots the machine, then events execute one at a
+            // time — the timeline is never materialized.
+            let reader = match TraceReader::open(&path) {
+                Ok(r) => r,
                 Err(e) => {
-                    eprintln!("cannot load {path}: {e}");
+                    eprintln!("cannot open {path}: {e}");
                     std::process::exit(1);
                 }
             };
-            println!("loaded {} events from {path}", trace.events.len());
-            println!("{}", verdict_line(&replay(&trace)));
+            let header = reader.header().clone();
+            let mut events = 0u64;
+            let outcome = replay_stream(
+                &header,
+                reader.inspect(|r| {
+                    if r.is_ok() {
+                        events += 1;
+                    }
+                }),
+            );
+            match outcome {
+                Ok(out) => {
+                    println!("streamed {events} events from {path}");
+                    println!("{}", verdict_line(&out));
+                }
+                Err(e) => {
+                    eprintln!("cannot replay {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         other => {
             eprintln!("unknown mode {other:?}; use matrix | campaign | mutation | record | replay");
