@@ -68,13 +68,14 @@ fi
 echo "== differential gate (fault-catalog replay matrix, fresh-process determinism) =="
 # Records one clean fixed-seed schedule, replays it against the clean
 # hypervisor and every cataloged fault, and enforces: clean row
-# violation-free, at least 11/16 faults diverging, and a bit-identical
-# canonical matrix line when the matrix is recomputed in a *second*
-# process.
+# violation-free, at least 14/17 faults diverging (only the race-window
+# and init-shape bugs are structurally out of a single-threaded
+# schedule's reach), and a bit-identical canonical matrix line when the
+# matrix is recomputed in a *second* process.
 DIFF_TMP="$(mktemp -t pkvmdiff.XXXXXX)"
 trap 'rm -f "$TRACE_TMP" "$COMPACT_TMP" "$DIFF_TMP"' EXIT
 cargo run --release --example differential -- record "$DIFF_TMP" 0x42 2500
-DIFF_GATE="$(cargo run --release --example differential -- gate "$DIFF_TMP" 11 | grep '^diff-matrix:')"
+DIFF_GATE="$(cargo run --release --example differential -- gate "$DIFF_TMP" 14 | grep '^diff-matrix:')"
 DIFF_AGAIN="$(cargo run --release --example differential -- matrix "$DIFF_TMP" | grep '^diff-matrix:')"
 echo "  gate:     $DIFF_GATE"
 echo "  recheck:  $DIFF_AGAIN"
@@ -131,6 +132,23 @@ echo "== bbm gate (E13: break-before-make spec check, both modes) =="
 # event seqs under CheckMode::Inline and CheckMode::Pipelined, and zero
 # break-before-make verdicts on clean and stale-TLB-chaos runs.
 cargo run --release --example bbm_gate -- 400 0xe13
+
+echo "== android gate (E16: protected boot, share/unshare, churn) =="
+# The Android workload surface: handwritten scenarios clean, a
+# fixed-seed Android-weighted campaign violation-free and bit-identical
+# under CheckMode::Inline and CheckMode::Pipelined, one detection per
+# new spec check under its matching fault, and a canonical verdict line
+# that reproduces when the saved trace is replayed in a *second* process.
+ANDROID_TMP="$(mktemp -t pkvmandroid.XXXXXX)"
+trap 'rm -f "$TRACE_TMP" "$COMPACT_TMP" "$DIFF_TMP" "$ANDROID_TMP"; rm -rf "$FUZZ_CORPUS" "$FLEET_ROOT"' EXIT
+ANDROID_GATE="$(cargo run --release --example android -- gate "$ANDROID_TMP" 0xe16 1200 | grep '^android-verdict:')"
+ANDROID_REPLAY="$(cargo run --release --example android -- replay "$ANDROID_TMP" | grep '^android-verdict:')"
+echo "  gate:     $ANDROID_GATE"
+echo "  replayed: $ANDROID_REPLAY"
+if [ "$ANDROID_GATE" != "$ANDROID_REPLAY" ]; then
+    echo "android trace replay verdict differs across processes" >&2
+    exit 1
+fi
 
 echo "== mutation mini-sweep (3 bugs x 3 chaos families) =="
 # Known bugs injected while chaos corrupts the oracle's inputs; exits

@@ -308,6 +308,7 @@ pub fn abstract_vm_with_pgt(view: &VmView, pgt: AbstractPgtable) -> GhostVm {
         protected: view.protected,
         pgt,
         donated: view.donated.iter().map(|p| p.pfn()).collect(),
+        firmware: view.firmware.iter().map(|p| p.pfn()).collect(),
         vcpus: view
             .vcpus
             .iter()

@@ -6,6 +6,8 @@
 //! defined it must equal the recorded post, and everywhere else the
 //! recorded post must equal the pre.
 
+use pkvm_hyp::hooks::TransferEdge;
+
 use crate::abstraction::Anomaly;
 use crate::diff::diff_states;
 use crate::state::GhostState;
@@ -123,6 +125,44 @@ pub enum Violation {
         /// Pages downgraded (`u64::MAX` with `ia == 0` is VMID-wide).
         nr: u64,
     },
+    /// The host's stage 2 regained access to a page that was donated to a
+    /// protected VM as firmware. The property spans the VM's whole
+    /// lifetime — including teardown and handle reuse — so `uniq` names
+    /// the incarnation the page belonged to, and `seq` anchors on the
+    /// event where the host regained access.
+    FirmwareProtection {
+        /// Event-stream sequence id of the violating regain event.
+        seq: Option<u64>,
+        /// Handle of the VM the firmware was donated to.
+        handle: u32,
+        /// Incarnation id of that VM (survives handle reuse).
+        uniq: u64,
+        /// The firmware page frame the host regained.
+        pfn: u64,
+    },
+    /// A page crossed an ownership-transfer edge its protocol state does
+    /// not allow — e.g. becoming accessible to both sides mid-transfer,
+    /// or an unshare that does not restore the pre-share owner. `seq`
+    /// anchors on the offending transfer event.
+    TransferProtocol {
+        /// Event-stream sequence id of the offending transfer event.
+        seq: Option<u64>,
+        /// The edge that was crossed.
+        edge: TransferEdge,
+        /// The page frame concerned.
+        pfn: u64,
+        /// What the protocol state machine expected instead.
+        detail: String,
+    },
+    /// A reclaimed guest page re-entered the host's stage 2 still holding
+    /// guest data (the wipe was skipped or incomplete). `seq` anchors on
+    /// the reclaim transfer event.
+    ReclaimWipe {
+        /// Event-stream sequence id of the dirty reclaim event.
+        seq: Option<u64>,
+        /// The page frame returned unwiped.
+        pfn: u64,
+    },
     /// An oracle-internal step (abstraction, spec, or check) panicked and
     /// the panic was contained. The system under test is *not* implicated:
     /// this is the oracle reporting on itself so a campaign can keep
@@ -150,6 +190,9 @@ impl Violation {
             Violation::OracleSelfCheck { .. } => "oracle-self-check",
             Violation::ShadowDivergence { .. } => "shadow-divergence",
             Violation::BreakBeforeMake { .. } => "break-before-make",
+            Violation::FirmwareProtection { .. } => "firmware-protection",
+            Violation::TransferProtocol { .. } => "transfer-protocol",
+            Violation::ReclaimWipe { .. } => "reclaim-wipe",
             Violation::OracleInternal { .. } => "oracle-internal",
         }
     }
@@ -175,7 +218,11 @@ impl Violation {
             | Violation::OracleInternal { component, .. } => Some(component),
             Violation::AbstractionAnomaly { context, .. }
             | Violation::OracleSelfCheck { context, .. } => Some(context),
-            Violation::HypPanic { .. } | Violation::BreakBeforeMake { .. } => None,
+            Violation::HypPanic { .. }
+            | Violation::BreakBeforeMake { .. }
+            | Violation::FirmwareProtection { .. }
+            | Violation::TransferProtocol { .. }
+            | Violation::ReclaimWipe { .. } => None,
         }
     }
 
@@ -185,6 +232,7 @@ impl Violation {
             Violation::SpecMismatch { uniq, .. }
             | Violation::UnexpectedChange { uniq, .. }
             | Violation::NonInterference { uniq, .. } => *uniq,
+            Violation::FirmwareProtection { uniq, .. } => Some(*uniq),
             _ => None,
         }
     }
@@ -216,6 +264,9 @@ impl Violation {
             | Violation::OracleSelfCheck { seq, .. }
             | Violation::ShadowDivergence { seq, .. }
             | Violation::BreakBeforeMake { seq, .. }
+            | Violation::FirmwareProtection { seq, .. }
+            | Violation::TransferProtocol { seq, .. }
+            | Violation::ReclaimWipe { seq, .. }
             | Violation::OracleInternal { seq, .. } => *seq,
         }
     }
@@ -233,6 +284,9 @@ impl Violation {
             | Violation::OracleSelfCheck { seq, .. }
             | Violation::ShadowDivergence { seq, .. }
             | Violation::BreakBeforeMake { seq, .. }
+            | Violation::FirmwareProtection { seq, .. }
+            | Violation::TransferProtocol { seq, .. }
+            | Violation::ReclaimWipe { seq, .. }
             | Violation::OracleInternal { seq, .. } => {
                 if seq.is_none() {
                     *seq = Some(s);
@@ -270,6 +324,25 @@ impl Violation {
                          covering broadcast TLBI+DSB"
                     )
                 }
+            }
+            Violation::FirmwareProtection {
+                handle, uniq, pfn, ..
+            } => {
+                format!(
+                    "host regained firmware page {pfn:#x} donated to vm {handle:#x} \
+                     (incarnation {uniq})"
+                )
+            }
+            Violation::TransferProtocol {
+                edge, pfn, detail, ..
+            } => {
+                format!(
+                    "page {pfn:#x} illegally crossed edge {}: {detail}",
+                    edge.name()
+                )
+            }
+            Violation::ReclaimWipe { pfn, .. } => {
+                format!("page {pfn:#x} reclaimed to the host still holding guest data")
             }
             Violation::OracleInternal { payload, .. } => {
                 format!("contained oracle panic: {payload}")

@@ -186,6 +186,35 @@ pub(crate) enum CheckMsg {
     },
     /// A barrier completing outstanding TLBIs on this CPU.
     Dsb { cpu: usize },
+    /// A page range crossed an ownership-transfer edge; `seq` is the
+    /// transfer event's stream seq (the anchor a protocol violation
+    /// carries).
+    Transfer {
+        cpu: usize,
+        trap: Option<u64>,
+        seq: u64,
+        edge: pkvm_hyp::hooks::TransferEdge,
+        pfn: u64,
+        nr: u64,
+        dirty: bool,
+    },
+    /// A firmware region was donated (`vm_load_firmware` succeeded).
+    FirmwareDonate {
+        handle: u32,
+        uniq: u64,
+        pfn: u64,
+        nr: u64,
+    },
+    /// The host's stage 2 regained a page range; `seq` is the regain
+    /// event's stream seq (the anchor a firmware-protection violation
+    /// carries).
+    HostRegain {
+        cpu: usize,
+        trap: Option<u64>,
+        seq: u64,
+        pfn: u64,
+        nr: u64,
+    },
     /// Violations produced on the mutator side (hypervisor panics,
     /// contained front-half panics). Routed through the pipeline so every
     /// report lands in checker order — the derived sequence numbering

@@ -80,6 +80,13 @@ fn diff_vm(out: &mut String, a: &GhostVm, b: &GhostVm) {
             a.donated, b.donated
         );
     }
+    if a.firmware != b.firmware {
+        let _ = writeln!(
+            out,
+            "  vm[{h:#x}].firmware -{:x?} +{:x?}",
+            a.firmware, b.firmware
+        );
+    }
     for (i, (va, vb)) in a.vcpus.iter().zip(b.vcpus.iter()).enumerate() {
         if va != vb {
             let _ = writeln!(

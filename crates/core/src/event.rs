@@ -34,7 +34,7 @@ use std::time::Instant;
 
 use pkvm_aarch64::sync::Mutex;
 use pkvm_aarch64::walk::Access;
-use pkvm_hyp::hooks::Component;
+use pkvm_hyp::hooks::{Component, TransferEdge};
 use pkvm_hyp::vm::{GuestOp, Handle};
 
 use crate::check::Violation;
@@ -239,6 +239,47 @@ pub enum Event {
         /// Which family fired.
         kind: ChaosKind,
     },
+    /// A page range crossed an ownership-transfer edge (share, unshare,
+    /// donate, guest map, reclaim, ...) at its commit point.
+    Transfer {
+        /// CPU the transition committed on.
+        cpu: usize,
+        /// Which protocol edge was crossed.
+        edge: TransferEdge,
+        /// First page frame of the range.
+        pfn: u64,
+        /// Pages in the range.
+        nr: u64,
+        /// For [`TransferEdge::Reclaim`]: whether the page still held
+        /// guest data after the (attempted) wipe. Always `false` for
+        /// other edges.
+        dirty: bool,
+    },
+    /// A firmware region was donated to a protected VM
+    /// (`vm_load_firmware` succeeded).
+    FirmwareDonate {
+        /// CPU the donation committed on.
+        cpu: usize,
+        /// VM handle.
+        handle: Handle,
+        /// Incarnation id of the VM (survives handle reuse).
+        uniq: u64,
+        /// First page frame donated.
+        pfn: u64,
+        /// Pages donated.
+        nr: u64,
+    },
+    /// The host's stage 2 regained access to a page range (donation back,
+    /// successful reclaim, guest share). Firmware pages must never appear
+    /// here.
+    HostRegain {
+        /// CPU the transition committed on.
+        cpu: usize,
+        /// First page frame regained.
+        pfn: u64,
+        /// Pages regained.
+        nr: u64,
+    },
     /// One trap's check concluded.
     Check {
         /// CPU the checked trap ran on.
@@ -255,7 +296,7 @@ pub enum Event {
 impl Event {
     /// Every [`family`](Self::family) tag, for validating family names
     /// given on a command line or in a compaction request.
-    pub const FAMILIES: [&'static str; 18] = [
+    pub const FAMILIES: [&'static str; 21] = [
         "hvc",
         "write-mem",
         "corrupt-mem",
@@ -272,6 +313,9 @@ impl Event {
         "tlbi",
         "dsb",
         "chaos",
+        "transfer",
+        "firmware-donate",
+        "host-regain",
         "check",
         "violation",
     ];
@@ -295,6 +339,9 @@ impl Event {
             Event::Tlbi { .. } => "tlbi",
             Event::Dsb { .. } => "dsb",
             Event::Chaos { .. } => "chaos",
+            Event::Transfer { .. } => "transfer",
+            Event::FirmwareDonate { .. } => "firmware-donate",
+            Event::HostRegain { .. } => "host-regain",
             Event::Check { .. } => "check",
             Event::Violation(_) => "violation",
         }
@@ -624,6 +671,20 @@ impl ShapeHasher {
                 self.byte(11);
                 self.byte((*nr == u64::MAX) as u8);
             }
+            // Transfer shape: which protocol edge was crossed and (for
+            // reclaims) whether the wipe left the page dirty — not the
+            // concrete page numbers.
+            Event::Transfer { edge, dirty, .. } => {
+                self.byte(12);
+                self.byte(*edge as u8);
+                self.byte(*dirty as u8);
+            }
+            Event::FirmwareDonate { .. } => {
+                self.byte(13);
+            }
+            Event::HostRegain { .. } => {
+                self.byte(14);
+            }
             // Driver ops and raw read/trap-enter events are the *input*,
             // not the observed behaviour; folding them in would make every
             // mutation "novel" by construction.
@@ -774,6 +835,14 @@ pub struct LaneOccupancy {
 pub struct TraceStats {
     /// Event counts per family tag.
     pub families: BTreeMap<&'static str, u64>,
+    /// Transfer crossings per protocol edge (share, unshare, donate,
+    /// guest map, reclaim, ...), keyed by [`TransferEdge::name`].
+    pub transfers: BTreeMap<&'static str, u64>,
+    /// Reclaim crossings whose page still held guest data (each one is
+    /// a wipe the hypervisor skipped — a reclaim-wipe verdict upstream).
+    pub dirty_reclaims: u64,
+    /// Total pages donated as protected-VM firmware.
+    pub firmware_pages: u64,
     /// Latency histograms per trap name.
     pub traps: BTreeMap<String, TrapLatency>,
     /// Occupancy per lane.
@@ -826,6 +895,15 @@ impl TraceStats {
                 let at = self.events_seen;
                 self.spec_first_seen.entry(name.clone()).or_insert(at);
             }
+            Event::Transfer { edge, dirty, .. } => {
+                *self.transfers.entry(edge.name()).or_default() += 1;
+                if *dirty {
+                    self.dirty_reclaims += 1;
+                }
+            }
+            Event::FirmwareDonate { nr, .. } => {
+                self.firmware_pages += nr;
+            }
             _ => {}
         }
         // Lazy grid init: `Default` zeroes the field, the first record
@@ -854,6 +932,22 @@ impl TraceStats {
         let _ = writeln!(out, "event families:");
         for (family, n) in &self.families {
             let _ = writeln!(out, "  {family:<18} {n:>10}");
+        }
+        if !self.transfers.is_empty() {
+            let _ = writeln!(out, "transfer edges:");
+            for (edge, n) in &self.transfers {
+                let _ = writeln!(out, "  {edge:<18} {n:>10}");
+            }
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>10}",
+                "dirty reclaims", self.dirty_reclaims
+            );
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>10}",
+                "firmware pages", self.firmware_pages
+            );
         }
         if !self.chaos.is_empty() {
             let _ = writeln!(out, "chaos injections:");

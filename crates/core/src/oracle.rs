@@ -34,7 +34,7 @@ use pkvm_aarch64::attrs::Stage;
 use pkvm_aarch64::esr::Esr;
 use pkvm_aarch64::sync::Mutex;
 use pkvm_aarch64::sysreg::GprFile;
-use pkvm_hyp::hooks::{Component, ComponentView, GhostHooks, HookCtx, VcpuView};
+use pkvm_hyp::hooks::{Component, ComponentView, GhostHooks, HookCtx, TransferEdge, VcpuView};
 use pkvm_hyp::hypercalls;
 use pkvm_hyp::machine::MachineConfig;
 use pkvm_hyp::mm::compute_layout;
@@ -105,6 +105,16 @@ pub struct OracleOpts {
     /// else [`Violation::BreakBeforeMake`] anchored on the offending
     /// table write.
     pub check_break_before_make: bool,
+    /// Check that the host never regains stage-2 access to a page donated
+    /// to a protected VM as firmware — for the VM's whole lifetime,
+    /// including across teardown and handle reuse
+    /// ([`Violation::FirmwareProtection`]).
+    pub check_firmware_protection: bool,
+    /// Check the page-transfer protocol: every ownership transition must
+    /// depart from the state the protocol prescribes for its edge
+    /// ([`Violation::TransferProtocol`]), and a reclaimed page must reach
+    /// the host wiped ([`Violation::ReclaimWipe`]).
+    pub check_transfer_protocol: bool,
 }
 
 impl Default for OracleOpts {
@@ -120,6 +130,8 @@ impl Default for OracleOpts {
             quarantine_traps: 16,
             check_mode: CheckMode::Inline,
             check_break_before_make: true,
+            check_firmware_protection: true,
+            check_transfer_protocol: true,
         }
     }
 }
@@ -198,6 +210,18 @@ impl OracleOptsBuilder {
     /// Toggle the break-before-make discipline check (default on).
     pub fn check_break_before_make(mut self, on: bool) -> Self {
         self.0.check_break_before_make = on;
+        self
+    }
+
+    /// Toggle the firmware-protection check (default on).
+    pub fn check_firmware_protection(mut self, on: bool) -> Self {
+        self.0.check_firmware_protection = on;
+        self
+    }
+
+    /// Toggle the transfer-protocol check (default on).
+    pub fn check_transfer_protocol(mut self, on: bool) -> Self {
+        self.0.check_transfer_protocol = on;
         self
     }
 
@@ -579,6 +603,146 @@ impl BbmTracker {
     }
 }
 
+/// A page's position in the ownership-transfer protocol, as the oracle's
+/// edge ledger tracks it. Pages start (and mostly live) in `HostOwned`;
+/// `FirmwareOwned` is terminal — firmware is retained by the hypervisor
+/// across teardown, so no legal edge ever leaves it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum XferState {
+    HostOwned,
+    SharedHyp,
+    HypOwned,
+    GuestOwned,
+    GuestShared,
+    GuestSharedHost,
+    FirmwareOwned,
+}
+
+impl XferState {
+    fn name(self) -> &'static str {
+        match self {
+            XferState::HostOwned => "host_owned",
+            XferState::SharedHyp => "shared_hyp",
+            XferState::HypOwned => "hyp_owned",
+            XferState::GuestOwned => "guest_owned",
+            XferState::GuestShared => "guest_shared",
+            XferState::GuestSharedHost => "guest_shared_host",
+            XferState::FirmwareOwned => "firmware_owned",
+        }
+    }
+}
+
+/// Back-half ledger for the transfer-protocol check: one [`XferState`]
+/// per page that has ever left host ownership. Every
+/// [`TransferEdge`] the hypervisor commits must depart from the state
+/// the protocol prescribes; hooks fire under the host lock, so both
+/// check modes apply the edges in the same per-page order.
+#[derive(Default)]
+struct TransferTracker {
+    states: HashMap<u64, XferState>,
+}
+
+impl TransferTracker {
+    /// Runs one page across one protocol edge. `Err` carries the illegal
+    /// departure state's name for the violation detail.
+    fn cross(&mut self, edge: TransferEdge, pfn: u64) -> Result<(), &'static str> {
+        use XferState::*;
+        let cur = self.states.get(&pfn).copied().unwrap_or(HostOwned);
+        let next = match (edge, cur) {
+            (TransferEdge::ShareHyp, HostOwned) => SharedHyp,
+            (TransferEdge::UnshareHyp, SharedHyp) => HostOwned,
+            (TransferEdge::DonateHyp, HostOwned) => HypOwned,
+            (TransferEdge::DonateHost, HypOwned) => HostOwned,
+            (TransferEdge::MapGuestOwned, HostOwned) => GuestOwned,
+            (TransferEdge::MapGuestShared, HostOwned) => GuestShared,
+            (TransferEdge::GuestShareHost, GuestOwned) => GuestSharedHost,
+            (TransferEdge::GuestUnshareHost, GuestSharedHost) => GuestOwned,
+            (TransferEdge::Firmware, HostOwned) => FirmwareOwned,
+            (TransferEdge::Reclaim, GuestOwned | GuestShared | GuestSharedHost) => HostOwned,
+            (_, cur) => return Err(cur.name()),
+        };
+        self.states.insert(pfn, next);
+        Ok(())
+    }
+}
+
+/// One donated firmware page the host must never see again.
+struct FirmwarePage {
+    handle: Handle,
+    uniq: u64,
+    /// A violation was already reported for this page; dedupes the
+    /// backstop scan, which otherwise re-finds the same breach at every
+    /// host lock event.
+    reported: bool,
+}
+
+/// Back-half ledger for the firmware-protection check. Insert-only: a
+/// donation binds the page to its VM incarnation for the rest of the
+/// run, surviving teardown and handle reuse (the hypervisor retains
+/// firmware forever).
+#[derive(Default)]
+struct FirmwareTracker {
+    pages: HashMap<u64, FirmwarePage>,
+}
+
+impl FirmwareTracker {
+    fn note_donate(&mut self, handle: Handle, uniq: u64, pfn: u64, nr: u64) {
+        for p in pfn..pfn.saturating_add(nr) {
+            self.pages.insert(
+                p,
+                FirmwarePage {
+                    handle,
+                    uniq,
+                    reported: false,
+                },
+            );
+        }
+    }
+
+    /// The host regained `[pfn, pfn+nr)`: reports every tracked firmware
+    /// page in the range (anchored at the regain event `seq`).
+    fn check_regain(&mut self, seq: u64, pfn: u64, nr: u64) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for p in pfn..pfn.saturating_add(nr) {
+            if let Some(fw) = self.pages.get_mut(&p) {
+                if !fw.reported {
+                    fw.reported = true;
+                    out.push(Violation::FirmwareProtection {
+                        seq: Some(seq),
+                        handle: fw.handle,
+                        uniq: fw.uniq,
+                        pfn: p,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Backstop over a freshly abstracted host component: any tracked
+    /// page the host's stage 2 can reach again (no longer annotated away
+    /// from it) is a breach, even if no regain hook announced it.
+    fn scan_host(&mut self, host: &GhostHost) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (p, fw) in self.pages.iter_mut() {
+            if !fw.reported && host.annot.lookup(p << 12).is_none() {
+                fw.reported = true;
+                out.push(Violation::FirmwareProtection {
+                    seq: None,
+                    handle: fw.handle,
+                    uniq: fw.uniq,
+                    pfn: *p,
+                });
+            }
+        }
+        out.sort_by_key(|v| match v {
+            Violation::FirmwareProtection { pfn, .. } => *pfn,
+            _ => 0,
+        });
+        out
+    }
+}
+
 /// The runtime test oracle; install as the machine's [`GhostHooks`].
 pub struct Oracle {
     /// The initialisation-time constants, derived independently from the
@@ -597,6 +761,10 @@ pub struct Oracle {
     pipeline: Option<Pipeline>,
     /// Break-before-make ledger (back-half state, like the shared copy).
     bbm: Mutex<BbmTracker>,
+    /// Transfer-protocol ledger (back-half state).
+    xfer: Mutex<TransferTracker>,
+    /// Firmware-protection ledger (back-half state).
+    firmware: Mutex<FirmwareTracker>,
     /// Counters.
     #[deprecated(
         since = "0.6.0",
@@ -691,6 +859,8 @@ impl Oracle {
             quarantine: Quarantine::new(opts.quarantine_threshold, opts.quarantine_traps),
             pipeline,
             bbm: Mutex::new(BbmTracker::default()),
+            xfer: Mutex::new(TransferTracker::default()),
+            firmware: Mutex::new(FirmwareTracker::default()),
             stats: OracleStats::default(),
         });
         if let Some(rx) = rx {
@@ -1537,6 +1707,18 @@ impl OracleBuilder<'_> {
         self
     }
 
+    /// Toggle the firmware-protection check (default on).
+    pub fn check_firmware_protection(mut self, on: bool) -> Self {
+        self.opts.check_firmware_protection = on;
+        self
+    }
+
+    /// Toggle the transfer-protocol check (default on).
+    pub fn check_transfer_protocol(mut self, on: bool) -> Self {
+        self.opts.check_transfer_protocol = on;
+        self
+    }
+
     /// Builds the oracle.
     pub fn build(self) -> Arc<Oracle> {
         match self.events {
@@ -1719,6 +1901,7 @@ impl Oracle {
                 if !reports.is_empty() {
                     self.report_all_at(cpu, trap, reports);
                 }
+                self.firmware_backstop(cpu, trap, &value);
                 if check_ni {
                     self.noninterference_check(cpu, trap, comp, &value);
                 }
@@ -1756,6 +1939,7 @@ impl Oracle {
                 if !reports.is_empty() {
                     self.report_all_at(cpu, trap, reports);
                 }
+                self.firmware_backstop(cpu, trap, &value);
                 let key = value.key();
                 let version = {
                     let mut shared = self.shared.lock();
@@ -1850,6 +2034,77 @@ impl Oracle {
                     self.bbm.lock().note_dsb(cpu);
                 }
             }
+            CheckMsg::Transfer {
+                cpu,
+                trap,
+                seq,
+                edge,
+                pfn,
+                nr,
+                dirty,
+            } => {
+                crate::spec::spec_hit(match edge {
+                    TransferEdge::ShareHyp => "spec/transfer/share_hyp",
+                    TransferEdge::UnshareHyp => "spec/transfer/unshare_hyp",
+                    TransferEdge::DonateHyp => "spec/transfer/donate_hyp",
+                    TransferEdge::DonateHost => "spec/transfer/donate_host",
+                    TransferEdge::MapGuestOwned => "spec/transfer/map_guest_owned",
+                    TransferEdge::MapGuestShared => "spec/transfer/map_guest_shared",
+                    TransferEdge::GuestShareHost => "spec/transfer/guest_share_host",
+                    TransferEdge::GuestUnshareHost => "spec/transfer/guest_unshare_host",
+                    TransferEdge::Firmware => "spec/transfer/firmware",
+                    TransferEdge::Reclaim => "spec/transfer/reclaim",
+                });
+                if !self.opts.check_transfer_protocol {
+                    return;
+                }
+                let mut violations = Vec::new();
+                let mut xfer = self.xfer.lock();
+                for p in pfn..pfn.saturating_add(nr) {
+                    if let Err(from) = xfer.cross(edge, p) {
+                        violations.push(Violation::TransferProtocol {
+                            seq: Some(seq),
+                            edge,
+                            pfn: p,
+                            detail: format!("departed from state {from}"),
+                        });
+                    }
+                    if edge == TransferEdge::Reclaim && dirty {
+                        violations.push(Violation::ReclaimWipe {
+                            seq: Some(seq),
+                            pfn: p,
+                        });
+                    }
+                }
+                drop(xfer);
+                if !violations.is_empty() {
+                    self.report_all_at(cpu, trap, violations);
+                }
+            }
+            CheckMsg::FirmwareDonate {
+                handle,
+                uniq,
+                pfn,
+                nr,
+            } => {
+                if self.opts.check_firmware_protection {
+                    self.firmware.lock().note_donate(handle, uniq, pfn, nr);
+                }
+            }
+            CheckMsg::HostRegain {
+                cpu,
+                trap,
+                seq,
+                pfn,
+                nr,
+            } => {
+                if self.opts.check_firmware_protection {
+                    let violations = self.firmware.lock().check_regain(seq, pfn, nr);
+                    if !violations.is_empty() {
+                        self.report_all_at(cpu, trap, violations);
+                    }
+                }
+            }
             CheckMsg::Report {
                 cpu,
                 trap,
@@ -1859,6 +2114,24 @@ impl Oracle {
             // containment net, so the poster can never hang); inline mode
             // never dispatches one.
             CheckMsg::Barrier(_) => {}
+        }
+    }
+
+    /// Firmware-protection backstop, run on every freshly abstracted host
+    /// component: even when no regain hook announced it, a donated
+    /// firmware page the host's stage 2 can reach again is a breach. The
+    /// donation annotates the page away from the host before the same
+    /// critical section's release message, so a clean run never trips
+    /// this.
+    fn firmware_backstop(&self, cpu: usize, trap: Option<u64>, value: &ComponentValue) {
+        if !self.opts.check_firmware_protection {
+            return;
+        }
+        if let ComponentValue::Host(h) = value {
+            let violations = self.firmware.lock().scan_host(h);
+            if !violations.is_empty() {
+                self.report_all_at(cpu, trap, violations);
+            }
         }
     }
 
@@ -2323,6 +2596,77 @@ impl GhostHooks for Oracle {
         });
     }
 
+    fn transfer(&self, ctx: &HookCtx<'_>, edge: TransferEdge, pfn: u64, nr: u64, dirty: bool) {
+        self.guarded("transfer", || {
+            let trap = self.current_trap(ctx.cpu);
+            let seq = self.events.emit(
+                ctx.cpu as u32,
+                trap,
+                Event::Transfer {
+                    cpu: ctx.cpu,
+                    edge,
+                    pfn,
+                    nr,
+                    dirty,
+                },
+            );
+            self.dispatch(CheckMsg::Transfer {
+                cpu: ctx.cpu,
+                trap,
+                seq,
+                edge,
+                pfn,
+                nr,
+                dirty,
+            });
+        });
+    }
+
+    fn firmware_donated(&self, ctx: &HookCtx<'_>, handle: Handle, uniq: u64, pfn: u64, nr: u64) {
+        self.guarded("firmware_donated", || {
+            let trap = self.current_trap(ctx.cpu);
+            self.events.emit(
+                ctx.cpu as u32,
+                trap,
+                Event::FirmwareDonate {
+                    cpu: ctx.cpu,
+                    handle,
+                    uniq,
+                    pfn,
+                    nr,
+                },
+            );
+            self.dispatch(CheckMsg::FirmwareDonate {
+                handle,
+                uniq,
+                pfn,
+                nr,
+            });
+        });
+    }
+
+    fn host_regain(&self, ctx: &HookCtx<'_>, pfn: u64, nr: u64) {
+        self.guarded("host_regain", || {
+            let trap = self.current_trap(ctx.cpu);
+            let seq = self.events.emit(
+                ctx.cpu as u32,
+                trap,
+                Event::HostRegain {
+                    cpu: ctx.cpu,
+                    pfn,
+                    nr,
+                },
+            );
+            self.dispatch(CheckMsg::HostRegain {
+                cpu: ctx.cpu,
+                trap,
+                seq,
+                pfn,
+                nr,
+            });
+        });
+    }
+
     fn hyp_panic(&self, ctx: &HookCtx<'_>, reason: &str) {
         let trap = self.current_trap(ctx.cpu);
         self.dispatch(CheckMsg::Report {
@@ -2402,6 +2746,7 @@ mod tests {
             protected: true,
             pgt: Default::default(),
             donated: donated.to_vec(),
+            firmware: Vec::new(),
             vcpus: Vec::new(),
         }
     }
@@ -2828,5 +3173,158 @@ mod tests {
         o.pte_downgrade(&ctx, 1, 0x8000, 2);
         o.trap_exit(&ctx, &GprFile::default(), None);
         assert!(bbm_violations(&o).is_empty());
+    }
+
+    #[test]
+    fn transfer_protocol_accepts_the_clean_round_trips() {
+        use TransferEdge::*;
+        let o = oracle();
+        let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        // Host <-> hyp share, host <-> hyp donation, guest map + share
+        // ping-pong + reclaim, firmware: each page's full legal life.
+        o.transfer(&ctx, ShareHyp, 0x100, 1, false);
+        o.transfer(&ctx, UnshareHyp, 0x100, 1, false);
+        o.transfer(&ctx, DonateHyp, 0x100, 2, false);
+        o.transfer(&ctx, DonateHost, 0x100, 2, false);
+        o.transfer(&ctx, MapGuestOwned, 0x200, 1, false);
+        o.transfer(&ctx, GuestShareHost, 0x200, 1, false);
+        o.host_regain(&ctx, 0x200, 1);
+        o.transfer(&ctx, GuestUnshareHost, 0x200, 1, false);
+        o.transfer(&ctx, Reclaim, 0x200, 1, false);
+        o.host_regain(&ctx, 0x200, 1);
+        o.transfer(&ctx, MapGuestShared, 0x300, 1, false);
+        o.transfer(&ctx, Reclaim, 0x300, 1, false);
+        o.transfer(&ctx, Firmware, 0x400, 2, false);
+        o.firmware_donated(&ctx, 0x1000, 1, 0x400, 2);
+        assert!(o.is_clean(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn transfer_protocol_flags_an_illegal_edge_with_its_departure_state() {
+        let o = oracle();
+        let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        o.transfer(&ctx, TransferEdge::ShareHyp, 0x100, 1, false);
+        // Sharing an already-shared page breaks the protocol.
+        o.transfer(&ctx, TransferEdge::ShareHyp, 0x100, 1, false);
+        let vs = o.violations();
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        match &vs[0] {
+            Violation::TransferProtocol {
+                seq,
+                edge,
+                pfn,
+                detail,
+            } => {
+                assert!(seq.is_some(), "anchored on the transfer event");
+                assert_eq!(*edge, TransferEdge::ShareHyp);
+                assert_eq!(*pfn, 0x100);
+                assert!(detail.contains("shared_hyp"), "{detail}");
+            }
+            v => panic!("wrong variant: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn dirty_reclaim_is_a_wipe_violation() {
+        let o = oracle();
+        let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        o.transfer(&ctx, TransferEdge::MapGuestOwned, 0x200, 1, false);
+        o.transfer(&ctx, TransferEdge::Reclaim, 0x200, 1, true);
+        let vs = o.violations();
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(
+            matches!(
+                &vs[0],
+                Violation::ReclaimWipe {
+                    seq: Some(_),
+                    pfn: 0x200
+                }
+            ),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn firmware_regain_is_flagged_even_across_teardown() {
+        let o = oracle();
+        let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        o.transfer(&ctx, TransferEdge::Firmware, 0x400, 2, false);
+        o.firmware_donated(&ctx, 0x1000, 7, 0x400, 2);
+        assert!(o.is_clean());
+        // Long after the donating VM is gone (the tracker never forgets),
+        // a regain overlapping one firmware page is a breach.
+        o.host_regain(&ctx, 0x3ff, 2);
+        let vs = o.violations();
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        match &vs[0] {
+            Violation::FirmwareProtection {
+                seq,
+                handle,
+                uniq,
+                pfn,
+            } => {
+                assert!(seq.is_some(), "anchored on the regain event");
+                assert_eq!((*handle, *uniq, *pfn), (0x1000, 7, 0x400));
+            }
+            v => panic!("wrong variant: {v:?}"),
+        }
+        // The same page is not re-reported.
+        o.host_regain(&ctx, 0x400, 1);
+        assert_eq!(o.violations().len(), 1);
+        // The region's other page still is.
+        o.host_regain(&ctx, 0x401, 1);
+        assert_eq!(o.violations().len(), 2);
+    }
+
+    #[test]
+    fn firmware_backstop_catches_an_unannounced_host_mapping() {
+        let o = oracle();
+        let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        o.firmware_donated(&ctx, 0x1000, 3, 0x40600, 1);
+        // A host abstraction whose annotations no longer exclude the
+        // firmware page (as after a buggy reclaim): the host can reach it
+        // again even though no regain hook announced anything.
+        o.apply_msg(CheckMsg::LockAcquired {
+            cpu: 0,
+            trap: None,
+            comp: Component::Host,
+            value: ComponentValue::Host(GhostHost::default()),
+            reports: Vec::new(),
+            check_ni: false,
+        });
+        let vs = o.violations();
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(
+            matches!(
+                &vs[0],
+                Violation::FirmwareProtection {
+                    handle: 0x1000,
+                    uniq: 3,
+                    pfn: 0x40600,
+                    ..
+                }
+            ),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn android_checks_can_be_disabled() {
+        let o = Oracle::builder(&MachineConfig::default())
+            .check_transfer_protocol(false)
+            .check_firmware_protection(false)
+            .build();
+        let mem = pkvm_aarch64::memory::PhysMem::new(vec![]);
+        let ctx = HookCtx { mem: &mem, cpu: 0 };
+        o.transfer(&ctx, TransferEdge::UnshareHyp, 0x100, 1, false);
+        o.transfer(&ctx, TransferEdge::Reclaim, 0x200, 1, true);
+        o.firmware_donated(&ctx, 0x1000, 1, 0x400, 1);
+        o.host_regain(&ctx, 0x400, 1);
+        assert!(o.is_clean(), "{:?}", o.violations());
     }
 }

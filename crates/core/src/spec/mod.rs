@@ -14,6 +14,7 @@
 //! [`vcpu`] (load/put/run), and [`host_abort`] (the loosely-specified
 //! mapping-on-demand).
 
+pub mod firmware;
 pub mod host_abort;
 pub mod memory;
 pub mod vcpu;
@@ -76,6 +77,16 @@ pub const SPEC_COV_POINTS: &[&str] = &[
     "spec/init_vm/unchecked2",
     "spec/init_vm/unchecked3",
     "spec/smc",
+    "spec/transfer/donate_host",
+    "spec/transfer/donate_hyp",
+    "spec/transfer/firmware",
+    "spec/transfer/guest_share_host",
+    "spec/transfer/guest_unshare_host",
+    "spec/transfer/map_guest_owned",
+    "spec/transfer/map_guest_shared",
+    "spec/transfer/reclaim",
+    "spec/transfer/share_hyp",
+    "spec/transfer/unshare_hyp",
     "spec/teardown_vm/ebusy",
     "spec/teardown_vm/enoent",
     "spec/teardown_vm/ok",
@@ -112,6 +123,14 @@ pub const SPEC_COV_POINTS: &[&str] = &[
     "spec/vcpu_run/unchecked3",
     "spec/vcpu_run/unchecked4",
     "spec/vcpu_run/unchecked5",
+    "spec/vm_load_firmware/ebusy",
+    "spec/vm_load_firmware/einval",
+    "spec/vm_load_firmware/enoent",
+    "spec/vm_load_firmware/eperm",
+    "spec/vm_load_firmware/eperm2",
+    "spec/vm_load_firmware/ok",
+    "spec/vm_load_firmware/unchecked",
+    "spec/vm_load_firmware/unchecked2",
 ];
 
 /// The result of running a specification function.
@@ -236,6 +255,7 @@ pub fn compute_post(pre: &GhostState, call: &GhostCallData, post: &mut GhostStat
                 hc::HVC_VCPU_RUN => vcpu::vcpu_run(pre, call, post),
                 hc::HVC_VCPU_GET_REG => vcpu::vcpu_get_reg(pre, call, post),
                 hc::HVC_VCPU_SET_REG => vcpu::vcpu_set_reg(pre, call, post),
+                hc::HVC_VM_LOAD_FIRMWARE => firmware::vm_load_firmware(pre, call, post),
                 _ => unknown_hvc(pre, call, post),
             }
         }

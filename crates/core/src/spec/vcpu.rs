@@ -6,7 +6,7 @@
 //! putting moves it back. `vcpu_run` is parameterised on what the guest
 //! did — the scripted step and any guest-read values arrive as call data.
 
-use pkvm_aarch64::addr::page_align_down;
+use pkvm_aarch64::addr::{page_align_down, PAGE_SHIFT};
 use pkvm_hyp::error::Errno;
 use pkvm_hyp::hypercalls::exit;
 use pkvm_hyp::owner::{OwnerId, PageState};
@@ -261,7 +261,11 @@ pub fn vcpu_run(g_pre: &GhostState, call: &GhostCallData, g_post: &mut GhostStat
                 }
                 _ => (0, false),
             };
+            // Firmware pages are mapped guest-owned but must never reach
+            // the host again, not even by the guest's own hand.
+            let firmware_denied = share && vm_pre.firmware.contains(&(phys >> PAGE_SHIFT));
             let host_ok = guest_ok
+                && !firmware_denied
                 && if share {
                     matches!(
                         host_pre.annot.lookup(phys),

@@ -138,6 +138,7 @@ pub fn init_vm(g_pre: &GhostState, call: &GhostCallData, g_post: &mut GhostState
             protected: protected != 0,
             pgt: AbstractPgtable::default(),
             donated: vec![donate_pfn, donate_pfn + 1],
+            firmware: Vec::new(),
             vcpus: (0..nr_vcpus).map(|_| GhostVcpu::Uninit).collect(),
         },
     );
@@ -243,13 +244,26 @@ pub fn teardown_vm(
 
     // Pages returning to the host: donated metadata, per-vCPU memcache
     // pages, and the stage 2 table nodes (the root is among the donated).
+    // Table nodes inside the hypervisor carveout came from the pool, not
+    // the host (firmware mappings are built before any memcache exists):
+    // they go back to the pool and never touch the host's table. Firmware
+    // pages themselves are *retired*, not returned — handled below.
+    let (hyp_base, hyp_nr) = g_pre.globals.hyp_range;
+    let in_hyp_range = |pfn: u64| pfn >= hyp_base && pfn < hyp_base + hyp_nr;
     let mut returned: BTreeSet<u64> = vm_pre.donated.iter().copied().collect();
     for v in &vm_pre.vcpus {
         if let GhostVcpu::Present { memcache, .. } = v {
             returned.extend(memcache.iter().copied());
         }
     }
-    returned.extend(vm_pre.pgt.table_pages.iter().copied());
+    returned.extend(
+        vm_pre
+            .pgt
+            .table_pages
+            .iter()
+            .copied()
+            .filter(|&pfn| !in_hyp_range(pfn)),
+    );
 
     g_post.copy_host_from(g_pre);
     g_post.copy_pkvm_from(g_pre);
@@ -260,6 +274,19 @@ pub fn teardown_vm(
         host.annot.remove(pa, 1);
         pkvm.pgt.mapping.remove(g_pre.globals.hyp_va(pa), 1);
     }
+    // Firmware pages never return to the host: they are wiped and retired
+    // to the hypervisor, so their guest annotation flips to pKVM's.
+    for &pfn in &vm_pre.firmware {
+        let pa = pfn << PAGE_SHIFT;
+        host.annot.remove(pa, 1);
+        host.annot.insert_new(Maplet {
+            ia: pa,
+            nr_pages: 1,
+            target: MapletTarget::Annotated {
+                owner: OwnerId::HYP,
+            },
+        });
+    }
     let mut table: Vec<(Handle, usize)> = table_pre
         .iter()
         .copied()
@@ -268,9 +295,10 @@ pub fn teardown_vm(
     table.sort_unstable();
     g_post.vm_table = Some(table);
     // The VM component's final recorded state: emptied stage 2, drained
-    // memcaches, registers preserved.
+    // memcaches and firmware, registers preserved.
     let mut vm = vm_pre.clone();
     vm.pgt = AbstractPgtable::default();
+    vm.firmware.clear();
     for v in &mut vm.vcpus {
         if let GhostVcpu::Present { memcache, .. } = v {
             memcache.clear();

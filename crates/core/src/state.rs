@@ -136,6 +136,9 @@ pub struct GhostVm {
     pub pgt: AbstractPgtable,
     /// Pfns of the metadata pages the host donated.
     pub donated: Vec<u64>,
+    /// Pfns of the pvmfw-style firmware region (`vm_load_firmware`);
+    /// never returned to the host.
+    pub firmware: Vec<u64>,
     /// Per-index vCPU abstractions.
     pub vcpus: Vec<GhostVcpu>,
 }

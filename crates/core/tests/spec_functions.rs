@@ -288,6 +288,7 @@ fn vm_in_pre(pre: &mut GhostState, handle: u32, protected: bool) {
             protected,
             pgt: Default::default(),
             donated: vec![0x40300, 0x40301],
+            firmware: vec![],
             vcpus: vec![GhostVcpu::Present {
                 regs: GprFile::default(),
                 memcache: vec![0x40500],

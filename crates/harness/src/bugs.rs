@@ -227,6 +227,15 @@ fn detect_common(fault: Fault) -> (Detection, Option<String>) {
                 .host_access(0, pfn * PAGE_SIZE, Access::Read)
                 .is_ok();
         }
+        Fault::SynFirmwareReclaim => {
+            let h = p.init_vm(0, 1, true).expect("init_vm");
+            let pfn = p.alloc_page();
+            p.load_firmware(0, h, pfn, 0x80, 1).expect("load_firmware");
+            p.teardown(0, h).expect("teardown");
+            // The bug queued the firmware page for reclaim; the host gets
+            // back a page it must never see again.
+            let _ = p.reclaim(0, pfn);
+        }
         Fault::Bug5LinearMapOverlap => unreachable!("handled separately"),
     }
     verdict(&p, content_flag)

@@ -52,6 +52,11 @@ pub struct CampaignCfg {
     pub base_seed: u64,
     /// Fraction of fuzzed (arbitrary-argument) steps per worker.
     pub invalid_fraction: f64,
+    /// Per-worker call mix ([`crate::random::OP_NAMES`] order). The
+    /// default mix drives general API traffic;
+    /// [`android_weights`](crate::android::android_weights) shapes it
+    /// like an Android device under VM churn.
+    pub op_weights: [f64; crate::random::OP_NAMES.len()],
     /// Stop all workers as soon as a violation or panic is observed.
     pub stop_on_violation: bool,
     /// Install the ghost oracle.
@@ -76,6 +81,7 @@ impl Default for CampaignCfg {
             time_budget: None,
             base_seed: 0xcafe_f00d,
             invalid_fraction: 0.15,
+            op_weights: crate::random::DEFAULT_OP_WEIGHTS,
             stop_on_violation: true,
             with_oracle: true,
             record_trace: true,
@@ -127,6 +133,21 @@ impl CampaignCfgBuilder {
     pub fn invalid_fraction(mut self, f: f64) -> Self {
         self.0.invalid_fraction = f;
         self
+    }
+
+    /// Replaces the per-worker call mix ([`crate::random::OP_NAMES`]
+    /// order).
+    pub fn op_weights(mut self, weights: [f64; crate::random::OP_NAMES.len()]) -> Self {
+        self.0.op_weights = weights;
+        self
+    }
+
+    /// Shapes the campaign like an Android device: share/unshare
+    /// ping-pong, constant VM churn, firmware loads (sugar over
+    /// [`op_weights`](Self::op_weights) with
+    /// [`android_weights`](crate::android::android_weights)).
+    pub fn android(self) -> Self {
+        self.op_weights(crate::android::android_weights())
     }
 
     /// Keep running after the first violation (default stops).
@@ -387,6 +408,7 @@ pub fn run(cfg: &CampaignCfg) -> CampaignReport {
                     let rcfg = RandomCfg::builder()
                         .seed(seed)
                         .invalid_fraction(cfg.invalid_fraction)
+                        .op_weights(cfg.op_weights)
                         .pin_cpu(pin)
                         .build();
                     let mut t = RandomTester::new(part, rcfg);
@@ -683,6 +705,36 @@ mod tests {
         for w in &report.workers {
             assert!(w.steps > 0, "worker {} never stepped", w.worker);
         }
+    }
+
+    #[test]
+    fn android_campaign_stays_clean_and_replays() {
+        // The mixed-android mode: share/unshare ping-pong, VM churn and
+        // firmware loads from several workers at once, with the Android
+        // spec checks (firmware protection, transfer protocol) on by
+        // default. Clean hypervisor => zero violations, and the recorded
+        // schedule replays to the same verdict.
+        let report = CampaignCfg::builder()
+            .workers(3)
+            .steps_per_worker(400)
+            .base_seed(0xa4d201d)
+            .android()
+            .run();
+        assert!(
+            report.is_clean(),
+            "android campaign found violations on a clean hypervisor:\n{}\n{:?}",
+            report.render(),
+            report.violations
+        );
+        let fw = report.stats.per_op.get("firmware").copied().unwrap_or(0);
+        assert!(
+            fw > 0,
+            "android campaign never loaded firmware: {:?}",
+            report.stats.per_op
+        );
+        let trace = report.trace.expect("trace recorded");
+        let replayed = replay(&trace);
+        assert!(!replayed.violated(), "{:?}", replayed.violations);
     }
 
     #[test]

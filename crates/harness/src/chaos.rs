@@ -44,7 +44,7 @@ use pkvm_aarch64::tlb::{RemoteDelivery, TlbInvalidationPolicy, TlbiScope};
 use pkvm_aarch64::{Esr, GprFile};
 use pkvm_ghost::event::{ChaosKind, Event, EventSink, EventStream};
 use pkvm_hyp::faults::{Fault, FaultSet};
-use pkvm_hyp::hooks::{Component, ComponentView, GhostHooks, HookCtx, VcpuView};
+use pkvm_hyp::hooks::{Component, ComponentView, GhostHooks, HookCtx, TransferEdge, VcpuView};
 use pkvm_hyp::vm::Handle;
 
 use crate::campaign::{worker_seed, CampaignCfg, CampaignReport};
@@ -593,6 +593,25 @@ impl GhostHooks for ChaosHooks {
     fn dsb(&self, ctx: &HookCtx<'_>) {
         self.flush(ctx);
         self.inner.dsb(ctx);
+    }
+
+    // The transfer-protocol and firmware-protection instrumentation also
+    // passes through untouched, for the same reason as the TLB hooks: it
+    // reports what the hypervisor *committed*, and corrupting it would
+    // manufacture protocol violations the hypervisor never performed.
+    fn transfer(&self, ctx: &HookCtx<'_>, edge: TransferEdge, pfn: u64, nr: u64, dirty: bool) {
+        self.flush(ctx);
+        self.inner.transfer(ctx, edge, pfn, nr, dirty);
+    }
+
+    fn firmware_donated(&self, ctx: &HookCtx<'_>, handle: Handle, uniq: u64, pfn: u64, nr: u64) {
+        self.flush(ctx);
+        self.inner.firmware_donated(ctx, handle, uniq, pfn, nr);
+    }
+
+    fn host_regain(&self, ctx: &HookCtx<'_>, pfn: u64, nr: u64) {
+        self.flush(ctx);
+        self.inner.host_regain(ctx, pfn, nr);
     }
 
     fn hyp_panic(&self, ctx: &HookCtx<'_>, reason: &str) {

@@ -21,12 +21,14 @@
 //! compares between two independent computations.
 //!
 //! Not every fault is detectable this way, by design: replay is
-//! single-threaded, so race-window bugs (Bug3, Bug4) rarely fire;
+//! single-threaded, so race-window bugs (Bug3, Bug4) rarely fire, and
 //! init-time bugs (Bug5) need a machine shape the recorded config may
-//! not have; Bug2 needs an oversized memcache request the driver never
-//! issues; and SynReclaimSkipsWipe needs the host to read a
-//! just-reclaimed page. The gate in `examples/differential.rs`
-//! therefore pins a majority, not totality.
+//! not have. Those three misses are structural. The remaining catalog —
+//! including Bug2 (the random driver issues oversized memcache top-ups),
+//! SynReclaimSkipsWipe (every reclaim is followed by a host read-back)
+//! and SynFirmwareReclaim (the driver donates pvmfw-style firmware) —
+//! diverges on a recorded schedule, which is what the gate in
+//! `examples/differential.rs` pins.
 
 use std::path::Path;
 

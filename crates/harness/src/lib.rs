@@ -37,6 +37,7 @@
 //! - [`bugs`] — the bug catalog: triggers and detection verdicts for the
 //!   five real pKVM bugs and the synthetic-bug suite.
 
+pub mod android;
 pub mod bugs;
 pub mod campaign;
 pub mod chaos;

@@ -35,6 +35,9 @@ pub enum PageUse {
     },
     /// Awaiting `host_reclaim_page` after a teardown.
     Reclaimable,
+    /// Donated as protected-VM firmware (`vm_load_firmware`). Terminal:
+    /// the host never regains the page, even across teardown.
+    Firmware,
 }
 
 /// One modelled vCPU.
@@ -177,7 +180,10 @@ impl TestModel {
             p == pfn
                 && matches!(
                     u,
-                    PageUse::Donated { .. } | PageUse::GuestMapped { .. } | PageUse::Reclaimable
+                    PageUse::Donated { .. }
+                        | PageUse::GuestMapped { .. }
+                        | PageUse::Reclaimable
+                        | PageUse::Firmware
                 )
         })
     }
@@ -224,6 +230,18 @@ mod tests {
         assert!(m.vms.is_empty());
         assert_eq!(m.free_pages(), vec![0x200]);
         assert_eq!(m.pages_in(PageUse::Reclaimable), vec![0x201]);
+    }
+
+    #[test]
+    fn firmware_pages_survive_teardown_and_stay_unreachable() {
+        let mut m = TestModel::new(1);
+        m.add_vm(0x1000, 1, true);
+        m.add_page(0x400);
+        m.set_page(0x400, PageUse::Firmware);
+        assert!(m.host_access_would_fault(0x400));
+        m.teardown_vm(0x1000);
+        assert_eq!(m.pages_in(PageUse::Firmware), vec![0x400]);
+        assert!(m.host_access_would_fault(0x400));
     }
 
     #[test]

@@ -517,6 +517,19 @@ impl Proxy {
         as_result(self.hvc(cpu, HVC_HOST_MAP_GUEST, &[pfn, gfn]))
     }
 
+    /// `vm_load_firmware`: donates `nr` host pages at `pfn` as the VM's
+    /// pvmfw-style firmware region, mapped at `gfn` before any vCPU runs.
+    pub fn load_firmware(
+        &self,
+        cpu: usize,
+        handle: Handle,
+        pfn: u64,
+        gfn: u64,
+        nr: u64,
+    ) -> Result<(), Errno> {
+        as_result(self.hvc(cpu, HVC_VM_LOAD_FIRMWARE, &[handle as u64, pfn, gfn, nr]))
+    }
+
     /// `vcpu_get_reg(n)`: reads a saved register of the loaded vCPU.
     pub fn vcpu_get_reg(&self, cpu: usize, n: u64) -> Result<u64, Errno> {
         let ret = self.hvc(cpu, HVC_VCPU_GET_REG, &[n]);

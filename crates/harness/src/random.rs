@@ -24,7 +24,7 @@ use crate::proxy::Proxy;
 /// The named operations the tester chooses between, in the order
 /// [`RandomCfg::op_weights`] indexes them. The names match the per-op keys
 /// in [`RunStats::per_op`].
-pub const OP_NAMES: [&str; 14] = [
+pub const OP_NAMES: [&str; 16] = [
     "alloc",
     "share",
     "unshare",
@@ -39,11 +39,14 @@ pub const OP_NAMES: [&str; 14] = [
     "teardown",
     "reclaim",
     "host_access",
+    "firmware",
+    "topup_oversized",
 ];
 
-/// The default call mix (same proportions the tester has always used).
+/// The default call mix (same proportions the tester has always used,
+/// plus small weights for the Android-surface ops).
 pub const DEFAULT_OP_WEIGHTS: [f64; OP_NAMES.len()] = [
-    20.0, 25.0, 15.0, 6.0, 8.0, 8.0, 5.0, 10.0, 12.0, 12.0, 4.0, 3.0, 6.0, 15.0,
+    20.0, 25.0, 15.0, 6.0, 8.0, 8.0, 5.0, 10.0, 12.0, 12.0, 4.0, 3.0, 6.0, 15.0, 2.0, 1.0,
 ];
 
 /// Random tester configuration.
@@ -266,6 +269,8 @@ impl RandomTester {
             RandomTester::op_teardown,
             RandomTester::op_reclaim,
             RandomTester::op_host_access,
+            RandomTester::op_firmware,
+            RandomTester::op_topup_oversized,
         ];
         let total: f64 = self.cfg.op_weights.iter().sum();
         let mut pick = self.rng.gen_f64() * total;
@@ -602,6 +607,11 @@ impl RandomTester {
         let ok = self.proxy.reclaim(cpu, pfn).is_ok();
         if ok {
             self.model.set_page(pfn, PageUse::Free);
+            // Read the page straight back: reclaim must have wiped it, so
+            // this gives the oracle an observation point right where
+            // `SynReclaimSkipsWipe` would leave guest data behind.
+            let _ = self.proxy.host_access(cpu, pfn * PAGE_SIZE, Access::Read);
+            self.stats.host_accesses += 1;
         }
         self.stats.bump("reclaim", ok);
     }
@@ -625,6 +635,59 @@ impl RandomTester {
         };
         let _ = self.proxy.host_access(cpu, pfn * PAGE_SIZE, access);
         self.stats.host_accesses += 1;
+    }
+
+    fn op_firmware(&mut self) {
+        // pvmfw-style protected boot: donate a small firmware region into
+        // a protected VM before any vCPU is initialised. The host loses
+        // the pages permanently, even across teardown.
+        if self.model.pages.len() >= self.cfg.max_pages {
+            return;
+        }
+        let candidates: Vec<u32> = self
+            .model
+            .vms
+            .iter()
+            .filter(|v| v.protected && v.vcpus.iter().all(|vc| !vc.initialized))
+            .map(|v| v.handle)
+            .collect();
+        let Some(&handle) = candidates.choose(&mut self.rng) else {
+            return;
+        };
+        let nr = self.rng.gen_range(1..=4u64);
+        let Some(pfn) = self.proxy.try_alloc_pages(nr) else {
+            return;
+        };
+        let gfn = {
+            let Some(vm) = self.model.vm_mut(handle) else {
+                return;
+            };
+            let g = vm.next_gfn;
+            vm.next_gfn += nr;
+            g
+        };
+        let cpu = self.rand_cpu();
+        let ok = self.proxy.load_firmware(cpu, handle, pfn, gfn, nr).is_ok();
+        for i in 0..nr {
+            self.model.add_page(pfn + i);
+            if ok {
+                self.model.set_page(pfn + i, PageUse::Firmware);
+            }
+        }
+        self.stats.bump("firmware", ok);
+    }
+
+    fn op_topup_oversized(&mut self) {
+        // An oversized top-up must bounce off the size check (`E2BIG`)
+        // without consuming anything; under `Bug2MemcacheSize` the
+        // narrow-type truncation silently accepts it, and the spec check
+        // flags the divergent return value.
+        let Some(cpu) = self.pick_busy_cpu() else {
+            return;
+        };
+        let addr = 0x47f0_0000u64; // page-aligned DRAM; never actually donated
+        let ok = self.proxy.topup_raw(cpu, addr, 0x1_0000).is_ok();
+        self.stats.bump("topup_oversized", ok);
     }
 
     /// An arbitrary call: random function id from the ABI (or garbage) and
@@ -793,6 +856,58 @@ mod tests {
             assert_eq!(used, cpu == 2, "cpu {cpu} usage");
         }
         assert!(t.proxy.all_clear(), "{:?}", t.proxy.violations());
+    }
+
+    #[test]
+    fn firmware_op_reaches_protected_boot() {
+        use crate::model::PageUse;
+        let proxy = Proxy::builder().boot();
+        // Keep vCPUs uninitialised so protected VMs stay eligible for
+        // firmware loads, and bias the mix towards them.
+        let mut t = RandomTester::new(
+            proxy,
+            RandomCfg::builder()
+                .seed(11)
+                .invalid_fraction(0.0)
+                .op_weight("init_vcpu", 0.0)
+                .op_weight("firmware", 30.0)
+                .build(),
+        );
+        t.run(800);
+        assert!(t.stats.per_op.get("firmware").copied().unwrap_or(0) > 0);
+        assert!(
+            !t.model.pages_in(PageUse::Firmware).is_empty(),
+            "no firmware load ever succeeded: {:?}",
+            t.stats
+        );
+        assert!(t.proxy.all_clear(), "{:?}", t.proxy.violations());
+    }
+
+    #[test]
+    fn oversized_topup_diverges_under_bug2() {
+        use pkvm_hyp::faults::{Fault, FaultSet};
+        let run = |faults: FaultSet| {
+            let proxy = Proxy::builder().faults(faults).boot();
+            let mut t = RandomTester::new(
+                proxy,
+                RandomCfg::builder()
+                    .seed(9)
+                    .invalid_fraction(0.0)
+                    .op_weight("topup_oversized", 30.0)
+                    .build(),
+            );
+            t.run(600);
+            let n = t.stats.per_op.get("topup_oversized").copied().unwrap_or(0);
+            (n, t.proxy.all_clear())
+        };
+        let (n_clean, clean_ok) = run(FaultSet::none());
+        assert!(n_clean > 0, "oversized top-up never ran");
+        assert!(clean_ok, "oversized top-up false positive on clean run");
+        let faults = FaultSet::none();
+        faults.inject(Fault::Bug2MemcacheSize);
+        let (n_bug, all_clear) = run(faults);
+        assert!(n_bug > 0);
+        assert!(!all_clear, "oversized top-up missed Bug2MemcacheSize");
     }
 
     #[test]

@@ -41,7 +41,7 @@ use pkvm_ghost::abstraction::Anomaly;
 use pkvm_ghost::event::{ChaosKind, Event, EventRecord};
 use pkvm_ghost::oracle::{OracleOpts, TrapOutcome};
 use pkvm_ghost::Violation;
-use pkvm_hyp::hooks::Component;
+use pkvm_hyp::hooks::{Component, TransferEdge};
 use pkvm_hyp::machine::MachineConfig;
 use pkvm_hyp::vm::GuestOp;
 
@@ -66,7 +66,13 @@ pub const MAGIC: &[u8; 8] = b"PKVMTRCE";
 /// stream (marker byte `1` before each record, terminator byte `0`
 /// after the last), so [`TraceWriter`] can append incrementally without
 /// knowing the count and [`TraceReader`] can decode in O(1) memory.
-pub const FORMAT_VERSION: u64 = 4;
+///
+/// v5 added the Android workload surface: events
+/// `Transfer`/`FirmwareDonate`/`HostRegain` (tags 18–20), violations
+/// `FirmwareProtection`/`TransferProtocol`/`ReclaimWipe` (tags 10–12),
+/// and the `check_firmware_protection`/`check_transfer_protocol` oracle
+/// switches.
+pub const FORMAT_VERSION: u64 = 5;
 
 /// Why a trace file failed to load. Loading *never* panics: a truncated
 /// or bit-rotted file is an expected input, not a bug.
@@ -361,6 +367,35 @@ impl Wr {
                 self.u64(*ia);
                 self.u64(*nr);
             }
+            Violation::FirmwareProtection {
+                seq,
+                handle,
+                uniq,
+                pfn,
+            } => {
+                self.byte(10);
+                self.opt_u64(*seq);
+                self.u64(*handle as u64);
+                self.u64(*uniq);
+                self.u64(*pfn);
+            }
+            Violation::TransferProtocol {
+                seq,
+                edge,
+                pfn,
+                detail,
+            } => {
+                self.byte(11);
+                self.opt_u64(*seq);
+                self.byte(*edge as u8);
+                self.u64(*pfn);
+                self.str(detail);
+            }
+            Violation::ReclaimWipe { seq, pfn } => {
+                self.byte(12);
+                self.opt_u64(*seq);
+                self.u64(*pfn);
+            }
         }
     }
 
@@ -513,6 +548,40 @@ impl Wr {
                 self.u64(*ia);
                 self.u64(*nr);
             }
+            Event::Transfer {
+                cpu,
+                edge,
+                pfn,
+                nr,
+                dirty,
+            } => {
+                self.byte(18);
+                self.usize(*cpu);
+                self.byte(*edge as u8);
+                self.u64(*pfn);
+                self.u64(*nr);
+                self.boolean(*dirty);
+            }
+            Event::FirmwareDonate {
+                cpu,
+                handle,
+                uniq,
+                pfn,
+                nr,
+            } => {
+                self.byte(19);
+                self.usize(*cpu);
+                self.u64(*handle as u64);
+                self.u64(*uniq);
+                self.u64(*pfn);
+                self.u64(*nr);
+            }
+            Event::HostRegain { cpu, pfn, nr } => {
+                self.byte(20);
+                self.usize(*cpu);
+                self.u64(*pfn);
+                self.u64(*nr);
+            }
         }
     }
 }
@@ -546,6 +615,8 @@ fn write_header(w: &mut Wr, header: &TraceHeader) {
     w.u64(header.oracle_opts.quarantine_threshold as u64);
     w.u64(header.oracle_opts.quarantine_traps);
     w.boolean(header.oracle_opts.check_break_before_make);
+    w.boolean(header.oracle_opts.check_firmware_protection);
+    w.boolean(header.oracle_opts.check_transfer_protocol);
     // Faults and chaos.
     w.u64(header.fault_bits as u64);
     match &header.chaos {
@@ -803,8 +874,29 @@ impl<'a> Rd<'a> {
                 ia: self.u64()?,
                 nr: self.u64()?,
             },
+            10 => Violation::FirmwareProtection {
+                seq: self.opt_u64()?,
+                handle: self.u32()?,
+                uniq: self.u64()?,
+                pfn: self.u64()?,
+            },
+            11 => Violation::TransferProtocol {
+                seq: self.opt_u64()?,
+                edge: self.transfer_edge()?,
+                pfn: self.u64()?,
+                detail: self.str()?,
+            },
+            12 => Violation::ReclaimWipe {
+                seq: self.opt_u64()?,
+                pfn: self.u64()?,
+            },
             _ => return Err(TraceFileError::Malformed("unknown violation tag")),
         })
+    }
+
+    fn transfer_edge(&mut self) -> Res<TransferEdge> {
+        TransferEdge::from_u8(self.byte()?)
+            .ok_or(TraceFileError::Malformed("unknown transfer edge"))
     }
 
     fn event(&mut self) -> Res<Event> {
@@ -915,6 +1007,25 @@ impl<'a> Rd<'a> {
                 ia: self.u64()?,
                 nr: self.u64()?,
             },
+            18 => Event::Transfer {
+                cpu: self.usize()?,
+                edge: self.transfer_edge()?,
+                pfn: self.u64()?,
+                nr: self.u64()?,
+                dirty: self.boolean()?,
+            },
+            19 => Event::FirmwareDonate {
+                cpu: self.usize()?,
+                handle: self.u32()?,
+                uniq: self.u64()?,
+                pfn: self.u64()?,
+                nr: self.u64()?,
+            },
+            20 => Event::HostRegain {
+                cpu: self.usize()?,
+                pfn: self.u64()?,
+                nr: self.u64()?,
+            },
             _ => return Err(TraceFileError::Malformed("unknown event tag")),
         })
     }
@@ -956,6 +1067,8 @@ impl<'a> Rd<'a> {
             .quarantine_threshold(self.u32()?)
             .quarantine_traps(self.u64()?)
             .check_break_before_make(self.boolean()?)
+            .check_firmware_protection(self.boolean()?)
+            .check_transfer_protocol(self.boolean()?)
             .build();
         let fault_bits = self.u32()?;
         let chaos = match self.byte()? {
@@ -1426,6 +1539,100 @@ pub fn decode_trace(bytes: &[u8]) -> Res<CampaignTrace> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn android_surface_events_round_trip() {
+        // The v5 additions in one trace: every transfer edge, a firmware
+        // donation, a host regain, the three Android-surface violations,
+        // and both new header knobs at their non-default (off) value.
+        let mut events: Vec<EventRecord> = Vec::new();
+        let push = |events: &mut Vec<EventRecord>, event: Event| {
+            let seq = events.len() as u64;
+            events.push(EventRecord {
+                seq,
+                lane: 0,
+                trap: None,
+                t_ns: seq * 10,
+                event,
+            });
+        };
+        for (i, &edge) in TransferEdge::ALL.iter().enumerate() {
+            push(
+                &mut events,
+                Event::Transfer {
+                    cpu: i % 4,
+                    edge,
+                    pfn: 0x100 + i as u64,
+                    nr: 2,
+                    dirty: edge == TransferEdge::Reclaim,
+                },
+            );
+        }
+        push(
+            &mut events,
+            Event::FirmwareDonate {
+                cpu: 1,
+                handle: 0x1001,
+                uniq: 7,
+                pfn: 0x200,
+                nr: 4,
+            },
+        );
+        push(
+            &mut events,
+            Event::HostRegain {
+                cpu: 2,
+                pfn: 0x300,
+                nr: 1,
+            },
+        );
+        push(
+            &mut events,
+            Event::Violation(Violation::FirmwareProtection {
+                seq: Some(3),
+                handle: 0x1001,
+                uniq: 7,
+                pfn: 0x200,
+            }),
+        );
+        push(
+            &mut events,
+            Event::Violation(Violation::TransferProtocol {
+                seq: Some(4),
+                edge: TransferEdge::ShareHyp,
+                pfn: 0x100,
+                detail: "departed from state host_owned".to_string(),
+            }),
+        );
+        push(
+            &mut events,
+            Event::Violation(Violation::ReclaimWipe {
+                seq: Some(5),
+                pfn: 0x101,
+            }),
+        );
+        let trace = CampaignTrace {
+            config: MachineConfig::default(),
+            oracle_opts: OracleOpts::builder()
+                .check_firmware_protection(false)
+                .check_transfer_protocol(false)
+                .build(),
+            fault_bits: 0,
+            chaos: None,
+            seeds: vec![0xe16],
+            events,
+        };
+        let bytes = encode_trace(&trace);
+        let decoded = decode_trace(&bytes).expect("round trip");
+        assert!(!decoded.oracle_opts.check_firmware_protection);
+        assert!(!decoded.oracle_opts.check_transfer_protocol);
+        assert_eq!(decoded.events.len(), trace.events.len());
+        assert_eq!(
+            format!("{:?}", decoded.events),
+            format!("{:?}", trace.events),
+            "decoded timeline differs from the encoded one"
+        );
+    }
 
     #[test]
     fn varints_round_trip_at_the_boundaries() {

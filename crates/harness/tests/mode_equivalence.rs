@@ -168,6 +168,85 @@ fn inline_and_pipelined_agree_across_32_seeds() {
             .any(|(kind, seq)| *kind == "break-before-make" && seq.is_some()),
         "missing-TLBI bug not spec-detected: {inline:?}"
     );
+
+    // The Android mix — firmware donation, share/unshare ping-pong,
+    // VM churn — flows through the same front half, so a clean
+    // Android-weighted campaign must fingerprint identically by mode.
+    let inline = android_fingerprint(CheckMode::Inline);
+    let piped = android_fingerprint(CheckMode::pipelined());
+    assert_eq!(inline, piped, "android campaign verdicts diverge by mode");
+    assert!(
+        inline.violations.is_empty(),
+        "clean android campaign produced violations: {:?}",
+        inline.violations
+    );
+
+    // And the firmware-protection check, like break-before-make, lives
+    // entirely in the back half: the firmware-reclaiming teardown bug
+    // must anchor the same violations whichever thread applies it.
+    let inline = firmware_fingerprint(CheckMode::Inline);
+    let piped = firmware_fingerprint(CheckMode::pipelined());
+    assert_eq!(
+        inline, piped,
+        "firmware-protection verdicts diverge by mode"
+    );
+    assert!(
+        inline
+            .iter()
+            .any(|(kind, seq)| *kind == "firmware-protection" && seq.is_some()),
+        "firmware reclaim not spec-detected: {inline:?}"
+    );
+}
+
+/// One single-worker campaign under the Android op mix (pvmfw firmware
+/// donation, heavy share/unshare, VM churn), fingerprinted.
+fn android_fingerprint(mode: CheckMode) -> Fingerprint {
+    let before = snapshot();
+    let report = CampaignCfg::builder()
+        .workers(1)
+        .steps_per_worker(250)
+        .base_seed(0xa11d)
+        .invalid_fraction(0.0)
+        .stop_on_violation(false)
+        .record_trace(true)
+        .android()
+        .oracle_opts(opts(mode))
+        .run();
+    let cov = CoverageSummary::since(&before);
+    let trace = report.trace.as_ref().expect("trace recorded");
+    Fingerprint {
+        violations: report
+            .violations
+            .iter()
+            .map(|v| (v.kind(), v.event_seq()))
+            .collect(),
+        hyp_panic: report.hyp_panic.clone(),
+        signature: canonical_signature(&trace.events),
+        steps: report.workers[0].steps,
+        hyp_cov: cov.hyp.points,
+        spec_cov: cov.spec.points,
+    }
+}
+
+/// Violations from a firmware-reclaiming teardown: the host taking back
+/// a donated pvmfw page, spec-detected as `firmware-protection` anchored
+/// at the regain's event seq.
+fn firmware_fingerprint(mode: CheckMode) -> Vec<(&'static str, Option<u64>)> {
+    let faults = FaultSet::none();
+    faults.inject(Fault::SynFirmwareReclaim);
+    let p = Proxy::builder()
+        .faults(faults)
+        .oracle_opts(opts(mode))
+        .boot();
+    let handle = p.init_vm(0, 1, true).expect("init_vm");
+    let fw = p.alloc_page();
+    p.load_firmware(0, handle, fw, 0xa0, 1).expect("firmware");
+    p.teardown(0, handle).expect("teardown");
+    let _ = p.reclaim(0, fw);
+    p.violations()
+        .iter()
+        .map(|v| (v.kind(), v.event_seq()))
+        .collect()
 }
 
 /// Violations from a missing-TLBI run: a share/unshare pair whose

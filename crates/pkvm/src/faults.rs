@@ -88,6 +88,11 @@ faults! {
     /// paper's companion work on TLB synchronisation; outside the ghost
     /// oracle's scope and caught behaviourally by the harness).
     SynMissingTlbi = 18;
+    /// Synthetic: teardown_vm treats donated firmware pages like ordinary
+    /// guest pages and queues them for host reclaim, so a later
+    /// host_reclaim_page hands the host back a page it must never touch
+    /// again (violates the firmware-protection lifetime invariant).
+    SynFirmwareReclaim = 19;
 }
 
 /// A set of injected faults, shared across all CPUs of a machine.

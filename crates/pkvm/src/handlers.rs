@@ -13,6 +13,7 @@ use pkvm_aarch64::walk::{translate, Access};
 use crate::cov;
 use crate::error::{ret_of_result, Errno, HypResult};
 use crate::faults::Fault;
+use crate::hooks::Component;
 use crate::hypercalls::{self as hc, exit};
 use crate::machine::{CpuState, Machine};
 use crate::mem_protect;
@@ -27,6 +28,8 @@ pub const VM_DONATION_PAGES: u64 = 2;
 pub const VCPU_DONATION_PAGES: u64 = 1;
 /// Maximum vCPUs per VM.
 pub const MAX_VCPUS: u64 = 8;
+/// Maximum pages in one `vm_load_firmware` donation (pvmfw is small).
+pub const MAX_FIRMWARE_PAGES: u64 = 32;
 
 impl Machine {
     pub(crate) fn handle_host_hcall(&self, ctx: &HypCtx<'_>, guard: &mut MutexGuard<'_, CpuState>) {
@@ -78,6 +81,13 @@ impl Machine {
                 ret_of_result(r.map(|_| 0))
             }
             hc::HVC_VCPU_SET_REG => ret_of_result(self.do_vcpu_set_reg(guard, a1, a2).map(|()| 0)),
+            hc::HVC_VM_LOAD_FIRMWARE => {
+                let a4 = guard.regs.get(4);
+                ret_of_result(
+                    self.do_vm_load_firmware(ctx, a1 as Handle, a2, a3, a4)
+                        .map(|()| 0),
+                )
+            }
             _ => {
                 cov::hit("handle_trap/unknown_hvc");
                 Errno::EOPNOTSUPP.to_ret()
@@ -197,6 +207,54 @@ impl Machine {
         result
     }
 
+    /// `vm_load_firmware(handle, pfn, gfn, nr)`: donate a pvmfw-style
+    /// firmware region into a protected VM, mapped into the guest before
+    /// any vCPU exists. The host permanently loses access to the range.
+    fn do_vm_load_firmware(
+        &self,
+        ctx: &HypCtx<'_>,
+        handle: Handle,
+        pfn: u64,
+        gfn: u64,
+        nr: u64,
+    ) -> HypResult {
+        let result = (|| {
+            if nr == 0 || nr > MAX_FIRMWARE_PAGES || gfn >= 1 << 36 {
+                return Err(Errno::EINVAL);
+            }
+            let table = self.state.vm_table_lock(ctx);
+            let vm = table.get(handle);
+            self.state.vm_table_unlock(ctx, table);
+            let vm = vm?;
+            // Firmware donation is a protected-boot concept: unprotected
+            // VMs share memory with the host instead.
+            if !vm.protected {
+                return Err(Errno::EPERM);
+            }
+            let mut inner = self.state.vm_lock(ctx, &vm);
+            // "Before any vCPU runs": refuse once a vCPU is initialised.
+            let booted = inner.vcpus.iter().any(|s| !matches!(s, VcpuSlot::Uninit));
+            let r = if booted {
+                Err(Errno::EBUSY)
+            } else {
+                let pgt = inner.pgt;
+                mem_protect::vm_load_firmware(ctx, &self.state, &vm, &pgt, pfn, gfn, nr)
+            };
+            if r.is_ok() {
+                for i in 0..nr {
+                    inner.firmware.push(PhysAddr::from_pfn(pfn + i));
+                }
+            }
+            self.state.vm_unlock(ctx, &vm, inner);
+            r
+        })();
+        match &result {
+            Ok(()) => cov::hit("vm_load_firmware/hcall_ok"),
+            Err(_) => cov::hit("vm_load_firmware/hcall_err"),
+        }
+        result
+    }
+
     /// `teardown_vm(handle)`: unmap the guest, queue its pages for
     /// reclaim, and return metadata/table pages to the host.
     fn do_teardown_vm(&self, ctx: &HypCtx<'_>, handle: Handle) -> HypResult {
@@ -268,10 +326,19 @@ impl Machine {
                 }
                 self.state.host_unlock(ctx, host);
             } else {
+                // Firmware pages never become reclaimable — the host must
+                // not regain access, ever. The synthetic fault queues them
+                // like ordinary guest pages, so a later host_reclaim_page
+                // hands the host a firmware page back.
+                let reclaim_firmware = ctx.faults.is(Fault::SynFirmwareReclaim);
                 let mut reclaim = self.state.reclaim.lock();
                 for (_, pa, nr, _) in &mapped {
                     for i in 0..*nr {
-                        reclaim.insert(pa.pfn() + i, vm.owner_id());
+                        let pfn = pa.pfn() + i;
+                        if !reclaim_firmware && inner.firmware.contains(&PhysAddr::from_pfn(pfn)) {
+                            continue;
+                        }
+                        reclaim.insert(pfn, vm.owner_id());
                     }
                 }
             }
@@ -296,6 +363,15 @@ impl Machine {
                 ctx.mem
                     .zero_page(inner.pgt.root)
                     .expect("root is donated RAM");
+                // The tree's pages stop being this guest's translation
+                // tables here; without the free events the checker's
+                // footprints would keep them owned by the dead VM and flag
+                // their next use (pool-backed firmware tables are recycled
+                // into host/hyp table walks almost immediately).
+                for pa in &freed_tables {
+                    ctx.hooks
+                        .table_page_free(&ctx.hook_ctx(), Component::Vm(handle), *pa);
+                }
             }
             // Collect remaining memcache pages and metadata pages.
             let mut returned: Vec<PhysAddr> = freed_tables;
@@ -305,16 +381,43 @@ impl Machine {
                 }
             }
             returned.extend(inner.donated.iter().copied());
+            let firmware = std::mem::take(&mut inner.firmware);
             self.state.vm_unlock(ctx, &vm, inner);
             // Return everything in one critical section: teardown must be
             // a single atomic transition of the host/hyp components.
+            // Guest table pages come in two provenances now: memcache
+            // pages (host-donated, returned to the host) and pool pages
+            // (firmware mappings are built pool-backed, pre-vCPU; those
+            // were never the host's and go back to the pool).
             let host = self.state.host_lock(ctx);
             let hyp = self.state.hyp_lock(ctx);
             for pa in returned {
                 // Wipe before returning: table pages held descriptors.
                 ctx.mem.zero_page(pa).expect("donated RAM");
-                let _ =
-                    mem_protect::do_hyp_donate_host_locked(ctx, &self.state, &host, &hyp, pa, 1);
+                let from_pool = self.state.pool.lock().owns(pa);
+                if from_pool {
+                    self.state.pool.lock().put_page(pa);
+                } else {
+                    let _ = mem_protect::do_hyp_donate_host_locked(
+                        ctx,
+                        &self.state,
+                        &host,
+                        &hyp,
+                        pa,
+                        1,
+                    );
+                }
+            }
+            // Firmware pages are never the host's again: wipe and retire
+            // them to the hypervisor. Under the synthetic fault they were
+            // queued for reclaim above instead and stay guest-annotated
+            // until the host "reclaims" them — the protocol breach the
+            // firmware-protection check must catch.
+            if !ctx.faults.is(Fault::SynFirmwareReclaim) {
+                for pa in &firmware {
+                    ctx.mem.zero_page(*pa).expect("firmware is donated RAM");
+                    let _ = mem_protect::retire_firmware_locked(ctx, &self.state, &host, *pa);
+                }
             }
             self.state.hyp_unlock(ctx, hyp);
             self.state.host_unlock(ctx, host);
@@ -533,6 +636,7 @@ impl Machine {
                 let vm = vm?;
                 let inner = self.state.vm_lock(ctx, &vm);
                 let pgt = inner.pgt;
+                let firmware = inner.firmware.clone();
                 let (_, _, vcpu) = guard.loaded_vcpu.as_mut().expect("checked");
                 let r = if share {
                     mem_protect::guest_share_host(
@@ -540,6 +644,7 @@ impl Machine {
                         &self.state,
                         &vm,
                         &pgt,
+                        &firmware,
                         &mut vcpu.memcache,
                         gipa,
                     )
@@ -939,6 +1044,98 @@ mod tests {
             Errno::from_ret(m.hvc(0, HVC_INIT_VM, &[PARAMS_PFN, DONATE_PFN, 2])),
             Some(Errno::EPERM)
         );
+    }
+
+    const FW_PFN: u64 = 0x40600;
+
+    #[test]
+    fn firmware_boot_lifecycle() {
+        let m = boot();
+        write_params(&m, PARAMS_PFN, 1, 1);
+        let handle = m.hvc(0, HVC_INIT_VM, &[PARAMS_PFN, DONATE_PFN, 2]);
+        assert!(Errno::from_ret(handle).is_none());
+        // Donate a 2-page firmware region before any vCPU exists.
+        assert_eq!(
+            m.hvc(0, HVC_VM_LOAD_FIRMWARE, &[handle, FW_PFN, 0x80, 2]),
+            0
+        );
+        // The host may no longer touch the firmware pages.
+        assert!(m
+            .host_access(1, PhysAddr::from_pfn(FW_PFN).bits(), Access::Read)
+            .is_err());
+        // Once a vCPU is initialised, further loads are refused.
+        assert_eq!(m.hvc(0, HVC_INIT_VCPU, &[handle, 0, VCPU_PFN]), 0);
+        assert_eq!(
+            Errno::from_ret(m.hvc(0, HVC_VM_LOAD_FIRMWARE, &[handle, FW_PFN + 8, 0xa0, 1])),
+            Some(Errno::EBUSY)
+        );
+        // The guest boots from its firmware.
+        assert_eq!(m.hvc(0, HVC_VCPU_LOAD, &[handle, 0]), 0);
+        m.push_guest_op(handle as Handle, 0, GuestOp::Read(0x80 * PAGE_SIZE))
+            .unwrap();
+        assert_eq!(m.hvc(0, HVC_VCPU_RUN, &[]), exit::CONTINUE);
+        assert_eq!(m.hvc(0, HVC_VCPU_PUT, &[]), 0);
+        // Teardown retires the region: never reclaimable, never host's.
+        assert_eq!(m.hvc(0, HVC_TEARDOWN_VM, &[handle]), 0);
+        assert_eq!(
+            Errno::from_ret(m.hvc(0, HVC_HOST_RECLAIM_PAGE, &[FW_PFN])),
+            Some(Errno::EPERM)
+        );
+        assert!(m
+            .host_access(1, PhysAddr::from_pfn(FW_PFN).bits(), Access::Read)
+            .is_err());
+        assert!(m.panicked().is_none());
+    }
+
+    #[test]
+    fn firmware_load_rejects_bad_targets() {
+        let m = boot();
+        // Unknown handle.
+        assert_eq!(
+            Errno::from_ret(m.hvc(0, HVC_VM_LOAD_FIRMWARE, &[0x9999, FW_PFN, 0x80, 1])),
+            Some(Errno::ENOENT)
+        );
+        // Unprotected VM.
+        let unprot = make_vm(&m, 0);
+        assert_eq!(
+            Errno::from_ret(m.hvc(0, HVC_VM_LOAD_FIRMWARE, &[unprot as u64, FW_PFN, 0x80, 1])),
+            Some(Errno::EPERM)
+        );
+        // Zero or oversized page counts.
+        write_params(&m, PARAMS_PFN, 1, 1);
+        let h = m.hvc(0, HVC_INIT_VM, &[PARAMS_PFN, 0x40320, 2]);
+        assert!(Errno::from_ret(h).is_none());
+        assert_eq!(
+            Errno::from_ret(m.hvc(0, HVC_VM_LOAD_FIRMWARE, &[h, FW_PFN, 0x80, 0])),
+            Some(Errno::EINVAL)
+        );
+        assert_eq!(
+            Errno::from_ret(m.hvc(
+                0,
+                HVC_VM_LOAD_FIRMWARE,
+                &[h, FW_PFN, 0x80, MAX_FIRMWARE_PAGES + 1]
+            )),
+            Some(Errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn syn_firmware_reclaim_hands_firmware_back() {
+        let m = boot();
+        m.faults.inject(Fault::SynFirmwareReclaim);
+        write_params(&m, PARAMS_PFN, 1, 1);
+        let handle = m.hvc(0, HVC_INIT_VM, &[PARAMS_PFN, DONATE_PFN, 2]);
+        assert!(Errno::from_ret(handle).is_none());
+        assert_eq!(
+            m.hvc(0, HVC_VM_LOAD_FIRMWARE, &[handle, FW_PFN, 0x80, 1]),
+            0
+        );
+        assert_eq!(m.hvc(0, HVC_TEARDOWN_VM, &[handle]), 0);
+        // The bug queued the firmware page for reclaim; the host gets it.
+        assert_eq!(m.hvc(0, HVC_HOST_RECLAIM_PAGE, &[FW_PFN]), 0);
+        assert!(m
+            .host_access(1, PhysAddr::from_pfn(FW_PFN).bits(), Access::Read)
+            .is_ok());
     }
 
     #[test]

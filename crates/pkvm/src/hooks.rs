@@ -60,8 +60,89 @@ pub struct VmView {
     pub protected: bool,
     /// Host pages donated for VM metadata.
     pub donated: Vec<PhysAddr>,
+    /// Host pages donated as the pvmfw-style firmware region. The host
+    /// must never regain access to these for the VM's lifetime.
+    pub firmware: Vec<PhysAddr>,
     /// Per-vCPU snapshots.
     pub vcpus: Vec<VcpuView>,
+}
+
+/// One edge of the page-ownership transfer protocol: which transition a
+/// physical page range just committed. Fired under the host lock at the
+/// commit point of every `mem_protect` transition, so per-page edge order
+/// is deterministic regardless of check mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TransferEdge {
+    /// `host_share_hyp`: host page becomes SharedOwned/SharedBorrowed.
+    ShareHyp = 0,
+    /// `host_unshare_hyp`: the share is revoked, host exclusive again.
+    UnshareHyp = 1,
+    /// `host_donate_hyp`: host page becomes hypervisor-owned.
+    DonateHyp = 2,
+    /// `hyp_donate_host`: a hypervisor page returns to the host.
+    DonateHost = 3,
+    /// `host_donate_guest`: host page donated to a protected guest.
+    MapGuestOwned = 4,
+    /// `host_share_guest`: host page shared with an unprotected guest.
+    MapGuestShared = 5,
+    /// Guest `mem_share`: guest page becomes visible to the host.
+    GuestShareHost = 6,
+    /// Guest `mem_unshare`: the guest revokes the host's view.
+    GuestUnshareHost = 7,
+    /// `vm_load_firmware`: host pages donated as a firmware region.
+    Firmware = 8,
+    /// `host_reclaim_page`: a retired guest page returns to the host.
+    Reclaim = 9,
+}
+
+impl TransferEdge {
+    /// Every protocol edge, for coverage sweeps.
+    pub const ALL: &'static [TransferEdge] = &[
+        TransferEdge::ShareHyp,
+        TransferEdge::UnshareHyp,
+        TransferEdge::DonateHyp,
+        TransferEdge::DonateHost,
+        TransferEdge::MapGuestOwned,
+        TransferEdge::MapGuestShared,
+        TransferEdge::GuestShareHost,
+        TransferEdge::GuestUnshareHost,
+        TransferEdge::Firmware,
+        TransferEdge::Reclaim,
+    ];
+
+    /// Short stable name for coverage points and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TransferEdge::ShareHyp => "share_hyp",
+            TransferEdge::UnshareHyp => "unshare_hyp",
+            TransferEdge::DonateHyp => "donate_hyp",
+            TransferEdge::DonateHost => "donate_host",
+            TransferEdge::MapGuestOwned => "map_guest_owned",
+            TransferEdge::MapGuestShared => "map_guest_shared",
+            TransferEdge::GuestShareHost => "guest_share_host",
+            TransferEdge::GuestUnshareHost => "guest_unshare_host",
+            TransferEdge::Firmware => "firmware",
+            TransferEdge::Reclaim => "reclaim",
+        }
+    }
+
+    /// Decodes the `repr(u8)` discriminant (tracefile round-trips).
+    pub const fn from_u8(v: u8) -> Option<TransferEdge> {
+        match v {
+            0 => Some(TransferEdge::ShareHyp),
+            1 => Some(TransferEdge::UnshareHyp),
+            2 => Some(TransferEdge::DonateHyp),
+            3 => Some(TransferEdge::DonateHost),
+            4 => Some(TransferEdge::MapGuestOwned),
+            5 => Some(TransferEdge::MapGuestShared),
+            6 => Some(TransferEdge::GuestShareHost),
+            7 => Some(TransferEdge::GuestUnshareHost),
+            8 => Some(TransferEdge::Firmware),
+            9 => Some(TransferEdge::Reclaim),
+            _ => None,
+        }
+    }
 }
 
 /// What a component lock protects, exposed to the abstraction functions at
@@ -169,6 +250,22 @@ pub trait GhostHooks: Send + Sync {
     /// The implementation issued the data synchronisation barrier that
     /// completes its preceding TLB invalidations.
     fn dsb(&self, ctx: &HookCtx<'_>) {}
+
+    /// A page-ownership transfer edge committed: `nr` pages starting at
+    /// `pfn` crossed `edge` of the transfer protocol. For
+    /// [`TransferEdge::Reclaim`], `dirty` reports whether the page still
+    /// held non-zero guest data when it reached the host (the wipe check);
+    /// it is `false` for every other edge.
+    fn transfer(&self, ctx: &HookCtx<'_>, edge: TransferEdge, pfn: u64, nr: u64, dirty: bool) {}
+
+    /// A firmware region was donated to a protected VM: `nr` pages
+    /// starting at `pfn` are now firmware of the VM identified by
+    /// (`handle`, `uniq`). The host must never regain access to them.
+    fn firmware_donated(&self, ctx: &HookCtx<'_>, handle: Handle, uniq: u64, pfn: u64, nr: u64) {}
+
+    /// The host's stage 2 regained access to `nr` pages starting at
+    /// `pfn` (reclaim, hyp-to-host donation, or a guest share-back).
+    fn host_regain(&self, ctx: &HookCtx<'_>, pfn: u64, nr: u64) {}
 
     /// The hypervisor panicked (internal invariant failure).
     fn hyp_panic(&self, ctx: &HookCtx<'_>, reason: &str) {}

@@ -37,6 +37,10 @@ pub const HVC_VCPU_GET_REG: u64 = HVC_BASE + 12;
 /// `__pkvm_vcpu_set_reg(n, value)` (writes the loaded vCPU's saved
 /// register, e.g. to complete an emulated MMIO read).
 pub const HVC_VCPU_SET_REG: u64 = HVC_BASE + 13;
+/// `__pkvm_vm_load_firmware(handle, pfn, gfn, nr)`: donate a pvmfw-style
+/// firmware region into a protected VM before any vCPU runs. The fourth
+/// argument travels in `x4` (the SMCCC epilogue only scrubs `x0..=x3`).
+pub const HVC_VM_LOAD_FIRMWARE: u64 = HVC_BASE + 14;
 
 /// Exit codes returned by `HVC_VCPU_RUN` in `x1`.
 pub mod exit {
@@ -76,6 +80,7 @@ pub fn name(func: u64) -> &'static str {
         HVC_HOST_MAP_GUEST => "host_map_guest",
         HVC_VCPU_GET_REG => "vcpu_get_reg",
         HVC_VCPU_SET_REG => "vcpu_set_reg",
+        HVC_VM_LOAD_FIRMWARE => "vm_load_firmware",
         _ => "unknown",
     }
 }
@@ -95,6 +100,7 @@ pub const ALL_HOST_CALLS: &[u64] = &[
     HVC_HOST_MAP_GUEST,
     HVC_VCPU_GET_REG,
     HVC_VCPU_SET_REG,
+    HVC_VM_LOAD_FIRMWARE,
 ];
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use pkvm_aarch64::tlb::{VMID_HOST, VMID_HYP};
 use crate::cov;
 use crate::error::{Errno, HypResult};
 use crate::faults::Fault;
-use crate::hooks::Component;
+use crate::hooks::{Component, TransferEdge};
 use crate::memcache::{wipe_donated, Memcache, MEMCACHE_MAX_TOPUP};
 use crate::owner::{annotation_owner, annotation_pte, OwnerId, PageState};
 use crate::pgtable::{
@@ -238,7 +238,10 @@ pub fn host_share_hyp(ctx: &HypCtx<'_>, st: &HypState, pfn: u64) -> HypResult {
             1,
             hyp_perm_attrs,
             true,
-        )
+        )?;
+        ctx.hooks
+            .transfer(&ctx.hook_ctx(), TransferEdge::ShareHyp, pfn, 1, false);
+        Ok(())
     })();
 
     st.hyp_unlock(ctx, hyp);
@@ -302,6 +305,8 @@ pub fn host_unshare_hyp(ctx: &HypCtx<'_>, st: &HypState, pfn: u64) -> HypResult 
             )?;
             tlbi_range(ctx, VMID_HYP, hyp_va.bits(), 1);
         }
+        ctx.hooks
+            .transfer(&ctx.hook_ctx(), TransferEdge::UnshareHyp, pfn, 1, false);
         Ok(())
     })();
 
@@ -368,7 +373,15 @@ pub fn do_host_donate_hyp_locked(
         nr,
         hyp_attrs(true, PageState::Owned),
         true,
-    )
+    )?;
+    ctx.hooks.transfer(
+        &ctx.hook_ctx(),
+        TransferEdge::DonateHyp,
+        phys.pfn(),
+        nr,
+        false,
+    );
+    Ok(())
 }
 
 /// `__pkvm_hyp_donate_host` (internal): return hypervisor pages to the host.
@@ -430,7 +443,16 @@ pub fn do_hyp_donate_host_locked(
         phys.bits(),
         nr,
         Pte::invalid(),
-    )
+    )?;
+    ctx.hooks.transfer(
+        &ctx.hook_ctx(),
+        TransferEdge::DonateHost,
+        phys.pfn(),
+        nr,
+        false,
+    );
+    ctx.hooks.host_regain(&ctx.hook_ctx(), phys.pfn(), nr);
+    Ok(())
 }
 
 /// `__pkvm_host_map_guest` for unprotected VMs: share the host page `pfn`
@@ -482,7 +504,10 @@ pub fn host_share_guest(
             gipa,
             phys,
             guest_attrs(PageState::SharedBorrowed),
-        )
+        )?;
+        ctx.hooks
+            .transfer(&ctx.hook_ctx(), TransferEdge::MapGuestShared, pfn, 1, false);
+        Ok(())
     })();
     st.host_unlock(ctx, host);
     result
@@ -539,7 +564,10 @@ pub fn host_donate_guest(
             gipa,
             phys,
             guest_attrs(PageState::Owned),
-        )
+        )?;
+        ctx.hooks
+            .transfer(&ctx.hook_ctx(), TransferEdge::MapGuestOwned, pfn, 1, false);
+        Ok(())
     })();
     st.host_unlock(ctx, host);
     result
@@ -570,17 +598,19 @@ fn map_guest_page(
 }
 
 /// Guest hypercall: share the guest's own page at `gipa` back with the
-/// host (virtio buffers). Caller holds the VM lock.
+/// host (virtio buffers). Caller holds the VM lock and supplies the VM's
+/// donated firmware pages, which must never become host-accessible.
 ///
 /// # Errors
 ///
-/// `EPERM` if the page is not exclusively guest-owned, or the host-side
-/// state is inconsistent.
+/// `EPERM` if the page is not exclusively guest-owned, is part of the
+/// firmware region, or the host-side state is inconsistent.
 pub fn guest_share_host(
     ctx: &HypCtx<'_>,
     st: &HypState,
     vm: &Vm,
     guest_pgt: &KvmPgtable,
+    firmware: &[PhysAddr],
     mc: &mut Memcache,
     gipa: u64,
 ) -> HypResult {
@@ -600,6 +630,12 @@ pub fn guest_share_host(
         let phys = pte
             .leaf_oa(level)
             .wrapping_add(gipa & (level_size(level) - 1));
+        // Firmware is donated for the VM's lifetime: the guest cannot
+        // hand the host a window back into it.
+        if firmware.contains(&phys.page_base()) {
+            cov::hit("do_share/firmware_denied");
+            return Err(Errno::EPERM);
+        }
         let host_ok = matches!(
             page_state_of(ctx.mem, &host, phys.bits()),
             ConcreteState::UnmappedOwner(o) if o == vm.owner_id()
@@ -633,7 +669,17 @@ pub fn guest_share_host(
             1,
             host_attrs(true, PageState::SharedBorrowed),
             true,
-        )
+        )?;
+        ctx.hooks.transfer(
+            &ctx.hook_ctx(),
+            TransferEdge::GuestShareHost,
+            phys.page_base().pfn(),
+            1,
+            false,
+        );
+        ctx.hooks
+            .host_regain(&ctx.hook_ctx(), phys.page_base().pfn(), 1);
+        Ok(())
     })();
     st.host_unlock(ctx, host);
     result
@@ -697,7 +743,15 @@ pub fn guest_unshare_host(
             phys.page_base().bits(),
             1,
             annotation_pte(vm.owner_id()),
-        )
+        )?;
+        ctx.hooks.transfer(
+            &ctx.hook_ctx(),
+            TransferEdge::GuestUnshareHost,
+            phys.page_base().pfn(),
+            1,
+            false,
+        );
+        Ok(())
     })();
     st.host_unlock(ctx, host);
     result
@@ -721,6 +775,10 @@ pub fn host_reclaim_page(ctx: &HypCtx<'_>, st: &HypState, pfn: u64) -> HypResult
         if !ctx.faults.is(Fault::SynReclaimSkipsWipe) {
             ctx.mem.zero_page(phys).expect("reclaimable pages are RAM");
         }
+        // The wipe check's input: whatever content the host will actually
+        // see. Scanned here, under the host lock, so the reported flag is
+        // identical in both check modes.
+        let dirty = page_is_dirty(ctx.mem, phys);
         cov::hit("host_reclaim_page/ok");
         tlbi_range(ctx, VMID_HOST, phys.bits(), 1);
         set_owner_pool(
@@ -731,7 +789,110 @@ pub fn host_reclaim_page(ctx: &HypCtx<'_>, st: &HypState, pfn: u64) -> HypResult
             phys.bits(),
             1,
             Pte::invalid(),
-        )
+        )?;
+        ctx.hooks
+            .transfer(&ctx.hook_ctx(), TransferEdge::Reclaim, pfn, 1, dirty);
+        ctx.hooks.host_regain(&ctx.hook_ctx(), pfn, 1);
+        Ok(())
+    })();
+    st.host_unlock(ctx, host);
+    result
+}
+
+/// Teardown retirement of one firmware page: re-annotate the (locked)
+/// host entry from the dead guest's owner id to the hypervisor, so the
+/// page stays inaccessible to the host across handle reuse — forever.
+pub fn retire_firmware_locked(
+    ctx: &HypCtx<'_>,
+    st: &HypState,
+    host: &KvmPgtable,
+    pa: PhysAddr,
+) -> HypResult {
+    cov::hit("teardown_vm/firmware_retired");
+    set_owner_pool(
+        ctx,
+        st,
+        Component::Host,
+        host,
+        pa.bits(),
+        1,
+        annotation_pte(OwnerId::HYP),
+    )
+}
+
+/// Returns `true` if the page at `pa` holds any non-zero word.
+fn page_is_dirty(mem: &PhysMem, pa: PhysAddr) -> bool {
+    (0..PAGE_SIZE / 8).any(|i| mem.read_u64(pa.wrapping_add(i * 8)).is_ok_and(|v| v != 0))
+}
+
+/// `__pkvm_vm_load_firmware`: donate `nr` host pages at `pfn` to the
+/// (locked) protected VM as its pvmfw-style firmware region, mapped at
+/// `gfn` before any vCPU exists. Guest table pages come from the
+/// hypervisor pool — there is no vCPU memcache yet at firmware-load time.
+///
+/// The host must never regain access to these pages for the VM's
+/// lifetime; at teardown they are wiped and retired to the hypervisor
+/// rather than returned.
+///
+/// # Errors
+///
+/// `EPERM` if any page is not exclusively host-owned RAM or the guest
+/// range is already mapped; `ENOMEM` if the pool cannot supply table
+/// pages.
+pub fn vm_load_firmware(
+    ctx: &HypCtx<'_>,
+    st: &HypState,
+    vm: &Vm,
+    guest_pgt: &KvmPgtable,
+    pfn: u64,
+    gfn: u64,
+    nr: u64,
+) -> HypResult {
+    let phys = PhysAddr::from_pfn(pfn);
+    let host = st.host_lock(ctx);
+    let result = (|| {
+        // Check phase: the whole range must be transferable before any
+        // state changes (the transition must look atomic to the oracle).
+        for i in 0..nr {
+            let pa = phys.wrapping_add(i * PAGE_SIZE);
+            if !ctx.mem.is_ram(pa) || !host_owns_exclusively(ctx.mem, &host, pa.bits()) {
+                cov::hit("vm_load_firmware/check_failed");
+                return Err(Errno::EPERM);
+            }
+            if page_state_of(ctx.mem, guest_pgt, (gfn + i) * PAGE_SIZE)
+                != ConcreteState::UnmappedDefault
+            {
+                cov::hit("vm_load_firmware/check_failed");
+                return Err(Errno::EPERM);
+            }
+        }
+        cov::hit("vm_load_firmware/ok");
+        set_owner_pool(
+            ctx,
+            st,
+            Component::Host,
+            &host,
+            phys.bits(),
+            nr,
+            annotation_pte(vm.owner_id()),
+        )?;
+        tlbi_range(ctx, VMID_HOST, phys.bits(), nr);
+        map_pages_pool(
+            ctx,
+            st,
+            Component::Vm(vm.handle),
+            guest_pgt,
+            gfn * PAGE_SIZE,
+            phys,
+            nr,
+            guest_attrs(PageState::Owned),
+            true,
+        )?;
+        ctx.hooks
+            .transfer(&ctx.hook_ctx(), TransferEdge::Firmware, pfn, nr, false);
+        ctx.hooks
+            .firmware_donated(&ctx.hook_ctx(), vm.handle, vm.uniq, pfn, nr);
+        Ok(())
     })();
     st.host_unlock(ctx, host);
     result
@@ -1276,6 +1437,86 @@ mod tests {
         assert_eq!(
             page_state_of(&f.mem, &host, PhysAddr::from_pfn(PFN).bits()),
             ConcreteState::UnmappedDefault
+        );
+    }
+
+    /// A protected VM with a pool-backed stage 2 root, for firmware tests.
+    fn fx_vm(f: &Fx) -> (std::sync::Arc<Vm>, KvmPgtable) {
+        let root = f.st.pool.lock().alloc_page().unwrap();
+        f.mem.zero_page(root).unwrap();
+        let vm = f.st.vm_table.lock().insert(true, 1, root, vec![]).unwrap();
+        let pgt = KvmPgtable {
+            root,
+            stage: Stage::Stage2,
+        };
+        (vm, pgt)
+    }
+
+    #[test]
+    fn firmware_donation_hides_pages_and_maps_guest() {
+        let f = Fx::new();
+        let (vm, pgt) = fx_vm(&f);
+        vm_load_firmware(&f.ctx(), &f.st, &vm, &pgt, PFN, 0x80, 2).unwrap();
+        let host_root = f.st.host_pgt.lock().root;
+        let host = KvmPgtable {
+            root: host_root,
+            stage: Stage::Stage2,
+        };
+        for i in 0..2 {
+            assert_eq!(
+                page_state_of(&f.mem, &host, PhysAddr::from_pfn(PFN + i).bits()),
+                ConcreteState::UnmappedOwner(vm.owner_id()),
+                "host side annotated away"
+            );
+            assert!(matches!(
+                page_state_of(&f.mem, &pgt, (0x80 + i) * PAGE_SIZE),
+                ConcreteState::Mapped(PageState::Owned, _)
+            ));
+        }
+        // The range is gone from the host: no double donation, no share.
+        assert_eq!(
+            vm_load_firmware(&f.ctx(), &f.st, &vm, &pgt, PFN, 0x90, 1),
+            Err(Errno::EPERM)
+        );
+        assert_eq!(host_share_hyp(&f.ctx(), &f.st, PFN), Err(Errno::EPERM));
+    }
+
+    #[test]
+    fn firmware_rejects_mapped_guest_range_and_mmio() {
+        let f = Fx::new();
+        let (vm, pgt) = fx_vm(&f);
+        vm_load_firmware(&f.ctx(), &f.st, &vm, &pgt, PFN, 0x80, 1).unwrap();
+        // The guest IPA is taken now.
+        assert_eq!(
+            vm_load_firmware(&f.ctx(), &f.st, &vm, &pgt, PFN + 8, 0x80, 1),
+            Err(Errno::EPERM)
+        );
+        // MMIO is not donatable firmware.
+        assert_eq!(
+            vm_load_firmware(&f.ctx(), &f.st, &vm, &pgt, 0x9000, 0xa0, 1),
+            Err(Errno::EPERM)
+        );
+    }
+
+    #[test]
+    fn firmware_pages_cannot_be_shared_back_by_the_guest() {
+        let f = Fx::new();
+        let (vm, pgt) = fx_vm(&f);
+        vm_load_firmware(&f.ctx(), &f.st, &vm, &pgt, PFN, 0x80, 1).unwrap();
+        let firmware = vec![PhysAddr::from_pfn(PFN)];
+        let mut mc = Memcache::new();
+        assert_eq!(
+            guest_share_host(
+                &f.ctx(),
+                &f.st,
+                &vm,
+                &pgt,
+                &firmware,
+                &mut mc,
+                0x80 * PAGE_SIZE
+            ),
+            Err(Errno::EPERM),
+            "firmware must never become host-accessible"
         );
     }
 }

@@ -69,6 +69,12 @@ pub struct HypState {
 }
 
 impl HypState {
+    /// Returns `true` if `pfn` lies inside the hypervisor carveout
+    /// (pool pages live here; they are never the host's to receive).
+    pub fn in_hyp_range(&self, pfn: u64) -> bool {
+        pfn >= self.hyp_range.0 && pfn < self.hyp_range.0 + self.hyp_range.1
+    }
+
     /// Acquires the host stage 2 lock, recording the pre abstraction
     /// (the `host_lock_component` of §3.2).
     pub fn host_lock<'a>(&'a self, ctx: &HypCtx<'_>) -> MutexGuard<'a, KvmPgtable> {
@@ -171,6 +177,7 @@ pub fn vm_view(mem: &PhysMem, vm: &Vm, inner: &VmInner) -> ComponentView {
         s2_root: inner.pgt.root,
         protected: vm.protected,
         donated: inner.donated.clone(),
+        firmware: inner.firmware.clone(),
         vcpus: inner.vcpus.iter().map(|s| vcpu_view(mem, s)).collect(),
     })
 }

@@ -120,6 +120,10 @@ pub struct VmInner {
     pub vcpus: Vec<VcpuSlot>,
     /// Host pages donated for VM metadata (returned at teardown).
     pub donated: Vec<PhysAddr>,
+    /// Host pages donated as the pvmfw-style firmware region
+    /// (`vm_load_firmware`). Never returned to the host: at teardown they
+    /// are wiped and retired to the hypervisor.
+    pub firmware: Vec<PhysAddr>,
 }
 
 /// One guest VM.
@@ -204,6 +208,7 @@ impl VmTable {
                 },
                 vcpus: (0..nr_vcpus).map(|_| VcpuSlot::Uninit).collect(),
                 donated,
+                firmware: Vec::new(),
             }),
         });
         self.slots[slot] = Some(Arc::clone(&vm));
